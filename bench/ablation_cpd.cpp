@@ -1,0 +1,109 @@
+// Ablation: the K-S change-point detector vs the parametric baselines, under
+// the disturbances the paper's methodology defends against (Sec. II-C, IV-B).
+//
+// For each (noise level, outlier rate) cell we synthesise 200 size-sweep-like
+// series — half with a genuine latency cliff, half without — and score each
+// detector on: detection rate (cliff found within +/-1 index), false-positive
+// rate (change "found" in a cliff-free series), and mean localisation error.
+// The design claim to verify: the K-S CPD keeps false positives near zero as
+// outliers grow, where the L2-cost (mean-split) baseline degrades.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/change_point.hpp"
+#include "stats/cusum.hpp"
+#include "stats/mean_split.hpp"
+
+namespace {
+
+using namespace mt4g;
+
+struct Score {
+  int detected = 0;
+  int false_positives = 0;
+  double localisation_error = 0.0;
+  int trials_with_cliff = 0;
+  int trials_without = 0;
+};
+
+template <typename Detector>
+Score evaluate(double noise_sd, double outlier_rate, Detector&& detect) {
+  Score score;
+  Xoshiro256 rng(1234);
+  constexpr int kTrials = 200;
+  constexpr std::size_t kLength = 64;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const bool has_cliff = trial % 2 == 0;
+    const std::size_t cliff = 16 + rng.uniform_int(0, 31);
+    std::vector<double> series;
+    series.reserve(kLength);
+    for (std::size_t i = 0; i < kLength; ++i) {
+      double value = (has_cliff && i >= cliff) ? 220.0 : 40.0;
+      value += noise_sd * rng.normal();
+      if (rng.uniform() < outlier_rate) {
+        value += 300.0 + 200.0 * rng.uniform();
+      }
+      series.push_back(value);
+    }
+    const auto found = detect(series);
+    if (has_cliff) {
+      ++score.trials_with_cliff;
+      if (found && std::llabs(static_cast<long long>(*found) -
+                              static_cast<long long>(cliff)) <= 1) {
+        ++score.detected;
+        score.localisation_error +=
+            std::llabs(static_cast<long long>(*found) -
+                       static_cast<long long>(cliff));
+      }
+    } else {
+      ++score.trials_without;
+      if (found) ++score.false_positives;
+    }
+  }
+  return score;
+}
+
+void print_row(const char* name, const Score& s) {
+  std::printf("  %-10s detect %5.1f%%   false-positive %5.1f%%\n", name,
+              100.0 * s.detected / s.trials_with_cliff,
+              100.0 * s.false_positives / s.trials_without);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Ablation: K-S CPD vs parametric baselines ===");
+  std::puts("(200 synthetic sweeps per cell; cliff 40 -> 220 cycles)\n");
+  struct Cell {
+    double noise;
+    double outliers;
+  };
+  const Cell cells[] = {{2.0, 0.0}, {8.0, 0.0}, {2.0, 0.05}, {2.0, 0.15},
+                        {8.0, 0.15}};
+  for (const auto& [noise, outliers] : cells) {
+    std::printf("noise sd = %.0f cycles, outlier rate = %.0f%%\n", noise,
+                100.0 * outliers);
+    print_row("K-S", evaluate(noise, outliers, [](const auto& s) {
+                return stats::find_change_point(s)
+                           ? std::optional<std::size_t>(
+                                 stats::find_change_point(s)->index)
+                           : std::nullopt;
+              }));
+    print_row("CUSUM", evaluate(noise, outliers, [](const auto& s) {
+                const auto r = stats::cusum_change_point(s);
+                return r ? std::optional<std::size_t>(r->index) : std::nullopt;
+              }));
+    print_row("mean-split", evaluate(noise, outliers, [](const auto& s) {
+                const auto r = stats::mean_split_change_point(s);
+                return r ? std::optional<std::size_t>(r->index) : std::nullopt;
+              }));
+    std::puts("");
+  }
+  std::puts("expected shape: all detectors find clean cliffs; as outliers");
+  std::puts("grow, the parametric detectors' false-positive rate climbs");
+  std::puts("while the K-S CPD (with Bonferroni-corrected significance)");
+  std::puts("stays near zero — the paper's rationale for choosing it.");
+  return 0;
+}

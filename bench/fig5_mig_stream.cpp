@@ -1,0 +1,63 @@
+// Regenerates paper Fig. 5: streaming read performance (ns/B) over arrays of
+// varying size on one NVIDIA A100 core, under different MIG settings. The
+// vertical markers are the L2 capacities reported by the sys-sage
+// integration (static MT4G topology + dynamic MIG query).
+//
+// The two observations to reproduce:
+//  (1) a steep performance drop right past the reported L2 capacity;
+//  (2) no difference between the full GPU and the 4g.20gb instance — one SM
+//      can only reach one of the two 20 MB L2 partitions anyway.
+#include <cstdio>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/mt4g.hpp"
+#include "sim/bandwidth.hpp"
+#include "sim/gpu.hpp"
+#include "syssage/gpu_import.hpp"
+#include "syssage/mig.hpp"
+
+int main() {
+  using namespace mt4g;
+  std::puts("=== Paper Fig. 5: A100 stream ns/B vs array size under MIG ===\n");
+
+  const sim::GpuSpec& a100 = sim::registry_get("A100");
+  // Static topology from MT4G, imported into the sys-sage tree once.
+  sim::Gpu discovery_gpu(a100, 42);
+  const auto report = core::discover(discovery_gpu);
+  const auto chip = syssage::import_report(report);
+
+  const std::vector<std::string> profiles = {"full", "4g.20gb", "2g.10gb",
+                                             "1g.5gb"};
+  std::vector<sim::Gpu> gpus;
+  for (const auto& profile_name : profiles) {
+    std::optional<sim::MigProfile> mig;
+    for (const auto& p : a100.mig_profiles) {
+      if (p.name == profile_name && p.name != "full") mig = p;
+    }
+    gpus.emplace_back(a100, 7, mig);
+  }
+
+  std::printf("%10s", "size");
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto caps = syssage::query_capabilities(*chip, gpus[i]);
+    std::printf("  %8s(L2/SM=%s)", profiles[i].c_str(),
+                format_bytes(caps.visible_l2_per_sm).c_str());
+  }
+  std::puts("  [ns/B]");
+
+  for (std::uint64_t size = 1 * MiB; size <= 128 * MiB; size *= 2) {
+    std::printf("%10s", format_bytes(size).c_str());
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      const double ns = sim::single_core_stream_ns_per_byte(gpus[i], size);
+      const auto caps = syssage::query_capabilities(*chip, gpus[i]);
+      const bool at_cliff = size / 2 < caps.visible_l2_per_sm &&
+                            size >= caps.visible_l2_per_sm;
+      std::printf("  %17.3f%c", ns, at_cliff ? '|' : ' ');
+    }
+    std::puts("");
+  }
+  std::puts("\n('|' marks the first size at/past the sys-sage-reported L2");
+  std::puts(" visible per SM; note 'full' and '4g.20gb' are identical)");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// google-benchmark micro suite for the GPU substrate: raw sectored-cache
+// probe throughput, full-hierarchy access cost, and p-chase kernel rates —
+// the numbers that bound how fast a simulated discovery run can be.
+#include <benchmark/benchmark.h>
+
+#include "common/units.hpp"
+#include "runtime/kernels.hpp"
+#include "sim/cache.hpp"
+#include "sim/gpu.hpp"
+#include "sim/registry.hpp"
+
+namespace {
+
+using namespace mt4g;
+
+void BM_CacheProbe(benchmark::State& state) {
+  sim::CacheGeometry geometry;
+  geometry.size_bytes = 238 * KiB;
+  geometry.line_bytes = 128;
+  geometry.sector_bytes = 32;
+  geometry.associativity = 4;
+  sim::SectoredCache cache(geometry);
+  std::uint64_t address = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(address));
+    address = (address + 32) % (512 * KiB);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheProbe);
+
+void BM_HierarchyAccessHit(benchmark::State& state) {
+  sim::Gpu gpu(sim::registry_get("H100-80"), 1);
+  const auto base = gpu.alloc(4 * KiB);
+  for (std::uint64_t a = 0; a < 4 * KiB; a += 32) {
+    gpu.access({0, 0}, sim::Space::kGlobal, base + a);
+  }
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gpu.access({0, 0}, sim::Space::kGlobal, base + offset));
+    offset = (offset + 32) % (4 * KiB);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyAccessHit);
+
+void BM_PchasePass(benchmark::State& state) {
+  sim::Gpu gpu(sim::registry_get("H100-80"), 1);
+  runtime::PChaseConfig config;
+  config.array_bytes = static_cast<std::uint64_t>(state.range(0)) * KiB;
+  config.base = gpu.alloc(config.array_bytes);
+  config.stride_bytes = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::run_pchase(gpu, config));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (config.array_bytes / config.stride_bytes) * 2);
+}
+BENCHMARK(BM_PchasePass)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DiscoverySizeBenchPath(benchmark::State& state) {
+  // End-to-end cost of the hottest discovery path: a warm L2-bypassing chase
+  // over a 1 MiB window, as the L2 sweeps issue thousands of times.
+  sim::Gpu gpu(sim::registry_get("H100-80"), 1);
+  runtime::PChaseConfig config;
+  config.flags.bypass_l1 = true;
+  config.array_bytes = 1 * MiB;
+  config.base = gpu.alloc(config.array_bytes);
+  config.stride_bytes = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::run_pchase(gpu, config));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (config.array_bytes / config.stride_bytes) * 2);
+}
+BENCHMARK(BM_DiscoverySizeBenchPath);
+
+}  // namespace

@@ -1,0 +1,80 @@
+// google-benchmark micro suite for the statistics substrate: K-S test,
+// Eq.-2 reduction, and the three change-point detectors (K-S vs the
+// parametric baselines the paper cites) across series lengths.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/change_point.hpp"
+#include "stats/cusum.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/mean_split.hpp"
+#include "stats/reduction.hpp"
+
+namespace {
+
+using namespace mt4g;
+
+std::vector<double> step_series(std::size_t n, double noise) {
+  Xoshiro256 rng(99);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back((i < n / 2 ? 40.0 : 220.0) + noise * rng.normal());
+  }
+  return out;
+}
+
+void BM_KsTest(benchmark::State& state) {
+  const auto series = step_series(static_cast<std::size_t>(state.range(0)), 2.0);
+  const std::span<const double> left(series.data(), series.size() / 2);
+  const std::span<const double> right(series.data() + series.size() / 2,
+                                      series.size() / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ks_test(left, right));
+  }
+}
+BENCHMARK(BM_KsTest)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_Reduction(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  std::vector<std::vector<std::uint32_t>> rows;
+  for (int i = 0; i < state.range(0); ++i) {
+    std::vector<std::uint32_t> row;
+    for (int j = 0; j < 512; ++j) {
+      row.push_back(static_cast<std::uint32_t>(40 + rng.uniform_int(0, 3)));
+    }
+    rows.push_back(std::move(row));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::geometric_reduction(rows));
+  }
+}
+BENCHMARK(BM_Reduction)->Arg(48)->Arg(256);
+
+void BM_ChangePointKs(benchmark::State& state) {
+  const auto series = step_series(static_cast<std::size_t>(state.range(0)), 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::find_change_point(series));
+  }
+}
+BENCHMARK(BM_ChangePointKs)->Arg(48)->Arg(128)->Arg(512);
+
+void BM_ChangePointCusum(benchmark::State& state) {
+  const auto series = step_series(static_cast<std::size_t>(state.range(0)), 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::cusum_change_point(series));
+  }
+}
+BENCHMARK(BM_ChangePointCusum)->Arg(48)->Arg(128)->Arg(512);
+
+void BM_ChangePointMeanSplit(benchmark::State& state) {
+  const auto series = step_series(static_cast<std::size_t>(state.range(0)), 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::mean_split_change_point(series));
+  }
+}
+BENCHMARK(BM_ChangePointMeanSplit)->Arg(48)->Arg(128)->Arg(512);
+
+}  // namespace

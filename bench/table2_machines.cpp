@@ -1,0 +1,22 @@
+// Regenerates paper Table II: specifications of the evaluated GPUs.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sim/registry.hpp"
+
+int main() {
+  using namespace mt4g;
+  std::puts("=== Paper Table II: evaluated GPUs and host systems ===\n");
+  TablePrinter table({"GPU Name", "Vendor", "Microarch.", "GPU", "CPU",
+                      "OS&Software"});
+  for (const auto& name : sim::registry_names()) {
+    const auto& spec = sim::registry_get(name);
+    const auto& host = sim::registry_host(name);
+    table.add_row({name, sim::vendor_name(spec.vendor),
+                   spec.microarchitecture, spec.model, host.cpu,
+                   host.os_software});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::puts("\nNVIDIA: <OS, hipcc, nvcc, driver>; AMD: <OS, hipcc, ROCk>.");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Regenerates paper Sec. VI-A: the Hong & Kim CWP/MWP performance model
+// parameterised from MT4G output, for two contrasting kernels on the H100
+// and the MI210 — plus the Roofline ceilings MT4G enables.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+#include "core/mt4g.hpp"
+#include "model/hong_kim.hpp"
+#include "model/roofline.hpp"
+#include "sim/gpu.hpp"
+
+namespace {
+
+using namespace mt4g;
+
+void evaluate_on(const char* gpu_name) {
+  sim::Gpu gpu(sim::registry_get(gpu_name), 42);
+  const auto report = core::discover(gpu);
+  const auto params = model::params_from_report(report,
+                                                model::MemoryLevel::kDram);
+  std::printf("--- %s (MT4G: mem_latency %.0f cyc, mem_bw %s, %u SMs) ---\n",
+              gpu_name, params.mem_latency_cycles,
+              format_bandwidth(params.mem_bandwidth_bytes_per_s).c_str(),
+              params.num_sms);
+
+  model::ApplicationProfile stream;
+  stream.name = "stream-triad";
+  stream.comp_cycles_per_warp = 120;
+  stream.mem_insts_per_warp = 48;
+  stream.active_warps_per_sm = 32;
+  stream.total_warps = 32 * params.num_sms * 8;
+
+  model::ApplicationProfile gemm;
+  gemm.name = "blocked-gemm";
+  gemm.comp_cycles_per_warp = 30000;
+  gemm.mem_insts_per_warp = 6;
+  gemm.active_warps_per_sm = 32;
+  gemm.total_warps = 32 * params.num_sms * 8;
+
+  for (const auto& app : {stream, gemm}) {
+    const auto r = model::evaluate(app, params);
+    std::printf(
+        "  %-13s CWP=%6.1f MWP=%6.1f (lat %6.1f, bw %8.1f) -> %s, "
+        "~%.2f ms\n",
+        app.name.c_str(), r.cwp, r.mwp, r.mwp_latency, r.mwp_bandwidth,
+        r.memory_bound ? "MEMORY-bound " : "COMPUTE-bound",
+        1e3 * r.estimated_seconds);
+  }
+
+  const auto roofline = model::roofline_from_report(report);
+  std::printf("  roofline: peak %.1f TFLOP/s;", roofline.peak_flops / 1e12);
+  for (const auto& ceiling : roofline.ceilings) {
+    std::printf(" %s ridge @ %.1f FLOP/B;", ceiling.level.c_str(),
+                roofline.ridge(ceiling));
+  }
+  std::puts("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Paper Sec. VI-A: CWP/MWP model fed by MT4G parameters ===\n");
+  evaluate_on("H100-80");
+  evaluate_on("MI210");
+  std::puts("(CWP > MWP => memory-bound; MT4G supplies mem_latency,");
+  std::puts(" mem_bandwidth and mem_freq across L1/L2/DRAM — Sec. VI-A)");
+  return 0;
+}

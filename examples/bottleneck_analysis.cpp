@@ -1,0 +1,58 @@
+// Use case VI-B: GPUscout-style bottleneck analysis. Synthetic NCU counters
+// for three kernels are combined with MT4G's topology to produce findings a
+// tuner can act on — each recommendation cites the MT4G-provided capacity.
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "core/mt4g.hpp"
+#include "scout/analyzer.hpp"
+#include "sim/gpu.hpp"
+
+int main() {
+  using namespace mt4g;
+
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  const auto topology = core::discover(gpu);
+  const auto* l1 = topology.find(sim::Element::kL1);
+  const auto* l2 = topology.find(sim::Element::kL2);
+  const auto l1_bytes = static_cast<std::uint64_t>(l1->size.value);
+  const auto l2_bytes = static_cast<std::uint64_t>(l2->size.value);
+  std::printf("MT4G context: L1 %s, L2 %s, %u regs/block\n\n",
+              format_bytes(l1_bytes).c_str(), format_bytes(l2_bytes).c_str(),
+              topology.compute.regs_per_block);
+
+  scout::KernelDescription kernels[3];
+  kernels[0].name = "tiled-matmul";
+  kernels[0].working_set_bytes = 2 * KiB;   // fits L1: healthy
+  kernels[0].reuse_factor = 32;
+  kernels[1].name = "histogram";
+  kernels[1].working_set_bytes = 24 * KiB;  // spills past L1
+  kernels[1].reuse_factor = 6;
+  kernels[2].name = "raytrace";
+  kernels[2].working_set_bytes = 512 * KiB;  // blows through L2 too
+  kernels[2].reuse_factor = 3;
+  kernels[2].registers_per_thread = 200;     // and spills registers
+  kernels[2].threads_per_block = 512;
+
+  for (const auto& kernel : kernels) {
+    const auto counters = scout::synthesize_counters(
+        kernel, l1_bytes, l2_bytes,
+        topology.compute.regs_per_block / kernel.threads_per_block);
+    const auto result = scout::analyze(counters, topology);
+    std::printf("--- %s (working set %s) ---\n", kernel.name.c_str(),
+                format_bytes(kernel.working_set_bytes).c_str());
+    if (result.findings.empty()) {
+      std::puts("  no memory bottlenecks detected");
+    }
+    for (const auto& finding : result.findings) {
+      std::printf("  [%s] %s\n",
+                  scout::severity_name(finding.severity).c_str(),
+                  finding.message.c_str());
+    }
+    std::puts("");
+  }
+  std::puts("without MT4G, the capacities in these messages would be guesses");
+  std::puts("(paper: 'users would have to guess these parameters, hoping an");
+  std::puts(" arbitrary change improves performance').");
+  return 0;
+}

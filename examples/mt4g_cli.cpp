@@ -1,0 +1,105 @@
+// The mt4g command-line tool — the reproduction of the paper artifact's
+// `./mt4g` binary. Flags follow the artifact description (Appendix A):
+//   -g graphs/series, -o raw data, -p markdown, -j JSON file, -q quiet,
+// plus substrate-specific selectors (--gpu, --seed, --only, --cache-config).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "core/mt4g.hpp"
+#include "sim/gpu.hpp"
+
+namespace {
+
+using namespace mt4g;
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "mt4g: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli::ParseResult parsed = cli::parse(argc, argv);
+  if (parsed.show_help) {
+    std::fputs(cli::usage().c_str(), stdout);
+    return 0;
+  }
+  if (!parsed.errors.empty()) {
+    for (const auto& error : parsed.errors) {
+      std::fprintf(stderr, "mt4g: %s\n", error.c_str());
+    }
+    std::fputs(cli::usage().c_str(), stderr);
+    return 2;
+  }
+  const cli::Options& options = parsed.options;
+
+  if (options.list_gpus) {
+    for (const auto& name : sim::registry_all_names()) {
+      const auto& spec = sim::registry_get(name);
+      std::printf("%-12s %-7s %-8s %s\n", name.c_str(),
+                  sim::vendor_name(spec.vendor).c_str(),
+                  spec.microarchitecture.c_str(), spec.model.c_str());
+    }
+    return 0;
+  }
+  if (!sim::registry_contains(options.gpu_name)) {
+    std::fprintf(stderr, "mt4g: unknown GPU '%s' (see --list)\n",
+                 options.gpu_name.c_str());
+    return 2;
+  }
+
+  core::DiscoverOptions discover_options;
+  if (options.only) {
+    try {
+      discover_options.only = sim::parse_element(*options.only);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mt4g: %s\n", e.what());
+      return 2;
+    }
+  }
+  discover_options.collect_series = options.emit_graphs || options.emit_raw;
+  discover_options.measure_compute = options.measure_flops;
+
+  const sim::GpuSpec spec = core::apply_cache_config(
+      sim::registry_get(options.gpu_name), options.cache_config);
+  sim::Gpu gpu(spec, options.seed);
+
+  if (!options.quiet) {
+    std::fprintf(stderr, "mt4g: analysing %s (%s, %s, seed %llu)...\n",
+                 options.gpu_name.c_str(),
+                 sim::vendor_name(spec.vendor).c_str(),
+                 options.cache_config.c_str(),
+                 static_cast<unsigned long long>(options.seed));
+  }
+  const core::TopologyReport report = core::discover(gpu, discover_options);
+  if (!options.quiet) {
+    std::fprintf(stderr, "mt4g: %u benchmarks, %.1f s simulated GPU time\n",
+                 report.benchmarks_executed, report.simulated_seconds);
+  }
+
+  const std::string prefix = options.output_dir + "/" + options.gpu_name;
+  bool ok = true;
+  if (options.emit_json_file) {
+    ok &= write_file(prefix + ".json", core::to_json_string(report) + "\n");
+  } else {
+    std::puts(core::to_json_string(report).c_str());
+  }
+  if (options.emit_markdown) {
+    ok &= write_file(prefix + ".md", core::to_markdown(report));
+  }
+  if (options.emit_graphs) {
+    ok &= write_file(prefix + "_series.csv", core::series_to_csv(report));
+  }
+  if (options.emit_raw) {
+    ok &= write_file(prefix + ".csv", core::to_csv(report));
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+// Quickstart: discover a GPU's topology and print the report.
+//
+//   sim::Gpu        — the simulated device (pick any registry model)
+//   core::discover  — runs the full microbenchmark suite
+//   outputs         — JSON (machines), markdown (humans)
+//
+// Uses the small synthetic model so it completes in well under a second;
+// swap the name for "H100-80" or "MI210" for the paper-scale runs.
+#include <cstdio>
+
+#include "core/mt4g.hpp"
+#include "sim/gpu.hpp"
+
+int main() {
+  using namespace mt4g;
+
+  // 1. Instantiate a GPU from the registry (10 paper models + 2 synthetic).
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), /*seed=*/42);
+
+  // 2. Run discovery: ~30 microbenchmarks, auto-evaluated with the K-S test.
+  const core::TopologyReport report = core::discover(gpu);
+
+  // 3. Human-readable summary.
+  std::fputs(core::to_markdown(report).c_str(), stdout);
+
+  // 4. Machine-readable JSON (what downstream tools parse).
+  std::puts("\n--- JSON (truncated to the first memory element) ---");
+  const auto json = core::to_json(report);
+  const auto& first = json.find("memory")->as_array().front();
+  std::puts(first.dump().c_str());
+
+  // 5. Programmatic access.
+  if (const auto* l1 = report.find(sim::Element::kL1)) {
+    std::printf("\nL1: %.0f bytes (confidence %.3f), %.1f cycles latency\n",
+                l1->size.value, l1->size.confidence, l1->load_latency.value);
+  }
+  return 0;
+}

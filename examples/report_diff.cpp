@@ -1,0 +1,71 @@
+// Report comparison tool — the artifact workflow of paper Appendix A:
+// "one can refer to the artifact's results/ folder to compare the JSON
+// outputs directly".
+//
+//   report_diff <a.json> <b.json>        compare two stored reports
+//   report_diff <a.json>                 compare a stored report against a
+//                                        fresh run of the same GPU model
+//
+// Exit code 0 = match (within tolerance), 1 = differences, 2 = usage error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/collector.hpp"
+#include "core/output/json_output.hpp"
+#include "core/output/report_io.hpp"
+#include "sim/gpu.hpp"
+#include "sim/registry.hpp"
+
+namespace {
+
+std::string read_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(std::string("cannot read ") + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mt4g;
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: report_diff <a.json> [b.json]\n");
+    return 2;
+  }
+  try {
+    const core::TopologyReport a =
+        core::from_json_string(read_file(argv[1]));
+    core::TopologyReport b;
+    if (argc == 3) {
+      b = core::from_json_string(read_file(argv[2]));
+    } else {
+      if (!sim::registry_contains(a.general.gpu_name)) {
+        std::fprintf(stderr, "report_diff: unknown GPU model '%s'\n",
+                     a.general.gpu_name.c_str());
+        return 2;
+      }
+      std::fprintf(stderr, "report_diff: re-running discovery on %s...\n",
+                   a.general.gpu_name.c_str());
+      sim::Gpu gpu(sim::registry_get(a.general.gpu_name), /*seed=*/271828);
+      b = core::discover(gpu);
+    }
+    const auto differences = core::diff_reports(a, b);
+    if (differences.empty()) {
+      std::printf("reports match (%zu memory elements compared)\n",
+                  a.memory.size());
+      return 0;
+    }
+    std::printf("%zu difference(s):\n", differences.size());
+    for (const auto& d : differences) {
+      std::printf("  %-14s %-22s %s  vs  %s\n", d.element.c_str(),
+                  d.attribute.c_str(), d.lhs.c_str(), d.rhs.c_str());
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "report_diff: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,87 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mt4g::cli {
+
+ParseResult parse(int argc, const char* const* argv) {
+  ParseResult result;
+  auto need_value = [&](int& i, const std::string& flag) -> std::optional<std::string> {
+    if (i + 1 >= argc) {
+      result.errors.push_back("missing value for " + flag);
+      return std::nullopt;
+    }
+    return std::string(argv[++i]);
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-g") {
+      result.options.emit_graphs = true;
+    } else if (arg == "-o") {
+      result.options.emit_raw = true;
+    } else if (arg == "-p") {
+      result.options.emit_markdown = true;
+    } else if (arg == "-j") {
+      result.options.emit_json_file = true;
+    } else if (arg == "-q") {
+      result.options.quiet = true;
+    } else if (arg == "--flops") {
+      result.options.measure_flops = true;
+    } else if (arg == "--list") {
+      result.options.list_gpus = true;
+    } else if (arg == "-h" || arg == "--help") {
+      result.show_help = true;
+    } else if (arg == "--gpu") {
+      if (auto v = need_value(i, arg)) result.options.gpu_name = *v;
+    } else if (arg == "--seed") {
+      if (auto v = need_value(i, arg)) {
+        try {
+          result.options.seed = std::stoull(*v);
+        } catch (const std::exception&) {
+          result.errors.push_back("invalid --seed value '" + *v + "'");
+        }
+      }
+    } else if (arg == "--only") {
+      if (auto v = need_value(i, arg)) result.options.only = *v;
+    } else if (arg == "--cache-config") {
+      if (auto v = need_value(i, arg)) {
+        if (*v != "PreferL1" && *v != "PreferShared" && *v != "PreferEqual") {
+          result.errors.push_back("unknown --cache-config '" + *v + "'");
+        } else {
+          result.options.cache_config = *v;
+        }
+      }
+    } else if (arg == "--out") {
+      if (auto v = need_value(i, arg)) result.options.output_dir = *v;
+    } else {
+      result.errors.push_back("unknown argument '" + arg + "'");
+    }
+  }
+  return result;
+}
+
+std::string usage() {
+  return R"(mt4g — GPU compute & memory topology auto-discovery (simulated substrate)
+
+Usage: mt4g [options]
+  --gpu <name>           GPU model to analyse (default H100-80; see --list)
+  --list                 list available GPU models and exit
+  --seed <n>             simulator noise seed (default 42)
+  --only <element>       restrict to one memory element (L1, L2, TEX, RO,
+                         CONST_L1, CONST_L15, SHARED, DMEM, VL1, SL1D, L3, LDS)
+  --cache-config <mode>  PreferL1 | PreferShared | PreferEqual (default PreferL1)
+  --out <dir>            output directory for report files (default .)
+  --flops                also run the per-datatype compute benchmarks
+  -g                     dump reduction-value series (Fig. 2 data) as CSV
+  -o                     write the legacy CSV attribute table (the format
+                         GPUscout-GUI parses, paper Sec. VI-B)
+  -p                     write a markdown report
+  -j                     write <GPU>.json instead of printing to stdout
+  -q                     quiet: JSON to stdout only, no progress lines
+  -h, --help             this text
+)";
+}
+
+}  // namespace mt4g::cli

@@ -1,0 +1,43 @@
+// Command-line parser for the mt4g example binary.
+//
+// Mirrors the flag set of the original tool's artifact description:
+//   -g (graphs/series dump), -o (raw timings), -p (markdown report),
+//   -j (JSON file), -q (quiet, JSON to stdout only), plus simulator-specific
+//   options: --gpu <name>, --seed <n>, --only <element>, --cache-config <mode>.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mt4g::cli {
+
+struct Options {
+  std::string gpu_name = "H100-80";   ///< registry key of the simulated GPU
+  std::uint64_t seed = 42;            ///< simulator noise seed
+  bool emit_graphs = false;           ///< -g: dump reduction series (Fig. 2 data)
+  bool emit_raw = false;              ///< -o: legacy CSV attribute table
+  bool emit_markdown = false;         ///< -p: write the .md report
+  bool emit_json_file = false;        ///< -j: write <GPU>.json
+  bool quiet = false;                 ///< -q: JSON to stdout only
+  bool list_gpus = false;             ///< --list: print registry and exit
+  bool measure_flops = false;         ///< --flops: per-dtype compute benchmarks
+  std::optional<std::string> only;    ///< --only L1|L2|...: restrict scope
+  std::string cache_config = "PreferL1";  ///< L1/Shared split policy
+  std::string output_dir = ".";       ///< where -j/-p/-g/-o files land
+};
+
+struct ParseResult {
+  Options options;
+  std::vector<std::string> errors;  ///< empty on success
+  bool show_help = false;
+};
+
+/// Parses argv. Never exits; callers decide what to do with errors/help.
+ParseResult parse(int argc, const char* const* argv);
+
+/// Usage text for --help.
+std::string usage();
+
+}  // namespace mt4g::cli

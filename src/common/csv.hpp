@@ -1,0 +1,31 @@
+// CSV emitter. The original MT4G emitted CSV before migrating to JSON, and
+// GPUscout-GUI still parses it (paper Sec. VI-B footnote); we provide both.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mt4g::csv {
+
+/// A rectangular CSV document built row by row.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Serialises with RFC-4180 quoting where needed.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quotes a single CSV field if it contains separators/quotes/newlines.
+std::string quote_field(const std::string& field);
+
+}  // namespace mt4g::csv

@@ -1,0 +1,263 @@
+#include "common/json_parse.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mt4g::json {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ParseResult run() {
+    ParseResult result;
+    skip_whitespace();
+    Value value;
+    if (!parse_value(value)) {
+      result.error = {pos_, error_};
+      return result;
+    }
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      result.error = {pos_, "trailing characters after document"};
+      return result;
+    }
+    result.value = std::move(value);
+    return result;
+  }
+
+ private:
+  bool fail(std::string message) {
+    if (error_.empty()) error_ = std::move(message);
+    return false;
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return fail(std::string("expected '") + expected + "'");
+  }
+
+  bool parse_literal(const char* literal, Value value, Value& out) {
+    const std::size_t n = std::string(literal).size();
+    if (text_.compare(pos_, n, literal) == 0) {
+      pos_ += n;
+      out = std::move(value);
+      return true;
+    }
+    return fail(std::string("expected '") + literal + "'");
+  }
+
+  bool parse_string_raw(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode (BMP only; surrogate pairs are not emitted by us).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return fail("malformed number");
+    if (is_double) {
+      out = Value(std::strtod(token.c_str(), nullptr));
+    } else {
+      errno = 0;
+      const long long parsed = std::strtoll(token.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        out = Value(std::strtod(token.c_str(), nullptr));
+      } else {
+        out = Value(static_cast<std::int64_t>(parsed));
+      }
+    }
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    if (++depth_ > 128) return fail("nesting too deep");
+    skip_whitespace();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    bool ok = false;
+    switch (text_[pos_]) {
+      case 'n': ok = parse_literal("null", Value(nullptr), out); break;
+      case 't': ok = parse_literal("true", Value(true), out); break;
+      case 'f': ok = parse_literal("false", Value(false), out); break;
+      case '"': {
+        std::string s;
+        ok = parse_string_raw(s);
+        if (ok) out = Value(std::move(s));
+        break;
+      }
+      case '[': {
+        ++pos_;
+        Array array;
+        skip_whitespace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          out = Value(std::move(array));
+          ok = true;
+          break;
+        }
+        while (true) {
+          Value element;
+          if (!parse_value(element)) return false;
+          array.push_back(std::move(element));
+          skip_whitespace();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (!consume(']')) return false;
+          break;
+        }
+        out = Value(std::move(array));
+        ok = true;
+        break;
+      }
+      case '{': {
+        ++pos_;
+        Object object;
+        skip_whitespace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          out = Value(std::move(object));
+          ok = true;
+          break;
+        }
+        while (true) {
+          skip_whitespace();
+          std::string key;
+          if (!parse_string_raw(key)) return false;
+          skip_whitespace();
+          if (!consume(':')) return false;
+          Value member;
+          if (!parse_value(member)) return false;
+          object.emplace_back(std::move(key), std::move(member));
+          skip_whitespace();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (!consume('}')) return false;
+          break;
+        }
+        out = Value(std::move(object));
+        ok = true;
+        break;
+      }
+      default:
+        ok = parse_number(out);
+    }
+    --depth_;
+    return ok;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult parse(const std::string& text) { return Parser(text).run(); }
+
+Value parse_or_throw(const std::string& text) {
+  auto result = parse(text);
+  if (!result.ok()) {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(result.error.offset) + ": " +
+                             result.error.message);
+  }
+  return std::move(*result.value);
+}
+
+}  // namespace mt4g::json

@@ -1,0 +1,34 @@
+// Recursive-descent JSON parser for the Value model in json.hpp.
+//
+// The MT4G artifact workflow compares stored JSON reports against fresh runs
+// ("one can refer to the artifact's results/ folder to compare the JSON
+// outputs directly"); that requires reading reports back in. The parser
+// accepts exactly what the serialiser emits (RFC 8259 JSON, UTF-8 passed
+// through verbatim, \uXXXX escapes decoded for the BMP).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace mt4g::json {
+
+struct ParseError {
+  std::size_t offset = 0;  ///< byte offset of the failure
+  std::string message;
+};
+
+struct ParseResult {
+  std::optional<Value> value;  ///< nullopt on error
+  ParseError error;            ///< valid when value is nullopt
+  bool ok() const { return value.has_value(); }
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+ParseResult parse(const std::string& text);
+
+/// Convenience wrapper that throws std::runtime_error on malformed input.
+Value parse_or_throw(const std::string& text);
+
+}  // namespace mt4g::json

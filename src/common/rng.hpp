@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (latency jitter, outlier spikes,
+// bandwidth noise) flows through this generator so that every run of every
+// benchmark is reproducible from a single seed. We use xoshiro256** seeded via
+// splitmix64, the standard recipe, instead of std::mt19937 to keep state small
+// and stream-splitting cheap (each SM / cache gets an independent stream).
+#pragma once
+
+#include <cstdint>
+
+namespace mt4g {
+
+/// splitmix64 step; used for seeding and cheap hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()();
+
+  /// Returns a generator with a statistically independent stream, derived from
+  /// this generator's seed and @p stream_id. Does not advance this generator.
+  [[nodiscard]] Xoshiro256 split(std::uint64_t stream_id) const;
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Standard normal variate (Box-Muller, no caching).
+  double normal();
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t s_[4];
+};
+
+}  // namespace mt4g

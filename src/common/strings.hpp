@@ -1,0 +1,24 @@
+// Small string helpers used across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mt4g {
+
+/// Splits @p text on @p sep; empty segments are preserved.
+std::vector<std::string> split(const std::string& text, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string trim(const std::string& text);
+
+/// ASCII lower-casing.
+std::string to_lower(std::string text);
+
+/// Joins @p parts with @p sep.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// printf-style double with fixed precision, trailing zeros stripped.
+std::string format_double(double value, int max_decimals = 2);
+
+}  // namespace mt4g

@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mt4g {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("table: empty header");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  if (row.empty() || row.size() > header_.size()) {
+    throw std::invalid_argument("table: bad row arity");
+  }
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::add_separator() { rows_.emplace_back(); }
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out += "| " + cell + std::string(widths[i] - cell.size(), ' ') + ' ';
+    }
+    out += "|\n";
+  };
+  std::string rule;
+  for (std::size_t w : widths) {
+    rule.push_back('+');
+    rule.append(w + 2, '-');
+  }
+  rule += "+\n";
+
+  std::string out = rule;
+  emit_row(header_, out);
+  out += rule;
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out += rule;
+    } else {
+      emit_row(row, out);
+    }
+  }
+  out += rule;
+  return out;
+}
+
+}  // namespace mt4g

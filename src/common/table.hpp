@@ -1,0 +1,28 @@
+// Fixed-width ASCII table printer used by the bench binaries to regenerate the
+// paper's tables in a terminal-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mt4g {
+
+/// Builds aligned ASCII tables with a header row and a rule line.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next row.
+  void add_separator();
+
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Each entry is either a row of cells or an empty vector meaning separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mt4g

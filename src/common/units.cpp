@@ -1,0 +1,97 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mt4g {
+namespace {
+
+std::string trim_fraction(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", value);
+  std::string s(buf);
+  if (s.size() > 2 && s.compare(s.size() - 2, 2, ".0") == 0) {
+    s.erase(s.size() - 2);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  struct Suffix {
+    std::uint64_t factor;
+    const char* name;
+  };
+  static constexpr std::array<Suffix, 4> suffixes{{
+      {TiB, "TiB"}, {GiB, "GiB"}, {MiB, "MiB"}, {KiB, "KiB"}}};
+  for (const auto& [factor, name] : suffixes) {
+    if (bytes >= factor) {
+      return trim_fraction(static_cast<double>(bytes) /
+                           static_cast<double>(factor)) +
+             name;
+    }
+  }
+  return std::to_string(bytes) + "B";
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  if (bytes_per_second >= static_cast<double>(TiB)) {
+    return trim_fraction(bytes_per_second / static_cast<double>(TiB)) +
+           " TiB/s";
+  }
+  if (bytes_per_second >= static_cast<double>(GiB)) {
+    return trim_fraction(bytes_per_second / static_cast<double>(GiB)) +
+           " GiB/s";
+  }
+  return trim_fraction(bytes_per_second / static_cast<double>(MiB)) + " MiB/s";
+}
+
+std::string format_frequency(double hertz) {
+  if (hertz >= 1e9) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f GHz", hertz / 1e9);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f MHz", hertz / 1e6);
+  return buf;
+}
+
+std::uint64_t parse_bytes(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("parse_bytes: empty string");
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_bytes: no number in '" + text + "'");
+  }
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  std::string suffix = text.substr(pos);
+  for (auto& c : suffix) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  double factor = 1.0;
+  if (suffix.empty() || suffix == "b") {
+    factor = 1.0;
+  } else if (suffix == "k" || suffix == "kb" || suffix == "kib") {
+    factor = static_cast<double>(KiB);
+  } else if (suffix == "m" || suffix == "mb" || suffix == "mib") {
+    factor = static_cast<double>(MiB);
+  } else if (suffix == "g" || suffix == "gb" || suffix == "gib") {
+    factor = static_cast<double>(GiB);
+  } else if (suffix == "t" || suffix == "tb" || suffix == "tib") {
+    factor = static_cast<double>(TiB);
+  } else {
+    throw std::invalid_argument("parse_bytes: unknown suffix '" + suffix + "'");
+  }
+  double bytes = value * factor;
+  if (bytes < 0) throw std::invalid_argument("parse_bytes: negative size");
+  return static_cast<std::uint64_t>(std::llround(bytes));
+}
+
+}  // namespace mt4g

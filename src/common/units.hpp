@@ -1,0 +1,56 @@
+// Byte-size and frequency unit helpers shared by every MT4G module.
+//
+// All sizes in the library are expressed in bytes (std::uint64_t). This header
+// provides literal-style constructors (KiB/MiB/GiB), parsing, and humanised
+// formatting that matches the output style of the paper ("238KiB", "50MB",
+// "4.4 TiB/s").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mt4g {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+inline constexpr std::uint64_t TiB = 1024ULL * GiB;
+
+/// Formats a byte count with a binary suffix, e.g. 243712 -> "238KiB".
+/// Fractions are printed with at most one decimal and trailing ".0" stripped.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats a bandwidth value (bytes per second) as "X.Y GiB/s" / "X.Y TiB/s".
+std::string format_bandwidth(double bytes_per_second);
+
+/// Formats a frequency in Hz as "NNNN MHz" or "N.NN GHz".
+std::string format_frequency(double hertz);
+
+/// Parses strings like "64KiB", "50MB", "8M", "1024" into a byte count.
+/// Decimal suffixes (KB/MB/GB) are treated as binary multiples, mirroring the
+/// loose usage in vendor datasheets. Throws std::invalid_argument on garbage.
+std::uint64_t parse_bytes(const std::string& text);
+
+/// True when @p value is a power of two (and non-zero).
+constexpr bool is_power_of_two(std::uint64_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Rounds @p value up to the next multiple of @p granule (granule > 0).
+constexpr std::uint64_t round_up(std::uint64_t value, std::uint64_t granule) {
+  return ((value + granule - 1) / granule) * granule;
+}
+
+/// Rounds @p value down to the previous multiple of @p granule (granule > 0).
+constexpr std::uint64_t round_down(std::uint64_t value, std::uint64_t granule) {
+  return (value / granule) * granule;
+}
+
+/// Largest power of two less than or equal to @p value (value > 0).
+constexpr std::uint64_t floor_pow2(std::uint64_t value) {
+  std::uint64_t p = 1;
+  while (p * 2 <= value) p *= 2;
+  return p;
+}
+
+}  // namespace mt4g

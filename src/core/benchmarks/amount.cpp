@@ -1,0 +1,91 @@
+#include "core/benchmarks/amount.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "core/benchmarks/size.hpp"
+
+namespace mt4g::core {
+
+AmountBenchResult run_amount_benchmark(sim::Gpu& gpu,
+                                       const AmountBenchOptions& options) {
+  if (options.cache_bytes == 0) {
+    throw std::invalid_argument("amount benchmark: missing cache size");
+  }
+  AmountBenchResult out;
+  const std::uint32_t cores = gpu.spec().cores_per_sm;
+  // Arrays close to the cache size (7/8) guarantee eviction when the two
+  // cores land on the same segment, while still fitting one segment alone.
+  const std::uint64_t array_bytes =
+      round_down(options.cache_bytes - options.cache_bytes / 8,
+                 options.stride);
+
+  runtime::PChaseConfig config;
+  config.space = options.target.space;
+  config.flags = options.target.flags;
+  config.array_bytes = array_bytes;
+  config.stride_bytes = options.stride;
+  config.record_count = 512;
+  config.where = options.where;
+
+  for (std::uint32_t core_b = 1; core_b < cores; core_b *= 2) {
+    gpu.flush_caches();
+    config.base = gpu.alloc(array_bytes, 256);
+    const std::uint64_t base_b = gpu.alloc(array_bytes, 256);
+    const auto result =
+        runtime::run_amount_pchase(gpu, config, core_b, base_b);
+    out.cycles += result.total_cycles;
+    const bool still_hits =
+        hit_fraction(result, options.target.element) > 0.5;
+    out.probes.emplace_back(core_b, still_hits);
+    if (still_hits) {
+      // Core B sits behind a segment boundary: one segment spans core_b
+      // cores at most, so the SM holds cores/core_b segments.
+      out.amount = cores / core_b;
+      return out;
+    }
+  }
+  out.amount = 1;
+  return out;
+}
+
+L2SegmentResult run_l2_segment_benchmark(sim::Gpu& gpu,
+                                         std::uint64_t api_total_bytes,
+                                         std::uint32_t fetch_granularity,
+                                         sim::Placement where) {
+  if (api_total_bytes == 0) {
+    throw std::invalid_argument("l2 segment benchmark: missing API size");
+  }
+  L2SegmentResult out;
+  SizeBenchOptions size_options;
+  size_options.target = target_for(gpu.spec().vendor, sim::Element::kL2);
+  size_options.lower = std::max<std::uint64_t>(api_total_bytes / 8, 1024);
+  size_options.upper = api_total_bytes + api_total_bytes / 4;
+  size_options.stride = fetch_granularity;
+  size_options.where = where;
+  const auto size_result = run_size_benchmark(gpu, size_options);
+  out.cycles = size_result.cycles;
+  if (!size_result.found) return out;
+  out.measured_bytes = size_result.exact_bytes;
+
+  // The segment count is an integer: align the measured size to the nearest
+  // integer fraction of the API total, and report the distance as confidence.
+  double best_error = 1.0;
+  for (std::uint32_t k = 1; k <= 8; ++k) {
+    const double fraction = static_cast<double>(api_total_bytes) / k;
+    const double error =
+        std::fabs(static_cast<double>(out.measured_bytes) - fraction) /
+        fraction;
+    if (error < best_error) {
+      best_error = error;
+      out.segments = k;
+      out.segment_bytes = api_total_bytes / k;
+    }
+  }
+  out.found = true;
+  out.confidence = 1.0 - best_error;
+  return out;
+}
+
+}  // namespace mt4g::core

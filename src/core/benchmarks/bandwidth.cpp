@@ -1,0 +1,43 @@
+#include "core/benchmarks/bandwidth.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+#include "runtime/kernels.hpp"
+
+namespace mt4g::core {
+
+BandwidthBenchResult run_bandwidth_benchmark(
+    sim::Gpu& gpu, const BandwidthBenchOptions& options) {
+  BandwidthBenchResult out;
+  const sim::GpuSpec& spec = gpu.spec();
+  // Heuristic launch configuration (paper IV-I): enough blocks to keep every
+  // SM's pipelines saturated with loads.
+  out.blocks = gpu.visible_sms() * spec.max_blocks_per_sm;
+  out.threads_per_block = spec.max_threads_per_block;
+
+  std::uint64_t bytes = options.bytes;
+  if (bytes == 0) {
+    const auto& element = spec.at(options.target);
+    bytes = std::max<std::uint64_t>(
+        4 * element.size_bytes * std::max<std::uint32_t>(element.amount, 1),
+        64 * MiB);
+  }
+
+  sim::StreamConfig config;
+  config.target = options.target;
+  config.blocks = out.blocks;
+  config.threads_per_block = out.threads_per_block;
+  config.bytes = bytes;
+
+  config.write = false;
+  out.read_bytes_per_s = runtime::run_stream(gpu, config);
+  out.seconds += static_cast<double>(bytes) / out.read_bytes_per_s;
+
+  config.write = true;
+  out.write_bytes_per_s = runtime::run_stream(gpu, config);
+  out.seconds += static_cast<double>(bytes) / out.write_bytes_per_s;
+  return out;
+}
+
+}  // namespace mt4g::core

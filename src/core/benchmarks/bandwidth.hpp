@@ -1,0 +1,32 @@
+// Bandwidth benchmark (paper Sec. IV-I).
+//
+// Stream-pattern kernel with 128-bit vector loads (ld.global.v4.u32 /
+// flat_load_dwordx4), launched with the heuristic configuration the paper
+// found to maximise throughput: num_SMs * max_blocks_per_SM blocks at the
+// maximum threads per block. Only higher-level caches (L2, L3) and device
+// memory are measured (Table I footnote).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/gpu.hpp"
+
+namespace mt4g::core {
+
+struct BandwidthBenchOptions {
+  sim::Element target = sim::Element::kDeviceMem;  ///< kL2, kL3 or kDeviceMem
+  std::uint64_t bytes = 0;  ///< data volume; 0 = 4x the element capacity
+};
+
+struct BandwidthBenchResult {
+  double read_bytes_per_s = 0.0;
+  double write_bytes_per_s = 0.0;
+  std::uint32_t blocks = 0;            ///< launch configuration used
+  std::uint32_t threads_per_block = 0;
+  double seconds = 0.0;                ///< simulated kernel wall time (r+w)
+};
+
+BandwidthBenchResult run_bandwidth_benchmark(
+    sim::Gpu& gpu, const BandwidthBenchOptions& options);
+
+}  // namespace mt4g::core

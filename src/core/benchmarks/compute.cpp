@@ -1,0 +1,41 @@
+#include "core/benchmarks/compute.hpp"
+
+#include <algorithm>
+
+namespace mt4g::core {
+
+ComputeBenchResult run_compute_benchmark(sim::Gpu& gpu, sim::DType dtype) {
+  ComputeBenchResult out;
+  out.dtype = dtype;
+  const sim::GpuSpec& spec = gpu.spec();
+  if (sim::ops_per_cycle_per_sm(spec, dtype) <= 0.0) {
+    return out;  // path absent (e.g. tensor engines on Pascal)
+  }
+  out.available = true;
+  out.threads_per_block = spec.max_threads_per_block;
+  const std::uint32_t optimum = spec.num_sms * spec.max_blocks_per_sm;
+  // Sweep around the heuristic optimum like the bandwidth benchmark: the
+  // occupancy ramp means undersubscription costs, oversubscription barely.
+  for (const std::uint32_t blocks :
+       {optimum / 4, optimum / 2, optimum, optimum * 2}) {
+    if (blocks == 0) continue;
+    const double rate = sim::compute_kernel_ops_per_second(
+        gpu, dtype, blocks, out.threads_per_block);
+    if (rate > out.achieved_ops_per_s) {
+      out.achieved_ops_per_s = rate;
+      out.best_blocks = blocks;
+    }
+  }
+  return out;
+}
+
+std::vector<ComputeBenchResult> run_compute_suite(sim::Gpu& gpu) {
+  std::vector<ComputeBenchResult> out;
+  for (const sim::DType dtype : sim::all_dtypes()) {
+    auto result = run_compute_benchmark(gpu, dtype);
+    if (result.available) out.push_back(result);
+  }
+  return out;
+}
+
+}  // namespace mt4g::core

@@ -1,0 +1,29 @@
+// Compute-capability benchmark (the paper's Sec. VII extension, implemented):
+// per-datatype FMA-stream kernels, swept over launch configurations to find
+// the achieved peak — the FLOPS analogue of the bandwidth benchmark IV-I.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/compute.hpp"
+#include "sim/gpu.hpp"
+
+namespace mt4g::core {
+
+struct ComputeBenchResult {
+  sim::DType dtype = sim::DType::kFp32;
+  bool available = false;        ///< false when the GPU lacks the path
+  double achieved_ops_per_s = 0.0;
+  std::uint32_t best_blocks = 0; ///< launch configuration of the maximum
+  std::uint32_t threads_per_block = 0;
+};
+
+/// Measures one datatype: block-count sweep around the heuristic optimum
+/// (num_SMs * max_blocks_per_SM), maximum achieved rate reported.
+ComputeBenchResult run_compute_benchmark(sim::Gpu& gpu, sim::DType dtype);
+
+/// Measures every datatype the GPU supports.
+std::vector<ComputeBenchResult> run_compute_suite(sim::Gpu& gpu);
+
+}  // namespace mt4g::core

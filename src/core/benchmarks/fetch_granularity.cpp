@@ -1,0 +1,61 @@
+#include "core/benchmarks/fetch_granularity.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mt4g::core {
+
+bool sample_is_mixed(std::span<const std::uint32_t> latencies, double floor,
+                     double gap) {
+  if (latencies.empty()) return false;
+  std::size_t high = 0;
+  for (std::uint32_t v : latencies) {
+    if (static_cast<double>(v) > floor + gap) ++high;
+  }
+  const double fraction =
+      static_cast<double>(high) / static_cast<double>(latencies.size());
+  // Outlier spikes can push a handful of samples high even in a unimodal
+  // run; genuine hit/miss mixes involve at least a few percent on each side.
+  return fraction > 0.02 && fraction < 0.98;
+}
+
+FgBenchResult run_fg_benchmark(sim::Gpu& gpu, const FgBenchOptions& options) {
+  FgBenchResult out;
+  // One run per stride; all runs share the global minimum latency as the
+  // hit-level floor, so all-miss runs are not misclassified as unimodal hits.
+  std::vector<std::vector<std::uint32_t>> samples;
+  std::vector<std::uint32_t> strides;
+  double floor = std::numeric_limits<double>::infinity();
+  for (std::uint32_t stride = 4; stride <= options.max_stride; stride += 4) {
+    runtime::PChaseConfig config;
+    config.space = options.target.space;
+    config.flags = options.target.flags;
+    config.stride_bytes = stride;
+    config.array_bytes = std::max<std::uint64_t>(
+        options.min_array_bytes,
+        static_cast<std::uint64_t>(stride) * options.min_loads);
+    config.base = gpu.alloc(config.array_bytes, 256);
+    config.record_count = 512;
+    config.warmup = false;  // granularity only shows on a cold cache
+    config.where = options.where;
+    gpu.flush_caches();
+    const auto result = runtime::run_pchase(gpu, config);
+    out.cycles += result.total_cycles;
+    for (std::uint32_t v : result.latencies) {
+      floor = std::min(floor, static_cast<double>(v));
+    }
+    strides.push_back(stride);
+    samples.push_back(result.latencies);
+  }
+  for (std::size_t i = 0; i < strides.size(); ++i) {
+    const bool mixed = sample_is_mixed(samples[i], floor);
+    out.mixed_by_stride.emplace_back(strides[i], mixed);
+    if (!mixed && !out.found) {
+      out.found = true;
+      out.granularity = strides[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace mt4g::core

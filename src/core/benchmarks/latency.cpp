@@ -1,0 +1,50 @@
+#include "core/benchmarks/latency.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+
+namespace mt4g::core {
+
+LatencyBenchResult run_latency_benchmark(sim::Gpu& gpu,
+                                         const LatencyBenchOptions& options) {
+  LatencyBenchResult out;
+  runtime::PChaseConfig config;
+  config.space = options.target.space;
+  config.flags = options.target.flags;
+  config.stride_bytes = options.fetch_granularity;
+  config.array_bytes = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(256) * options.fetch_granularity,
+      options.min_array_bytes);
+  if (options.cache_bytes != 0) {
+    // Stay within ~3/4 of the capacity so the timed pass hits the target.
+    const std::uint64_t cap = std::max<std::uint64_t>(
+        round_down(options.cache_bytes - options.cache_bytes / 4,
+                   options.fetch_granularity),
+        static_cast<std::uint64_t>(options.fetch_granularity) * 8);
+    config.array_bytes = std::min(config.array_bytes, cap);
+  }
+  config.base = gpu.alloc(config.array_bytes, 256);
+  config.record_count = options.record_count;
+  config.warmup = !options.cold;
+  config.where = options.where;
+  if (options.cold) gpu.flush_caches();
+  const auto result = runtime::run_pchase(gpu, config);
+  out.summary =
+      stats::summarize(std::span<const std::uint32_t>(result.latencies));
+  out.hit_fraction_in_target = hit_fraction(result, options.target.element);
+  out.cycles = result.total_cycles;
+  return out;
+}
+
+LatencyBenchResult run_scratchpad_latency(sim::Gpu& gpu, std::uint32_t count) {
+  LatencyBenchResult out;
+  const auto result = runtime::run_scratchpad_chase(gpu, count);
+  out.summary =
+      stats::summarize(std::span<const std::uint32_t>(result.latencies));
+  out.hit_fraction_in_target = 1.0;
+  out.cycles = result.total_cycles;
+  return out;
+}
+
+}  // namespace mt4g::core

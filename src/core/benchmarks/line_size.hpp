@@ -1,0 +1,48 @@
+// Cache-line-size benchmark (paper Sec. IV-E).
+//
+// Premise: the size benchmark's miss cliff assumes the p-chase step stays
+// below the line size. Stepping past the line size skips whole lines, so the
+// cache "appears larger" and the miss cliff moves right. We sweep array sizes
+// just above the known cache size for p-chase strides from fg/2 upward:
+//   * strides <= line keep the full miss score (pivot-like);
+//   * strides at non-power-of-two line multiples shift the cliff beyond the
+//     sweep window and the score collapses (MAX-like);
+//   * strides at power-of-two line multiples alias into a subset of the
+//     cache sets, so their apparent capacity snaps back — the "aliased
+//     outliers" the paper's heuristics must survive.
+// The detector therefore scores every stride, normalises between the pivot
+// and the best-behaved large stride, takes the first stride whose score
+// drops below the midpoint (~1.5x the line size), and snaps down to the
+// nearest power of two — the paper's final assumption.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/target.hpp"
+#include "sim/gpu.hpp"
+
+namespace mt4g::core {
+
+struct LineSizeBenchOptions {
+  Target target;
+  std::uint64_t cache_bytes = 0;       ///< from the size benchmark
+  std::uint32_t fetch_granularity = 32;
+  std::uint32_t record_count = 512;
+  std::uint32_t size_points = 9;       ///< array sizes in [1.1, 1.9] * cache
+  sim::Placement where{};
+};
+
+struct LineSizeBenchResult {
+  bool found = false;
+  std::uint32_t line_bytes = 0;
+  double confidence = 0.0;
+  /// stride -> normalised miss score in [0,1] (1 = pivot-like, 0 = MAX-like)
+  std::vector<std::pair<std::uint32_t, double>> scores;
+  std::uint64_t cycles = 0;
+};
+
+LineSizeBenchResult run_line_size_benchmark(
+    sim::Gpu& gpu, const LineSizeBenchOptions& options);
+
+}  // namespace mt4g::core

@@ -1,0 +1,126 @@
+#include "core/benchmarks/sharing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace mt4g::core {
+
+bool SharingBenchResult::shared(sim::Element a, sim::Element b) const {
+  for (const auto& [x, y, is_shared] : pairs) {
+    if ((x == a && y == b) || (x == b && y == a)) return is_shared;
+  }
+  return false;
+}
+
+std::vector<sim::Element> SharingBenchResult::group_of(
+    sim::Element element) const {
+  std::vector<sim::Element> group;
+  for (const auto& [x, y, is_shared] : pairs) {
+    if (!is_shared) continue;
+    if (x == element) group.push_back(y);
+    if (y == element) group.push_back(x);
+  }
+  return group;
+}
+
+SharingBenchResult run_sharing_benchmark(sim::Gpu& gpu,
+                                         const SharingBenchOptions& options) {
+  SharingBenchResult out;
+  const sim::Vendor vendor = gpu.spec().vendor;
+
+  auto array_bytes_for = [](const SharingBenchOptions::Entry& entry) {
+    std::uint64_t bytes = entry.cache_bytes - entry.cache_bytes / 8;
+    if (entry.space_limit != 0) bytes = std::min(bytes, entry.space_limit);
+    return round_down(std::max<std::uint64_t>(bytes, entry.stride),
+                      entry.stride);
+  };
+
+  for (std::size_t i = 0; i < options.entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < options.entries.size(); ++j) {
+      // Track through the smaller cache: the larger one's warm-up can always
+      // evict it, while the reverse may not reach far enough.
+      const auto& tracked = options.entries[i].cache_bytes <=
+                                    options.entries[j].cache_bytes
+                                ? options.entries[i]
+                                : options.entries[j];
+      const auto& other = &tracked == &options.entries[i]
+                              ? options.entries[j]
+                              : options.entries[i];
+
+      runtime::PChaseConfig config_a;
+      const Target target_a = target_for(vendor, tracked.element);
+      config_a.space = target_a.space;
+      config_a.flags = target_a.flags;
+      config_a.array_bytes = array_bytes_for(tracked);
+      config_a.stride_bytes = tracked.stride;
+      config_a.record_count = 512;
+      config_a.where = options.where;
+
+      runtime::PChaseConfig config_b;
+      const Target target_b = target_for(vendor, other.element);
+      config_b.space = target_b.space;
+      config_b.flags = target_b.flags;
+      config_b.array_bytes = array_bytes_for(other);
+      config_b.stride_bytes = other.stride;
+      config_b.record_count = 512;
+      config_b.where = options.where;
+
+      gpu.flush_caches();
+      config_a.base = gpu.alloc(config_a.array_bytes, 256);
+      config_b.base = gpu.alloc(config_b.array_bytes, 256);
+      const auto result = runtime::run_sharing_pchase(gpu, config_a, config_b);
+      out.cycles += result.total_cycles;
+      const bool evicted = hit_fraction(result, tracked.element) < 0.5;
+      out.pairs.emplace_back(options.entries[i].element,
+                             options.entries[j].element, evicted);
+    }
+  }
+  return out;
+}
+
+CuSharingBenchResult run_cu_sharing_benchmark(
+    sim::Gpu& gpu, const CuSharingBenchOptions& options) {
+  if (options.sl1d_bytes == 0) {
+    throw std::invalid_argument("cu sharing benchmark: missing sL1d size");
+  }
+  CuSharingBenchResult out;
+  const sim::GpuSpec& spec = gpu.spec();
+  const std::uint64_t array_bytes = round_down(
+      options.sl1d_bytes - options.sl1d_bytes / 8, options.stride);
+
+  const Target target = target_for(sim::Vendor::kAmd, sim::Element::kSL1D);
+  for (std::uint32_t cu_a = 0; cu_a < spec.num_sms; ++cu_a) {
+    const std::uint32_t phys_a = spec.physical_cu(cu_a);
+    out.peers[phys_a].push_back(phys_a);
+  }
+  for (std::uint32_t cu_a = 0; cu_a < spec.num_sms; ++cu_a) {
+    for (std::uint32_t cu_b = cu_a + 1; cu_b < spec.num_sms; ++cu_b) {
+      runtime::PChaseConfig config;
+      config.space = target.space;
+      config.flags = target.flags;
+      config.array_bytes = array_bytes;
+      config.stride_bytes = options.stride;
+      config.record_count = 256;
+      config.where = sim::Placement{cu_a, 0};
+
+      gpu.flush_caches();
+      config.base = gpu.alloc(array_bytes, 256);
+      const std::uint64_t base_b = gpu.alloc(array_bytes, 256);
+      const auto result =
+          runtime::run_dual_cu_pchase(gpu, config, cu_b, base_b);
+      out.cycles += result.total_cycles;
+      if (hit_fraction(result, sim::Element::kSL1D) < 0.5) {
+        const std::uint32_t phys_a = spec.physical_cu(cu_a);
+        const std::uint32_t phys_b = spec.physical_cu(cu_b);
+        out.peers[phys_a].push_back(phys_b);
+        out.peers[phys_b].push_back(phys_a);
+      }
+    }
+  }
+  for (auto& [cu, peers] : out.peers) std::sort(peers.begin(), peers.end());
+  return out;
+}
+
+}  // namespace mt4g::core

@@ -1,0 +1,205 @@
+#include "core/benchmarks/size.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "stats/change_point.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/outlier.hpp"
+#include "stats/reduction.hpp"
+
+namespace mt4g::core {
+namespace {
+
+struct Runner {
+  sim::Gpu& gpu;
+  const SizeBenchOptions& options;
+  std::uint64_t base;
+  std::uint64_t cycles = 0;
+
+  runtime::PChaseResult chase(std::uint64_t array_bytes,
+                              std::uint32_t record_count) {
+    runtime::PChaseConfig config;
+    config.space = options.target.space;
+    config.flags = options.target.flags;
+    config.base = base;
+    config.array_bytes = array_bytes;
+    config.stride_bytes = options.stride;
+    config.record_count = record_count;
+    config.warmup = true;
+    config.where = options.where;
+    auto result = runtime::run_pchase(gpu, config);
+    cycles += result.total_cycles;
+    return result;
+  }
+
+  /// Median recorded latency of one run — the jump detector for phase 1/2.
+  double median_latency(std::uint64_t array_bytes) {
+    const auto result = chase(array_bytes, options.record_count);
+    return stats::summarize(
+               std::span<const std::uint32_t>(result.latencies))
+        .p50;
+  }
+
+  /// Exact predicate: did every timed load stay within the tracked element?
+  bool fits(std::uint64_t array_bytes) {
+    const auto result = chase(array_bytes, options.record_count);
+    return hit_fraction(result, options.target.element) >= 0.999;
+  }
+};
+
+}  // namespace
+
+SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
+                                   const SizeBenchOptions& options) {
+  if (options.stride == 0 || options.lower == 0 ||
+      options.upper <= options.lower) {
+    throw std::invalid_argument("size benchmark: bad search bounds");
+  }
+  SizeBenchResult out;
+  const std::uint64_t lower = round_up(options.lower, options.stride);
+  const std::uint64_t upper = round_up(options.upper, options.stride);
+  Runner runner{gpu, options, gpu.alloc(upper + options.stride, 256)};
+
+  // --- Phase 1: exponential doubling until the latency jumps. --------------
+  const double base_latency = runner.median_latency(lower);
+  const double jump_threshold = std::max(base_latency * 1.4,
+                                         base_latency + 10.0);
+  std::uint64_t lo = lower;
+  std::uint64_t hi = 0;
+  for (std::uint64_t size = lower * 2; size <= upper; size *= 2) {
+    if (runner.median_latency(size) > jump_threshold) {
+      hi = size;
+      break;
+    }
+    lo = size;
+  }
+  if (hi == 0) {
+    // Check the upper bound itself (the doubling may overshoot it).
+    if (lo < upper && runner.median_latency(upper) > jump_threshold) {
+      hi = upper;
+    } else {
+      out.upper_bound_hit = true;
+      out.cycles = runner.cycles;
+      return out;
+    }
+  }
+
+  // --- Phase 1b: binary-search narrowing to bound the sweep cost. ----------
+  const std::uint64_t target_span =
+      std::max<std::uint64_t>(static_cast<std::uint64_t>(options.stride) *
+                                  options.max_sweep_points,
+                              hi / 16);
+  while (hi - lo > target_span) {
+    const std::uint64_t mid = round_down(lo + (hi - lo) / 2, options.stride);
+    if (mid <= lo || mid >= hi) break;
+    if (runner.median_latency(mid) > jump_threshold) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  // --- Phases 2-4: sweep, outlier screening (with widening), K-S. ----------
+  auto sweep_and_detect =
+      [&](std::uint64_t sweep_lo, std::uint64_t sweep_hi,
+          SizeBenchResult& result) -> std::optional<stats::ChangePoint> {
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      const std::uint64_t span = sweep_hi - sweep_lo;
+      const std::uint64_t step = std::max<std::uint64_t>(
+          options.stride,
+          round_up(span / options.max_sweep_points, options.stride));
+      std::vector<std::uint64_t> sizes;
+      std::vector<std::vector<std::uint32_t>> rows;
+      for (std::uint64_t size = sweep_lo; size <= sweep_hi; size += step) {
+        sizes.push_back(size);
+        rows.push_back(runner.chase(size, options.record_count).latencies);
+      }
+      const std::vector<double> reduced = stats::geometric_reduction(rows);
+      const auto screen = stats::screen_outliers(reduced);
+      const bool can_widen = attempt < options.max_widenings;
+      if (!screen.clean() && can_widen) {
+        ++result.widenings;
+        if (screen.change_at_lower_edge) {
+          sweep_lo = sweep_lo > 4 * step + lower ? sweep_lo - 4 * step : lower;
+        }
+        if (screen.change_at_upper_edge) {
+          sweep_hi = std::min(upper, sweep_hi + 4 * step);
+        }
+        continue;  // re-measure (spikes get fresh data either way)
+      }
+      const std::vector<double> clean = stats::despike(reduced);
+      result.sweep_sizes = sizes;
+      result.reduced = reduced;
+      return stats::find_change_point(clean);
+    }
+  };
+
+  auto change_point = sweep_and_detect(lo, hi, out);
+  if (!change_point || change_point->index == 0) {
+    out.cycles = runner.cycles;
+    return out;
+  }
+  out.found = true;
+  out.detected_bytes = out.sweep_sizes[change_point->index - 1];
+  out.confidence = change_point->confidence;
+
+  // --- Phase 5: refinement sweep around the change point. ------------------
+  const std::uint64_t coarse_step =
+      out.sweep_sizes.size() > 1 ? out.sweep_sizes[1] - out.sweep_sizes[0]
+                                 : options.stride;
+  if (coarse_step > options.stride) {
+    const std::uint64_t window_lo =
+        out.detected_bytes > 2 * coarse_step + lower
+            ? out.detected_bytes - 2 * coarse_step
+            : lower;
+    const std::uint64_t window_hi =
+        std::min(upper, out.detected_bytes + 2 * coarse_step);
+    SizeBenchResult refine;
+    if (auto refined = sweep_and_detect(window_lo, window_hi, refine);
+        refined && refined->index > 0) {
+      out.detected_bytes = refine.sweep_sizes[refined->index - 1];
+      out.confidence = std::max(out.confidence, refined->confidence);
+      out.widenings += refine.widenings;
+      // Keep the coarse sweep as the reported series (it shows the full
+      // cliff, like Fig. 2); the refinement only sharpens the boundary.
+    }
+  }
+
+  // --- Phase 6: exact boundary via bisection on the fall-through predicate.
+  {
+    // Expand outward in coarse steps first (the K-S estimate can be off by a
+    // sweep step), then bisect at fetch-granularity resolution. The lower
+    // expansion must be able to reach `lower` itself — the cache size can
+    // coincide with the search bound (e.g. a 1 KiB cache probed from 1 KiB).
+    const std::uint64_t expand = std::max<std::uint64_t>(
+        coarse_step, static_cast<std::uint64_t>(options.stride));
+    std::uint64_t fit_lo = out.detected_bytes;
+    while (fit_lo > lower && !runner.fits(fit_lo)) {
+      fit_lo = fit_lo > lower + expand ? fit_lo - expand : lower;
+    }
+    std::uint64_t miss_hi = std::max(out.detected_bytes,
+                                     fit_lo + options.stride);
+    while (miss_hi < upper && runner.fits(miss_hi)) {
+      miss_hi = std::min(upper, miss_hi + expand);
+    }
+    // Invariant: fits(fit_lo) && !fits(miss_hi); bisect on stride multiples.
+    while (miss_hi - fit_lo > options.stride) {
+      const std::uint64_t mid =
+          round_down(fit_lo + (miss_hi - fit_lo) / 2, options.stride);
+      if (mid <= fit_lo || mid >= miss_hi) break;
+      if (runner.fits(mid)) {
+        fit_lo = mid;
+      } else {
+        miss_hi = mid;
+      }
+    }
+    out.exact_bytes = fit_lo;
+  }
+
+  out.cycles = runner.cycles;
+  return out;
+}
+
+}  // namespace mt4g::core

@@ -1,0 +1,51 @@
+// Cache-size benchmark (paper Sec. IV-B).
+//
+// Workflow, exactly as the paper describes:
+//   (1) identify a narrow search interval: exponential doubling from the
+//       lower bound until the latency jumps, then binary-search narrowing;
+//   (2) p-chase sweep across the interval, stepping by the fetch granularity
+//       (coarsened only when the interval would need more sweep points than
+//       max_sweep_points);
+//   (3) outlier screening on the reduced series; widen the interval and
+//       re-measure when a level shift touches the interval edge;
+//   (4) Eq.-2 reduction + K-S change-point detection with a confidence value.
+// After the K-S decision we refine the boundary to fetch-granularity
+// resolution with a bisection on the "any timed load fell through" predicate
+// — the same observable, pushed to its exact edge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/target.hpp"
+#include "sim/gpu.hpp"
+
+namespace mt4g::core {
+
+struct SizeBenchOptions {
+  Target target;
+  std::uint64_t lower = 1024;            ///< initial search space lower bound
+  std::uint64_t upper = 1024 * 1024;     ///< initial search space upper bound
+  std::uint32_t stride = 32;             ///< fetch granularity of the element
+  std::uint32_t record_count = 512;      ///< latencies stored per p-chase run
+  std::uint32_t max_sweep_points = 48;   ///< cap on sizes per sweep
+  std::uint32_t max_widenings = 3;       ///< outlier-triggered re-measurements
+  sim::Placement where{};
+};
+
+struct SizeBenchResult {
+  bool found = false;
+  std::uint64_t detected_bytes = 0;  ///< K-S change-point estimate
+  std::uint64_t exact_bytes = 0;     ///< bisection-refined boundary
+  double confidence = 0.0;           ///< 1 - p of the winning K-S split
+  bool upper_bound_hit = false;      ///< no miss up to `upper` (">upper")
+  std::uint32_t widenings = 0;       ///< outlier-triggered re-measurements
+  std::vector<std::uint64_t> sweep_sizes;  ///< final sweep (Fig. 2 x-axis)
+  std::vector<double> reduced;             ///< Eq.-2 values (Fig. 2 y-axis)
+  std::uint64_t cycles = 0;          ///< simulated GPU cycles consumed
+};
+
+SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
+                                   const SizeBenchOptions& options);
+
+}  // namespace mt4g::core

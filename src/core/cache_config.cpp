@@ -1,0 +1,47 @@
+#include "core/cache_config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace mt4g::core {
+
+sim::GpuSpec apply_cache_config(const sim::GpuSpec& spec,
+                                const std::string& config) {
+  if (config == "PreferL1") return spec;
+  if (config != "PreferShared" && config != "PreferEqual") {
+    throw std::invalid_argument("unknown cache config '" + config + "'");
+  }
+  sim::GpuSpec out = spec;
+  if (spec.vendor != sim::Vendor::kNvidia ||
+      !spec.has(sim::Element::kL1) || !spec.has(sim::Element::kSharedMem)) {
+    return out;  // the policy only exists on NVIDIA L1/Shared arrays
+  }
+  const std::uint64_t combined = spec.at(sim::Element::kL1).size_bytes +
+                                 spec.at(sim::Element::kSharedMem).size_bytes;
+  const std::uint32_t line = spec.at(sim::Element::kL1).line_bytes;
+  std::uint64_t l1_size = 0;
+  if (config == "PreferShared") {
+    // Keep a small L1 slice (1/8 of the array, at least 16 lines).
+    l1_size = std::max<std::uint64_t>(combined / 8,
+                                      static_cast<std::uint64_t>(line) * 16);
+  } else {  // PreferEqual
+    l1_size = combined / 2;
+  }
+  l1_size = round_down(l1_size, line);
+  const std::uint64_t shared_size = combined - l1_size;
+  // The L1 resize must propagate to every element sharing its physical cache
+  // (Texture / ReadOnly on post-Pascal parts).
+  const std::uint32_t group = spec.at(sim::Element::kL1).physical_group;
+  for (auto& [element, espec] : out.elements) {
+    if (espec.per_sm && espec.physical_group == group &&
+        espec.line_bytes != 0) {
+      espec.size_bytes = l1_size;
+    }
+  }
+  out.elements[sim::Element::kSharedMem].size_bytes = shared_size;
+  return out;
+}
+
+}  // namespace mt4g::core

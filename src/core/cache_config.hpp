@@ -1,0 +1,23 @@
+// L1/Shared split policy (cudaDeviceSetCacheConfig analogue).
+//
+// On NVIDIA GPUs the L1 data cache and Shared Memory share one physical
+// array whose split is a runtime choice (paper Sec. V footnote 17: the MT4G
+// CLI can measure under PreferShared/PreferL1/PreferEqual; the paper's
+// Table III used PreferL1). The substrate models the policy by rewriting the
+// spec's L1 (and its physical-group peers) and Shared Memory sizes before
+// the simulated GPU is instantiated.
+#pragma once
+
+#include <string>
+
+#include "sim/spec.hpp"
+
+namespace mt4g::core {
+
+/// Returns a copy of @p spec with the L1/Shared split applied.
+/// @param config "PreferL1" (identity), "PreferShared" or "PreferEqual".
+/// Throws std::invalid_argument for unknown policies.
+sim::GpuSpec apply_cache_config(const sim::GpuSpec& spec,
+                                const std::string& config);
+
+}  // namespace mt4g::core

@@ -1,0 +1,59 @@
+#include "core/collector.hpp"
+
+#include "core/benchmarks/compute.hpp"
+#include "core/collector_detail.hpp"
+#include "runtime/device.hpp"
+
+namespace mt4g::core {
+
+TopologyReport discover(sim::Gpu& gpu, const DiscoverOptions& options) {
+  detail::CollectorContext ctx{gpu, options, {}};
+  const runtime::DeviceProp prop = runtime::get_device_prop(gpu);
+
+  // --- General information (paper III-A): entirely from the device API. ----
+  GeneralInfo& general = ctx.report.general;
+  general.gpu_name = gpu.spec().name;
+  general.vendor = prop.vendor;
+  general.model = prop.name;
+  general.microarchitecture = prop.microarchitecture;
+  general.compute_capability = prop.compute_capability;
+  general.clock_mhz = prop.clock_mhz;
+  general.memory_clock_mhz = prop.memory_clock_mhz;
+  general.memory_bus_bits = prop.memory_bus_bits;
+
+  // --- Compute resources (paper III-B): API + cores-per-SM lookup table. ---
+  ComputeInfo& compute = ctx.report.compute;
+  compute.num_sms = prop.multi_processor_count;
+  compute.cores_per_sm =
+      runtime::cores_per_sm_lookup(prop.microarchitecture);
+  compute.num_cores_total = compute.num_sms * compute.cores_per_sm;
+  compute.warp_size = prop.warp_size;
+  compute.warps_per_sm =
+      prop.warp_size ? prop.max_threads_per_multiprocessor / prop.warp_size : 0;
+  compute.max_threads_per_block = prop.max_threads_per_block;
+  compute.max_threads_per_sm = prop.max_threads_per_multiprocessor;
+  compute.max_blocks_per_sm = prop.max_blocks_per_multiprocessor;
+  compute.regs_per_block = prop.regs_per_block;
+  compute.regs_per_sm = prop.regs_per_multiprocessor;
+  compute.cu_physical_ids = runtime::logical_to_physical_cu(gpu);
+
+  // --- Memory resources (paper III-C, IV): the benchmark suite. ------------
+  if (gpu.spec().vendor == sim::Vendor::kNvidia) {
+    detail::collect_nvidia(ctx);
+  } else {
+    detail::collect_amd(ctx);
+  }
+
+  // --- Compute capability (paper Sec. VII extension, opt-in). --------------
+  if (options.measure_compute && !options.only) {
+    for (const auto& result : run_compute_suite(gpu)) {
+      ctx.book_seconds(0.01);  // each FMA-stream kernel is a short launch
+      ctx.report.compute_throughput.push_back(
+          {sim::dtype_name(result.dtype), result.achieved_ops_per_s,
+           result.best_blocks, result.threads_per_block});
+    }
+  }
+  return ctx.report;
+}
+
+}  // namespace mt4g::core

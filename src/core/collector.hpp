@@ -1,0 +1,28 @@
+// Top-level discovery entry point: runs the full benchmark suite against one
+// simulated GPU and assembles the unified TopologyReport (paper Sec. III-IV).
+#pragma once
+
+#include <optional>
+
+#include "core/report.hpp"
+#include "sim/gpu.hpp"
+
+namespace mt4g::core {
+
+struct DiscoverOptions {
+  /// Restrict discovery to one memory element (the CLI's --only flag,
+  /// paper Sec. V-A: an L1-only run cuts an A100 analysis from 12 to 1 min).
+  std::optional<sim::Element> only;
+  /// Collect the reduction-value series of every size benchmark (Fig. 2).
+  bool collect_series = false;
+  /// Also run the per-datatype compute-capability benchmarks (FLOPS for
+  /// INT/FP precisions and tensor engines — the paper's Sec. VII extension).
+  bool measure_compute = false;
+  /// Latencies recorded per p-chase run.
+  std::uint32_t record_count = 512;
+};
+
+/// Runs general/compute/memory discovery and returns the full report.
+TopologyReport discover(sim::Gpu& gpu, const DiscoverOptions& options = {});
+
+}  // namespace mt4g::core

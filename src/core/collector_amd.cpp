@@ -1,0 +1,251 @@
+// AMD collector: orchestrates the microbenchmark suite over the AMD CDNA
+// memory elements (paper Table I, lower half). AMD exposes much more through
+// APIs — HSA for L2/L3 sizes and instance counts, KFD for their line sizes —
+// so fewer benchmarks run here (paper Sec. V-A: ~15 vs ~35 on NVIDIA).
+#include <algorithm>
+
+#include "common/units.hpp"
+#include "core/benchmarks/amount.hpp"
+#include "core/benchmarks/bandwidth.hpp"
+#include "core/benchmarks/fetch_granularity.hpp"
+#include "core/benchmarks/latency.hpp"
+#include "core/benchmarks/line_size.hpp"
+#include "core/benchmarks/sharing.hpp"
+#include "core/benchmarks/size.hpp"
+#include "core/collector_detail.hpp"
+#include "runtime/device.hpp"
+
+namespace mt4g::core::detail {
+namespace {
+
+using sim::Element;
+
+struct ElementState {
+  std::uint32_t fg = 0;
+  std::uint64_t size = 0;
+};
+
+/// vL1 / sL1d share the same benchmarked-attribute flow.
+MemoryElementReport collect_amd_l1(CollectorContext& ctx, Element element,
+                                   ElementState& state) {
+  sim::Gpu& gpu = ctx.gpu;
+  const Target target = target_for(sim::Vendor::kAmd, element);
+  MemoryElementReport row;
+  row.element = element;
+
+  FgBenchOptions fg_options;
+  fg_options.target = target;
+  const auto fg = run_fg_benchmark(gpu, fg_options);
+  ctx.book(fg.cycles);
+  state.fg = fg.found ? fg.granularity : 64;
+  row.fetch_granularity = fg.found
+                              ? Attribute::benchmarked(fg.granularity)
+                              : Attribute::unavailable("no unimodal stride");
+
+  SizeBenchOptions size_options;
+  size_options.target = target;
+  size_options.lower = 512;
+  size_options.upper = 1024 * KiB;
+  size_options.stride = state.fg;
+  size_options.record_count = ctx.options.record_count;
+  const auto size = run_size_benchmark(gpu, size_options);
+  ctx.book(size.cycles);
+  if (size.found) {
+    row.size = Attribute::benchmarked(static_cast<double>(size.exact_bytes),
+                                      size.confidence);
+    state.size = size.exact_bytes;
+  } else {
+    row.size = Attribute::unavailable("no change point");
+  }
+  if (ctx.options.collect_series && !size.sweep_sizes.empty()) {
+    ctx.report.series.push_back(
+        SizeSeries{element, size.sweep_sizes, size.reduced, size.exact_bytes});
+  }
+
+  LatencyBenchOptions latency_options;
+  latency_options.target = target;
+  latency_options.fetch_granularity = state.fg;
+  latency_options.cache_bytes = state.size;
+  const auto latency = run_latency_benchmark(gpu, latency_options);
+  ctx.book(latency.cycles);
+  row.load_latency = Attribute::benchmarked(latency.summary.mean);
+  row.latency_stats = latency.summary;
+
+  if (state.size != 0) {
+    LineSizeBenchOptions line_options;
+    line_options.target = target;
+    line_options.cache_bytes = state.size;
+    line_options.fetch_granularity = state.fg;
+    const auto line = run_line_size_benchmark(gpu, line_options);
+    ctx.book(line.cycles);
+    row.cache_line = line.found
+                         ? Attribute::benchmarked(line.line_bytes,
+                                                  line.confidence)
+                         : Attribute::unavailable("inconclusive");
+  } else {
+    row.cache_line = Attribute::unavailable("cache size unknown");
+  }
+  row.read_bandwidth = Attribute::not_applicable();
+  row.write_bandwidth = Attribute::not_applicable();
+  return row;
+}
+
+}  // namespace
+
+void collect_amd(CollectorContext& ctx) {
+  sim::Gpu& gpu = ctx.gpu;
+  const runtime::DeviceProp prop = runtime::get_device_prop(gpu);
+  const auto hsa = runtime::hsa_cache_info(gpu);
+  const auto kfd = runtime::kfd_cache_info(gpu);
+
+  // --- Vector L1. ------------------------------------------------------------
+  if (gpu.spec().has(Element::kVL1) && ctx.wants(Element::kVL1)) {
+    ElementState state;
+    auto row = collect_amd_l1(ctx, Element::kVL1, state);
+    if (state.size != 0) {
+      AmountBenchOptions amount_options;
+      amount_options.target = target_for(sim::Vendor::kAmd, Element::kVL1);
+      amount_options.cache_bytes = state.size;
+      amount_options.stride = state.fg;
+      const auto amount = run_amount_benchmark(gpu, amount_options);
+      ctx.book(amount.cycles);
+      row.amount = Attribute::benchmarked(amount.amount);
+    } else {
+      row.amount = Attribute::unavailable("cache size unknown");
+    }
+    ctx.report.memory.push_back(row);
+  }
+
+  // --- Scalar L1 data cache + CU-id sharing. ----------------------------------
+  if (gpu.spec().has(Element::kSL1D) && ctx.wants(Element::kSL1D)) {
+    ElementState state;
+    auto row = collect_amd_l1(ctx, Element::kSL1D, state);
+    row.amount = Attribute::not_applicable();
+    if (gpu.spec().cu_sharing_unavailable) {
+      ctx.report.cu_sharing.available = false;
+      ctx.report.cu_sharing.unavailable_reason =
+          "virtualised GPU access prevents CU-pinned execution";
+      row.shared_with = "unavailable";
+    } else if (state.size != 0) {
+      CuSharingBenchOptions sharing_options;
+      sharing_options.sl1d_bytes = state.size;
+      sharing_options.stride = state.fg;
+      const auto sharing = run_cu_sharing_benchmark(gpu, sharing_options);
+      ctx.book(sharing.cycles);
+      ctx.report.cu_sharing.available = true;
+      ctx.report.cu_sharing.peers = sharing.peers;
+      row.shared_with = "CU id";
+    }
+    ctx.report.memory.push_back(row);
+  }
+
+  // --- L2: size/line/amount from HSA + KFD, the rest benchmarked. -------------
+  if (gpu.spec().has(Element::kL2) && ctx.wants(Element::kL2)) {
+    const Target target = target_for(sim::Vendor::kAmd, Element::kL2);
+    MemoryElementReport row;
+    row.element = Element::kL2;
+    row.size = Attribute::from_api(
+        static_cast<double>(hsa ? hsa->l2_size : prop.l2_cache_size));
+    if (kfd && kfd->l2_line != 0) {
+      row.cache_line = Attribute::from_api(kfd->l2_line);
+    }
+    // One L2 per XCD (paper IV-F1): the amount comes from the API.
+    row.amount = Attribute::from_api(hsa ? hsa->l2_instances : 1);
+    row.amount_per_gpu = true;
+
+    FgBenchOptions fg_options;
+    fg_options.target = target;
+    const auto fg = run_fg_benchmark(gpu, fg_options);
+    ctx.book(fg.cycles);
+    const std::uint32_t fg_value = fg.found ? fg.granularity : 64;
+    row.fetch_granularity = fg.found
+                                ? Attribute::benchmarked(fg.granularity)
+                                : Attribute::unavailable("no unimodal stride");
+
+    LatencyBenchOptions latency_options;
+    latency_options.target = target;
+    latency_options.fetch_granularity = fg_value;
+    const auto latency = run_latency_benchmark(gpu, latency_options);
+    ctx.book(latency.cycles);
+    row.load_latency = Attribute::benchmarked(latency.summary.mean);
+    row.latency_stats = latency.summary;
+
+    BandwidthBenchOptions bw_options;
+    bw_options.target = Element::kL2;
+    const auto bw = run_bandwidth_benchmark(gpu, bw_options);
+    ctx.book_seconds(bw.seconds / 2);
+    ctx.book_seconds(bw.seconds / 2);
+    row.read_bandwidth = Attribute::benchmarked(bw.read_bytes_per_s);
+    row.write_bandwidth = Attribute::benchmarked(bw.write_bytes_per_s);
+    ctx.report.memory.push_back(row);
+  }
+
+  // --- L3 (CDNA3 Infinity Cache): size/line/amount via API; load latency and
+  // fetch granularity are open gaps (paper Sec. III-C), bandwidth works. ------
+  if (gpu.spec().has(Element::kL3) && ctx.wants(Element::kL3)) {
+    MemoryElementReport row;
+    row.element = Element::kL3;
+    row.size = Attribute::from_api(static_cast<double>(hsa ? hsa->l3_size : 0));
+    if (kfd && kfd->l3_line != 0) {
+      row.cache_line = Attribute::from_api(kfd->l3_line);
+    }
+    row.amount = Attribute::from_api(hsa ? hsa->l3_instances : 1);
+    row.amount_per_gpu = true;
+    row.load_latency =
+        Attribute::unavailable("CDNA3 L3 benchmarking not yet supported");
+    row.fetch_granularity =
+        Attribute::unavailable("CDNA3 L3 benchmarking not yet supported");
+
+    BandwidthBenchOptions bw_options;
+    bw_options.target = Element::kL3;
+    const auto bw = run_bandwidth_benchmark(gpu, bw_options);
+    ctx.book_seconds(bw.seconds / 2);
+    ctx.book_seconds(bw.seconds / 2);
+    row.read_bandwidth = Attribute::benchmarked(bw.read_bytes_per_s);
+    row.write_bandwidth = Attribute::benchmarked(bw.write_bytes_per_s);
+    ctx.report.memory.push_back(row);
+  }
+
+  // --- LDS. --------------------------------------------------------------------
+  if (gpu.spec().has(Element::kLds) && ctx.wants(Element::kLds)) {
+    MemoryElementReport row;
+    row.element = Element::kLds;
+    row.size =
+        Attribute::from_api(static_cast<double>(prop.shared_mem_per_block));
+    const auto latency = run_scratchpad_latency(gpu);
+    ctx.book(latency.cycles);
+    row.load_latency = Attribute::benchmarked(latency.summary.mean);
+    row.latency_stats = latency.summary;
+    ctx.report.memory.push_back(row);
+  }
+
+  // --- Device memory. ------------------------------------------------------------
+  if (gpu.spec().has(Element::kDeviceMem) && ctx.wants(Element::kDeviceMem)) {
+    MemoryElementReport row;
+    row.element = Element::kDeviceMem;
+    row.size = Attribute::from_api(static_cast<double>(prop.total_global_mem));
+
+    LatencyBenchOptions latency_options;
+    latency_options.target = target_for(sim::Vendor::kAmd, Element::kDeviceMem);
+    // Step past the largest fill granularity in the chain (the CDNA3 L3
+    // fills 128 B sectors on 256 B lines) so every cold load reaches DRAM.
+    latency_options.fetch_granularity = 256;
+    latency_options.cold = true;
+    const auto latency = run_latency_benchmark(gpu, latency_options);
+    ctx.book(latency.cycles);
+    row.load_latency = Attribute::benchmarked(latency.summary.mean);
+    row.latency_stats = latency.summary;
+
+    BandwidthBenchOptions bw_options;
+    bw_options.target = Element::kDeviceMem;
+    bw_options.bytes = 1 * GiB;
+    const auto bw = run_bandwidth_benchmark(gpu, bw_options);
+    ctx.book_seconds(bw.seconds / 2);
+    ctx.book_seconds(bw.seconds / 2);
+    row.read_bandwidth = Attribute::benchmarked(bw.read_bytes_per_s);
+    row.write_bandwidth = Attribute::benchmarked(bw.write_bytes_per_s);
+    ctx.report.memory.push_back(row);
+  }
+}
+
+}  // namespace mt4g::core::detail

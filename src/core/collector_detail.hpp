@@ -1,0 +1,40 @@
+// Shared state between the vendor-specific collectors. Internal header.
+#pragma once
+
+#include <cstdint>
+
+#include "core/collector.hpp"
+#include "core/report.hpp"
+#include "sim/gpu.hpp"
+
+namespace mt4g::core::detail {
+
+/// Accumulates the report, the benchmark count, and the simulated GPU time
+/// while a vendor collector walks its element list.
+struct CollectorContext {
+  sim::Gpu& gpu;
+  const DiscoverOptions& options;
+  TopologyReport report;
+
+  /// Books one executed microbenchmark and its simulated cycles.
+  void book(std::uint64_t cycles) {
+    ++report.benchmarks_executed;
+    report.simulated_seconds +=
+        static_cast<double>(cycles) / (gpu.spec().clock_mhz * 1e6);
+  }
+
+  /// Books seconds directly (bandwidth kernels report wall time).
+  void book_seconds(double seconds) {
+    ++report.benchmarks_executed;
+    report.simulated_seconds += seconds;
+  }
+
+  bool wants(sim::Element element) const {
+    return !options.only || *options.only == element;
+  }
+};
+
+void collect_nvidia(CollectorContext& ctx);
+void collect_amd(CollectorContext& ctx);
+
+}  // namespace mt4g::core::detail

@@ -1,0 +1,377 @@
+// NVIDIA collector: orchestrates the full microbenchmark suite over the
+// NVIDIA memory elements (paper Table I, upper half).
+#include <algorithm>
+#include <map>
+
+#include "common/units.hpp"
+#include "core/benchmarks/amount.hpp"
+#include "core/benchmarks/bandwidth.hpp"
+#include "core/benchmarks/fetch_granularity.hpp"
+#include "core/benchmarks/latency.hpp"
+#include "core/benchmarks/line_size.hpp"
+#include "core/benchmarks/sharing.hpp"
+#include "core/benchmarks/size.hpp"
+#include "core/collector_detail.hpp"
+#include "runtime/device.hpp"
+
+namespace mt4g::core::detail {
+namespace {
+
+using sim::Element;
+
+/// NVIDIA's constant arrays are capped at 64 KiB (paper Sec. III-C / [38]).
+constexpr std::uint64_t kConstantArrayLimit = 64 * KiB;
+
+std::string short_name(Element element) {
+  switch (element) {
+    case Element::kL1: return "L1";
+    case Element::kTexture: return "TEX";
+    case Element::kReadOnly: return "RO";
+    case Element::kConstL1: return "CO";
+    default: return sim::element_name(element);
+  }
+}
+
+/// State carried between benchmarks of one element.
+struct ElementState {
+  std::uint32_t fg = 0;
+  std::uint64_t size = 0;
+};
+
+/// Runs FG + size + latency + line + amount for one first-level cache.
+MemoryElementReport collect_first_level_cache(CollectorContext& ctx,
+                                              Element element,
+                                              ElementState& state,
+                                              std::uint64_t size_lower,
+                                              std::uint64_t size_upper,
+                                              std::uint64_t latency_min_array) {
+  sim::Gpu& gpu = ctx.gpu;
+  const Target target = target_for(sim::Vendor::kNvidia, element);
+  MemoryElementReport row;
+  row.element = element;
+
+  // Fetch granularity first: it is the step size of everything that follows.
+  FgBenchOptions fg_options;
+  fg_options.target = target;
+  const auto fg = run_fg_benchmark(gpu, fg_options);
+  ctx.book(fg.cycles);
+  row.fetch_granularity = fg.found
+                              ? Attribute::benchmarked(fg.granularity)
+                              : Attribute::unavailable("no unimodal stride");
+  state.fg = fg.found ? fg.granularity : 32;
+
+  // Size via the K-S workflow.
+  SizeBenchOptions size_options;
+  size_options.target = target;
+  size_options.lower = size_lower;
+  size_options.upper = size_upper;
+  size_options.stride = state.fg;
+  size_options.record_count = ctx.options.record_count;
+  const auto size = run_size_benchmark(gpu, size_options);
+  ctx.book(size.cycles);
+  if (size.found) {
+    row.size = Attribute::benchmarked(
+        static_cast<double>(size.exact_bytes), size.confidence);
+    state.size = size.exact_bytes;
+  } else if (size.upper_bound_hit) {
+    row.size = Attribute::unavailable(">" + format_bytes(size_upper));
+  } else {
+    row.size = Attribute::unavailable("no change point");
+  }
+  if (ctx.options.collect_series && !size.sweep_sizes.empty()) {
+    ctx.report.series.push_back(SizeSeries{element, size.sweep_sizes,
+                                           size.reduced, size.exact_bytes});
+  }
+
+  // Load latency.
+  LatencyBenchOptions latency_options;
+  latency_options.target = target;
+  latency_options.fetch_granularity = state.fg;
+  latency_options.min_array_bytes = latency_min_array;
+  latency_options.cache_bytes = state.size;
+  const auto latency = run_latency_benchmark(gpu, latency_options);
+  ctx.book(latency.cycles);
+  row.load_latency = Attribute::benchmarked(latency.summary.mean);
+  row.latency_stats = latency.summary;
+
+  // Cache line size (requires the detected size).
+  if (state.size != 0) {
+    LineSizeBenchOptions line_options;
+    line_options.target = target;
+    line_options.cache_bytes = state.size;
+    line_options.fetch_granularity = state.fg;
+    const auto line = run_line_size_benchmark(gpu, line_options);
+    ctx.book(line.cycles);
+    row.cache_line = line.found
+                         ? Attribute::benchmarked(line.line_bytes,
+                                                  line.confidence)
+                         : Attribute::unavailable("inconclusive");
+  } else {
+    row.cache_line = Attribute::unavailable("cache size unknown");
+  }
+
+  // Amount of independent segments per SM.
+  if (element == Element::kL1 && gpu.spec().l1_amount_unavailable) {
+    row.amount =
+        Attribute::unavailable("unable to schedule a thread on warp 3");
+  } else if (state.size != 0) {
+    AmountBenchOptions amount_options;
+    amount_options.target = target;
+    amount_options.cache_bytes = state.size;
+    amount_options.stride = state.fg;
+    const auto amount = run_amount_benchmark(gpu, amount_options);
+    ctx.book(amount.cycles);
+    row.amount = Attribute::benchmarked(amount.amount);
+  } else {
+    row.amount = Attribute::unavailable("cache size unknown");
+  }
+
+  // Bandwidth is only measured on higher-level caches and device memory.
+  row.read_bandwidth = Attribute::not_applicable();
+  row.write_bandwidth = Attribute::not_applicable();
+  return row;
+}
+
+}  // namespace
+
+void collect_nvidia(CollectorContext& ctx) {
+  sim::Gpu& gpu = ctx.gpu;
+  const runtime::DeviceProp prop = runtime::get_device_prop(gpu);
+  std::map<Element, ElementState> states;
+
+  // --- First-level caches: L1, Texture, ReadOnly, Constant L1. -------------
+  const Element first_level[] = {Element::kL1, Element::kTexture,
+                                 Element::kReadOnly, Element::kConstL1};
+  for (Element element : first_level) {
+    if (!gpu.spec().has(element)) continue;
+    const bool is_constant = element == Element::kConstL1;
+    // Constant L1 probing also pre-computes state for the CL1.5 benchmarks.
+    if (!ctx.wants(element) &&
+        !(is_constant && ctx.wants(Element::kConstL15))) {
+      continue;
+    }
+    ElementState& state = states[element];
+    auto row = collect_first_level_cache(
+        ctx, element, state,
+        /*size_lower=*/1 * KiB,
+        /*size_upper=*/is_constant ? kConstantArrayLimit : 1024 * KiB,
+        /*latency_min_array=*/0);
+    if (ctx.wants(element)) ctx.report.memory.push_back(row);
+  }
+
+  // --- Constant L1.5 (between Constant L1 and L2). -------------------------
+  if (gpu.spec().has(Element::kConstL15) && ctx.wants(Element::kConstL15)) {
+    const Target target = target_for(sim::Vendor::kNvidia, Element::kConstL15);
+    MemoryElementReport row;
+    row.element = Element::kConstL15;
+    const std::uint64_t cl1_size =
+        states.count(Element::kConstL1) ? states[Element::kConstL1].size : 2 * KiB;
+    const std::uint32_t cl1_fg = states.count(Element::kConstL1)
+                                     ? states[Element::kConstL1].fg
+                                     : 64;
+
+    FgBenchOptions fg_options;
+    fg_options.target = target;
+    // Stay beyond the Const L1 capacity so its hits do not mask the pattern.
+    fg_options.min_array_bytes = 2 * cl1_size;
+    const auto fg = run_fg_benchmark(gpu, fg_options);
+    ctx.book(fg.cycles);
+    const std::uint32_t fg_value = fg.found ? fg.granularity : cl1_fg;
+    row.fetch_granularity = fg.found
+                                ? Attribute::benchmarked(fg.granularity)
+                                : Attribute::unavailable("no unimodal stride");
+
+    SizeBenchOptions size_options;
+    size_options.target = target;
+    size_options.lower = std::max<std::uint64_t>(2 * cl1_size, 4 * KiB);
+    size_options.upper = kConstantArrayLimit;  // the hard 64 KiB wall
+    size_options.stride = fg_value;
+    const auto size = run_size_benchmark(gpu, size_options);
+    ctx.book(size.cycles);
+    std::uint64_t cl15_size = 0;
+    if (size.found) {
+      row.size = Attribute::benchmarked(
+          static_cast<double>(size.exact_bytes), size.confidence);
+      cl15_size = size.exact_bytes;
+    } else {
+      // The array limit truncates the search: report the bound, confidence 0
+      // (paper Table III: ">64KiB").
+      row.size = Attribute{Provenance::kBenchmark,
+                           static_cast<double>(kConstantArrayLimit), 0.0,
+                           ">" + format_bytes(kConstantArrayLimit)};
+    }
+    if (ctx.options.collect_series && !size.sweep_sizes.empty()) {
+      ctx.report.series.push_back(SizeSeries{Element::kConstL15,
+                                             size.sweep_sizes, size.reduced,
+                                             size.exact_bytes});
+    }
+
+    LatencyBenchOptions latency_options;
+    latency_options.target = target;
+    latency_options.fetch_granularity = fg_value;
+    latency_options.min_array_bytes = 4 * cl1_size;
+    latency_options.cache_bytes = cl15_size;
+    const auto latency = run_latency_benchmark(gpu, latency_options);
+    ctx.book(latency.cycles);
+    row.load_latency = Attribute::benchmarked(latency.summary.mean);
+    row.latency_stats = latency.summary;
+
+    if (cl15_size != 0) {
+      LineSizeBenchOptions line_options;
+      line_options.target = target;
+      line_options.cache_bytes = cl15_size;
+      line_options.fetch_granularity = fg_value;
+      const auto line = run_line_size_benchmark(gpu, line_options);
+      ctx.book(line.cycles);
+      row.cache_line = line.found
+                           ? Attribute::benchmarked(line.line_bytes,
+                                                    line.confidence)
+                           : Attribute::unavailable("inconclusive");
+    } else {
+      // Line size takes the cache size as input (paper Sec. V): not computed.
+      row.cache_line = Attribute::unavailable("cache size not determined");
+    }
+    // The 64 KiB constant limit also blocks the amount benchmark (Table I: #).
+    row.amount = Attribute::unavailable("64 KiB constant array limitation");
+    row.read_bandwidth = Attribute::not_applicable();
+    row.write_bandwidth = Attribute::not_applicable();
+    ctx.report.memory.push_back(row);
+  }
+
+  // --- L2 cache. ------------------------------------------------------------
+  if (gpu.spec().has(Element::kL2) && ctx.wants(Element::kL2)) {
+    const Target target = target_for(sim::Vendor::kNvidia, Element::kL2);
+    MemoryElementReport row;
+    row.element = Element::kL2;
+    row.size = Attribute::from_api(static_cast<double>(prop.l2_cache_size));
+
+    FgBenchOptions fg_options;
+    fg_options.target = target;
+    const auto fg = run_fg_benchmark(gpu, fg_options);
+    ctx.book(fg.cycles);
+    const std::uint32_t fg_value = fg.found ? fg.granularity : 32;
+    row.fetch_granularity = fg.found
+                                ? Attribute::benchmarked(fg.granularity)
+                                : Attribute::unavailable("no unimodal stride");
+
+    LatencyBenchOptions latency_options;
+    latency_options.target = target;
+    latency_options.fetch_granularity = fg_value;
+    const auto latency = run_latency_benchmark(gpu, latency_options);
+    ctx.book(latency.cycles);
+    row.load_latency = Attribute::benchmarked(latency.summary.mean);
+    row.latency_stats = latency.summary;
+
+    // Segment count: size benchmark + alignment to an integer fraction of
+    // the API total (paper IV-F1).
+    const auto segment =
+        run_l2_segment_benchmark(gpu, prop.l2_cache_size, fg_value);
+    ctx.book(segment.cycles);
+    std::uint64_t segment_bytes = prop.l2_cache_size;
+    if (segment.found) {
+      row.amount = Attribute::benchmarked(segment.segments,
+                                          segment.confidence);
+      row.amount_per_gpu = true;
+      segment_bytes = segment.segment_bytes;
+    } else {
+      row.amount = Attribute::unavailable("segment size not detected");
+    }
+
+    LineSizeBenchOptions line_options;
+    line_options.target = target;
+    line_options.cache_bytes = segment_bytes;
+    line_options.fetch_granularity = fg_value;
+    const auto line = run_line_size_benchmark(gpu, line_options);
+    ctx.book(line.cycles);
+    row.cache_line = line.found
+                         ? Attribute::benchmarked(line.line_bytes,
+                                                  line.confidence)
+                         : Attribute::unavailable("inconclusive");
+
+    BandwidthBenchOptions bw_options;
+    bw_options.target = Element::kL2;
+    const auto bw = run_bandwidth_benchmark(gpu, bw_options);
+    ctx.book_seconds(bw.seconds / 2);
+    ctx.book_seconds(bw.seconds / 2);  // read and write are two benchmarks
+    row.read_bandwidth = Attribute::benchmarked(bw.read_bytes_per_s);
+    row.write_bandwidth = Attribute::benchmarked(bw.write_bytes_per_s);
+    ctx.report.memory.push_back(row);
+  }
+
+  // --- Shared Memory. --------------------------------------------------------
+  if (gpu.spec().has(Element::kSharedMem) && ctx.wants(Element::kSharedMem)) {
+    MemoryElementReport row;
+    row.element = Element::kSharedMem;
+    row.size =
+        Attribute::from_api(static_cast<double>(prop.shared_mem_per_block));
+    const auto latency = run_scratchpad_latency(gpu);
+    ctx.book(latency.cycles);
+    row.load_latency = Attribute::benchmarked(latency.summary.mean);
+    row.latency_stats = latency.summary;
+    ctx.report.memory.push_back(row);
+  }
+
+  // --- Device memory. ---------------------------------------------------------
+  if (gpu.spec().has(Element::kDeviceMem) && ctx.wants(Element::kDeviceMem)) {
+    MemoryElementReport row;
+    row.element = Element::kDeviceMem;
+    row.size =
+        Attribute::from_api(static_cast<double>(prop.total_global_mem));
+
+    LatencyBenchOptions latency_options;
+    latency_options.target =
+        target_for(sim::Vendor::kNvidia, Element::kDeviceMem);
+    latency_options.fetch_granularity = 32;
+    latency_options.cold = true;  // every load must fall through to DRAM
+    const auto latency = run_latency_benchmark(gpu, latency_options);
+    ctx.book(latency.cycles);
+    row.load_latency = Attribute::benchmarked(latency.summary.mean);
+    row.latency_stats = latency.summary;
+
+    BandwidthBenchOptions bw_options;
+    bw_options.target = Element::kDeviceMem;
+    bw_options.bytes = 1 * GiB;
+    const auto bw = run_bandwidth_benchmark(gpu, bw_options);
+    ctx.book_seconds(bw.seconds / 2);
+    ctx.book_seconds(bw.seconds / 2);
+    row.read_bandwidth = Attribute::benchmarked(bw.read_bytes_per_s);
+    row.write_bandwidth = Attribute::benchmarked(bw.write_bytes_per_s);
+    ctx.report.memory.push_back(row);
+  }
+
+  // --- Physical sharing across logical spaces (paper IV-G). -----------------
+  if (!ctx.options.only) {
+    SharingBenchOptions sharing_options;
+    for (Element element : first_level) {
+      const auto it = states.find(element);
+      if (it == states.end() || it->second.size == 0) continue;
+      sharing_options.entries.push_back(
+          {element, it->second.size, it->second.fg,
+           element == Element::kConstL1 ? kConstantArrayLimit : 0});
+    }
+    if (sharing_options.entries.size() >= 2) {
+      const auto sharing = run_sharing_benchmark(gpu, sharing_options);
+      // Each tested pair is one benchmark execution.
+      for (std::size_t i = 1; i < sharing.pairs.size(); ++i) ctx.book(0);
+      ctx.book(sharing.cycles);
+      for (auto& row : ctx.report.memory) {
+        const auto group = sharing.group_of(row.element);
+        if (std::find_if(sharing_options.entries.begin(),
+                         sharing_options.entries.end(), [&](const auto& e) {
+                           return e.element == row.element;
+                         }) == sharing_options.entries.end()) {
+          continue;
+        }
+        if (group.empty()) {
+          row.shared_with = "no";
+        } else {
+          std::string joined = short_name(row.element);
+          for (Element peer : group) joined += "," + short_name(peer);
+          row.shared_with = joined;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mt4g::core::detail

@@ -1,0 +1,15 @@
+// Umbrella header: the MT4G public API.
+//
+// Typical use:
+//   sim::Gpu gpu(sim::registry_get("H100-80"), /*seed=*/42);
+//   core::TopologyReport report = core::discover(gpu);
+//   std::cout << core::to_json_string(report);
+#pragma once
+
+#include "core/cache_config.hpp"      // IWYU pragma: export
+#include "core/collector.hpp"         // IWYU pragma: export
+#include "core/output/csv_output.hpp"       // IWYU pragma: export
+#include "core/output/json_output.hpp"      // IWYU pragma: export
+#include "core/output/markdown_output.hpp"  // IWYU pragma: export
+#include "core/report.hpp"            // IWYU pragma: export
+#include "sim/registry.hpp"           // IWYU pragma: export

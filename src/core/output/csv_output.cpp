@@ -1,0 +1,60 @@
+#include "core/output/csv_output.hpp"
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace mt4g::core {
+namespace {
+
+std::string attribute_cell(const Attribute& attribute, bool integral) {
+  if (!attribute.available()) return provenance_symbol(attribute.provenance);
+  std::string value = integral
+                          ? std::to_string(static_cast<std::int64_t>(
+                                attribute.value))
+                          : format_double(attribute.value, 2);
+  if (!attribute.note.empty()) value += " (" + attribute.note + ")";
+  return value;
+}
+
+}  // namespace
+
+std::string to_csv(const TopologyReport& report) {
+  csv::Writer writer({"element", "size_bytes", "load_latency_cycles",
+                      "read_bw_bytes_per_s", "write_bw_bytes_per_s",
+                      "cache_line_bytes", "fetch_granularity_bytes", "amount",
+                      "amount_scope", "shared_with", "confidence_size"});
+  for (const auto& row : report.memory) {
+    writer.add_row({
+        sim::element_name(row.element),
+        attribute_cell(row.size, true),
+        attribute_cell(row.load_latency, false),
+        attribute_cell(row.read_bandwidth, false),
+        attribute_cell(row.write_bandwidth, false),
+        attribute_cell(row.cache_line, true),
+        attribute_cell(row.fetch_granularity, true),
+        attribute_cell(row.amount, true),
+        row.amount_per_gpu ? "per_gpu" : "per_sm",
+        row.shared_with.empty() ? "n/a" : row.shared_with,
+        format_double(row.size.confidence, 4),
+    });
+  }
+  return writer.str();
+}
+
+std::string series_to_csv(const TopologyReport& report) {
+  csv::Writer writer({"element", "array_bytes", "reduced_value",
+                      "change_point_bytes"});
+  for (const auto& series : report.series) {
+    for (std::size_t i = 0; i < series.array_sizes.size(); ++i) {
+      writer.add_row({
+          sim::element_name(series.element),
+          std::to_string(series.array_sizes[i]),
+          format_double(series.reduced_values[i], 4),
+          std::to_string(series.change_point_bytes),
+      });
+    }
+  }
+  return writer.str();
+}
+
+}  // namespace mt4g::core

@@ -1,0 +1,18 @@
+// CSV report emitter — the original MT4G output format, still consumed by
+// GPUscout-GUI (paper Sec. VI-B footnote 19).
+#pragma once
+
+#include <string>
+
+#include "core/report.hpp"
+
+namespace mt4g::core {
+
+/// One row per memory element; attribute columns carry the value or the
+/// provenance symbol ("#", "n/a") when unavailable.
+std::string to_csv(const TopologyReport& report);
+
+/// Size-benchmark series dump (-g flag): element, array size, reduced value.
+std::string series_to_csv(const TopologyReport& report);
+
+}  // namespace mt4g::core

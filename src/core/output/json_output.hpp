@@ -1,0 +1,17 @@
+// JSON report emitter — MT4G's primary machine-readable output format.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "core/report.hpp"
+
+namespace mt4g::core {
+
+/// Builds the full JSON document for a report.
+json::Value to_json(const TopologyReport& report);
+
+/// Serialised document (2-space indentation).
+std::string to_json_string(const TopologyReport& report);
+
+}  // namespace mt4g::core

@@ -1,0 +1,127 @@
+#include "core/output/markdown_output.hpp"
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace mt4g::core {
+namespace {
+
+std::string size_cell(const Attribute& attribute) {
+  if (!attribute.available()) {
+    return attribute.note.empty() ? provenance_symbol(attribute.provenance)
+                                  : attribute.note;
+  }
+  std::string cell = format_bytes(static_cast<std::uint64_t>(attribute.value));
+  if (!attribute.note.empty()) cell = attribute.note;
+  if (attribute.provenance == Provenance::kApi) cell += " (API)";
+  return cell;
+}
+
+std::string latency_cell(const Attribute& attribute) {
+  if (!attribute.available()) {
+    return provenance_symbol(attribute.provenance);
+  }
+  return format_double(attribute.value, 0);
+}
+
+std::string bandwidth_cell(const Attribute& read, const Attribute& write) {
+  if (!read.available() && !write.available()) return "n/a";
+  return format_double(read.value / static_cast<double>(TiB), 2) + "/" +
+         format_double(write.value / static_cast<double>(TiB), 2) + " TiB/s";
+}
+
+std::string small_size_cell(const Attribute& attribute) {
+  if (!attribute.available()) {
+    return provenance_symbol(attribute.provenance);
+  }
+  std::string cell =
+      std::to_string(static_cast<std::int64_t>(attribute.value)) + "B";
+  if (attribute.provenance == Provenance::kApi) cell += " (API)";
+  return cell;
+}
+
+std::string amount_cell(const MemoryElementReport& row) {
+  if (!row.amount.available()) {
+    return provenance_symbol(row.amount.provenance);
+  }
+  return std::to_string(static_cast<std::int64_t>(row.amount.value)) +
+         (row.amount_per_gpu ? " per GPU" : " per SM/CU");
+}
+
+}  // namespace
+
+std::string to_markdown(const TopologyReport& report) {
+  std::string out;
+  out += "# MT4G Topology Report — " + report.general.gpu_name + "\n\n";
+  out += "## General Information\n\n";
+  out += "- Vendor: " + report.general.vendor + "\n";
+  out += "- Model: " + report.general.model + "\n";
+  out += "- Microarchitecture: " + report.general.microarchitecture + "\n";
+  out += "- Compute capability: " + report.general.compute_capability + "\n";
+  out += "- Clock: " + format_frequency(report.general.clock_mhz * 1e6) + "\n";
+  out += "- Memory clock: " +
+         format_frequency(report.general.memory_clock_mhz * 1e6) + "\n\n";
+
+  out += "## Compute Resources\n\n";
+  out += "- SMs/CUs: " + std::to_string(report.compute.num_sms) + "\n";
+  out += "- Cores per SM/CU: " + std::to_string(report.compute.cores_per_sm) +
+         " (total " + std::to_string(report.compute.num_cores_total) + ")\n";
+  out += "- Warp size: " + std::to_string(report.compute.warp_size) + "\n";
+  out += "- Warps per SM/CU: " + std::to_string(report.compute.warps_per_sm) + "\n";
+  out += "- Max threads per block / SM: " +
+         std::to_string(report.compute.max_threads_per_block) + " / " +
+         std::to_string(report.compute.max_threads_per_sm) + "\n";
+  out += "- Max blocks per SM: " +
+         std::to_string(report.compute.max_blocks_per_sm) + "\n";
+  out += "- Registers per block / SM: " +
+         std::to_string(report.compute.regs_per_block) + " / " +
+         std::to_string(report.compute.regs_per_sm) + "\n\n";
+
+  out += "## Memory Resources\n\n";
+  out +=
+      "| Element | Size | Load Latency | R/W Bandwidth | Cache Line | Fetch "
+      "Granularity | Amount | Shared With |\n";
+  out += "|---|---|---|---|---|---|---|---|\n";
+  for (const auto& row : report.memory) {
+    out += "| " + sim::element_name(row.element) + " | " +
+           size_cell(row.size) + " | " + latency_cell(row.load_latency) +
+           " | " + bandwidth_cell(row.read_bandwidth, row.write_bandwidth) +
+           " | " + small_size_cell(row.cache_line) + " | " +
+           small_size_cell(row.fetch_granularity) + " | " + amount_cell(row) +
+           " | " + (row.shared_with.empty() ? "n/a" : row.shared_with) +
+           " |\n";
+  }
+  out += "\n";
+
+  if (report.general.vendor == "AMD" && report.cu_sharing.available) {
+    out += "## sL1d CU Sharing\n\n";
+    for (const auto& [cu, peers] : report.cu_sharing.peers) {
+      std::vector<std::string> names;
+      for (std::uint32_t peer : peers) names.push_back(std::to_string(peer));
+      out += "- CU " + std::to_string(cu) + ": shares sL1d with {" +
+             join(names, ", ") + "}\n";
+    }
+    out += "\n";
+  }
+
+  if (!report.compute_throughput.empty()) {
+    out += "## Compute Throughput\n\n";
+    out += "| Datatype | Achieved | Launch |\n|---|---|---|\n";
+    for (const auto& entry : report.compute_throughput) {
+      out += "| " + entry.dtype + " | " +
+             format_double(entry.achieved_ops_per_s / 1e12, 2) + " Tops/s | " +
+             std::to_string(entry.blocks) + " x " +
+             std::to_string(entry.threads_per_block) + " |\n";
+    }
+    out += "\n";
+  }
+
+  out += "## Run Statistics\n\n";
+  out += "- Benchmarks executed: " +
+         std::to_string(report.benchmarks_executed) + "\n";
+  out += "- Simulated GPU time: " +
+         format_double(report.simulated_seconds, 2) + " s\n";
+  return out;
+}
+
+}  // namespace mt4g::core

@@ -1,0 +1,12 @@
+// Markdown report emitter (-p flag): the human-readable report.
+#pragma once
+
+#include <string>
+
+#include "core/report.hpp"
+
+namespace mt4g::core {
+
+std::string to_markdown(const TopologyReport& report);
+
+}  // namespace mt4g::core

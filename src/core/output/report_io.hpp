@@ -1,0 +1,40 @@
+// Report round-trip and comparison.
+//
+// from_json() rebuilds a TopologyReport from the JSON emitted by to_json(),
+// enabling the artifact workflow of comparing stored reports against fresh
+// runs. diff_reports() produces the per-attribute comparison the paper's
+// Sec. V performs manually: discrete attributes must be identical, continuous
+// ones are compared with a relative tolerance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace mt4g::core {
+
+/// Rebuilds a report from to_json()/to_json_string() output.
+/// Throws std::runtime_error on malformed or non-report JSON.
+TopologyReport from_json_string(const std::string& text);
+
+/// One attribute-level difference between two reports.
+struct ReportDifference {
+  std::string element;    ///< "L1", "L2", ... or "general"/"compute"
+  std::string attribute;  ///< "size", "load_latency", ...
+  std::string lhs;        ///< rendered value of the first report
+  std::string rhs;        ///< rendered value of the second report
+};
+
+struct DiffOptions {
+  /// Relative tolerance for continuous attributes (latency, bandwidth).
+  double continuous_tolerance = 0.05;
+};
+
+/// Compares two reports: general info, compute info, and every memory
+/// element's attributes. Returns the list of differences (empty = match).
+std::vector<ReportDifference> diff_reports(const TopologyReport& lhs,
+                                           const TopologyReport& rhs,
+                                           const DiffOptions& options = {});
+
+}  // namespace mt4g::core

@@ -1,0 +1,29 @@
+#include "core/report.hpp"
+
+namespace mt4g::core {
+
+std::string provenance_symbol(Provenance provenance) {
+  switch (provenance) {
+    case Provenance::kBenchmark: return "!";
+    case Provenance::kApi: return "!(API)";
+    case Provenance::kUnavailable: return "#";
+    case Provenance::kNotApplicable: return "n/a";
+  }
+  return "?";
+}
+
+const MemoryElementReport* TopologyReport::find(sim::Element element) const {
+  for (const auto& row : memory) {
+    if (row.element == element) return &row;
+  }
+  return nullptr;
+}
+
+MemoryElementReport* TopologyReport::find(sim::Element element) {
+  for (auto& row : memory) {
+    if (row.element == element) return &row;
+  }
+  return nullptr;
+}
+
+}  // namespace mt4g::core

@@ -1,0 +1,106 @@
+#include "core/target.hpp"
+
+#include <stdexcept>
+
+namespace mt4g::core {
+
+Target target_for(sim::Vendor vendor, sim::Element element) {
+  Target t;
+  t.element = element;
+  if (vendor == sim::Vendor::kNvidia) {
+    switch (element) {
+      case sim::Element::kL1:  // ld.global.ca.u32
+        t.space = sim::Space::kGlobal;
+        return t;
+      case sim::Element::kL2:  // ld.global.cg.u32 (bypasses L1)
+        t.space = sim::Space::kGlobal;
+        t.flags.bypass_l1 = true;
+        return t;
+      case sim::Element::kTexture:  // tex1Dfetch<uint32_t>
+        t.space = sim::Space::kTexture;
+        return t;
+      case sim::Element::kReadOnly:  // __ldg(const uint32_t*)
+        t.space = sim::Space::kReadOnly;
+        return t;
+      case sim::Element::kConstL1:   // ld.const.u32
+      case sim::Element::kConstL15:  // ld.const.u32 with CL1 evicted
+        t.space = sim::Space::kConstant;
+        return t;
+      case sim::Element::kSharedMem:  // __shared__
+        t.space = sim::Space::kShared;
+        return t;
+      case sim::Element::kDeviceMem:  // ld.global.cg on uncached data
+        t.space = sim::Space::kGlobal;
+        t.flags.bypass_l1 = true;
+        return t;
+      default:
+        break;
+    }
+  } else {
+    switch (element) {
+      case sim::Element::kVL1:  // flat_load_dword
+        t.space = sim::Space::kGlobal;
+        return t;
+      case sim::Element::kSL1D:  // s_load_dword
+        t.space = sim::Space::kScalar;
+        return t;
+      case sim::Element::kL2:  // flat_load_dword with GLC/sc0=1
+      case sim::Element::kL3:
+        t.space = sim::Space::kGlobal;
+        t.flags.bypass_l1 = true;
+        return t;
+      case sim::Element::kLds:  // __shared__
+        t.space = sim::Space::kShared;
+        return t;
+      case sim::Element::kDeviceMem:
+        t.space = sim::Space::kGlobal;
+        t.flags.bypass_l1 = true;
+        return t;
+      default:
+        break;
+    }
+  }
+  throw std::invalid_argument("no load path targets element " +
+                              sim::element_name(element) + " on " +
+                              sim::vendor_name(vendor));
+}
+
+int depth_rank(sim::Element element) {
+  switch (element) {
+    case sim::Element::kL1:
+    case sim::Element::kTexture:
+    case sim::Element::kReadOnly:
+    case sim::Element::kConstL1:
+    case sim::Element::kVL1:
+    case sim::Element::kSL1D:
+    case sim::Element::kSharedMem:
+    case sim::Element::kLds:
+      return 0;
+    case sim::Element::kConstL15:
+      return 1;
+    case sim::Element::kL2:
+      return 2;
+    case sim::Element::kL3:
+      return 3;
+    case sim::Element::kDeviceMem:
+      return 4;
+  }
+  return 4;
+}
+
+bool served_within(sim::Element tracked, sim::Element served) {
+  return depth_rank(served) <= depth_rank(tracked);
+}
+
+double hit_fraction(const runtime::PChaseResult& result,
+                    sim::Element tracked) {
+  if (result.timed_loads == 0) return 0.0;
+  std::uint64_t within = 0;
+  for (const auto& [element, count] : result.served_by) {
+    if (served_within(tracked, element)) within += count;
+  }
+  return static_cast<double>(within) /
+         static_cast<double>(result.timed_loads);
+}
+
+}  // namespace mt4g::core

@@ -1,0 +1,40 @@
+// Mapping between memory elements and the load instructions that reach them.
+//
+// On real hardware, MT4G targets each element with a specific instruction:
+// ld.global.ca / tex1Dfetch / __ldg / ld.const / s_load_dword /
+// flat_load_dword with or without the GLC bit (paper IV-B2, IV-C). In the
+// substrate the equivalent selector is (Space, AccessFlags); this header owns
+// that mapping plus the hierarchy depth ordering used to classify whether a
+// load was served "within" the benchmarked element.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/kernels.hpp"
+#include "sim/types.hpp"
+
+namespace mt4g::core {
+
+/// Instruction-level selector for one memory element.
+struct Target {
+  sim::Space space = sim::Space::kGlobal;
+  sim::AccessFlags flags{};
+  sim::Element element = sim::Element::kL1;
+};
+
+/// The selector MT4G uses to reach @p element on @p vendor. Throws for
+/// elements with no load path (e.g. Texture cache on AMD).
+Target target_for(sim::Vendor vendor, sim::Element element);
+
+/// Depth rank in the memory hierarchy: 0 for first-level caches and
+/// scratchpads, 1 for Const L1.5, 2 for L2, 3 for L3, 4 for device memory.
+int depth_rank(sim::Element element);
+
+/// True when a load served by @p served still counts as a hit for a
+/// benchmark targeting @p tracked (i.e. it did not fall through deeper).
+bool served_within(sim::Element tracked, sim::Element served);
+
+/// Fraction of timed loads of @p result served within @p tracked.
+double hit_fraction(const runtime::PChaseResult& result, sim::Element tracked);
+
+}  // namespace mt4g::core

@@ -1,0 +1,122 @@
+#include "model/hong_kim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mt4g::model {
+
+GpuModelParams params_from_report(const core::TopologyReport& report,
+                                  MemoryLevel level) {
+  GpuModelParams params;
+  params.clock_hz = report.general.clock_mhz * 1e6;
+  params.num_sms = report.compute.num_sms;
+  params.max_active_warps_per_sm = report.compute.warps_per_sm;
+
+  const auto* dram = report.find(sim::Element::kDeviceMem);
+  if (dram == nullptr || !dram->load_latency.available()) {
+    throw std::invalid_argument(
+        "hong-kim model: report lacks device memory latency");
+  }
+  const auto* l2 = report.find(sim::Element::kL2);
+  const auto* l1 = report.find(sim::Element::kL1);
+  if (l1 == nullptr) l1 = report.find(sim::Element::kVL1);
+
+  if (l1 != nullptr && l1->load_latency.available()) {
+    params.l1_latency_cycles = l1->load_latency.value;
+  }
+  if (l2 != nullptr && l2->load_latency.available()) {
+    params.l2_latency_cycles = l2->load_latency.value;
+  }
+
+  // Level selection: the paper's extension of the original DRAM-only model
+  // to the cache hierarchy MT4G covers.
+  switch (level) {
+    case MemoryLevel::kL1:
+      if (l1 == nullptr) throw std::invalid_argument("no L1 in report");
+      params.mem_latency_cycles = l1->load_latency.value;
+      // L1 bandwidth is not measured (Table I): approximate with L2 read
+      // bandwidth scaled by the typical L1:L2 throughput ratio.
+      params.mem_bandwidth_bytes_per_s =
+          l2 != nullptr && l2->read_bandwidth.available()
+              ? 2.0 * l2->read_bandwidth.value
+              : 0.0;
+      break;
+    case MemoryLevel::kL2:
+      if (l2 == nullptr || !l2->read_bandwidth.available()) {
+        throw std::invalid_argument("no L2 bandwidth in report");
+      }
+      params.mem_latency_cycles = l2->load_latency.value;
+      params.mem_bandwidth_bytes_per_s = l2->read_bandwidth.value;
+      break;
+    case MemoryLevel::kDram:
+      params.mem_latency_cycles = dram->load_latency.value;
+      params.mem_bandwidth_bytes_per_s =
+          dram->read_bandwidth.available() ? dram->read_bandwidth.value : 0.0;
+      break;
+  }
+  return params;
+}
+
+ModelResult evaluate(const ApplicationProfile& app, const GpuModelParams& gpu) {
+  if (app.comp_cycles_per_warp <= 0 || app.active_warps_per_sm == 0 ||
+      gpu.mem_latency_cycles <= 0 || gpu.clock_hz <= 0) {
+    throw std::invalid_argument("hong-kim model: non-positive inputs");
+  }
+  ModelResult r;
+  const double n_warps = app.active_warps_per_sm;
+
+  // Memory cycles one warp spends waiting: one latency per memory instr.
+  const double mem_cycles = app.mem_insts_per_warp * gpu.mem_latency_cycles;
+
+  // CWP' = (mem + comp) / comp   (Eq. 3)
+  r.cwp_raw = (mem_cycles + app.comp_cycles_per_warp) /
+              app.comp_cycles_per_warp;
+  r.cwp = std::min(r.cwp_raw, n_warps);
+
+  // MWP' = mem_latency / departure_delay   (Eq. 4, latency-limited)
+  r.mwp_latency = gpu.mem_latency_cycles /
+                  std::max(app.mem_departure_delay, 1.0);
+
+  // MWP'' — bandwidth ceiling: warps the memory system can serve at once,
+  // given each in-flight warp moves bytes_per_mem_inst per mem_latency.
+  if (gpu.mem_bandwidth_bytes_per_s > 0 && gpu.num_sms > 0) {
+    const double bw_per_sm = gpu.mem_bandwidth_bytes_per_s /
+                             static_cast<double>(gpu.num_sms);
+    const double bytes_per_cycle_per_warp =
+        app.bytes_per_mem_inst / gpu.mem_latency_cycles;
+    const double bw_per_sm_cycles = bw_per_sm / gpu.clock_hz;  // bytes/cycle
+    r.mwp_bandwidth = bw_per_sm_cycles / bytes_per_cycle_per_warp;
+  } else {
+    r.mwp_bandwidth = n_warps;  // no ceiling known: not the binding limit
+  }
+  r.mwp = std::min({r.mwp_latency, r.mwp_bandwidth, n_warps});
+  r.mwp = std::max(r.mwp, 1.0);
+
+  // Boundedness compares the unclamped demands: when both CWP' and MWP'
+  // exceed the active warp count, the clamped values tie and the question
+  // "can the memory system keep up with the waiting warps" is decided by
+  // the raw ratio (Hong & Kim treat CWP == MWP == N as its own regime).
+  r.memory_bound = std::min(r.mwp_latency, r.mwp_bandwidth) < r.cwp_raw;
+
+  // Elapsed-cycle estimate, following the original model's two regimes.
+  const double repetitions =
+      app.total_warps > 0
+          ? std::ceil(static_cast<double>(app.total_warps) /
+                      (n_warps * std::max<double>(gpu.num_sms, 1)))
+          : 1.0;
+  double cycles_per_round = 0.0;
+  if (r.memory_bound) {
+    // Memory-bound: the run is serialised by memory waiting periods.
+    cycles_per_round = mem_cycles * n_warps / r.mwp +
+                       app.comp_cycles_per_warp;
+  } else {
+    // Compute-bound: computation hides the memory latency entirely.
+    cycles_per_round = app.comp_cycles_per_warp * n_warps + mem_cycles;
+  }
+  r.estimated_cycles = cycles_per_round * repetitions;
+  r.estimated_seconds = r.estimated_cycles / gpu.clock_hz;
+  return r;
+}
+
+}  // namespace mt4g::model

@@ -1,0 +1,73 @@
+// GPU warp-parallelism analytical performance model (paper Sec. VI-A;
+// Hong & Kim, ISCA'09), parameterised from an MT4G topology report.
+//
+// CWP (compute warp parallelism) — warps that can execute while one warp
+// waits on memory; MWP (memory warp parallelism) — warps that can access the
+// memory subsystem concurrently (Eqs. 3-4 of the paper):
+//
+//   CWP' = (mem_cycles + comp_cycles) / comp_cycles
+//   MWP' = mem_latency / mem_delay
+//   MWP'' = mem_bandwidth / (mem_freq * load_per_warp / mem_latency
+//                            * #act_warps_per_SM)        [bandwidth ceiling]
+//   CWP = min(CWP', #act_warps)        MWP = min(MWP', MWP'', #act_warps)
+//
+// CWP > MWP  => memory-bound; otherwise compute-bound. The model also
+// estimates elapsed cycles per the original formulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/report.hpp"
+
+namespace mt4g::model {
+
+/// Application-specific inputs (from profiling: NCU / rocprof).
+struct ApplicationProfile {
+  std::string name;
+  double comp_cycles_per_warp = 0;   ///< compute cycles one warp executes
+  double mem_insts_per_warp = 0;     ///< memory instructions per warp
+  double bytes_per_mem_inst = 128;   ///< coalesced bytes per memory instr.
+  std::uint32_t active_warps_per_sm = 0;
+  std::uint32_t total_warps = 0;     ///< across the whole launch
+  /// Departure delay between consecutive memory warps (cycles).
+  double mem_departure_delay = 4;
+};
+
+/// GPU-specific inputs, obtained from MT4G (paper: mem_latency,
+/// mem_bandwidth, mem_freq + the compute-resource block).
+struct GpuModelParams {
+  double mem_latency_cycles = 0;
+  double mem_bandwidth_bytes_per_s = 0;
+  double clock_hz = 0;
+  std::uint32_t num_sms = 0;
+  std::uint32_t max_active_warps_per_sm = 0;
+  double l1_latency_cycles = 0;  ///< cache-extension parameters
+  double l2_latency_cycles = 0;
+};
+
+/// Which memory level the kernel's working set lives in; the paper extends
+/// the DRAM-only original to the cache hierarchy MT4G exposes.
+enum class MemoryLevel { kL1, kL2, kDram };
+
+/// Extracts the model parameters from an MT4G report. Throws when the report
+/// lacks the device-memory row.
+GpuModelParams params_from_report(const core::TopologyReport& report,
+                                  MemoryLevel level = MemoryLevel::kDram);
+
+struct ModelResult {
+  double cwp = 0;
+  double mwp = 0;
+  double cwp_raw = 0;     ///< CWP' before clamping
+  double mwp_latency = 0; ///< MWP'
+  double mwp_bandwidth = 0;  ///< MWP''
+  bool memory_bound = false;
+  double estimated_cycles = 0;   ///< elapsed GPU cycles for the launch
+  double estimated_seconds = 0;
+};
+
+/// Evaluates the CWP/MWP model for one application on one GPU.
+ModelResult evaluate(const ApplicationProfile& app,
+                     const GpuModelParams& gpu);
+
+}  // namespace mt4g::model

@@ -1,0 +1,72 @@
+#include "model/occupancy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mt4g::model {
+
+OccupancyResult occupancy(const core::TopologyReport& topology,
+                          const KernelResources& kernel) {
+  const core::ComputeInfo& compute = topology.compute;
+  if (kernel.threads_per_block == 0 ||
+      kernel.threads_per_block > compute.max_threads_per_block) {
+    throw std::invalid_argument("occupancy: invalid threads per block");
+  }
+  if (kernel.registers_per_thread * kernel.threads_per_block >
+      compute.regs_per_block) {
+    throw std::invalid_argument("occupancy: kernel exceeds registers/block");
+  }
+
+  OccupancyResult result;
+  // Bound 1: threads per SM.
+  const std::uint32_t by_threads =
+      compute.max_threads_per_sm / kernel.threads_per_block;
+  // Bound 2: hardware block slots.
+  const std::uint32_t by_blocks = compute.max_blocks_per_sm;
+  // Bound 3: register file.
+  const std::uint32_t regs_per_block =
+      kernel.registers_per_thread * kernel.threads_per_block;
+  const std::uint32_t by_registers =
+      regs_per_block ? compute.regs_per_sm / regs_per_block : by_blocks;
+  // Bound 4: shared memory (the MT4G-reported scratchpad size).
+  std::uint32_t by_shared = by_blocks;
+  const auto* scratch = topology.find(sim::Element::kSharedMem);
+  if (scratch == nullptr) scratch = topology.find(sim::Element::kLds);
+  if (kernel.shared_mem_per_block > 0) {
+    if (scratch == nullptr || !scratch->size.available()) {
+      throw std::invalid_argument("occupancy: no scratchpad in report");
+    }
+    const auto capacity = static_cast<std::uint64_t>(scratch->size.value);
+    if (kernel.shared_mem_per_block > capacity) {
+      throw std::invalid_argument("occupancy: shared memory request too big");
+    }
+    by_shared =
+        static_cast<std::uint32_t>(capacity / kernel.shared_mem_per_block);
+  }
+
+  result.blocks_per_sm =
+      std::min({by_threads, by_blocks, by_registers, by_shared});
+  // Ties go to the more fundamental resource, in this order.
+  if (result.blocks_per_sm == by_threads) {
+    result.limiter = "threads";
+  } else if (result.blocks_per_sm == by_blocks) {
+    result.limiter = "blocks";
+  } else if (result.blocks_per_sm == by_registers) {
+    result.limiter = "registers";
+  } else {
+    result.limiter = "shared";
+  }
+
+  const std::uint32_t warp = std::max<std::uint32_t>(compute.warp_size, 1);
+  const std::uint32_t warps_per_block =
+      (kernel.threads_per_block + warp - 1) / warp;
+  result.warps_per_sm = result.blocks_per_sm * warps_per_block;
+  const std::uint32_t max_warps =
+      std::max<std::uint32_t>(compute.warps_per_sm, 1);
+  result.warps_per_sm = std::min(result.warps_per_sm, max_warps);
+  result.occupancy =
+      static_cast<double>(result.warps_per_sm) / max_warps;
+  return result;
+}
+
+}  // namespace mt4g::model

@@ -1,0 +1,37 @@
+// SM occupancy calculator, parameterised from an MT4G topology report.
+//
+// The classic CUDA-occupancy question — how many blocks/warps can be resident
+// on one SM given a kernel's threads, registers and shared-memory usage —
+// needs exactly the compute-resource block MT4G reports (max threads/blocks/
+// registers per SM, warp size) plus the Shared Memory size from the memory
+// block. Feeds the Hong-Kim model's active-warp input and a GPUscout rule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/report.hpp"
+
+namespace mt4g::model {
+
+struct KernelResources {
+  std::uint32_t threads_per_block = 256;
+  std::uint32_t registers_per_thread = 32;
+  std::uint64_t shared_mem_per_block = 0;
+};
+
+struct OccupancyResult {
+  std::uint32_t blocks_per_sm = 0;   ///< resident blocks on one SM
+  std::uint32_t warps_per_sm = 0;    ///< resident warps
+  double occupancy = 0.0;            ///< warps / max warps, in [0, 1]
+  /// Which resource clipped the block count first.
+  std::string limiter;               ///< "threads"|"blocks"|"registers"|"shared"
+};
+
+/// Computes the resident-block bound per limiting resource and the resulting
+/// occupancy. Throws std::invalid_argument for impossible kernels (e.g. more
+/// threads per block than the GPU allows).
+OccupancyResult occupancy(const core::TopologyReport& topology,
+                          const KernelResources& kernel);
+
+}  // namespace mt4g::model

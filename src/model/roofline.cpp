@@ -1,0 +1,34 @@
+#include "model/roofline.hpp"
+
+#include <algorithm>
+
+namespace mt4g::model {
+
+double RooflineModel::attainable(double flops_per_byte,
+                                 const RooflineCeiling& c) const {
+  return std::min(peak_flops, flops_per_byte * c.bytes_per_second);
+}
+
+double RooflineModel::ridge(const RooflineCeiling& c) const {
+  if (c.bytes_per_second <= 0) return 0.0;
+  return peak_flops / c.bytes_per_second;
+}
+
+RooflineModel roofline_from_report(const core::TopologyReport& report) {
+  RooflineModel model;
+  // FMA counts as two FLOPs per core per cycle.
+  model.peak_flops = 2.0 * report.compute.num_cores_total *
+                     report.general.clock_mhz * 1e6;
+  auto add = [&](sim::Element element, const std::string& label) {
+    const auto* row = report.find(element);
+    if (row != nullptr && row->read_bandwidth.available()) {
+      model.ceilings.push_back({label, row->read_bandwidth.value});
+    }
+  };
+  add(sim::Element::kL2, "L2");
+  add(sim::Element::kL3, "L3");
+  add(sim::Element::kDeviceMem, "DRAM");
+  return model;
+}
+
+}  // namespace mt4g::model

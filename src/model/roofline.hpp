@@ -1,0 +1,32 @@
+// Roofline helper (paper Sec. VI-A closing remark: MT4G parameters also feed
+// "other methods, such as the Roofline model").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace mt4g::model {
+
+/// One memory ceiling of the roofline: a bandwidth line labelled by level.
+struct RooflineCeiling {
+  std::string level;          // "L2", "DRAM", ...
+  double bytes_per_second = 0;
+};
+
+struct RooflineModel {
+  double peak_flops = 0;  ///< FP32 peak: 2 * cores * clock (FMA)
+  std::vector<RooflineCeiling> ceilings;
+
+  /// Attainable FLOP/s at a given arithmetic intensity against one ceiling.
+  double attainable(double flops_per_byte, const RooflineCeiling& c) const;
+
+  /// Ridge point (FLOP/B) of one ceiling: where compute becomes the limit.
+  double ridge(const RooflineCeiling& c) const;
+};
+
+/// Builds the roofline from an MT4G report (L2/L3/DRAM read bandwidths).
+RooflineModel roofline_from_report(const core::TopologyReport& report);
+
+}  // namespace mt4g::model

@@ -1,0 +1,126 @@
+#include "runtime/kernels.hpp"
+
+#include <stdexcept>
+
+namespace mt4g::runtime {
+namespace {
+
+void validate(const PChaseConfig& config) {
+  if (config.stride_bytes == 0) {
+    throw std::invalid_argument("pchase: zero stride");
+  }
+  if (config.array_bytes < config.stride_bytes) {
+    throw std::invalid_argument("pchase: array smaller than one stride");
+  }
+}
+
+/// One untimed pass: loads the whole array to populate the caches.
+std::uint64_t warmup_pass(sim::Gpu& gpu, const PChaseConfig& config,
+                          const sim::Placement& where) {
+  const std::uint64_t steps = config.array_bytes / config.stride_bytes;
+  std::uint64_t cycles = 0;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    cycles += gpu.access(where, config.space,
+                         config.base + i * config.stride_bytes, config.flags);
+  }
+  return cycles;
+}
+
+/// The timed pass: records the first record_count latencies and classifies
+/// every load by the level that served it.
+void timed_pass(sim::Gpu& gpu, const PChaseConfig& config,
+                PChaseResult& result) {
+  const std::uint64_t steps = config.array_bytes / config.stride_bytes;
+  result.timed_loads = steps;
+  result.latencies.reserve(
+      std::min<std::uint64_t>(steps, config.record_count));
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    const sim::AccessResult access = gpu.access_traced(
+        config.where, config.space, config.base + i * config.stride_bytes,
+        config.flags);
+    result.total_cycles += access.latency;
+    ++result.served_by[access.served_by];
+    if (result.latencies.size() < config.record_count) {
+      result.latencies.push_back(access.latency);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t pchase_steps(const PChaseConfig& config) {
+  return config.array_bytes / config.stride_bytes;
+}
+
+PChaseResult run_pchase(sim::Gpu& gpu, const PChaseConfig& config) {
+  validate(config);
+  PChaseResult result;
+  if (config.warmup) {
+    result.total_cycles += warmup_pass(gpu, config, config.where);
+  }
+  timed_pass(gpu, config, result);
+  return result;
+}
+
+PChaseResult run_amount_pchase(sim::Gpu& gpu, const PChaseConfig& config,
+                               std::uint32_t core_b, std::uint64_t base_b) {
+  validate(config);
+  PChaseResult result;
+  // (1) Core A warm-up: fills core A's segment with array A.
+  result.total_cycles += warmup_pass(gpu, config, config.where);
+  // (2) Core B warm-up of a second array: evicts array A iff both cores map
+  //     to the same physical segment.
+  PChaseConfig config_b = config;
+  config_b.base = base_b;
+  config_b.where.core = core_b;
+  result.total_cycles += warmup_pass(gpu, config_b, config_b.where);
+  // (3) Core A timed run: hits iff core B used a different segment.
+  timed_pass(gpu, config, result);
+  return result;
+}
+
+PChaseResult run_sharing_pchase(sim::Gpu& gpu, const PChaseConfig& config_a,
+                                const PChaseConfig& config_b) {
+  validate(config_a);
+  validate(config_b);
+  PChaseResult result;
+  result.total_cycles += warmup_pass(gpu, config_a, config_a.where);
+  result.total_cycles += warmup_pass(gpu, config_b, config_b.where);
+  timed_pass(gpu, config_a, result);
+  return result;
+}
+
+PChaseResult run_dual_cu_pchase(sim::Gpu& gpu, const PChaseConfig& config_a,
+                                std::uint32_t cu_b, std::uint64_t base_b) {
+  validate(config_a);
+  PChaseResult result;
+  result.total_cycles += warmup_pass(gpu, config_a, config_a.where);
+  PChaseConfig config_second = config_a;
+  config_second.base = base_b;
+  config_second.where.sm = cu_b;
+  result.total_cycles += warmup_pass(gpu, config_second, config_second.where);
+  timed_pass(gpu, config_a, result);
+  return result;
+}
+
+PChaseResult run_scratchpad_chase(sim::Gpu& gpu, std::uint32_t count) {
+  PChaseResult result;
+  result.timed_loads = count;
+  result.latencies.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t latency = gpu.scratchpad_access();
+    result.total_cycles += latency;
+    result.latencies.push_back(latency);
+  }
+  const sim::Element scratch = gpu.spec().vendor == sim::Vendor::kNvidia
+                                   ? sim::Element::kSharedMem
+                                   : sim::Element::kLds;
+  result.served_by[scratch] = count;
+  return result;
+}
+
+double run_stream(sim::Gpu& gpu, const sim::StreamConfig& config) {
+  return sim::stream_bandwidth(gpu, config);
+}
+
+}  // namespace mt4g::runtime

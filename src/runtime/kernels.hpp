@@ -1,0 +1,74 @@
+// Kernel-style launches over the simulated GPU.
+//
+// Each function here corresponds to one GPU kernel of the real tool:
+// fine-grained p-chase (paper IV-A, Listings 1-2), the two-core variant for
+// the Amount benchmarks (IV-F), the two-space variant for Physical Sharing
+// (IV-G), the two-CU variant for AMD sL1d sharing (IV-H), and the stream
+// kernel for bandwidth (IV-I). Setup, configuration and evaluation run on the
+// host; only the loads execute "on the GPU" (the simulator).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/bandwidth.hpp"
+#include "sim/gpu.hpp"
+
+namespace mt4g::runtime {
+
+/// Configuration of one fine-grained p-chase execution.
+struct PChaseConfig {
+  sim::Space space = sim::Space::kGlobal;
+  sim::AccessFlags flags{};
+  std::uint64_t base = 0;          ///< array base address (from Gpu::alloc)
+  std::uint64_t array_bytes = 0;   ///< array size; loads at base + i*stride
+  std::uint32_t stride_bytes = 4;  ///< p-chase step
+  std::uint32_t record_count = 256;  ///< store only the first N latencies
+  bool warmup = true;              ///< initial untimed pass over the array
+  sim::Placement where{};          ///< SM/CU + core executing the chase
+};
+
+/// Result of one p-chase execution.
+struct PChaseResult {
+  /// First record_count per-load latencies of the timed pass, in cycles.
+  std::vector<std::uint32_t> latencies;
+  /// How many loads the timed pass executed in total.
+  std::uint64_t timed_loads = 0;
+  /// Which level served each timed load (whole pass, not just recorded).
+  /// This is the simulator's noise-free ground truth; the auto-evaluation
+  /// uses it only for the exact bisection refinements, never for the K-S.
+  std::map<sim::Element, std::uint64_t> served_by;
+  /// Simulated GPU cycles spent (warm-up + timed), for run-time accounting.
+  std::uint64_t total_cycles = 0;
+};
+
+/// One p-chase: optional warm-up pass, then a timed pass over the array.
+PChaseResult run_pchase(sim::Gpu& gpu, const PChaseConfig& config);
+
+/// Amount-benchmark kernel (paper IV-F, Fig. 3): core A warms its array,
+/// core B warms a second array at @p base_b (landing in core B's segment, if
+/// the SM has more than one), then core A re-runs its array timed.
+PChaseResult run_amount_pchase(sim::Gpu& gpu, const PChaseConfig& config,
+                               std::uint32_t core_b, std::uint64_t base_b);
+
+/// Physical-sharing kernel (paper IV-G): warm array A in space A, warm array
+/// B in space B, then run timed on array A. Same core throughout.
+PChaseResult run_sharing_pchase(sim::Gpu& gpu, const PChaseConfig& config_a,
+                                const PChaseConfig& config_b);
+
+/// AMD sL1d sharing kernel (paper IV-H): two blocks pinned to two CUs; CU A
+/// warms its scalar array, CU B warms a second array, CU A re-runs timed.
+PChaseResult run_dual_cu_pchase(sim::Gpu& gpu, const PChaseConfig& config_a,
+                                std::uint32_t cu_b, std::uint64_t base_b);
+
+/// Scratchpad (Shared Memory / LDS) latency kernel: @p count loads.
+PChaseResult run_scratchpad_chase(sim::Gpu& gpu, std::uint32_t count);
+
+/// Stream bandwidth kernel (paper IV-I): returns achieved bytes/second.
+double run_stream(sim::Gpu& gpu, const sim::StreamConfig& config);
+
+/// Total loads a timed pass of @p config will execute.
+std::uint64_t pchase_steps(const PChaseConfig& config);
+
+}  // namespace mt4g::runtime

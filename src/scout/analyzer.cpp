@@ -1,0 +1,109 @@
+#include "scout/analyzer.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace mt4g::scout {
+
+std::string severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+AnalysisResult analyze(const KernelCounters& counters,
+                       const core::TopologyReport& topology) {
+  AnalysisResult result;
+  const auto* l1 = topology.find(sim::Element::kL1);
+  if (l1 == nullptr) l1 = topology.find(sim::Element::kVL1);
+  const auto* l2 = topology.find(sim::Element::kL2);
+
+  const std::uint64_t l1_bytes =
+      l1 != nullptr && l1->size.available()
+          ? static_cast<std::uint64_t>(l1->size.value)
+          : 0;
+  std::uint64_t l2_bytes = 0;
+  if (l2 != nullptr && l2->size.available()) {
+    l2_bytes = static_cast<std::uint64_t>(l2->size.value);
+  }
+
+  // Rule 1: L1 working set. The recommendation needs the true L1 size —
+  // exactly the attribute only MT4G provides reliably.
+  if (l1_bytes != 0 && counters.working_set_bytes > l1_bytes &&
+      counters.l1_hit_rate < 0.6) {
+    result.findings.push_back(
+        {"l1-working-set", Severity::kWarning,
+         "per-block working set (" + format_bytes(counters.working_set_bytes) +
+             ") exceeds the L1 data cache (" + format_bytes(l1_bytes) +
+             "); L1 hit rate is " +
+             format_double(100.0 * counters.l1_hit_rate, 1) +
+             "% — consider re-blocking the problem to fit " +
+             format_bytes(l1_bytes)});
+  }
+
+  // Rule 2: register spilling, tied to the registers-per-SM budget.
+  const std::uint32_t budget =
+      counters.threads_per_block != 0
+          ? topology.compute.regs_per_block / counters.threads_per_block
+          : 0;
+  if (counters.local_memory_spills > 0) {
+    result.findings.push_back(
+        {"register-spill", Severity::kCritical,
+         "kernel uses " + std::to_string(counters.registers_per_thread) +
+             " registers/thread against a budget of " +
+             std::to_string(budget) + " (" +
+             std::to_string(topology.compute.regs_per_block) +
+             " regs/block from MT4G); " +
+             format_bytes(counters.local_memory_spills) +
+             " spilled to local memory"});
+  }
+
+  // Rule 3: L2 overflow — DRAM traffic dominated by capacity misses.
+  if (l2_bytes != 0 && counters.bytes_l2_to_dram >
+                           counters.bytes_l1_to_l2 / 2 &&
+      counters.l2_hit_rate < 0.5) {
+    result.findings.push_back(
+        {"l2-overflow", Severity::kWarning,
+         "more than half of the L2 traffic falls through to DRAM (hit rate " +
+             format_double(100.0 * counters.l2_hit_rate, 1) +
+             "%); the aggregate working set exceeds the " +
+             format_bytes(l2_bytes) + " L2 reported by MT4G"});
+  }
+
+  // Rule 4: shared-memory occupancy against the MT4G-reported scratchpad.
+  const auto* scratch = topology.find(sim::Element::kSharedMem);
+  if (scratch == nullptr) scratch = topology.find(sim::Element::kLds);
+  if (scratch != nullptr && scratch->size.available() &&
+      counters.shared_memory_per_block >
+          static_cast<std::uint64_t>(scratch->size.value) / 2) {
+    result.findings.push_back(
+        {"shared-memory-occupancy", Severity::kInfo,
+         "shared memory per block (" +
+             format_bytes(counters.shared_memory_per_block) +
+             ") limits concurrent blocks: the SM scratchpad is " +
+             format_bytes(static_cast<std::uint64_t>(scratch->size.value))});
+  }
+
+  // Memory graph (Fig. 4): capacities from MT4G + traffic from counters.
+  const double touched = static_cast<double>(counters.global_loads) * 4.0;
+  result.memory_graph.push_back(
+      {"L1", l1_bytes, counters.l1_hit_rate,
+       static_cast<std::uint64_t>(touched)});
+  result.memory_graph.push_back(
+      {"L2", l2_bytes, counters.l2_hit_rate, counters.bytes_l1_to_l2});
+  const auto* dram = topology.find(sim::Element::kDeviceMem);
+  result.memory_graph.push_back(
+      {"DRAM",
+       dram != nullptr && dram->size.available()
+           ? static_cast<std::uint64_t>(dram->size.value)
+           : 0,
+       0.0, counters.bytes_l2_to_dram});
+  return result;
+}
+
+}  // namespace mt4g::scout

@@ -1,0 +1,47 @@
+// GPUscout-style bottleneck analyzer (paper Sec. VI-B).
+//
+// GPUscout detects memory-related bottlenecks from NCU counters and ties its
+// recommendations to the GPU topology MT4G provides: "register spilling is
+// tied to the number of cores and registers per SM, the L1 hit rate is tied
+// to the L1 size" (paper). Each rule here combines one counter signal with
+// one MT4G topology attribute and emits a recommendation plus the memory-
+// graph view data of Fig. 4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "scout/counters.hpp"
+
+namespace mt4g::scout {
+
+enum class Severity { kInfo, kWarning, kCritical };
+
+std::string severity_name(Severity severity);
+
+struct Finding {
+  std::string rule;     ///< e.g. "l1-working-set"
+  Severity severity = Severity::kInfo;
+  std::string message;  ///< human-readable, includes the MT4G context
+};
+
+/// The Memory Graph view of Fig. 4: traffic between levels annotated with
+/// the MT4G-provided capacities.
+struct MemoryGraphNode {
+  std::string level;           // "L1", "L2", "DRAM"
+  std::uint64_t capacity = 0;  // from MT4G
+  double hit_rate = 0.0;       // from counters (0 for DRAM)
+  std::uint64_t incoming_bytes = 0;
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;
+  std::vector<MemoryGraphNode> memory_graph;
+};
+
+/// Runs all rules for one kernel on one GPU topology.
+AnalysisResult analyze(const KernelCounters& counters,
+                       const core::TopologyReport& topology);
+
+}  // namespace mt4g::scout

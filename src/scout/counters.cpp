@@ -1,0 +1,65 @@
+#include "scout/counters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mt4g::scout {
+namespace {
+
+/// Smooth hit-rate model: near 1 while the working set fits, decaying with
+/// the overflow ratio beyond capacity.
+double hit_rate(double working_set, double capacity, double reuse) {
+  if (capacity <= 0) return 0.0;
+  if (working_set <= capacity) {
+    // High but not perfect: cold misses keep it below 1.
+    return std::min(0.98, 1.0 - 1.0 / std::max(reuse, 1.01));
+  }
+  const double overflow = working_set / capacity;
+  return std::clamp((1.0 - 1.0 / std::max(reuse, 1.01)) / overflow, 0.0,
+                    0.98);
+}
+
+}  // namespace
+
+KernelCounters synthesize_counters(const KernelDescription& kernel,
+                                   std::uint64_t l1_bytes,
+                                   std::uint64_t l2_bytes,
+                                   std::uint32_t max_regs_per_thread) {
+  KernelCounters counters;
+  counters.kernel_name = kernel.name;
+  counters.threads_per_block = kernel.threads_per_block;
+  counters.blocks = kernel.blocks;
+  counters.registers_per_thread = kernel.registers_per_thread;
+  counters.shared_memory_per_block = kernel.shared_memory_per_block;
+  counters.working_set_bytes = kernel.working_set_bytes;
+
+  const double touched =
+      static_cast<double>(kernel.working_set_bytes) * kernel.reuse_factor;
+  counters.global_loads = static_cast<std::uint64_t>(touched / 4.0);
+  counters.global_stores = counters.global_loads / 8;
+
+  counters.l1_hit_rate = hit_rate(
+      static_cast<double>(kernel.working_set_bytes),
+      static_cast<double>(l1_bytes), kernel.reuse_factor);
+  counters.l2_hit_rate = hit_rate(
+      static_cast<double>(kernel.working_set_bytes),
+      static_cast<double>(l2_bytes), kernel.reuse_factor);
+
+  counters.bytes_l1_to_l2 = static_cast<std::uint64_t>(
+      touched * (1.0 - counters.l1_hit_rate));
+  counters.bytes_l2_to_dram = static_cast<std::uint64_t>(
+      static_cast<double>(counters.bytes_l1_to_l2) *
+      (1.0 - counters.l2_hit_rate));
+
+  // Register spills appear when the kernel exceeds the per-thread budget.
+  if (kernel.registers_per_thread > max_regs_per_thread) {
+    const std::uint32_t spilled =
+        kernel.registers_per_thread - max_regs_per_thread;
+    counters.local_memory_spills =
+        static_cast<std::uint64_t>(spilled) * 4 * kernel.threads_per_block *
+        kernel.blocks;
+  }
+  return counters;
+}
+
+}  // namespace mt4g::scout

@@ -1,0 +1,47 @@
+// Synthetic kernel profiles (the NCU-counter substitute for the GPUscout use
+// case, paper Sec. VI-B). Real GPUscout reads Nsight Compute counters; the
+// substrate generates the same counter set from a coarse kernel description,
+// so the analyzer's rules exercise the identical inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mt4g::scout {
+
+/// The counter set GPUscout's memory rules consume.
+struct KernelCounters {
+  std::string kernel_name;
+  std::uint64_t global_loads = 0;
+  std::uint64_t global_stores = 0;
+  double l1_hit_rate = 0.0;  ///< 0..1
+  double l2_hit_rate = 0.0;  ///< 0..1
+  std::uint64_t bytes_l1_to_l2 = 0;
+  std::uint64_t bytes_l2_to_dram = 0;
+  std::uint32_t registers_per_thread = 0;
+  std::uint64_t local_memory_spills = 0;  ///< register-spill traffic (bytes)
+  std::uint64_t shared_memory_per_block = 0;
+  std::uint32_t threads_per_block = 0;
+  std::uint32_t blocks = 0;
+  std::uint64_t working_set_bytes = 0;  ///< per-block working set estimate
+};
+
+/// Coarse kernel description used to synthesise counters.
+struct KernelDescription {
+  std::string name;
+  std::uint64_t working_set_bytes = 0;
+  std::uint32_t threads_per_block = 256;
+  std::uint32_t blocks = 1024;
+  std::uint32_t registers_per_thread = 32;
+  double reuse_factor = 4.0;  ///< average reuses of each loaded byte
+  std::uint64_t shared_memory_per_block = 0;
+};
+
+/// Synthesises plausible counters: hit rates fall as the working set exceeds
+/// the cache capacities given (the relationship GPUscout's rules key on).
+KernelCounters synthesize_counters(const KernelDescription& kernel,
+                                   std::uint64_t l1_bytes,
+                                   std::uint64_t l2_bytes,
+                                   std::uint32_t max_regs_per_thread);
+
+}  // namespace mt4g::scout

@@ -1,0 +1,75 @@
+#include "sim/bandwidth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mt4g::sim {
+
+double launch_efficiency(const GpuSpec& spec, std::uint32_t blocks,
+                         std::uint32_t threads_per_block) {
+  if (blocks == 0 || threads_per_block == 0) return 0.0;
+  const double optimum = static_cast<double>(spec.num_sms) *
+                         static_cast<double>(spec.max_blocks_per_sm);
+  const double b = static_cast<double>(blocks);
+  double block_eff = 0.0;
+  if (b <= optimum) {
+    // Square-root ramp: going from few to many blocks fills the memory
+    // pipeline with diminishing returns, as on real chips.
+    block_eff = std::sqrt(b / optimum);
+  } else {
+    // Oversubscription: mild degradation from scheduling overhead.
+    block_eff = std::max(0.85, 1.0 - 0.03 * std::log2(b / optimum));
+  }
+  const double t = static_cast<double>(threads_per_block);
+  const double tmax = static_cast<double>(spec.max_threads_per_block);
+  const double thread_eff = std::sqrt(std::min(1.0, t / tmax));
+  return block_eff * thread_eff;
+}
+
+double stream_bandwidth(Gpu& gpu, const StreamConfig& config) {
+  const GpuSpec& spec = gpu.spec();
+  if (!spec.has(config.target)) {
+    throw std::invalid_argument("stream: element not present on this GPU");
+  }
+  const ElementSpec& element = spec.at(config.target);
+  const double peak = config.write ? element.write_bw_bytes_per_s
+                                   : element.read_bw_bytes_per_s;
+  if (peak <= 0.0) {
+    throw std::invalid_argument("stream: element has no bandwidth path");
+  }
+  double bw = peak * launch_efficiency(spec, config.blocks,
+                                       config.threads_per_block);
+  if (gpu.mig()) bw *= gpu.mig()->bandwidth_fraction;
+  bw *= gpu.noise().bandwidth_factor(0.02);
+  return bw;
+}
+
+double stream_seconds(Gpu& gpu, const StreamConfig& config) {
+  const double bw = stream_bandwidth(gpu, config);
+  if (bw <= 0.0) return 0.0;
+  return static_cast<double>(config.bytes) / bw;
+}
+
+double single_core_stream_ns_per_byte(Gpu& gpu, std::uint64_t array_bytes) {
+  const GpuSpec& spec = gpu.spec();
+  if (!spec.has(Element::kL2) || !spec.has(Element::kDeviceMem) ||
+      array_bytes == 0) {
+    throw std::invalid_argument("single-core stream: needs L2 + device memory");
+  }
+  const double clock_ghz = spec.clock_mhz / 1000.0;
+  // One core keeps a handful of 16 B vector loads in flight; the constant
+  // only scales the curve, the shape comes from the L2/DRAM latency ratio.
+  constexpr double kBytesInFlight = 16.0 * 8.0;
+  auto ns_per_byte = [&](Element level) {
+    return spec.at(level).latency_cycles / clock_ghz / kBytesInFlight;
+  };
+  const double visible_l2 = static_cast<double>(gpu.single_sm_visible_l2());
+  const double fraction_in_l2 =
+      std::min(1.0, visible_l2 / static_cast<double>(array_bytes));
+  const double ns = fraction_in_l2 * ns_per_byte(Element::kL2) +
+                    (1.0 - fraction_in_l2) * ns_per_byte(Element::kDeviceMem);
+  return ns * gpu.noise().bandwidth_factor(0.03);
+}
+
+}  // namespace mt4g::sim

@@ -1,0 +1,42 @@
+// Bandwidth model (paper Sec. IV-I and Fig. 5).
+//
+// Stream-style bandwidth is not a cache-state question but a throughput one,
+// so it is modelled analytically instead of functionally: the achieved
+// bandwidth is the element's peak achieved value from the spec, scaled by an
+// occupancy efficiency that peaks at the paper's heuristic launch
+// configuration (num_SMs * max_blocks_per_SM blocks, max threads per block)
+// and by the MIG bandwidth fraction, with small multiplicative noise.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/gpu.hpp"
+
+namespace mt4g::sim {
+
+struct StreamConfig {
+  Element target = Element::kDeviceMem;  ///< kL2, kL3 or kDeviceMem
+  bool write = false;
+  std::uint32_t blocks = 1;
+  std::uint32_t threads_per_block = 1;
+  std::uint64_t bytes = 0;  ///< total data volume moved
+};
+
+/// Occupancy efficiency in (0, 1]: how much of the peak the launch reaches.
+/// Ramps with blocks up to the heuristic optimum, then degrades slightly.
+double launch_efficiency(const GpuSpec& spec, std::uint32_t blocks,
+                         std::uint32_t threads_per_block);
+
+/// Achieved bandwidth of one stream kernel execution, in bytes/second.
+double stream_bandwidth(Gpu& gpu, const StreamConfig& config);
+
+/// Kernel wall time for @p config in seconds (bytes / achieved bandwidth).
+double stream_seconds(Gpu& gpu, const StreamConfig& config);
+
+/// Fig. 5 observable: ns per byte of a single-core streaming read over an
+/// array of @p array_bytes. Below the visible L2 capacity the loads are
+/// served at L2 latency; beyond it, an increasing fraction falls through to
+/// device memory and the curve climbs towards the DRAM level.
+double single_core_stream_ns_per_byte(Gpu& gpu, std::uint64_t array_bytes);
+
+}  // namespace mt4g::sim

@@ -1,0 +1,102 @@
+#include "sim/cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mt4g::sim {
+
+SectoredCache::SectoredCache(const CacheGeometry& geometry)
+    : geometry_(geometry) {
+  if (geometry_.line_bytes == 0 || geometry_.sector_bytes == 0 ||
+      geometry_.size_bytes == 0) {
+    throw std::invalid_argument("cache: zero-sized geometry");
+  }
+  if (geometry_.sector_bytes > geometry_.line_bytes ||
+      geometry_.line_bytes % geometry_.sector_bytes != 0) {
+    throw std::invalid_argument("cache: sector must divide line");
+  }
+  if (geometry_.size_bytes % geometry_.line_bytes != 0) {
+    throw std::invalid_argument("cache: size must be a multiple of line size");
+  }
+  sectors_per_line_ = geometry_.line_bytes / geometry_.sector_bytes;
+  if (sectors_per_line_ > 32) {
+    throw std::invalid_argument("cache: more than 32 sectors per line");
+  }
+  const std::uint64_t lines = geometry_.num_lines();
+  // Keep the exact capacity even when the nominal associativity does not
+  // divide the line count (e.g. a 238 KiB "true L1"): choose the largest set
+  // count <= lines/associativity that divides the line count, so that
+  // sets * ways == lines holds exactly. Falls back to fully associative.
+  const std::uint64_t max_ways = std::min<std::uint64_t>(
+      std::max<std::uint32_t>(geometry_.associativity, 1), lines);
+  std::uint64_t sets = std::max<std::uint64_t>(lines / max_ways, 1);
+  while (sets > 1 && lines % sets != 0) --sets;
+  num_sets_ = static_cast<std::uint32_t>(sets);
+  ways_per_set_ = static_cast<std::uint32_t>(lines / sets);
+  ways_.assign(static_cast<std::size_t>(num_sets_) * ways_per_set_, Way{});
+}
+
+CacheAccess SectoredCache::peek(std::uint64_t address) const {
+  const std::uint64_t line = line_of(address);
+  const std::uint32_t set = set_of(line);
+  const std::uint32_t sector = sector_of(address);
+  CacheAccess result;
+  const Way* base = &ways_[static_cast<std::size_t>(set) * ways_per_set_];
+  for (std::uint32_t w = 0; w < ways_per_set_; ++w) {
+    const Way& way = base[w];
+    if (way.valid && way.tag == line) {
+      result.line_hit = true;
+      result.sector_hit = (way.sector_mask >> sector) & 1u;
+      break;
+    }
+  }
+  return result;
+}
+
+CacheAccess SectoredCache::access(std::uint64_t address) {
+  const std::uint64_t line = line_of(address);
+  const std::uint32_t set = set_of(line);
+  const std::uint32_t sector = sector_of(address);
+  Way* base = &ways_[static_cast<std::size_t>(set) * ways_per_set_];
+  ++stamp_;
+
+  CacheAccess result;
+  for (std::uint32_t w = 0; w < ways_per_set_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line) {
+      result.line_hit = true;
+      result.sector_hit = (way.sector_mask >> sector) & 1u;
+      way.sector_mask |= 1u << sector;
+      way.lru_stamp = stamp_;
+      if (result.sector_hit) {
+        ++hits_;
+      } else {
+        ++misses_;
+      }
+      return result;
+    }
+  }
+  // Line miss: allocate over an invalid way if any, else the LRU way.
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < ways_per_set_; ++w) {
+    Way& way = base[w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (way.lru_stamp < victim->lru_stamp) victim = &way;
+  }
+  ++misses_;
+  victim->valid = true;
+  victim->tag = line;
+  victim->sector_mask = 1u << sector;
+  victim->lru_stamp = stamp_;
+  return result;
+}
+
+void SectoredCache::flush() {
+  std::fill(ways_.begin(), ways_.end(), Way{});
+  stamp_ = 0;
+}
+
+}  // namespace mt4g::sim

@@ -1,0 +1,102 @@
+#include "sim/compute.hpp"
+#include <algorithm>
+
+#include <stdexcept>
+
+#include "sim/bandwidth.hpp"
+
+namespace mt4g::sim {
+
+std::string dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kFp64: return "FP64";
+    case DType::kFp32: return "FP32";
+    case DType::kFp16: return "FP16";
+    case DType::kBf16: return "BF16";
+    case DType::kInt32: return "INT32";
+    case DType::kInt8: return "INT8";
+    case DType::kTensorFp16: return "TensorFP16";
+    case DType::kTensorTf32: return "TensorTF32";
+  }
+  return "?";
+}
+
+const std::vector<DType>& all_dtypes() {
+  static const std::vector<DType> instance = {
+      DType::kFp64,  DType::kFp32,  DType::kFp16,       DType::kBf16,
+      DType::kInt32, DType::kInt8,  DType::kTensorFp16, DType::kTensorTf32};
+  return instance;
+}
+
+double ops_per_cycle_per_sm(const GpuSpec& spec, DType dtype) {
+  // Base vector rate: 2 ops (FMA) per core per cycle at FP32.
+  const double fp32 = 2.0 * spec.cores_per_sm;
+  const bool nvidia = spec.vendor == Vendor::kNvidia;
+  const std::string& arch = spec.microarchitecture;
+  // Tensor/matrix engines by generation (per-SM ops/cycle, order of
+  // magnitude from the public datasheets; 0 = path absent).
+  double tensor_fp16 = 0.0;
+  double tensor_tf32 = 0.0;
+  if (nvidia) {
+    if (arch == "Volta") tensor_fp16 = 8.0 * fp32;
+    if (arch == "Turing") tensor_fp16 = 8.0 * fp32;
+    if (arch == "Ampere") {
+      tensor_fp16 = 16.0 * fp32;
+      tensor_tf32 = 8.0 * fp32;
+    }
+    if (arch == "Hopper") {
+      tensor_fp16 = 16.0 * fp32;
+      tensor_tf32 = 8.0 * fp32;
+    }
+  } else {
+    if (arch == "CDNA" || arch == "CDNA2") tensor_fp16 = 8.0 * fp32;
+    if (arch == "CDNA3") tensor_fp16 = 16.0 * fp32;
+    if (arch == "CDNA2" || arch == "CDNA3") tensor_tf32 = 4.0 * fp32;
+  }
+
+  switch (dtype) {
+    case DType::kFp32:
+      return fp32;
+    case DType::kFp64:
+      // Data-centre parts run FP64 at 1/2 rate (full-rate matrix paths are
+      // modelled under the tensor entries); consumer Turing/Pascal at 1/32.
+      if (nvidia && (arch == "Pascal" || arch == "Turing")) return fp32 / 32.0;
+      return fp32 / 2.0;
+    case DType::kFp16:
+    case DType::kBf16:
+      return 2.0 * fp32;
+    case DType::kInt32:
+      return fp32 / 2.0;
+    case DType::kInt8:
+      return 4.0 * fp32;
+    case DType::kTensorFp16:
+      return tensor_fp16;
+    case DType::kTensorTf32:
+      return tensor_tf32;
+  }
+  return 0.0;
+}
+
+double peak_ops_per_second(const GpuSpec& spec, DType dtype) {
+  return ops_per_cycle_per_sm(spec, dtype) * spec.num_sms * spec.clock_mhz *
+         1e6;
+}
+
+double compute_kernel_ops_per_second(Gpu& gpu, DType dtype,
+                                     std::uint32_t blocks,
+                                     std::uint32_t threads_per_block) {
+  const GpuSpec& spec = gpu.spec();
+  const double peak = peak_ops_per_second(spec, dtype);
+  if (peak <= 0.0) {
+    throw std::invalid_argument("compute kernel: no " + dtype_name(dtype) +
+                                " path on " + spec.name);
+  }
+  double rate = peak * launch_efficiency(spec, blocks, threads_per_block);
+  if (gpu.mig()) {
+    rate *= static_cast<double>(gpu.visible_sms()) / spec.num_sms;
+  }
+  // Compute kernels never exceed the theoretical peak: one-sided noise.
+  return rate * std::min(1.0, gpu.noise().bandwidth_factor(0.015));
+}
+
+}  // namespace mt4g::sim

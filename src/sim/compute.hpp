@@ -1,0 +1,50 @@
+// Compute-throughput model (paper Sec. VII future work: "incorporate compute
+// capability metrics, such as FLOPS for INT and FP datatypes of different
+// precisions" and "characterize specialized engines, like tensor cores").
+//
+// Each GpuSpec carries per-SM per-cycle operation rates for the common
+// datatypes plus the matrix/tensor engines. The simulated FMA-stream kernel
+// achieves peak * launch_efficiency * noise, the same shape as the bandwidth
+// model — enough for the discovery benchmark to recover the peak and for the
+// ablation tests to reason about dtype orderings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/gpu.hpp"
+
+namespace mt4g::sim {
+
+/// Datatypes whose throughput MT4G's compute benchmarks characterise.
+enum class DType {
+  kFp64,
+  kFp32,
+  kFp16,
+  kBf16,
+  kInt32,
+  kInt8,
+  kTensorFp16,  ///< tensor core / MFMA matrix engines
+  kTensorTf32,
+};
+
+std::string dtype_name(DType dtype);
+
+/// All datatypes, in reporting order.
+const std::vector<DType>& all_dtypes();
+
+/// Per-SM operations per cycle for @p dtype; 0 when the GPU lacks the path
+/// (e.g. tensor engines on Pascal).
+double ops_per_cycle_per_sm(const GpuSpec& spec, DType dtype);
+
+/// Theoretical peak throughput in ops/second for the whole chip.
+double peak_ops_per_second(const GpuSpec& spec, DType dtype);
+
+/// One simulated FMA-stream kernel execution: achieved ops/second for the
+/// launch configuration, peak-scaled by occupancy efficiency and noise.
+double compute_kernel_ops_per_second(Gpu& gpu, DType dtype,
+                                     std::uint32_t blocks,
+                                     std::uint32_t threads_per_block);
+
+}  // namespace mt4g::sim

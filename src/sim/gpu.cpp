@@ -1,0 +1,320 @@
+#include "sim/gpu.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace mt4g::sim {
+namespace {
+
+bool is_per_sm_cache(Element element) {
+  switch (element) {
+    case Element::kL1:
+    case Element::kTexture:
+    case Element::kReadOnly:
+    case Element::kConstL1:
+    case Element::kConstL15:
+    case Element::kVL1:
+      return true;
+    default:
+      return false;
+  }
+}
+
+CacheGeometry geometry_of(const ElementSpec& spec) {
+  CacheGeometry g;
+  g.size_bytes = spec.size_bytes;
+  g.line_bytes = spec.line_bytes;
+  g.sector_bytes = spec.sector_bytes;
+  g.associativity = spec.associativity;
+  return g;
+}
+
+}  // namespace
+
+Gpu::Gpu(const GpuSpec& spec, std::uint64_t seed, std::optional<MigProfile> mig,
+         const NoiseParams& noise)
+    : spec_(spec),
+      mig_(std::move(mig)),
+      noise_(noise, Xoshiro256(seed)) {
+  // Per-SM caches, one physical cache per sharing group. Elements that share
+  // a physical_group must agree on geometry; the first one encountered wins
+  // and a mismatch is a spec bug we surface immediately.
+  sm_caches_.resize(spec_.num_sms);
+  for (std::uint32_t sm = 0; sm < spec_.num_sms; ++sm) {
+    for (const auto& [element, espec] : spec_.elements) {
+      if (!is_per_sm_cache(element)) continue;
+      auto [it, inserted] = sm_caches_[sm].try_emplace(espec.physical_group);
+      if (inserted) {
+        it->second.representative = element;
+        const std::uint32_t segments = std::max<std::uint32_t>(espec.amount, 1);
+        for (std::uint32_t s = 0; s < segments; ++s) {
+          it->second.segments.emplace_back(geometry_of(espec));
+        }
+      } else {
+        const auto& rep = spec_.at(it->second.representative);
+        if (rep.size_bytes != espec.size_bytes ||
+            rep.line_bytes != espec.line_bytes ||
+            rep.sector_bytes != espec.sector_bytes) {
+          throw std::invalid_argument(
+              "gpu: elements sharing physical_group disagree on geometry");
+        }
+      }
+    }
+  }
+
+  if (spec_.has(Element::kL2)) {
+    const auto& l2 = spec_.at(Element::kL2);
+    const std::uint32_t segments = std::max<std::uint32_t>(l2.amount, 1);
+    for (std::uint32_t s = 0; s < segments; ++s) {
+      l2_segments_.emplace_back(geometry_of(l2));
+    }
+  }
+  if (spec_.has(Element::kL3)) {
+    l3_ = std::make_unique<SectoredCache>(geometry_of(spec_.at(Element::kL3)));
+  }
+  if (spec_.has(Element::kSL1D)) {
+    const auto& sl1d = spec_.at(Element::kSL1D);
+    for (std::uint32_t logical = 0; logical < spec_.num_sms; ++logical) {
+      const std::uint32_t group =
+          spec_.physical_cu(logical) / std::max<std::uint32_t>(spec_.sl1d_group_size, 1);
+      sl1d_.try_emplace(group, geometry_of(sl1d));
+    }
+  }
+}
+
+void Gpu::set_l2_fetch_granularity(std::uint32_t bytes) {
+  if (!spec_.has(Element::kL2)) {
+    throw std::invalid_argument("set_l2_fetch_granularity: no L2 cache");
+  }
+  auto& l2 = spec_.elements.at(Element::kL2);
+  if (bytes == 0 || l2.line_bytes % bytes != 0) {
+    throw std::invalid_argument(
+        "set_l2_fetch_granularity: granularity must divide the line size");
+  }
+  l2.sector_bytes = bytes;
+  const std::uint32_t segments = std::max<std::uint32_t>(l2.amount, 1);
+  l2_segments_.clear();
+  for (std::uint32_t s = 0; s < segments; ++s) {
+    l2_segments_.emplace_back(geometry_of(l2));
+  }
+}
+
+std::uint32_t Gpu::l2_fetch_granularity() const {
+  return spec_.has(Element::kL2) ? spec_.at(Element::kL2).sector_bytes : 0;
+}
+
+std::uint32_t Gpu::visible_sms() const {
+  return mig_ ? mig_->sm_count : spec_.num_sms;
+}
+
+std::uint64_t Gpu::single_sm_visible_l2() const {
+  if (!spec_.has(Element::kL2)) return 0;
+  const std::uint64_t segment = spec_.at(Element::kL2).size_bytes;
+  return mig_ ? std::min<std::uint64_t>(mig_->l2_bytes, segment) : segment;
+}
+
+std::uint64_t Gpu::alloc(std::uint64_t bytes, std::uint64_t alignment) {
+  if (alignment == 0) alignment = 1;
+  heap_top_ = round_up(heap_top_, alignment);
+  const std::uint64_t base = heap_top_;
+  heap_top_ += round_up(std::max<std::uint64_t>(bytes, 1), alignment);
+  return base;
+}
+
+std::vector<Element> Gpu::chain_for(Space space, AccessFlags flags) const {
+  std::vector<Element> chain;
+  auto push_if = [this, &chain](Element e) {
+    if (spec_.has(e)) chain.push_back(e);
+  };
+  if (spec_.vendor == Vendor::kNvidia) {
+    switch (space) {
+      case Space::kGlobal:
+        if (!flags.bypass_l1) push_if(Element::kL1);
+        push_if(Element::kL2);
+        break;
+      case Space::kTexture:
+        push_if(Element::kTexture);
+        push_if(Element::kL2);
+        break;
+      case Space::kReadOnly:
+        push_if(Element::kReadOnly);
+        push_if(Element::kL2);
+        break;
+      case Space::kConstant:
+        push_if(Element::kConstL1);
+        push_if(Element::kConstL15);
+        push_if(Element::kL2);
+        break;
+      case Space::kShared:
+      case Space::kScalar:
+        throw std::invalid_argument("gpu: space has no cache chain");
+    }
+  } else {
+    switch (space) {
+      case Space::kGlobal:
+        if (!flags.bypass_l1) push_if(Element::kVL1);
+        push_if(Element::kL2);
+        push_if(Element::kL3);
+        break;
+      case Space::kScalar:
+        push_if(Element::kSL1D);
+        push_if(Element::kL2);
+        push_if(Element::kL3);
+        break;
+      case Space::kTexture:
+      case Space::kReadOnly:
+      case Space::kConstant:
+        // AMD routes these through the vector L1 path.
+        if (!flags.bypass_l1) push_if(Element::kVL1);
+        push_if(Element::kL2);
+        push_if(Element::kL3);
+        break;
+      case Space::kShared:
+        throw std::invalid_argument("gpu: space has no cache chain");
+    }
+  }
+  return chain;
+}
+
+SectoredCache* Gpu::segment_for(const Placement& where, Element element) {
+  if (element == Element::kL2) {
+    if (l2_segments_.empty()) return nullptr;
+    return &l2_segments_[spec_.l2_segment_of(where.sm)];
+  }
+  if (element == Element::kL3) {
+    return l3_.get();
+  }
+  if (element == Element::kSL1D) {
+    const std::uint32_t group =
+        spec_.physical_cu(where.sm) / std::max<std::uint32_t>(spec_.sl1d_group_size, 1);
+    const auto it = sl1d_.find(group);
+    return it == sl1d_.end() ? nullptr : &it->second;
+  }
+  if (where.sm >= sm_caches_.size()) {
+    throw std::out_of_range("gpu: SM index out of range");
+  }
+  const auto it = sm_caches_[where.sm].find(spec_.at(element).physical_group);
+  if (it == sm_caches_[where.sm].end()) return nullptr;
+  auto& segments = it->second.segments;
+  // Cores are partitioned across segments in contiguous blocks.
+  const std::uint32_t cores = std::max<std::uint32_t>(spec_.cores_per_sm, 1);
+  const std::size_t index = std::min<std::size_t>(
+      static_cast<std::size_t>(where.core) * segments.size() / cores,
+      segments.size() - 1);
+  return &segments[index];
+}
+
+const SectoredCache* Gpu::find_cache(const Placement& where,
+                                     Element element) const {
+  return const_cast<Gpu*>(this)->segment_for(where, element);
+}
+
+double Gpu::level_latency(Element element) const {
+  return spec_.at(element).latency_cycles;
+}
+
+AccessResult Gpu::access_traced(const Placement& where, Space space,
+                                std::uint64_t address, AccessFlags flags) {
+  AccessResult result;
+  if (space == Space::kShared) {
+    const Element e = spec_.vendor == Vendor::kNvidia ? Element::kSharedMem
+                                                      : Element::kLds;
+    result.served_by = e;
+    result.latency = noise_.sample(level_latency(e));
+    return result;
+  }
+  for (Element element : chain_for(space, flags)) {
+    SectoredCache* cache = segment_for(where, element);
+    if (cache == nullptr) continue;
+    const CacheAccess a = cache->access(address);
+    if (a.sector_hit) {
+      result.served_by = element;
+      result.latency = noise_.sample(level_latency(element));
+      return result;
+    }
+  }
+  ++dmem_accesses_;
+  result.served_by = Element::kDeviceMem;
+  result.latency = noise_.sample(level_latency(Element::kDeviceMem));
+  return result;
+}
+
+std::uint32_t Gpu::access(const Placement& where, Space space,
+                          std::uint64_t address, AccessFlags flags) {
+  return access_traced(where, space, address, flags).latency;
+}
+
+void Gpu::flush_caches() {
+  for (auto& sm : sm_caches_) {
+    for (auto& [group, cache] : sm) {
+      for (auto& segment : cache.segments) segment.flush();
+    }
+  }
+  for (auto& segment : l2_segments_) segment.flush();
+  if (l3_) l3_->flush();
+  for (auto& [group, cache] : sl1d_) cache.flush();
+}
+
+std::uint64_t Gpu::miss_count(std::uint32_t sm, Element element) const {
+  if (element == Element::kDeviceMem) return dmem_accesses_;
+  std::uint64_t total = 0;
+  if (element == Element::kL2) {
+    for (const auto& segment : l2_segments_) total += segment.misses();
+    return total;
+  }
+  if (element == Element::kL3) {
+    return l3_ ? l3_->misses() : 0;
+  }
+  if (element == Element::kSL1D) {
+    for (const auto& [group, cache] : sl1d_) total += cache.misses();
+    return total;
+  }
+  if (sm >= sm_caches_.size()) return 0;
+  const auto it = sm_caches_[sm].find(spec_.at(element).physical_group);
+  if (it == sm_caches_[sm].end()) return 0;
+  for (const auto& segment : it->second.segments) total += segment.misses();
+  return total;
+}
+
+std::uint64_t Gpu::hit_count(std::uint32_t sm, Element element) const {
+  std::uint64_t total = 0;
+  if (element == Element::kL2) {
+    for (const auto& segment : l2_segments_) total += segment.hits();
+    return total;
+  }
+  if (element == Element::kL3) {
+    return l3_ ? l3_->hits() : 0;
+  }
+  if (element == Element::kSL1D) {
+    for (const auto& [group, cache] : sl1d_) total += cache.hits();
+    return total;
+  }
+  if (element == Element::kDeviceMem) return 0;
+  if (sm >= sm_caches_.size()) return 0;
+  const auto it = sm_caches_[sm].find(spec_.at(element).physical_group);
+  if (it == sm_caches_[sm].end()) return 0;
+  for (const auto& segment : it->second.segments) total += segment.hits();
+  return total;
+}
+
+void Gpu::reset_counters() {
+  for (auto& sm : sm_caches_) {
+    for (auto& [group, cache] : sm) {
+      for (auto& segment : cache.segments) segment.reset_counters();
+    }
+  }
+  for (auto& segment : l2_segments_) segment.reset_counters();
+  if (l3_) l3_->reset_counters();
+  for (auto& [group, cache] : sl1d_) cache.reset_counters();
+  dmem_accesses_ = 0;
+}
+
+std::uint32_t Gpu::scratchpad_access() {
+  const Element e = spec_.vendor == Vendor::kNvidia ? Element::kSharedMem
+                                                    : Element::kLds;
+  return noise_.sample(level_latency(e));
+}
+
+}  // namespace mt4g::sim

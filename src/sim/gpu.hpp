@@ -1,0 +1,111 @@
+// The simulated GPU device.
+//
+// A Gpu owns the functional cache state of one chip: per-SM physical caches
+// (with logical-space sharing and multi-segment "amount" layouts), GPU-level
+// L2 partitions, an optional L3, AMD sL1d caches shared between CU groups,
+// and a flat device memory. Every load issued by the runtime's kernels is a
+// call to Gpu::access(), which walks the hierarchy for the load's logical
+// space, updates cache state, and returns a noisy latency in clock cycles —
+// the exact observable MT4G's p-chase records on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/noise.hpp"
+#include "sim/spec.hpp"
+#include "sim/types.hpp"
+
+namespace mt4g::sim {
+
+/// Outcome of one simulated load, before noise.
+struct AccessResult {
+  Element served_by = Element::kDeviceMem;  ///< deepest level that hit
+  std::uint32_t latency = 0;                ///< noisy observed latency
+};
+
+class Gpu {
+ public:
+  /// @param mig optional MIG profile restricting the visible resources;
+  ///        only meaningful for specs that define mig_profiles.
+  /// @param noise measurement-noise parameters (jitter/outlier model).
+  explicit Gpu(const GpuSpec& spec, std::uint64_t seed = 42,
+               std::optional<MigProfile> mig = std::nullopt,
+               const NoiseParams& noise = {});
+
+  /// cudaDeviceSetLimit analogue: newer NVIDIA L2 caches have a configurable
+  /// fetch granularity (paper Sec. IV-D). Rebuilds the L2 partitions with the
+  /// new sector size (must divide the L2 line size); their content is lost.
+  /// Throws std::invalid_argument for invalid granularities or GPUs without
+  /// an L2.
+  void set_l2_fetch_granularity(std::uint32_t bytes);
+
+  /// Currently effective L2 fetch granularity (spec value unless overridden).
+  std::uint32_t l2_fetch_granularity() const;
+
+  const GpuSpec& spec() const { return spec_; }
+  const std::optional<MigProfile>& mig() const { return mig_; }
+
+  /// Number of SMs/CUs visible (restricted under MIG).
+  std::uint32_t visible_sms() const;
+
+  /// L2 bytes a single SM can observe: min(MIG L2, one L2 partition).
+  std::uint64_t single_sm_visible_l2() const;
+
+  /// Bump allocator over the simulated global heap; addresses are unique per
+  /// Gpu instance. Alignment defaults to 256 B (texture alignment).
+  std::uint64_t alloc(std::uint64_t bytes, std::uint64_t alignment = 256);
+
+  /// Issues one load and returns its noisy latency in cycles.
+  std::uint32_t access(const Placement& where, Space space,
+                       std::uint64_t address, AccessFlags flags = {});
+
+  /// Like access() but also reports which level served the load (noise-free
+  /// classification for tests and the exact bisection predicates).
+  AccessResult access_traced(const Placement& where, Space space,
+                             std::uint64_t address, AccessFlags flags = {});
+
+  /// Drops the content of all modelled caches.
+  void flush_caches();
+
+  /// Cumulative sector misses observed by a cache element on SM @p sm
+  /// (aggregated over segments; GPU-scoped elements ignore @p sm).
+  std::uint64_t miss_count(std::uint32_t sm, Element element) const;
+  std::uint64_t hit_count(std::uint32_t sm, Element element) const;
+  void reset_counters();
+
+  /// The scratchpad (Shared Memory / LDS) load latency, noisy.
+  std::uint32_t scratchpad_access();
+
+  NoiseModel& noise() { return noise_; }
+
+ private:
+  struct PhysicalCache {
+    Element representative;  ///< element whose geometry/latency built it
+    std::vector<SectoredCache> segments;
+  };
+
+  // Per-SM physical caches: sm -> physical_group -> cache (with segments).
+  using SmCaches = std::map<std::uint32_t, PhysicalCache>;
+
+  const SectoredCache* find_cache(const Placement& where, Element element) const;
+  SectoredCache* segment_for(const Placement& where, Element element);
+  std::vector<Element> chain_for(Space space, AccessFlags flags) const;
+  double level_latency(Element element) const;
+
+  GpuSpec spec_;
+  std::optional<MigProfile> mig_;
+  NoiseModel noise_;
+  std::vector<SmCaches> sm_caches_;            // indexed by SM
+  std::vector<SectoredCache> l2_segments_;     // GPU level
+  std::unique_ptr<SectoredCache> l3_;          // AMD CDNA3
+  std::map<std::uint32_t, SectoredCache> sl1d_;  // keyed by physical CU group
+  std::uint64_t heap_top_ = 4096;              // never hand out address 0
+  std::uint64_t dmem_accesses_ = 0;
+};
+
+}  // namespace mt4g::sim

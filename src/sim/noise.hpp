@@ -1,0 +1,40 @@
+// Measurement-noise model.
+//
+// Real p-chase latencies are never exact: the clock readout quantises, warp
+// scheduling adds jitter, and rare TLB/ECC/refresh events produce large
+// outliers. MT4G's statistical machinery (K-S test, reduction, outlier
+// screening) exists precisely to survive this, so the substrate must inject
+// it. The model is deliberately simple and fully seeded:
+//   latency = base + U{0..jitter_max} + spike (probability p, size U{lo..hi})
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace mt4g::sim {
+
+struct NoiseParams {
+  std::uint32_t jitter_max = 2;      ///< uniform additive jitter in cycles
+  double spike_probability = 5e-4;   ///< per-load chance of an outlier
+  std::uint32_t spike_min = 100;     ///< outlier magnitude range (cycles)
+  std::uint32_t spike_max = 400;
+};
+
+/// Applies noise to a base latency. Deterministic given the RNG state.
+class NoiseModel {
+ public:
+  NoiseModel(const NoiseParams& params, Xoshiro256 rng)
+      : params_(params), rng_(rng) {}
+
+  std::uint32_t sample(double base_cycles);
+
+  /// Multiplicative noise for bandwidth measurements, ~ U[1-r, 1+r].
+  double bandwidth_factor(double relative_range = 0.02);
+
+ private:
+  NoiseParams params_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace mt4g::sim

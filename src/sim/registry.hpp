@@ -1,0 +1,39 @@
+// Registry of GPU models (paper Table II).
+//
+// Ground-truth values for H100-80 and MI210 follow the paper's Table III
+// (MT4G column where it reveals "true" values, reference column otherwise);
+// the remaining eight machines use public datasheet/whitepaper values. Two
+// additional synthetic models ("TestGPU-NV", "TestGPU-AMD") have deliberately
+// tiny caches and multi-segment layouts so unit tests can exercise every
+// detection path quickly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/spec.hpp"
+
+namespace mt4g::sim {
+
+/// Host-side context of one evaluation machine (paper Table II columns).
+struct HostInfo {
+  std::string cpu;
+  std::string os_software;
+};
+
+/// Names of the ten evaluated GPUs, in the paper's order.
+std::vector<std::string> registry_names();
+
+/// Names including the synthetic test models.
+std::vector<std::string> registry_all_names();
+
+/// Looks a model up by name (case-sensitive). Throws std::out_of_range.
+const GpuSpec& registry_get(const std::string& name);
+
+/// True when @p name exists in the registry (incl. synthetic models).
+bool registry_contains(const std::string& name);
+
+/// Host info for one of the ten paper machines.
+const HostInfo& registry_host(const std::string& name);
+
+}  // namespace mt4g::sim

@@ -1,0 +1,52 @@
+#include "sim/spec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mt4g::sim {
+
+std::uint32_t GpuSpec::physical_cu(std::uint32_t logical) const {
+  if (active_cu_ids.empty()) return logical;
+  if (logical >= active_cu_ids.size()) {
+    throw std::out_of_range("physical_cu: logical CU out of range");
+  }
+  return active_cu_ids[logical];
+}
+
+std::optional<std::uint32_t> GpuSpec::logical_cu(std::uint32_t physical) const {
+  if (active_cu_ids.empty()) {
+    if (physical < num_sms) return physical;
+    return std::nullopt;
+  }
+  const auto it =
+      std::find(active_cu_ids.begin(), active_cu_ids.end(), physical);
+  if (it == active_cu_ids.end()) return std::nullopt;
+  return static_cast<std::uint32_t>(it - active_cu_ids.begin());
+}
+
+std::vector<std::uint32_t> GpuSpec::sl1d_peers(std::uint32_t physical) const {
+  std::vector<std::uint32_t> peers;
+  if (sl1d_group_size == 0) return peers;
+  const std::uint32_t group = physical / sl1d_group_size;
+  for (std::uint32_t i = 0; i < sl1d_group_size; ++i) {
+    const std::uint32_t candidate = group * sl1d_group_size + i;
+    if (logical_cu(candidate).has_value()) peers.push_back(candidate);
+  }
+  return peers;
+}
+
+std::uint32_t GpuSpec::l2_segments() const {
+  if (!has(Element::kL2)) return 1;
+  return std::max<std::uint32_t>(at(Element::kL2).amount, 1);
+}
+
+std::uint32_t GpuSpec::l2_segment_of(std::uint32_t sm) const {
+  const std::uint32_t segments = l2_segments();
+  if (segments <= 1) return 0;
+  // SMs are distributed across L2 partitions in contiguous halves/slices,
+  // mirroring the A100/H100 two-partition layout and AMD's one-L2-per-XCD.
+  const std::uint32_t per_segment = (num_sms + segments - 1) / segments;
+  return std::min(sm / per_segment, segments - 1);
+}
+
+}  // namespace mt4g::sim

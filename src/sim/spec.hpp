@@ -1,0 +1,104 @@
+// Ground-truth description of a GPU model.
+//
+// The registry (registry.hpp) instantiates one GpuSpec per machine of the
+// paper's Table II. A GpuSpec is what the simulator executes and — crucially —
+// what the MT4G benchmarks must re-discover through timing alone. Validation
+// (tests + bench/table3_validation) compares benchmark output against the
+// spec, playing the role of the paper's "reference" column in Table III.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace mt4g::sim {
+
+/// Ground truth for one memory element of one GPU.
+struct ElementSpec {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t line_bytes = 0;       ///< 0 for scratchpads / device memory
+  std::uint32_t sector_bytes = 0;     ///< fetch granularity; 0 when n/a
+  std::uint32_t associativity = 8;
+  double latency_cycles = 0.0;        ///< observed load-use latency on a hit
+  std::uint32_t amount = 1;           ///< independent instances per scope
+  bool per_sm = true;                 ///< scope: per SM/CU vs per GPU
+  /// Physical-cache group: elements of one SM with the same group id share one
+  /// physical cache (paper IV-G). Meaningful for NVIDIA L1/Tex/RO/Const.
+  std::uint32_t physical_group = 0;
+  /// Attributes the real tool obtains from an API rather than benchmarks.
+  bool size_from_api = false;
+  bool line_from_api = false;
+  bool amount_from_api = false;
+  double read_bw_bytes_per_s = 0.0;   ///< achieved read bandwidth (0 = n/a)
+  double write_bw_bytes_per_s = 0.0;  ///< achieved write bandwidth (0 = n/a)
+};
+
+/// A MIG-style partition profile (NVIDIA A100; paper Sec. VI-C).
+struct MigProfile {
+  std::string name;              ///< e.g. "4g.20gb"
+  std::uint32_t sm_count = 0;    ///< SMs visible inside the instance
+  std::uint64_t l2_bytes = 0;    ///< L2 capacity visible inside the instance
+  std::uint64_t mem_bytes = 0;   ///< device memory visible
+  double bandwidth_fraction = 1.0;
+};
+
+/// Full ground truth for one GPU model.
+struct GpuSpec {
+  std::string name;        ///< registry key, e.g. "H100-80"
+  std::string model;       ///< marketing name, e.g. "H100 80GB HBM3"
+  std::string microarchitecture;
+  Vendor vendor = Vendor::kNvidia;
+  std::string compute_capability;  ///< "9.0" / "gfx90a"
+
+  double clock_mhz = 1000.0;
+  double memory_clock_mhz = 1000.0;
+  std::uint32_t memory_bus_bits = 0;
+
+  std::uint32_t num_sms = 1;          ///< SMs (NVIDIA) or CUs (AMD)
+  std::uint32_t cores_per_sm = 64;
+  std::uint32_t warp_size = 32;
+  std::uint32_t max_threads_per_block = 1024;
+  std::uint32_t max_threads_per_sm = 2048;
+  std::uint32_t max_blocks_per_sm = 32;
+  std::uint32_t regs_per_block = 65536;
+  std::uint32_t regs_per_sm = 65536;
+  std::uint32_t xcd_count = 1;        ///< AMD accelerator complex dies
+
+  std::map<Element, ElementSpec> elements;
+
+  /// AMD: physical CU ids that are active (empty = identity 0..num_sms-1).
+  std::vector<std::uint32_t> active_cu_ids;
+  /// AMD: number of consecutive physical CUs sharing one sL1d (2 or 3).
+  std::uint32_t sl1d_group_size = 2;
+
+  /// NVIDIA MIG profiles (empty when the GPU does not support MIG).
+  std::vector<MigProfile> mig_profiles;
+
+  /// Tool-level quirks reproduced from paper Sec. V.
+  bool l1_amount_unavailable = false;   ///< P6000: cannot schedule warp 3
+  bool cu_sharing_unavailable = false;  ///< MI300X: virtualised access
+
+  bool has(Element element) const { return elements.count(element) != 0; }
+  const ElementSpec& at(Element element) const { return elements.at(element); }
+
+  /// Physical CU id of logical CU @p logical (identity for NVIDIA).
+  std::uint32_t physical_cu(std::uint32_t logical) const;
+
+  /// Logical CU index for a physical id, or nullopt when inactive.
+  std::optional<std::uint32_t> logical_cu(std::uint32_t physical) const;
+
+  /// Ground-truth set of physical CU ids sharing the sL1d of @p physical.
+  std::vector<std::uint32_t> sl1d_peers(std::uint32_t physical) const;
+
+  /// L2 segment count (the "amount" of the L2 element).
+  std::uint32_t l2_segments() const;
+
+  /// L2 segment serving SM @p sm.
+  std::uint32_t l2_segment_of(std::uint32_t sm) const;
+};
+
+}  // namespace mt4g::sim

@@ -1,0 +1,62 @@
+#include "sim/types.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace mt4g::sim {
+
+std::string vendor_name(Vendor vendor) {
+  return vendor == Vendor::kNvidia ? "NVIDIA" : "AMD";
+}
+
+std::string element_name(Element element) {
+  switch (element) {
+    case Element::kL1: return "L1";
+    case Element::kL2: return "L2";
+    case Element::kL3: return "L3";
+    case Element::kTexture: return "Texture";
+    case Element::kReadOnly: return "ReadOnly";
+    case Element::kConstL1: return "ConstL1";
+    case Element::kConstL15: return "ConstL15";
+    case Element::kSharedMem: return "SharedMemory";
+    case Element::kLds: return "LDS";
+    case Element::kVL1: return "vL1";
+    case Element::kSL1D: return "sL1d";
+    case Element::kDeviceMem: return "DeviceMemory";
+  }
+  return "?";
+}
+
+Element parse_element(const std::string& name) {
+  const std::string key = to_lower(name);
+  if (key == "l1") return Element::kL1;
+  if (key == "l2") return Element::kL2;
+  if (key == "l3") return Element::kL3;
+  if (key == "tex" || key == "texture") return Element::kTexture;
+  if (key == "ro" || key == "readonly") return Element::kReadOnly;
+  if (key == "const_l1" || key == "constl1" || key == "cl1") return Element::kConstL1;
+  if (key == "const_l15" || key == "constl15" || key == "cl1.5" || key == "cl15") {
+    return Element::kConstL15;
+  }
+  if (key == "shared" || key == "sharedmemory" || key == "smem") return Element::kSharedMem;
+  if (key == "lds") return Element::kLds;
+  if (key == "vl1") return Element::kVL1;
+  if (key == "sl1d" || key == "sl1") return Element::kSL1D;
+  if (key == "dmem" || key == "devicememory" || key == "device") return Element::kDeviceMem;
+  throw std::invalid_argument("unknown memory element '" + name + "'");
+}
+
+std::string space_name(Space space) {
+  switch (space) {
+    case Space::kGlobal: return "global";
+    case Space::kTexture: return "texture";
+    case Space::kReadOnly: return "readonly";
+    case Space::kConstant: return "constant";
+    case Space::kShared: return "shared";
+    case Space::kScalar: return "scalar";
+  }
+  return "?";
+}
+
+}  // namespace mt4g::sim

@@ -1,0 +1,60 @@
+// Core vocabulary of the GPU substrate: vendors, memory elements, logical
+// address spaces and access flags. Shared by the simulator, the runtime and
+// the MT4G collectors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mt4g::sim {
+
+enum class Vendor { kNvidia, kAmd };
+
+std::string vendor_name(Vendor vendor);
+
+/// Physical memory elements MT4G reports on (paper Table I).
+enum class Element {
+  kL1,        // NVIDIA L1 data cache
+  kL2,        // NVIDIA/AMD L2 cache (possibly segmented)
+  kL3,        // AMD CDNA3 Infinity Cache
+  kTexture,   // NVIDIA texture cache
+  kReadOnly,  // NVIDIA read-only data cache (__ldg)
+  kConstL1,   // NVIDIA constant L1
+  kConstL15,  // NVIDIA constant L1.5
+  kSharedMem, // NVIDIA shared memory (scratchpad)
+  kLds,       // AMD Local Data Share (scratchpad)
+  kVL1,       // AMD vector L1 data cache
+  kSL1D,      // AMD scalar L1 data cache (shared between CUs)
+  kDeviceMem, // HBM / GDDR
+};
+
+std::string element_name(Element element);
+
+/// Parses "L1", "CONST_L15", "vL1"... (case-insensitive). Throws on garbage.
+Element parse_element(const std::string& name);
+
+/// Logical address space a load instruction targets. The same physical cache
+/// may back several logical spaces (paper Sec. IV-G).
+enum class Space {
+  kGlobal,    // ld.global / flat_load_dword
+  kTexture,   // tex1Dfetch
+  kReadOnly,  // __ldg
+  kConstant,  // ld.const
+  kShared,    // __shared__ (Shared Memory / LDS)
+  kScalar,    // s_load_dword (AMD scalar path)
+};
+
+std::string space_name(Space space);
+
+/// Per-load modifier bits, mirroring PTX .ca/.cg and AMD GLC/sc0.
+struct AccessFlags {
+  bool bypass_l1 = false;  ///< .cg on NVIDIA, GLC=1 on AMD
+};
+
+/// Where a benchmark thread runs: SM/CU index and core index within it.
+struct Placement {
+  std::uint32_t sm = 0;
+  std::uint32_t core = 0;
+};
+
+}  // namespace mt4g::sim

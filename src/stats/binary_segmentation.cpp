@@ -1,0 +1,33 @@
+#include "stats/binary_segmentation.hpp"
+
+#include <algorithm>
+
+namespace mt4g::stats {
+namespace {
+
+void segment(std::span<const double> series, std::size_t offset,
+             const BinSegOptions& options, std::vector<ChangePoint>& out) {
+  if (out.size() >= options.max_change_points) return;
+  const auto change = find_change_point(series, options.base);
+  if (!change) return;
+  ChangePoint global = *change;
+  global.index += offset;
+  out.push_back(global);
+  segment(series.subspan(0, change->index), offset, options, out);
+  segment(series.subspan(change->index), offset + change->index, options, out);
+}
+
+}  // namespace
+
+std::vector<ChangePoint> binary_segmentation(std::span<const double> series,
+                                             const BinSegOptions& options) {
+  std::vector<ChangePoint> out;
+  segment(series, 0, options, out);
+  std::sort(out.begin(), out.end(),
+            [](const ChangePoint& a, const ChangePoint& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+}  // namespace mt4g::stats

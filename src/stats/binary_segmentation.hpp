@@ -1,0 +1,26 @@
+// Multi-change-point detection by binary segmentation over the K-S CPD.
+//
+// The paper's search space "may contain multiple change points — cache size
+// boundaries, such as L1 and L2 caches" (Sec. IV-B1); the tool narrows the
+// interval first, but diagnostics (and wide exploratory sweeps) benefit from
+// finding all cliffs at once. Binary segmentation applies the single-point
+// K-S detector recursively to each segment until no split is significant.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/change_point.hpp"
+
+namespace mt4g::stats {
+
+struct BinSegOptions {
+  ChangePointOptions base{};     ///< per-split K-S options
+  std::size_t max_change_points = 8;
+};
+
+/// All significant change points of @p series, in increasing index order.
+std::vector<ChangePoint> binary_segmentation(std::span<const double> series,
+                                             const BinSegOptions& options = {});
+
+}  // namespace mt4g::stats

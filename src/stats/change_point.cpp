@@ -1,0 +1,60 @@
+#include "stats/change_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/ks_test.hpp"
+
+namespace mt4g::stats {
+
+std::vector<ChangePoint> score_all_splits(std::span<const double> series,
+                                          const ChangePointOptions& options) {
+  std::vector<ChangePoint> out;
+  const std::size_t n = series.size();
+  if (n < 2 * options.min_segment) return out;
+  for (std::size_t split = options.min_segment;
+       split + options.min_segment <= n; ++split) {
+    const auto left = series.subspan(0, split);
+    const auto right = series.subspan(split);
+    ChangePoint cp;
+    cp.index = split;
+    cp.statistic = ks_statistic(left, right);
+    cp.p_value = ks_p_value(cp.statistic, left.size(), right.size());
+    cp.confidence = std::clamp(1.0 - cp.p_value, 0.0, 1.0);
+    out.push_back(cp);
+  }
+  return out;
+}
+
+std::optional<ChangePoint> find_change_point(
+    std::span<const double> series, const ChangePointOptions& options) {
+  const auto candidates = score_all_splits(series, options);
+  if (candidates.empty()) return std::nullopt;
+
+  // Pick the split with the largest margin of D over its critical value;
+  // tie-break on the larger D. The margin (not raw D) matters because the
+  // critical value depends on how the split partitions the sample sizes.
+  // Every index is tested (paper IV-B4), so a Bonferroni-style correction
+  // keeps the family-wise false-positive rate at alpha: without it, pure
+  // measurement noise would "find" a cache boundary in ~1 of 20 sweeps.
+  const double corrected_alpha =
+      options.alpha / static_cast<double>(candidates.size());
+  const std::size_t n = series.size();
+  std::optional<ChangePoint> best;
+  double best_margin = -1.0;
+  for (const auto& cp : candidates) {
+    const double crit =
+        ks_critical_value(cp.index, n - cp.index, corrected_alpha);
+    const double margin = cp.statistic - crit;
+    if (margin > best_margin + 1e-12 ||
+        (std::fabs(margin - best_margin) <= 1e-12 && best &&
+         cp.statistic > best->statistic)) {
+      best_margin = margin;
+      best = cp;
+    }
+  }
+  if (!best || best_margin <= 0.0) return std::nullopt;
+  return best;
+}
+
+}  // namespace mt4g::stats

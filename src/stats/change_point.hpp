@@ -1,0 +1,37 @@
+// K-S change-point detection on a 1-D series (paper Sec. IV-B step 4).
+//
+// Every index of the reduced series S is considered a potential change point:
+// the sample left of the index is compared against the sample right of it
+// with the two-sample K-S test. The index with the strongest evidence (the
+// largest margin of D over d_alpha, equivalently the smallest alpha at which
+// the null is still rejected) is reported together with a confidence value.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mt4g::stats {
+
+struct ChangePoint {
+  std::size_t index = 0;     ///< first index belonging to the right segment
+  double statistic = 0.0;    ///< K-S D at the split
+  double confidence = 0.0;   ///< 1 - alpha_min, clamped to [0, 1]
+  double p_value = 1.0;      ///< asymptotic p-value at the split
+};
+
+struct ChangePointOptions {
+  double alpha = 0.05;          ///< significance for accepting a change point
+  std::size_t min_segment = 3;  ///< smallest segment size considered
+};
+
+/// Finds the single most significant change point of @p series, or nullopt
+/// when no split rejects the null hypothesis at the requested significance.
+std::optional<ChangePoint> find_change_point(
+    std::span<const double> series, const ChangePointOptions& options = {});
+
+/// All candidate splits with their K-S statistics, for diagnostics/plots.
+std::vector<ChangePoint> score_all_splits(
+    std::span<const double> series, const ChangePointOptions& options = {});
+
+}  // namespace mt4g::stats

@@ -1,0 +1,36 @@
+#include "stats/cusum.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace mt4g::stats {
+
+std::optional<CusumResult> cusum_change_point(std::span<const double> series,
+                                              double threshold) {
+  const std::size_t n = series.size();
+  if (n < 4) return std::nullopt;
+  const double m = mean(series);
+  const double sd = std::sqrt(variance(series));
+  if (sd <= 1e-12) return std::nullopt;
+
+  double running = 0.0;
+  double best = 0.0;
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    running += series[i] - m;
+    const double value = std::fabs(running);
+    if (value > best) {
+      best = value;
+      best_idx = i + 1;  // change begins after index i
+    }
+  }
+  const double normalised = best / (sd * std::sqrt(static_cast<double>(n)));
+  if (normalised < threshold || best_idx == 0 || best_idx >= n) {
+    return std::nullopt;
+  }
+  return CusumResult{best_idx, normalised};
+}
+
+}  // namespace mt4g::stats

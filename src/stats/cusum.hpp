@@ -1,0 +1,22 @@
+// CUSUM change-point baseline (parametric; paper Sec. II-C cites it as the
+// classic parametric alternative to the K-S test). Included as a comparator:
+// the micro benches contrast its robustness/runtime against the K-S CPD.
+#pragma once
+
+#include <optional>
+#include <span>
+
+namespace mt4g::stats {
+
+struct CusumResult {
+  std::size_t index = 0;   ///< arg max of the CUSUM statistic
+  double statistic = 0.0;  ///< max |S_k| normalised by sigma * sqrt(n)
+};
+
+/// Offline CUSUM mean-change detector. Returns the most likely change point,
+/// or nullopt when the normalised statistic stays below @p threshold
+/// (default 1.36 ~ 5% Kolmogorov critical value for the Brownian bridge).
+std::optional<CusumResult> cusum_change_point(std::span<const double> series,
+                                              double threshold = 1.36);
+
+}  // namespace mt4g::stats

@@ -1,0 +1,66 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mt4g::stats {
+
+double percentile(std::span<const double> sorted_values, double q) {
+  if (sorted_values.empty()) return 0.0;
+  if (sorted_values.size() == 1) return sorted_values[0];
+  const double rank = q / 100.0 * static_cast<double>(sorted_values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double mad(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double med = percentile(sorted, 50.0);
+  std::vector<double> devs;
+  devs.reserve(sorted.size());
+  for (double v : sorted) devs.push_back(std::fabs(v - med));
+  std::sort(devs.begin(), devs.end());
+  return 1.4826 * percentile(devs, 50.0);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.mean = mean(sorted);
+  s.stddev = std::sqrt(variance(sorted));
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = percentile(sorted, 50.0);
+  s.p95 = percentile(sorted, 95.0);
+  s.p99 = percentile(sorted, 99.0);
+  return s;
+}
+
+Summary summarize(std::span<const std::uint32_t> values) {
+  std::vector<double> as_double(values.begin(), values.end());
+  return summarize(std::span<const double>(as_double));
+}
+
+}  // namespace mt4g::stats

@@ -1,0 +1,41 @@
+// Descriptive statistics over latency samples.
+//
+// MT4G reports the average load latency as the main result plus "a set of
+// statistical values, such as p50, p95, or standard deviation" (paper IV-C).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mt4g::stats {
+
+/// Summary statistics of one latency sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes the full summary; empty input yields a zeroed Summary.
+Summary summarize(std::span<const double> values);
+Summary summarize(std::span<const std::uint32_t> values);
+
+/// Percentile via linear interpolation between closest ranks. q in [0,100].
+double percentile(std::span<const double> sorted_values, double q);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> values);
+
+/// Sample variance (n-1); 0 for fewer than two values.
+double variance(std::span<const double> values);
+
+/// Median absolute deviation, scaled by 1.4826 for normal consistency.
+double mad(std::span<const double> values);
+
+}  // namespace mt4g::stats

@@ -1,0 +1,67 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mt4g::stats {
+
+double ks_critical_value(std::size_t n, std::size_t m, double alpha) {
+  if (n == 0 || m == 0) return 1.0;
+  const double nm = static_cast<double>(n) * static_cast<double>(m);
+  const double sum = static_cast<double>(n + m);
+  // Eq. (1): d_alpha = sqrt(-(1/2) * (n+m)/(n*m) * ln(alpha/2)).
+  return std::sqrt(-0.5 * (sum / nm) * std::log(alpha / 2.0));
+}
+
+double ks_statistic(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::fabs(fa - fb));
+  }
+  return d;
+}
+
+double ks_p_value(double d, std::size_t n, std::size_t m) {
+  if (n == 0 || m == 0) return 1.0;
+  const double n_eff = static_cast<double>(n) * static_cast<double>(m) /
+                       static_cast<double>(n + m);
+  // Feller / Stephens small-sample correction before the Kolmogorov series.
+  const double lambda =
+      (std::sqrt(n_eff) + 0.12 + 0.11 / std::sqrt(n_eff)) * d;
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = 2.0 * std::pow(-1.0, k - 1) *
+                        std::exp(-2.0 * k * k * lambda * lambda);
+    sum += term;
+    if (std::fabs(term) < 1e-12) break;
+  }
+  return std::clamp(sum, 0.0, 1.0);
+}
+
+KsResult ks_test(std::span<const double> a, std::span<const double> b,
+                 double alpha) {
+  KsResult r;
+  r.statistic = ks_statistic(a, b);
+  r.critical_value = ks_critical_value(a.size(), b.size(), alpha);
+  r.reject_null = r.statistic > r.critical_value;
+  r.p_value = ks_p_value(r.statistic, a.size(), b.size());
+  return r;
+}
+
+}  // namespace mt4g::stats

@@ -1,0 +1,40 @@
+// Two-sample Kolmogorov-Smirnov test (paper Sec. II-C1).
+//
+// The K-S test is MT4G's workhorse for deciding whether the latency
+// distribution left of a candidate change point differs from the distribution
+// right of it. The critical value follows the approximation the paper cites
+// from Wilcox (Eq. 1):
+//
+//     d_alpha = sqrt( -1/2 * (n+m)/(n*m) * log(alpha/2) )
+//
+// (the paper typesets the same expression with the sign folded into log).
+#pragma once
+
+#include <span>
+
+namespace mt4g::stats {
+
+/// Result of one two-sample K-S comparison.
+struct KsResult {
+  double statistic = 0.0;      ///< D = sup_x |F(x) - G(x)|
+  double critical_value = 0.0; ///< d_alpha for the requested significance
+  bool reject_null = false;    ///< true when D > d_alpha (distributions differ)
+  double p_value = 1.0;        ///< asymptotic Kolmogorov p-value of D
+};
+
+/// Critical value d_alpha for sample sizes n and m at significance alpha.
+double ks_critical_value(std::size_t n, std::size_t m, double alpha);
+
+/// Kolmogorov distance between the empirical CDFs of two samples.
+/// Inputs need not be sorted. Either sample may be empty (D = 0 then).
+double ks_statistic(std::span<const double> a, std::span<const double> b);
+
+/// Asymptotic two-sided p-value for statistic @p d with effective sample size
+/// n_eff = n*m/(n+m), via the Kolmogorov distribution series.
+double ks_p_value(double d, std::size_t n, std::size_t m);
+
+/// Full two-sample test at significance @p alpha (default 0.05).
+KsResult ks_test(std::span<const double> a, std::span<const double> b,
+                 double alpha = 0.05);
+
+}  // namespace mt4g::stats

@@ -1,0 +1,43 @@
+#include "stats/mean_split.hpp"
+
+#include <vector>
+
+namespace mt4g::stats {
+
+std::optional<MeanSplitResult> mean_split_change_point(
+    std::span<const double> series, double min_relative_gain) {
+  const std::size_t n = series.size();
+  if (n < 4) return std::nullopt;
+
+  // Prefix sums for O(1) segment SSE: SSE = sum(x^2) - (sum(x))^2 / len.
+  std::vector<double> pre(n + 1, 0.0);
+  std::vector<double> pre2(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    pre[i + 1] = pre[i] + series[i];
+    pre2[i + 1] = pre2[i] + series[i] * series[i];
+  }
+  auto sse = [&](std::size_t begin, std::size_t end) {
+    const double len = static_cast<double>(end - begin);
+    const double sum = pre[end] - pre[begin];
+    const double sum2 = pre2[end] - pre2[begin];
+    return sum2 - sum * sum / len;
+  };
+
+  const double total = sse(0, n);
+  if (total <= 1e-12) return std::nullopt;
+
+  double best_cost = total;
+  std::size_t best_idx = 0;
+  for (std::size_t split = 2; split + 2 <= n; ++split) {
+    const double cost = sse(0, split) + sse(split, n);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_idx = split;
+    }
+  }
+  const double gain = total - best_cost;
+  if (best_idx == 0 || gain < min_relative_gain * total) return std::nullopt;
+  return MeanSplitResult{best_idx, gain};
+}
+
+}  // namespace mt4g::stats

@@ -1,0 +1,24 @@
+// Naive mean-split change-point baseline.
+//
+// Chooses the split minimising the summed within-segment squared error (the
+// L2 cost used by parametric CPD such as PELT restricted to a single change
+// point). Sensitive to outliers by construction — the property the paper's
+// K-S choice defends against; the comparison appears in the micro benches.
+#pragma once
+
+#include <optional>
+#include <span>
+
+namespace mt4g::stats {
+
+struct MeanSplitResult {
+  std::size_t index = 0;
+  double cost_reduction = 0.0;  ///< total SSE minus best split SSE
+};
+
+/// Returns the best single split, or nullopt when splitting reduces the
+/// squared error by less than @p min_relative_gain of the total.
+std::optional<MeanSplitResult> mean_split_change_point(
+    std::span<const double> series, double min_relative_gain = 0.1);
+
+}  // namespace mt4g::stats

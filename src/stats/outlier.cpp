@@ -1,0 +1,81 @@
+#include "stats/outlier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace mt4g::stats {
+namespace {
+
+// Robust z-score of each point against the series median/MAD.
+std::vector<double> robust_z(std::span<const double> series) {
+  std::vector<double> sorted(series.begin(), series.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double med = percentile(sorted, 50.0);
+  double scale = mad(series);
+  if (scale <= 1e-12) scale = 1.0;  // constant series: nothing is a spike
+  std::vector<double> z;
+  z.reserve(series.size());
+  for (double v : series) z.push_back((v - med) / scale);
+  return z;
+}
+
+}  // namespace
+
+OutlierReport screen_outliers(std::span<const double> series,
+                              const OutlierOptions& options) {
+  OutlierReport report;
+  const std::size_t n = series.size();
+  if (n < 5) return report;
+
+  const auto z = robust_z(series);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const bool high = std::fabs(z[i]) > options.mad_threshold;
+    // A genuine level shift drags its neighbours along; an isolated spike
+    // leaves at least one neighbour at the base level.
+    const bool neighbour_at_level =
+        std::fabs(z[i - 1]) < options.mad_threshold / 2 ||
+        std::fabs(z[i + 1]) < options.mad_threshold / 2;
+    if (high && neighbour_at_level) report.spike_indices.push_back(i);
+  }
+
+  // Edge detection: does the level change within the first/last margin?
+  // Compare the edge points against the adjacent interior block.
+  const std::size_t margin = std::min(options.edge_margin, n / 4);
+  if (margin > 0) {
+    auto level_of = [&](std::size_t begin, std::size_t count) {
+      std::vector<double> seg(series.begin() + static_cast<std::ptrdiff_t>(begin),
+                              series.begin() + static_cast<std::ptrdiff_t>(begin + count));
+      std::sort(seg.begin(), seg.end());
+      return percentile(seg, 50.0);
+    };
+    const double scale = std::max(mad(series), 1e-12);
+    const double head = level_of(0, margin);
+    const double after_head = level_of(margin, std::min(n - margin, margin * 3));
+    const double tail = level_of(n - margin, margin);
+    const double before_tail =
+        level_of(n - margin - std::min(n - margin, margin * 3),
+                 std::min(n - margin, margin * 3));
+    report.change_at_lower_edge =
+        std::fabs(head - after_head) / scale > options.mad_threshold;
+    report.change_at_upper_edge =
+        std::fabs(tail - before_tail) / scale > options.mad_threshold;
+  }
+  return report;
+}
+
+std::vector<double> despike(std::span<const double> series,
+                            const OutlierOptions& options) {
+  std::vector<double> out(series.begin(), series.end());
+  const auto report = screen_outliers(series, options);
+  for (std::size_t idx : report.spike_indices) {
+    if (idx > 0 && idx + 1 < out.size()) {
+      out[idx] = 0.5 * (series[idx - 1] + series[idx + 1]);
+    }
+  }
+  return out;
+}
+
+}  // namespace mt4g::stats

@@ -1,0 +1,39 @@
+// Outlier screening for size-sweep results (paper Sec. IV-B step 3).
+//
+// Before running the K-S change-point search, MT4G checks the reduced series
+// for isolated spikes (measurement disturbances) and for change points sitting
+// at the very edge of the search interval (cache size close to a boundary).
+// Either condition triggers an interval widening + re-measurement.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mt4g::stats {
+
+struct OutlierReport {
+  std::vector<std::size_t> spike_indices;  ///< isolated high/low points
+  bool change_at_lower_edge = false;  ///< level shift within leading margin
+  bool change_at_upper_edge = false;  ///< level shift within trailing margin
+  bool clean() const {
+    return spike_indices.empty() && !change_at_lower_edge &&
+           !change_at_upper_edge;
+  }
+};
+
+struct OutlierOptions {
+  double mad_threshold = 6.0;   ///< |x - median| / MAD above this is a spike
+  std::size_t edge_margin = 2;  ///< indices from each edge treated as boundary
+};
+
+/// Screens the reduced series. A "spike" is a point far from the local level
+/// whose neighbours sit at the level (i.e. not a sustained shift).
+OutlierReport screen_outliers(std::span<const double> series,
+                              const OutlierOptions& options = {});
+
+/// Replaces isolated spikes by the mean of their neighbours; used when
+/// re-measurement already happened and residual spikes must not sway the K-S.
+std::vector<double> despike(std::span<const double> series,
+                            const OutlierOptions& options = {});
+
+}  // namespace mt4g::stats

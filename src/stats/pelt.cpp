@@ -1,0 +1,101 @@
+#include "stats/pelt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+
+namespace mt4g::stats {
+namespace {
+
+/// Robust noise estimate from lag-1 differences: sigma ~ MAD(diff) / sqrt(2).
+double estimate_sigma(std::span<const double> series) {
+  if (series.size() < 3) return 1.0;
+  std::vector<double> diffs;
+  diffs.reserve(series.size() - 1);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    diffs.push_back(series[i] - series[i - 1]);
+  }
+  const double sigma = mad(diffs) / std::sqrt(2.0);
+  return sigma > 1e-9 ? sigma : 1.0;
+}
+
+}  // namespace
+
+std::vector<std::size_t> pelt_change_points(std::span<const double> series,
+                                            const PeltOptions& options) {
+  const std::size_t n = series.size();
+  if (n < 2 * options.min_segment) return {};
+
+  // Prefix sums for O(1) Gaussian L2 segment cost.
+  std::vector<double> pre(n + 1, 0.0);
+  std::vector<double> pre2(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    pre[i + 1] = pre[i] + series[i];
+    pre2[i + 1] = pre2[i] + series[i] * series[i];
+  }
+  auto cost = [&](std::size_t begin, std::size_t end) {
+    const double len = static_cast<double>(end - begin);
+    const double sum = pre[end] - pre[begin];
+    return (pre2[end] - pre2[begin]) - sum * sum / len;
+  };
+
+  double penalty = options.penalty;
+  if (penalty <= 0.0) {
+    // Slightly conservative BIC-style default (3 sigma^2 log n): the maximal
+    // spurious gain of splitting pure Gaussian noise concentrates around
+    // 2 sigma^2 log n, so the plain BIC constant sits on the false-positive
+    // boundary for the series lengths the sweeps produce.
+    const double sigma = estimate_sigma(series);
+    penalty = 3.0 * sigma * sigma * std::log(static_cast<double>(n));
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // f[t] = optimal cost of series[0, t); prev[t] = last change before t.
+  std::vector<double> f(n + 1, kInf);
+  std::vector<std::size_t> prev(n + 1, 0);
+  f[0] = -penalty;
+  std::vector<std::size_t> candidates{0};
+
+  for (std::size_t t = options.min_segment; t <= n; ++t) {
+    double best = kInf;
+    std::size_t best_tau = 0;
+    for (const std::size_t tau : candidates) {
+      if (t - tau < options.min_segment) continue;
+      const double value = f[tau] + cost(tau, t) + penalty;
+      if (value < best) {
+        best = value;
+        best_tau = tau;
+      }
+    }
+    f[t] = best;
+    prev[t] = best_tau;
+    // PELT pruning: tau can never be optimal again if even without the
+    // penalty its partial cost already exceeds the current optimum.
+    std::vector<std::size_t> kept;
+    kept.reserve(candidates.size() + 1);
+    for (const std::size_t tau : candidates) {
+      // Not-yet-feasible candidates (segment still too short) are kept; they
+      // become feasible as t grows.
+      if (t - tau < options.min_segment || f[tau] + cost(tau, t) <= f[t]) {
+        kept.push_back(tau);
+      }
+    }
+    kept.push_back(t);  // t becomes a candidate for future segment starts
+    candidates = std::move(kept);
+  }
+
+  std::vector<std::size_t> changes;
+  std::size_t t = n;
+  while (t > 0) {
+    const std::size_t tau = prev[t];
+    if (tau == 0) break;
+    changes.push_back(tau);
+    t = tau;
+  }
+  std::sort(changes.begin(), changes.end());
+  return changes;
+}
+
+}  // namespace mt4g::stats

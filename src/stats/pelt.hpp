@@ -1,0 +1,24 @@
+// PELT — Pruned Exact Linear Time change-point detection (Killick et al.),
+// the parametric multi-change-point method the paper cites in its CPD
+// taxonomy (Sec. II-C). Implemented with the Gaussian mean-change L2 cost;
+// used as a comparator to the K-S approach and for multi-cliff diagnostics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mt4g::stats {
+
+struct PeltOptions {
+  /// Penalty per change point; <= 0 selects the BIC default 2*sigma^2*log(n)
+  /// with sigma estimated robustly from first differences.
+  double penalty = 0.0;
+  std::size_t min_segment = 2;
+};
+
+/// Returns the optimal set of change-point indices (each the first index of
+/// a new segment), in increasing order. Empty = no change detected.
+std::vector<std::size_t> pelt_change_points(std::span<const double> series,
+                                            const PeltOptions& options = {});
+
+}  // namespace mt4g::stats

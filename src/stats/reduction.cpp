@@ -1,0 +1,40 @@
+#include "stats/reduction.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace mt4g::stats {
+
+double global_min(std::span<const std::vector<std::uint32_t>> samples) {
+  double minimum = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& row : samples) {
+    for (std::uint32_t v : row) {
+      minimum = std::min(minimum, static_cast<double>(v));
+      any = true;
+    }
+  }
+  return any ? minimum : 0.0;
+}
+
+std::vector<double> reduce_rows(
+    std::span<const std::vector<std::uint32_t>> samples, double minimum) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& row : samples) {
+    double acc = 0.0;
+    for (std::uint32_t v : row) {
+      const double centered = static_cast<double>(v) - minimum;
+      acc += centered * centered;
+    }
+    out.push_back(std::sqrt(acc));
+  }
+  return out;
+}
+
+std::vector<double> geometric_reduction(
+    std::span<const std::vector<std::uint32_t>> samples) {
+  return reduce_rows(samples, global_min(samples));
+}
+
+}  // namespace mt4g::stats

@@ -1,0 +1,31 @@
+// Dimensionality reduction of raw p-chase data (paper Eq. 2).
+//
+// Each array size in a size sweep yields a vector of per-load latencies.
+// MT4G reduces each vector to a single score via the geometrically inspired
+// mapping of Grundy et al.:
+//
+//     S_i = sqrt( sum_j (r_ij - min(r))^2 )
+//
+// where min(r) is the global minimum latency across the whole sweep. Hits
+// (near min) contribute almost nothing; misses contribute quadratically, so a
+// cache-size boundary appears as a sharp step in S (cf. paper Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mt4g::stats {
+
+/// Global minimum over a 2-D latency data set. Returns 0 for empty input.
+double global_min(std::span<const std::vector<std::uint32_t>> samples);
+
+/// Applies Eq. 2 to every row using the provided global minimum.
+std::vector<double> reduce_rows(
+    std::span<const std::vector<std::uint32_t>> samples, double minimum);
+
+/// Convenience: global_min + reduce_rows in one call.
+std::vector<double> geometric_reduction(
+    std::span<const std::vector<std::uint32_t>> samples);
+
+}  // namespace mt4g::stats

@@ -1,0 +1,75 @@
+#include "syssage/component.hpp"
+
+#include <stdexcept>
+
+namespace mt4g::syssage {
+
+std::string component_type_name(ComponentType type) {
+  switch (type) {
+    case ComponentType::kNode: return "Node";
+    case ComponentType::kChip: return "Chip";
+    case ComponentType::kSubdivision: return "Subdivision";
+    case ComponentType::kSm: return "SM";
+    case ComponentType::kCore: return "Core";
+    case ComponentType::kCache: return "Cache";
+    case ComponentType::kMemory: return "Memory";
+  }
+  return "?";
+}
+
+Component::Component(ComponentType type, std::string name, std::uint64_t size)
+    : type_(type), name_(std::move(name)), size_(size) {}
+
+Component* Component::add_child(std::unique_ptr<Component> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Component* Component::add_child(ComponentType type, std::string name,
+                                std::uint64_t size) {
+  return add_child(std::make_unique<Component>(type, std::move(name), size));
+}
+
+void Component::set_attribute(const std::string& key, double value) {
+  attributes_[key] = value;
+}
+
+bool Component::has_attribute(const std::string& key) const {
+  return attributes_.count(key) != 0;
+}
+
+double Component::attribute(const std::string& key) const {
+  const auto it = attributes_.find(key);
+  if (it == attributes_.end()) {
+    throw std::out_of_range("component '" + name_ + "': no attribute '" +
+                            key + "'");
+  }
+  return it->second;
+}
+
+Component* Component::find_by_name(const std::string& name) {
+  if (name_ == name) return this;
+  for (const auto& child : children_) {
+    if (Component* hit = child->find_by_name(name)) return hit;
+  }
+  return nullptr;
+}
+
+std::vector<Component*> Component::find_all_by_type(ComponentType type) {
+  std::vector<Component*> hits;
+  if (type_ == type) hits.push_back(this);
+  for (const auto& child : children_) {
+    const auto child_hits = child->find_all_by_type(type);
+    hits.insert(hits.end(), child_hits.begin(), child_hits.end());
+  }
+  return hits;
+}
+
+std::size_t Component::total_count() const {
+  std::size_t count = 1;
+  for (const auto& child : children_) count += child->total_count();
+  return count;
+}
+
+}  // namespace mt4g::syssage

@@ -1,0 +1,69 @@
+// sys-sage-like component tree (paper Sec. VI-C).
+//
+// sys-sage represents an HPC system as a tree of components (chips, caches,
+// memories, cores) with attached attributes; MT4G's integration extends it to
+// GPU topologies. This module provides the minimal component model the paper's
+// use case needs: typed nodes, parent/child ownership, attribute key/value
+// store, and search helpers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mt4g::syssage {
+
+enum class ComponentType {
+  kNode,       // host node
+  kChip,       // one GPU
+  kSubdivision,// GPC / XCD / MIG instance
+  kSm,         // SM / CU
+  kCore,       // CUDA core / stream processor group
+  kCache,      // any cache level
+  kMemory,     // scratchpad or device memory
+};
+
+std::string component_type_name(ComponentType type);
+
+/// One node of the topology tree. Components own their children.
+class Component {
+ public:
+  Component(ComponentType type, std::string name, std::uint64_t size = 0);
+
+  ComponentType type() const { return type_; }
+  const std::string& name() const { return name_; }
+  std::uint64_t size() const { return size_; }
+  void set_size(std::uint64_t size) { size_ = size; }
+
+  Component* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<Component>>& children() const {
+    return children_;
+  }
+
+  /// Appends a child and returns a handle to it.
+  Component* add_child(std::unique_ptr<Component> child);
+  Component* add_child(ComponentType type, std::string name,
+                       std::uint64_t size = 0);
+
+  /// Free-form attributes ("latency", "bandwidth_read", ...).
+  void set_attribute(const std::string& key, double value);
+  bool has_attribute(const std::string& key) const;
+  double attribute(const std::string& key) const;  ///< throws when missing
+
+  /// Depth-first search helpers.
+  Component* find_by_name(const std::string& name);
+  std::vector<Component*> find_all_by_type(ComponentType type);
+  std::size_t total_count() const;  ///< nodes in this subtree (incl. self)
+
+ private:
+  ComponentType type_;
+  std::string name_;
+  std::uint64_t size_;
+  Component* parent_ = nullptr;
+  std::vector<std::unique_ptr<Component>> children_;
+  std::map<std::string, double> attributes_;
+};
+
+}  // namespace mt4g::syssage

@@ -1,0 +1,80 @@
+#include "syssage/export.hpp"
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace mt4g::syssage {
+namespace {
+
+std::string label_of(const Component& component) {
+  std::string label = component.name();
+  if (component.size() > 0) {
+    label += "\\n" + format_bytes(component.size());
+  }
+  if (component.has_attribute("latency")) {
+    label += "\\n" + format_double(component.attribute("latency"), 0) + " cyc";
+  }
+  if (component.has_attribute("bandwidth_read")) {
+    label += "\\n" + format_bandwidth(component.attribute("bandwidth_read"));
+  }
+  return label;
+}
+
+const char* shape_of(ComponentType type) {
+  switch (type) {
+    case ComponentType::kChip: return "box3d";
+    case ComponentType::kSm: return "box";
+    case ComponentType::kCache: return "folder";
+    case ComponentType::kMemory: return "cylinder";
+    case ComponentType::kCore: return "component";
+    default: return "ellipse";
+  }
+}
+
+void emit_dot(const Component& component, std::size_t& counter,
+              std::size_t parent_id, std::string& out) {
+  const std::size_t id = counter++;
+  out += "  n" + std::to_string(id) + " [label=\"" + label_of(component) +
+         "\", shape=" + shape_of(component.type()) + "];\n";
+  if (id != 0) {
+    out += "  n" + std::to_string(parent_id) + " -> n" + std::to_string(id) +
+           ";\n";
+  }
+  for (const auto& child : component.children()) {
+    emit_dot(*child, counter, id, out);
+  }
+}
+
+void emit_text(const Component& component, int depth, std::string& out) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out += component_type_name(component.type()) + " " + component.name();
+  if (component.size() > 0) out += " (" + format_bytes(component.size()) + ")";
+  if (component.has_attribute("latency")) {
+    out += " lat=" + format_double(component.attribute("latency"), 0);
+  }
+  if (component.has_attribute("amount")) {
+    out += " x" + format_double(component.attribute("amount"), 0);
+  }
+  out += "\n";
+  for (const auto& child : component.children()) {
+    emit_text(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Component& root) {
+  std::string out = "digraph topology {\n  rankdir=TB;\n";
+  std::size_t counter = 0;
+  emit_dot(root, counter, 0, out);
+  out += "}\n";
+  return out;
+}
+
+std::string to_text(const Component& root) {
+  std::string out;
+  emit_text(root, 0, out);
+  return out;
+}
+
+}  // namespace mt4g::syssage

@@ -1,0 +1,20 @@
+// Topology-tree exporters: Graphviz DOT for visualisation and a compact
+// indented text dump for logs. sys-sage's value is making the topology
+// consumable by both humans and tools (paper Sec. VI-C); these are the
+// human-facing halves for the component tree.
+#pragma once
+
+#include <string>
+
+#include "syssage/component.hpp"
+
+namespace mt4g::syssage {
+
+/// Graphviz DOT document of the subtree rooted at @p root. Node labels carry
+/// the name, size and latency/bandwidth attributes where present.
+std::string to_dot(const Component& root);
+
+/// Indented plain-text rendering (one line per component).
+std::string to_text(const Component& root);
+
+}  // namespace mt4g::syssage

@@ -1,0 +1,100 @@
+#include "syssage/gpu_import.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mt4g::syssage {
+namespace {
+
+void attach_attributes(Component* component,
+                       const core::MemoryElementReport& row) {
+  if (row.load_latency.available()) {
+    component->set_attribute("latency", row.load_latency.value);
+  }
+  if (row.read_bandwidth.available()) {
+    component->set_attribute("bandwidth_read", row.read_bandwidth.value);
+  }
+  if (row.write_bandwidth.available()) {
+    component->set_attribute("bandwidth_write", row.write_bandwidth.value);
+  }
+  if (row.cache_line.available()) {
+    component->set_attribute("cache_line", row.cache_line.value);
+  }
+  if (row.fetch_granularity.available()) {
+    component->set_attribute("fetch_granularity",
+                             row.fetch_granularity.value);
+  }
+  if (row.amount.available()) {
+    component->set_attribute("amount", row.amount.value);
+  }
+  component->set_attribute("confidence", row.size.confidence);
+}
+
+bool is_gpu_scope(const core::MemoryElementReport& row) {
+  switch (row.element) {
+    case sim::Element::kL2:
+    case sim::Element::kL3:
+    case sim::Element::kDeviceMem:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Component> import_report(const core::TopologyReport& report) {
+  auto chip = std::make_unique<Component>(ComponentType::kChip,
+                                          report.general.gpu_name);
+  chip->set_attribute("clock_mhz", report.general.clock_mhz);
+  chip->set_attribute("num_sms", report.compute.num_sms);
+  chip->set_attribute("cores_per_sm", report.compute.cores_per_sm);
+  chip->set_attribute("warp_size", report.compute.warp_size);
+  chip->set_attribute("max_blocks_per_sm", report.compute.max_blocks_per_sm);
+  chip->set_attribute("max_threads_per_sm", report.compute.max_threads_per_sm);
+
+  // GPU-scope memories hang directly off the chip.
+  for (const auto& row : report.memory) {
+    if (!is_gpu_scope(row)) continue;
+    const ComponentType type = row.element == sim::Element::kDeviceMem
+                                   ? ComponentType::kMemory
+                                   : ComponentType::kCache;
+    Component* component = chip->add_child(
+        type, sim::element_name(row.element),
+        row.size.available() ? static_cast<std::uint64_t>(row.size.value)
+                             : 0);
+    attach_attributes(component, row);
+  }
+
+  // One representative SM subtree; the count lives in "num_sms" above.
+  Component* sm = chip->add_child(ComponentType::kSm, "SM0");
+  sm->add_child(ComponentType::kCore, "cores",
+                report.compute.cores_per_sm);
+  for (const auto& row : report.memory) {
+    if (is_gpu_scope(row)) continue;
+    const bool scratchpad = row.element == sim::Element::kSharedMem ||
+                            row.element == sim::Element::kLds;
+    Component* component = sm->add_child(
+        scratchpad ? ComponentType::kMemory : ComponentType::kCache,
+        sim::element_name(row.element),
+        row.size.available() ? static_cast<std::uint64_t>(row.size.value)
+                             : 0);
+    attach_attributes(component, row);
+  }
+  return chip;
+}
+
+std::uint64_t visible_l2_per_sm(const Component& chip) {
+  // const_cast is contained: find_* are logically const traversals.
+  auto& mutable_chip = const_cast<Component&>(chip);
+  Component* l2 = mutable_chip.find_by_name("L2");
+  if (l2 == nullptr) return 0;
+  double amount = 1.0;
+  if (l2->has_attribute("amount")) {
+    amount = std::max(1.0, l2->attribute("amount"));
+  }
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(l2->size()) / amount));
+}
+
+}  // namespace mt4g::syssage

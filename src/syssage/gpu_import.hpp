@@ -1,0 +1,25 @@
+// MT4G -> sys-sage import (paper Sec. VI-C): builds the component tree of one
+// GPU from a TopologyReport. Static MT4G context lives in the tree; dynamic
+// MIG context is layered on top by mig.hpp.
+#pragma once
+
+#include <memory>
+
+#include "core/report.hpp"
+#include "syssage/component.hpp"
+
+namespace mt4g::syssage {
+
+/// Builds: Chip -> [GPU-scope caches/memories] + per-SM subtree (one
+/// representative SM plus a count attribute, to keep the tree small) with the
+/// SM-scope caches and scratchpads attached. Attribute keys:
+/// "latency" (cycles), "bandwidth_read"/"bandwidth_write" (B/s),
+/// "cache_line" (B), "fetch_granularity" (B), "amount", "confidence".
+std::unique_ptr<Component> import_report(const core::TopologyReport& report);
+
+/// The L2 capacity one SM can observe, from the imported tree: the L2 cache
+/// component's size divided by its "amount" attribute (paper Fig. 5's
+/// vertical lines come from this query).
+std::uint64_t visible_l2_per_sm(const Component& chip);
+
+}  // namespace mt4g::syssage

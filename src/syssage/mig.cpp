@@ -1,0 +1,51 @@
+#include "syssage/mig.hpp"
+
+#include <algorithm>
+
+#include "runtime/device.hpp"
+#include "syssage/gpu_import.hpp"
+
+namespace mt4g::syssage {
+
+DynamicCapabilities query_capabilities(const Component& chip,
+                                       const sim::Gpu& gpu) {
+  DynamicCapabilities caps;
+  const auto mig = runtime::current_mig_profile(gpu);
+  const std::uint64_t partition = visible_l2_per_sm(chip);
+  if (mig) {
+    caps.mig_profile = mig->name;
+    caps.visible_sms = mig->sm_count;
+    caps.visible_memory = mig->mem_bytes;
+    caps.visible_l2 = mig->l2_bytes;
+    caps.bandwidth_fraction = mig->bandwidth_fraction;
+    caps.visible_l2_per_sm = std::min(mig->l2_bytes, partition);
+  } else {
+    caps.mig_profile = "full";
+    caps.visible_sms = gpu.spec().num_sms;
+    if (gpu.spec().has(sim::Element::kDeviceMem)) {
+      caps.visible_memory = gpu.spec().at(sim::Element::kDeviceMem).size_bytes;
+    }
+    auto& mutable_chip = const_cast<Component&>(chip);
+    if (const Component* l2 = mutable_chip.find_by_name("L2")) {
+      caps.visible_l2 = l2->size();
+    }
+    caps.visible_l2_per_sm = partition;
+  }
+  return caps;
+}
+
+void apply_to_tree(Component& chip, const DynamicCapabilities& capabilities) {
+  chip.set_attribute("num_sms", capabilities.visible_sms);
+  chip.set_attribute("mig_bandwidth_fraction",
+                     capabilities.bandwidth_fraction);
+  if (Component* l2 = chip.find_by_name("L2")) {
+    l2->set_size(capabilities.visible_l2);
+    l2->set_attribute("visible_per_sm",
+                      static_cast<double>(capabilities.visible_l2_per_sm));
+  }
+  if (Component* memory = chip.find_by_name("DeviceMemory")) {
+    memory->set_size(capabilities.visible_memory);
+  }
+}
+
+}  // namespace mt4g::syssage

@@ -1,0 +1,38 @@
+// Dynamic MIG context on top of the static MT4G topology (paper Sec. VI-C).
+//
+// sys-sage combines the static MT4G report with nvml MIG queries to answer
+// "what can my kernel actually see right now?". The key insight of Fig. 5:
+// the L2 capacity observable from one SM is min(MIG instance L2, one L2
+// partition) — the full GPU and the 4g.20gb instance behave identically
+// because one SM can only ever reach one of the two 20 MB partitions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/gpu.hpp"
+#include "syssage/component.hpp"
+
+namespace mt4g::syssage {
+
+/// Current capabilities of a (possibly MIG-partitioned) GPU, combining the
+/// static tree with the dynamic profile.
+struct DynamicCapabilities {
+  std::string mig_profile;       ///< "full" when unpartitioned
+  std::uint32_t visible_sms = 0;
+  std::uint64_t visible_memory = 0;
+  std::uint64_t visible_l2 = 0;          ///< instance-level capacity
+  std::uint64_t visible_l2_per_sm = 0;   ///< what one SM can observe (Fig. 5)
+  double bandwidth_fraction = 1.0;
+};
+
+/// Queries the dynamic state of @p gpu (the nvml analogue) and merges it with
+/// the static topology in @p chip.
+DynamicCapabilities query_capabilities(const Component& chip,
+                                       const sim::Gpu& gpu);
+
+/// Applies the dynamic view onto a copy of the static attributes in-place:
+/// rescales the chip's "num_sms" and the L2/DeviceMemory component sizes.
+void apply_to_tree(Component& chip, const DynamicCapabilities& capabilities);
+
+}  // namespace mt4g::syssage

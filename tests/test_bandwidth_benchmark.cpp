@@ -1,0 +1,63 @@
+#include "core/benchmarks/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::core {
+namespace {
+
+using sim::Element;
+
+TEST(BandwidthBenchmark, H100L2NearSpec) {
+  sim::Gpu gpu(sim::registry_get("H100-80"), 42);
+  BandwidthBenchOptions options;
+  options.target = Element::kL2;
+  const auto r = run_bandwidth_benchmark(gpu, options);
+  // Paper Table III: 4.4 / 3.4 TiB/s achieved.
+  EXPECT_NEAR(r.read_bytes_per_s / static_cast<double>(TiB), 4.4, 0.2);
+  EXPECT_NEAR(r.write_bytes_per_s / static_cast<double>(TiB), 3.4, 0.2);
+}
+
+TEST(BandwidthBenchmark, Mi210DeviceMemoryNearSpec) {
+  sim::Gpu gpu(sim::registry_get("MI210"), 42);
+  BandwidthBenchOptions options;
+  options.target = Element::kDeviceMem;
+  options.bytes = 512 * MiB;
+  const auto r = run_bandwidth_benchmark(gpu, options);
+  // Paper Table III: 1.0 / 0.9 TiB/s achieved.
+  EXPECT_NEAR(r.read_bytes_per_s / static_cast<double>(TiB), 1.0, 0.05);
+  EXPECT_NEAR(r.write_bytes_per_s / static_cast<double>(TiB), 0.9, 0.05);
+}
+
+TEST(BandwidthBenchmark, UsesHeuristicLaunchConfiguration) {
+  sim::Gpu gpu(sim::registry_get("H100-80"), 42);
+  BandwidthBenchOptions options;
+  options.target = Element::kDeviceMem;
+  options.bytes = 256 * MiB;
+  const auto r = run_bandwidth_benchmark(gpu, options);
+  EXPECT_EQ(r.blocks, 132u * 32u);
+  EXPECT_EQ(r.threads_per_block, 1024u);
+}
+
+TEST(BandwidthBenchmark, ReportsPositiveKernelTime) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  BandwidthBenchOptions options;
+  options.target = Element::kDeviceMem;
+  options.bytes = 16 * MiB;
+  const auto r = run_bandwidth_benchmark(gpu, options);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(BandwidthBenchmark, Mi300xL3Bandwidth) {
+  sim::Gpu gpu(sim::registry_get("MI300X"), 42);
+  BandwidthBenchOptions options;
+  options.target = Element::kL3;
+  const auto r = run_bandwidth_benchmark(gpu, options);
+  EXPECT_GT(r.read_bytes_per_s, r.write_bytes_per_s);
+  EXPECT_GT(r.read_bytes_per_s, static_cast<double>(TiB));
+}
+
+}  // namespace
+}  // namespace mt4g::core

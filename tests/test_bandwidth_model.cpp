@@ -1,0 +1,118 @@
+#include "sim/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::sim {
+namespace {
+
+TEST(BandwidthModel, EfficiencyPeaksAtHeuristicConfiguration) {
+  const GpuSpec& spec = registry_get("H100-80");
+  const std::uint32_t optimum = spec.num_sms * spec.max_blocks_per_sm;
+  const double at_opt =
+      launch_efficiency(spec, optimum, spec.max_threads_per_block);
+  EXPECT_GT(at_opt, launch_efficiency(spec, optimum / 4,
+                                      spec.max_threads_per_block));
+  EXPECT_GE(at_opt, launch_efficiency(spec, optimum * 4,
+                                      spec.max_threads_per_block));
+  EXPECT_NEAR(at_opt, 1.0, 1e-9);
+}
+
+TEST(BandwidthModel, EfficiencyMonotoneInThreads) {
+  const GpuSpec& spec = registry_get("H100-80");
+  const std::uint32_t blocks = spec.num_sms * spec.max_blocks_per_sm;
+  EXPECT_LT(launch_efficiency(spec, blocks, 64),
+            launch_efficiency(spec, blocks, 1024));
+}
+
+TEST(BandwidthModel, ZeroLaunchHasZeroEfficiency) {
+  const GpuSpec& spec = registry_get("V100");
+  EXPECT_DOUBLE_EQ(launch_efficiency(spec, 0, 128), 0.0);
+  EXPECT_DOUBLE_EQ(launch_efficiency(spec, 16, 0), 0.0);
+}
+
+TEST(BandwidthModel, StreamApproachesSpecAtOptimum) {
+  Gpu gpu(registry_get("H100-80"), 42);
+  StreamConfig config;
+  config.target = Element::kL2;
+  config.blocks = gpu.spec().num_sms * gpu.spec().max_blocks_per_sm;
+  config.threads_per_block = gpu.spec().max_threads_per_block;
+  config.bytes = 256 * MiB;
+  const double bw = stream_bandwidth(gpu, config);
+  const double peak = gpu.spec().at(Element::kL2).read_bw_bytes_per_s;
+  EXPECT_GT(bw, 0.95 * peak);
+  EXPECT_LT(bw, 1.05 * peak);
+}
+
+TEST(BandwidthModel, WriteUsesWritePeak) {
+  Gpu gpu(registry_get("MI210"), 42);
+  StreamConfig config;
+  config.target = Element::kL2;
+  config.write = true;
+  config.blocks = gpu.spec().num_sms * gpu.spec().max_blocks_per_sm;
+  config.threads_per_block = gpu.spec().max_threads_per_block;
+  config.bytes = 64 * MiB;
+  const double bw = stream_bandwidth(gpu, config);
+  EXPECT_NEAR(bw, gpu.spec().at(Element::kL2).write_bw_bytes_per_s,
+              0.05 * bw);
+}
+
+TEST(BandwidthModel, MigScalesBandwidth) {
+  const GpuSpec& a100 = registry_get("A100");
+  StreamConfig config;
+  config.target = Element::kDeviceMem;
+  config.blocks = a100.num_sms * a100.max_blocks_per_sm;
+  config.threads_per_block = a100.max_threads_per_block;
+  config.bytes = 64 * MiB;
+  Gpu full(a100, 7);
+  Gpu quarter(a100, 7, a100.mig_profiles.back());  // 1g.5gb: 1/7 bandwidth
+  const double bw_full = stream_bandwidth(full, config);
+  const double bw_quarter = stream_bandwidth(quarter, config);
+  EXPECT_NEAR(bw_quarter / bw_full, 1.0 / 7.0, 0.02);
+}
+
+TEST(BandwidthModel, StreamRejectsElementWithoutBandwidthPath) {
+  Gpu gpu(registry_get("H100-80"), 42);
+  StreamConfig config;
+  config.target = Element::kL1;  // bandwidth not modelled on L1 (Table I)
+  config.blocks = 1;
+  config.threads_per_block = 1;
+  EXPECT_THROW(stream_bandwidth(gpu, config), std::invalid_argument);
+}
+
+TEST(BandwidthModel, SingleCoreStreamShowsL2Cliff) {
+  // Fig. 5 shape: flat below the visible L2, climbing towards DRAM beyond.
+  Gpu gpu(registry_get("A100"), 42);
+  const double below = single_core_stream_ns_per_byte(gpu, 4 * MiB);
+  const double at_edge = single_core_stream_ns_per_byte(gpu, 20 * MiB);
+  const double beyond = single_core_stream_ns_per_byte(gpu, 80 * MiB);
+  EXPECT_NEAR(below, at_edge, 0.15 * at_edge);
+  EXPECT_GT(beyond, 1.5 * at_edge);
+}
+
+TEST(BandwidthModel, FullGpuAndMig4gIdenticalCliff) {
+  // The paper's Fig. 5 observation (2): no difference between the full A100
+  // and 4g.20gb, because one SM only reaches one 20 MB partition anyway.
+  const GpuSpec& a100 = registry_get("A100");
+  Gpu full(a100, 9);
+  Gpu mig(a100, 9, a100.mig_profiles[1]);  // 4g.20gb
+  for (const std::uint64_t size : {8 * MiB, 16 * MiB, 32 * MiB, 64 * MiB}) {
+    const double ns_full = single_core_stream_ns_per_byte(full, size);
+    const double ns_mig = single_core_stream_ns_per_byte(mig, size);
+    EXPECT_NEAR(ns_full, ns_mig, 0.12 * ns_full) << size;
+  }
+}
+
+TEST(BandwidthModel, SmallerMigCliffMovesLeft) {
+  const GpuSpec& a100 = registry_get("A100");
+  Gpu full(a100, 9);
+  Gpu small(a100, 9, a100.mig_profiles.back());  // 1g.5gb: 5 MB L2
+  // At 10 MB the small instance already pays DRAM latency; full does not.
+  EXPECT_GT(single_core_stream_ns_per_byte(small, 10 * MiB),
+            1.3 * single_core_stream_ns_per_byte(full, 10 * MiB));
+}
+
+}  // namespace
+}  // namespace mt4g::sim

@@ -1,0 +1,87 @@
+#include "core/cache_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/gpu.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::core {
+namespace {
+
+using sim::Element;
+
+TEST(CacheConfig, PreferL1IsIdentity) {
+  const auto& spec = sim::registry_get("H100-80");
+  const auto out = apply_cache_config(spec, "PreferL1");
+  EXPECT_EQ(out.at(Element::kL1).size_bytes, spec.at(Element::kL1).size_bytes);
+  EXPECT_EQ(out.at(Element::kSharedMem).size_bytes,
+            spec.at(Element::kSharedMem).size_bytes);
+}
+
+TEST(CacheConfig, CombinedCapacityConserved) {
+  const auto& spec = sim::registry_get("H100-80");
+  const std::uint64_t combined = spec.at(Element::kL1).size_bytes +
+                                 spec.at(Element::kSharedMem).size_bytes;
+  for (const char* config : {"PreferShared", "PreferEqual"}) {
+    const auto out = apply_cache_config(spec, config);
+    EXPECT_EQ(out.at(Element::kL1).size_bytes +
+                  out.at(Element::kSharedMem).size_bytes,
+              combined)
+        << config;
+  }
+}
+
+TEST(CacheConfig, PreferSharedShrinksL1) {
+  const auto& spec = sim::registry_get("H100-80");
+  const auto out = apply_cache_config(spec, "PreferShared");
+  EXPECT_LT(out.at(Element::kL1).size_bytes,
+            spec.at(Element::kL1).size_bytes / 4);
+  EXPECT_GT(out.at(Element::kSharedMem).size_bytes,
+            spec.at(Element::kSharedMem).size_bytes);
+  // The resize propagates to the physically-shared texture/RO paths.
+  EXPECT_EQ(out.at(Element::kTexture).size_bytes,
+            out.at(Element::kL1).size_bytes);
+  EXPECT_EQ(out.at(Element::kReadOnly).size_bytes,
+            out.at(Element::kL1).size_bytes);
+  // But not to the separate constant cache.
+  EXPECT_EQ(out.at(Element::kConstL1).size_bytes, 2 * KiB);
+}
+
+TEST(CacheConfig, L1SizeStaysLineAligned) {
+  const auto& spec = sim::registry_get("H100-80");
+  for (const char* config : {"PreferShared", "PreferEqual"}) {
+    const auto out = apply_cache_config(spec, config);
+    EXPECT_EQ(out.at(Element::kL1).size_bytes %
+                  out.at(Element::kL1).line_bytes,
+              0u)
+        << config;
+  }
+}
+
+TEST(CacheConfig, AmdIsUnaffected) {
+  const auto& spec = sim::registry_get("MI210");
+  const auto out = apply_cache_config(spec, "PreferShared");
+  EXPECT_EQ(out.at(Element::kVL1).size_bytes,
+            spec.at(Element::kVL1).size_bytes);
+  EXPECT_EQ(out.at(Element::kLds).size_bytes, spec.at(Element::kLds).size_bytes);
+}
+
+TEST(CacheConfig, UnknownPolicyThrows) {
+  EXPECT_THROW(apply_cache_config(sim::registry_get("V100"), "PreferChaos"),
+               std::invalid_argument);
+}
+
+TEST(CacheConfig, ReconfiguredGpuIsDiscoverable) {
+  // The PreferEqual split must be re-discoverable by the size benchmark —
+  // the paper's point that MT4G measures the *configured* true L1 size.
+  const auto spec = apply_cache_config(sim::registry_get("TestGPU-NV"),
+                                       "PreferEqual");
+  // TestGPU-NV: 4 KiB L1 + 8 KiB shared = 12 KiB combined -> 6 KiB L1.
+  EXPECT_EQ(spec.at(Element::kL1).size_bytes, 6 * KiB);
+  sim::Gpu gpu(spec, 42);
+  EXPECT_EQ(gpu.spec().at(Element::kL1).size_bytes, 6 * KiB);
+}
+
+}  // namespace
+}  // namespace mt4g::core

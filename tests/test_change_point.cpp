@@ -1,0 +1,89 @@
+#include "stats/change_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mt4g::stats {
+namespace {
+
+std::vector<double> step_series(std::size_t n, std::size_t change,
+                                double low, double high, double noise_sd,
+                                std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = i < change ? low : high;
+    out.push_back(base + noise_sd * rng.normal());
+  }
+  return out;
+}
+
+TEST(ChangePoint, CleanStepDetectedExactly) {
+  const auto series = step_series(60, 30, 10.0, 100.0, 0.5, 1);
+  const auto cp = find_change_point(series);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->index, 30u);
+  EXPECT_GT(cp->confidence, 0.99);
+}
+
+TEST(ChangePoint, ConstantSeriesHasNoChangePoint) {
+  const std::vector<double> series(50, 42.0);
+  EXPECT_FALSE(find_change_point(series).has_value());
+}
+
+TEST(ChangePoint, PureNoiseRejected) {
+  const auto series = step_series(80, 0, 50.0, 50.0, 3.0, 2);
+  EXPECT_FALSE(find_change_point(series).has_value());
+}
+
+TEST(ChangePoint, TooShortSeries) {
+  const std::vector<double> series{1.0, 2.0, 3.0};
+  EXPECT_FALSE(find_change_point(series).has_value());
+}
+
+TEST(ChangePoint, ScoreAllSplitsCoversInterior) {
+  const auto series = step_series(20, 10, 0.0, 10.0, 0.1, 3);
+  const auto scores = score_all_splits(series);
+  // min_segment=3 default: splits 3..17 inclusive.
+  ASSERT_EQ(scores.size(), 15u);
+  EXPECT_EQ(scores.front().index, 3u);
+  EXPECT_EQ(scores.back().index, 17u);
+}
+
+TEST(ChangePoint, SurvivesIsolatedOutliers) {
+  auto series = step_series(60, 40, 10.0, 100.0, 0.5, 4);
+  series[5] = 500.0;   // spike in the low segment
+  series[50] = 5.0;    // dip in the high segment
+  const auto cp = find_change_point(series);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_NEAR(static_cast<double>(cp->index), 40.0, 1.0);
+}
+
+// Property sweep: exact localisation across positions and noise levels.
+struct CpCase {
+  std::size_t change;
+  double noise;
+};
+
+class ChangePointSweep : public ::testing::TestWithParam<CpCase> {};
+
+TEST_P(ChangePointSweep, LocalisesWithinOneIndex) {
+  const auto [change, noise] = GetParam();
+  const auto series = step_series(64, change, 20.0, 200.0, noise, change * 7 + 1);
+  const auto cp = find_change_point(series);
+  ASSERT_TRUE(cp.has_value()) << "change=" << change << " noise=" << noise;
+  EXPECT_NEAR(static_cast<double>(cp->index), static_cast<double>(change), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PositionsAndNoise, ChangePointSweep,
+    ::testing::Values(CpCase{8, 1.0}, CpCase{16, 1.0}, CpCase{32, 1.0},
+                      CpCase{48, 1.0}, CpCase{56, 1.0}, CpCase{32, 5.0},
+                      CpCase{32, 15.0}, CpCase{16, 10.0}));
+
+}  // namespace
+}  // namespace mt4g::stats

@@ -1,0 +1,163 @@
+// Integration tests: full discovery on the synthetic test GPUs, validated
+// attribute-by-attribute against the registry ground truth.
+#include "core/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::core {
+namespace {
+
+using sim::Element;
+
+TopologyReport discover_gpu(const std::string& name,
+                            DiscoverOptions options = {}) {
+  sim::Gpu gpu(sim::registry_get(name), 42);
+  return discover(gpu, options);
+}
+
+TEST(Collector, GeneralAndComputeInfo) {
+  const auto report = discover_gpu("TestGPU-NV");
+  EXPECT_EQ(report.general.vendor, "NVIDIA");
+  EXPECT_EQ(report.general.gpu_name, "TestGPU-NV");
+  EXPECT_EQ(report.compute.num_sms, 4u);
+  EXPECT_EQ(report.compute.cores_per_sm, 16u);
+  EXPECT_EQ(report.compute.num_cores_total, 64u);
+  EXPECT_EQ(report.compute.warp_size, 4u);
+  EXPECT_TRUE(report.compute.cu_physical_ids.empty());
+}
+
+TEST(Collector, NvidiaFullDiscoveryMatchesGroundTruth) {
+  const auto report = discover_gpu("TestGPU-NV");
+  const auto& spec = sim::registry_get("TestGPU-NV");
+
+  const auto* l1 = report.find(Element::kL1);
+  ASSERT_NE(l1, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(l1->size.value), 4 * KiB);
+  EXPECT_EQ(l1->size.provenance, Provenance::kBenchmark);
+  EXPECT_EQ(static_cast<std::uint32_t>(l1->fetch_granularity.value), 32u);
+  EXPECT_EQ(static_cast<std::uint32_t>(l1->cache_line.value), 64u);
+  EXPECT_EQ(static_cast<std::uint32_t>(l1->amount.value), 2u);
+  EXPECT_NEAR(l1->load_latency.value, 30.0, 3.0);
+  EXPECT_EQ(l1->shared_with, "L1,TEX,RO");
+
+  const auto* cl1 = report.find(Element::kConstL1);
+  ASSERT_NE(cl1, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(cl1->size.value), 1 * KiB);
+  EXPECT_EQ(cl1->shared_with, "no");
+
+  const auto* cl15 = report.find(Element::kConstL15);
+  ASSERT_NE(cl15, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(cl15->size.value), 8 * KiB);
+  EXPECT_EQ(cl15->amount.provenance, Provenance::kUnavailable);
+
+  const auto* l2 = report.find(Element::kL2);
+  ASSERT_NE(l2, nullptr);
+  EXPECT_EQ(l2->size.provenance, Provenance::kApi);
+  EXPECT_EQ(static_cast<std::uint64_t>(l2->size.value), 64 * KiB);
+  EXPECT_EQ(static_cast<std::uint32_t>(l2->amount.value), 2u);
+  EXPECT_TRUE(l2->amount_per_gpu);
+  EXPECT_TRUE(l2->read_bandwidth.available());
+
+  const auto* shared = report.find(Element::kSharedMem);
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->size.provenance, Provenance::kApi);
+  EXPECT_NEAR(shared->load_latency.value, 25.0, 3.0);
+
+  const auto* dram = report.find(Element::kDeviceMem);
+  ASSERT_NE(dram, nullptr);
+  EXPECT_NEAR(dram->load_latency.value,
+              spec.at(Element::kDeviceMem).latency_cycles, 4.0);
+  EXPECT_TRUE(dram->read_bandwidth.available());
+}
+
+TEST(Collector, AmdFullDiscoveryMatchesGroundTruth) {
+  const auto report = discover_gpu("TestGPU-AMD");
+
+  const auto* vl1 = report.find(Element::kVL1);
+  ASSERT_NE(vl1, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(vl1->size.value), 2 * KiB);
+  EXPECT_EQ(static_cast<std::uint32_t>(vl1->fetch_granularity.value), 64u);
+  EXPECT_EQ(static_cast<std::uint32_t>(vl1->cache_line.value), 64u);
+
+  const auto* sl1d = report.find(Element::kSL1D);
+  ASSERT_NE(sl1d, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(sl1d->size.value), 1 * KiB);
+  EXPECT_EQ(sl1d->shared_with, "CU id");
+
+  ASSERT_TRUE(report.cu_sharing.available);
+  const auto& spec = sim::registry_get("TestGPU-AMD");
+  for (std::uint32_t logical = 0; logical < spec.num_sms; ++logical) {
+    const std::uint32_t physical = spec.physical_cu(logical);
+    EXPECT_EQ(report.cu_sharing.peers.at(physical),
+              spec.sl1d_peers(physical));
+  }
+
+  const auto* l2 = report.find(Element::kL2);
+  ASSERT_NE(l2, nullptr);
+  EXPECT_EQ(l2->size.provenance, Provenance::kApi);
+  EXPECT_EQ(l2->cache_line.provenance, Provenance::kApi);  // via KFD
+  EXPECT_EQ(l2->amount.provenance, Provenance::kApi);      // XCD count
+  EXPECT_EQ(static_cast<std::uint32_t>(l2->amount.value), 2u);
+
+  // Logical -> physical CU mapping reported (paper III-B, AMD only).
+  EXPECT_EQ(report.compute.cu_physical_ids.size(), 8u);
+  EXPECT_EQ(report.compute.cu_physical_ids[3], 4u);
+}
+
+TEST(Collector, OnlyFilterRestrictsScope) {
+  DiscoverOptions options;
+  options.only = Element::kL1;
+  const auto report = discover_gpu("TestGPU-NV", options);
+  ASSERT_EQ(report.memory.size(), 1u);
+  EXPECT_EQ(report.memory[0].element, Element::kL1);
+  // An L1-only run executes far fewer benchmarks (paper Sec. V-A).
+  const auto full = discover_gpu("TestGPU-NV");
+  EXPECT_LT(report.benchmarks_executed, full.benchmarks_executed / 2);
+  EXPECT_LT(report.simulated_seconds, full.simulated_seconds);
+}
+
+TEST(Collector, BenchmarkCountsPerVendor) {
+  // NVIDIA runs far more benchmarks than AMD (paper Sec. V-A: ~35 vs ~15),
+  // because AMD exposes L2/L3/line sizes via HSA/KFD.
+  const auto nvidia = discover_gpu("TestGPU-NV");
+  const auto amd = discover_gpu("TestGPU-AMD");
+  EXPECT_GT(nvidia.benchmarks_executed, 25u);
+  EXPECT_LT(amd.benchmarks_executed, nvidia.benchmarks_executed);
+  EXPECT_GE(amd.benchmarks_executed, 10u);
+}
+
+TEST(Collector, SeriesCollectedOnRequest) {
+  DiscoverOptions options;
+  options.collect_series = true;
+  const auto report = discover_gpu("TestGPU-NV", options);
+  EXPECT_GE(report.series.size(), 4u);  // L1, TEX, RO, CL1, CL15
+  for (const auto& series : report.series) {
+    EXPECT_EQ(series.array_sizes.size(), series.reduced_values.size());
+    EXPECT_FALSE(series.array_sizes.empty());
+  }
+  EXPECT_TRUE(discover_gpu("TestGPU-NV").series.empty());
+}
+
+TEST(Collector, ReportFindHelpers) {
+  auto report = discover_gpu("TestGPU-NV");
+  EXPECT_NE(report.find(Element::kL1), nullptr);
+  EXPECT_EQ(report.find(Element::kLds), nullptr);
+  const auto& const_report = report;
+  EXPECT_NE(const_report.find(Element::kL2), nullptr);
+}
+
+TEST(Collector, DeterministicReports) {
+  const auto a = discover_gpu("TestGPU-NV");
+  const auto b = discover_gpu("TestGPU-NV");
+  ASSERT_EQ(a.memory.size(), b.memory.size());
+  for (std::size_t i = 0; i < a.memory.size(); ++i) {
+    EXPECT_EQ(a.memory[i].size.value, b.memory[i].size.value);
+    EXPECT_EQ(a.memory[i].load_latency.value, b.memory[i].load_latency.value);
+  }
+}
+
+}  // namespace
+}  // namespace mt4g::core

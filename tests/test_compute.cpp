@@ -1,0 +1,118 @@
+#include "core/benchmarks/compute.hpp"
+#include "sim/compute.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/collector.hpp"
+#include "core/output/json_output.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::core {
+namespace {
+
+using sim::DType;
+
+TEST(ComputeModel, Fp32PeakMatchesDatasheetShape) {
+  // H100 SXM5: 132 SMs x 128 cores x 2 FMA x 1.98 GHz ~ 66.9 TFLOP/s.
+  const auto& h100 = sim::registry_get("H100-80");
+  EXPECT_NEAR(sim::peak_ops_per_second(h100, DType::kFp32) / 1e12, 66.9, 1.0);
+  // MI210: 104 CUs x 64 x 2 x 1.7 GHz ~ 22.6 TFLOP/s.
+  const auto& mi210 = sim::registry_get("MI210");
+  EXPECT_NEAR(sim::peak_ops_per_second(mi210, DType::kFp32) / 1e12, 22.6, 0.5);
+}
+
+TEST(ComputeModel, PrecisionOrdering) {
+  for (const char* name : {"H100-80", "A100", "MI210", "MI300X"}) {
+    const auto& spec = sim::registry_get(name);
+    const double fp64 = sim::peak_ops_per_second(spec, DType::kFp64);
+    const double fp32 = sim::peak_ops_per_second(spec, DType::kFp32);
+    const double fp16 = sim::peak_ops_per_second(spec, DType::kFp16);
+    const double int8 = sim::peak_ops_per_second(spec, DType::kInt8);
+    EXPECT_LT(fp64, fp32) << name;
+    EXPECT_LT(fp32, fp16) << name;
+    EXPECT_LT(fp16, int8 + 1.0) << name;
+  }
+}
+
+TEST(ComputeModel, ConsumerFp64IsHeavilyCut) {
+  const auto& t1000 = sim::registry_get("T1000");  // Turing: 1/32 rate
+  const double ratio = sim::peak_ops_per_second(t1000, DType::kFp32) /
+                       sim::peak_ops_per_second(t1000, DType::kFp64);
+  EXPECT_NEAR(ratio, 32.0, 0.5);
+}
+
+TEST(ComputeModel, TensorEnginesByGeneration) {
+  // Pascal predates tensor cores; Volta onward has them; Hopper's are wider.
+  EXPECT_DOUBLE_EQ(
+      sim::ops_per_cycle_per_sm(sim::registry_get("P6000"), DType::kTensorFp16),
+      0.0);
+  EXPECT_GT(
+      sim::ops_per_cycle_per_sm(sim::registry_get("V100"), DType::kTensorFp16),
+      0.0);
+  EXPECT_GT(sim::ops_per_cycle_per_sm(sim::registry_get("H100-80"),
+                                      DType::kTensorFp16),
+            sim::ops_per_cycle_per_sm(sim::registry_get("V100"),
+                                      DType::kTensorFp16));
+}
+
+TEST(ComputeBenchmark, RecoversPeakWithinNoise) {
+  sim::Gpu gpu(sim::registry_get("H100-80"), 42);
+  const auto result = run_compute_benchmark(gpu, DType::kFp32);
+  ASSERT_TRUE(result.available);
+  const double peak =
+      sim::peak_ops_per_second(sim::registry_get("H100-80"), DType::kFp32);
+  EXPECT_GT(result.achieved_ops_per_s, 0.95 * peak);
+  EXPECT_LT(result.achieved_ops_per_s, 1.05 * peak);
+  // The sweep's best configuration is at or past the heuristic optimum.
+  EXPECT_GE(result.best_blocks, 132u * 32u / 2u);
+}
+
+TEST(ComputeBenchmark, UnavailablePathReportsUnavailable) {
+  sim::Gpu gpu(sim::registry_get("P6000"), 42);
+  const auto result = run_compute_benchmark(gpu, DType::kTensorFp16);
+  EXPECT_FALSE(result.available);
+  EXPECT_DOUBLE_EQ(result.achieved_ops_per_s, 0.0);
+}
+
+TEST(ComputeBenchmark, SuiteSkipsMissingPaths) {
+  sim::Gpu pascal(sim::registry_get("P6000"), 42);
+  const auto pascal_suite = run_compute_suite(pascal);
+  sim::Gpu hopper(sim::registry_get("H100-80"), 42);
+  const auto hopper_suite = run_compute_suite(hopper);
+  EXPECT_LT(pascal_suite.size(), hopper_suite.size());
+  for (const auto& entry : pascal_suite) {
+    EXPECT_NE(entry.dtype, DType::kTensorFp16);
+    EXPECT_NE(entry.dtype, DType::kTensorTf32);
+  }
+}
+
+TEST(ComputeBenchmark, CollectorIntegrationOptIn) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  const auto without = discover(gpu);
+  EXPECT_TRUE(without.compute_throughput.empty());
+
+  sim::Gpu gpu2(sim::registry_get("TestGPU-NV"), 42);
+  DiscoverOptions options;
+  options.measure_compute = true;
+  const auto with = discover(gpu2, options);
+  ASSERT_FALSE(with.compute_throughput.empty());
+  EXPECT_GT(with.benchmarks_executed, without.benchmarks_executed);
+
+  const auto json = to_json(with);
+  ASSERT_NE(json.find("compute_throughput"), nullptr);
+  EXPECT_EQ(json.find("compute_throughput")->as_array().size(),
+            with.compute_throughput.size());
+}
+
+TEST(ComputeBenchmark, MigScalesThroughput) {
+  const auto& a100 = sim::registry_get("A100");
+  sim::Gpu full(a100, 5);
+  sim::Gpu half(a100, 5, a100.mig_profiles[1]);  // 4g.20gb: 56/108 SMs
+  const auto r_full = run_compute_benchmark(full, DType::kFp32);
+  const auto r_half = run_compute_benchmark(half, DType::kFp32);
+  EXPECT_NEAR(r_half.achieved_ops_per_s / r_full.achieved_ops_per_s,
+              56.0 / 108.0, 0.05);
+}
+
+}  // namespace
+}  // namespace mt4g::core

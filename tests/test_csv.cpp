@@ -1,0 +1,34 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mt4g::csv {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  Writer writer({"a", "b"});
+  writer.add_row({"1", "2"});
+  writer.add_row({"3", "4"});
+  EXPECT_EQ(writer.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(writer.row_count(), 2u);
+}
+
+TEST(Csv, QuotingCommasQuotesNewlines) {
+  EXPECT_EQ(quote_field("plain"), "plain");
+  EXPECT_EQ(quote_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(quote_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(quote_field("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  Writer writer({"a", "b"});
+  EXPECT_THROW(writer.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(writer.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Csv, RejectsEmptyHeader) {
+  EXPECT_THROW(Writer({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mt4g::csv

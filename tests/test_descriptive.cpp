@@ -1,0 +1,63 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mt4g::stats {
+namespace {
+
+TEST(Descriptive, EmptyInput) {
+  const Summary s = summarize(std::span<const double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Descriptive, SingleValue) {
+  const std::vector<double> v{42.0};
+  const Summary s = summarize(std::span<const double>(v));
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.p50, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Descriptive, KnownDistribution) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const Summary s = summarize(std::span<const double>(v));
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_NEAR(s.p95, 95.05, 0.1);
+  EXPECT_NEAR(s.stddev, 29.01, 0.05);
+}
+
+TEST(Descriptive, PercentileInterpolation) {
+  const std::vector<double> v{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 20.0);
+}
+
+TEST(Descriptive, VarianceUsesSampleDenominator) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(variance(v), 1.0);  // (1+0+1)/(3-1)
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Descriptive, MadRobustToOutlier) {
+  std::vector<double> v(100, 10.0);
+  v.push_back(1e6);
+  EXPECT_LT(mad(v), 1.0);  // the huge outlier barely moves the MAD
+}
+
+TEST(Descriptive, Uint32Overload) {
+  const std::vector<std::uint32_t> v{10, 20, 30};
+  const Summary s = summarize(std::span<const std::uint32_t>(v));
+  EXPECT_DOUBLE_EQ(s.mean, 20.0);
+}
+
+}  // namespace
+}  // namespace mt4g::stats

@@ -1,0 +1,85 @@
+#include "core/benchmarks/fetch_granularity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/registry.hpp"
+
+namespace mt4g::core {
+namespace {
+
+using sim::Element;
+
+FgBenchResult detect(const std::string& gpu_name, Element element) {
+  const sim::GpuSpec& spec = sim::registry_get(gpu_name);
+  sim::Gpu gpu(spec, 42);
+  FgBenchOptions options;
+  options.target = target_for(spec.vendor, element);
+  return run_fg_benchmark(gpu, options);
+}
+
+TEST(FgBenchmark, TestGpuL1Sector32) {
+  const auto r = detect("TestGPU-NV", Element::kL1);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.granularity, 32u);
+}
+
+TEST(FgBenchmark, H100L1Sector32) {
+  const auto r = detect("H100-80", Element::kL1);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.granularity, 32u);  // paper Table III
+}
+
+TEST(FgBenchmark, V100DefaultTransactionIs64B) {
+  // The V100's default L1 transaction is two sectors (paper Sec. IV-D).
+  const auto r = detect("V100", Element::kL1);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.granularity, 64u);
+}
+
+TEST(FgBenchmark, H100L2Sector32) {
+  const auto r = detect("H100-80", Element::kL2);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.granularity, 32u);
+}
+
+TEST(FgBenchmark, Mi210Granularities) {
+  // Paper Table III: vL1 64 B, sL1d 64 B, L2 64 B.
+  EXPECT_EQ(detect("MI210", Element::kVL1).granularity, 64u);
+  EXPECT_EQ(detect("MI210", Element::kSL1D).granularity, 64u);
+  EXPECT_EQ(detect("MI210", Element::kL2).granularity, 64u);
+}
+
+TEST(FgBenchmark, H100ConstL1Granularity64) {
+  const auto r = detect("H100-80", Element::kConstL1);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.granularity, 64u);
+}
+
+TEST(FgBenchmark, MixedFlagsTransitionOnce) {
+  // Below the granularity every sample is mixed; at and beyond, none is.
+  const auto r = detect("TestGPU-NV", Element::kL1);
+  ASSERT_TRUE(r.found);
+  for (const auto& [stride, mixed] : r.mixed_by_stride) {
+    if (stride < r.granularity) {
+      EXPECT_TRUE(mixed) << "stride " << stride;
+    }
+    if (stride == r.granularity) {
+      EXPECT_FALSE(mixed);
+    }
+  }
+}
+
+TEST(FgBenchmark, SampleMixedClassifier) {
+  std::vector<std::uint32_t> unimodal(100, 500);
+  EXPECT_FALSE(sample_is_mixed(unimodal, 500.0));
+  std::vector<std::uint32_t> mixed;
+  for (int i = 0; i < 100; ++i) mixed.push_back(i % 2 ? 30 : 500);
+  EXPECT_TRUE(sample_is_mixed(mixed, 30.0));
+  // A couple of outlier spikes must not flip a unimodal sample.
+  std::vector<std::uint32_t> spiky(1000, 30);
+  spiky[10] = 400;
+  EXPECT_FALSE(sample_is_mixed(spiky, 30.0));
+}
+
+}  // namespace
+}  // namespace mt4g::core

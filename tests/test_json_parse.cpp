@@ -1,0 +1,92 @@
+#include "common/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mt4g::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_or_throw("null").is_null());
+  EXPECT_TRUE(parse_or_throw("true").as_bool());
+  EXPECT_FALSE(parse_or_throw("false").as_bool());
+  EXPECT_EQ(parse_or_throw("42").as_int(), 42);
+  EXPECT_EQ(parse_or_throw("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse_or_throw("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_or_throw("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_or_throw("-1.5e-2").as_double(), -0.015);
+  EXPECT_EQ(parse_or_throw("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntVsDoubleDistinction) {
+  EXPECT_TRUE(parse_or_throw("7").is_int());
+  EXPECT_TRUE(parse_or_throw("7.0").is_double());
+  EXPECT_TRUE(parse_or_throw("7e0").is_double());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_or_throw(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(parse_or_throw(R"("line\nbreak")").as_string(), "line\nbreak");
+  EXPECT_EQ(parse_or_throw(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_or_throw(R"("é")").as_string(), "\xC3\xA9");  // é
+  EXPECT_EQ(parse_or_throw(R"("\\\/")").as_string(), "\\/");
+}
+
+TEST(JsonParse, ContainersAndNesting) {
+  const Value v = parse_or_throw(R"({"a": [1, 2, {"b": null}], "c": {}})");
+  ASSERT_TRUE(v.is_object());
+  const auto& arr = v.find("a")->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[1].as_int(), 2);
+  EXPECT_TRUE(arr[2].find("b")->is_null());
+  EXPECT_TRUE(v.find("c")->as_object().empty());
+}
+
+TEST(JsonParse, PreservesKeyOrder) {
+  const Value v = parse_or_throw(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& object = v.as_object();
+  EXPECT_EQ(object[0].first, "z");
+  EXPECT_EQ(object[1].first, "a");
+  EXPECT_EQ(object[2].first, "m");
+}
+
+TEST(JsonParse, WhitespaceTolerated) {
+  EXPECT_TRUE(parse("  {\n\t\"k\" :\r 1 }  ").ok());
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_FALSE(parse("").ok());
+  EXPECT_FALSE(parse("{").ok());
+  EXPECT_FALSE(parse("[1, ]").ok());
+  EXPECT_FALSE(parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(parse("\"unterminated").ok());
+  EXPECT_FALSE(parse("tru").ok());
+  EXPECT_FALSE(parse("1 2").ok());      // trailing content
+  EXPECT_FALSE(parse("nan").ok());
+  EXPECT_FALSE(parse(R"("\q")").ok());  // unknown escape
+  EXPECT_THROW(parse_or_throw("{"), std::runtime_error);
+}
+
+TEST(JsonParse, ErrorCarriesOffset) {
+  const auto result = parse("[1, x]");
+  ASSERT_FALSE(result.ok());
+  EXPECT_GE(result.error.offset, 4u);
+}
+
+TEST(JsonParse, RoundTripThroughDump) {
+  const char* document =
+      R"({"name": "L1", "size": 243712, "latency": 38.5,)"
+      R"( "flags": [true, false, null], "nested": {"deep": [1.25]}})";
+  const Value once = parse_or_throw(document);
+  const Value twice = parse_or_throw(once.dump());
+  EXPECT_EQ(once.dump(), twice.dump());
+}
+
+TEST(JsonParse, DeepNestingBounded) {
+  std::string bomb;
+  for (int i = 0; i < 200; ++i) bomb += '[';
+  for (int i = 0; i < 200; ++i) bomb += ']';
+  EXPECT_FALSE(parse(bomb).ok());  // refuses past the depth guard
+}
+
+}  // namespace
+}  // namespace mt4g::json

@@ -1,0 +1,110 @@
+#include "stats/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mt4g::stats {
+namespace {
+
+std::vector<double> normal_sample(std::size_t n, double mean, double sd,
+                                  std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(mean + sd * rng.normal());
+  return out;
+}
+
+TEST(KsTest, CriticalValueMatchesPaperFormula) {
+  // Eq. (1): d_alpha = sqrt(-(1/2)*(n+m)/(n*m)*log(alpha/2)).
+  const double d = ks_critical_value(100, 100, 0.05);
+  const double expected = std::sqrt(0.5 * (200.0 / 10000.0) *
+                                    -std::log(0.05 / 2.0));
+  EXPECT_NEAR(d, expected, 1e-12);
+  EXPECT_NEAR(d, 0.1921, 1e-3);  // the textbook 5% two-sample value
+}
+
+TEST(KsTest, CriticalValueShrinksWithSampleSize) {
+  EXPECT_GT(ks_critical_value(10, 10, 0.05), ks_critical_value(1000, 1000, 0.05));
+}
+
+TEST(KsTest, CriticalValueGrowsWithConfidence) {
+  EXPECT_GT(ks_critical_value(50, 50, 0.01), ks_critical_value(50, 50, 0.10));
+}
+
+TEST(KsTest, StatisticIdenticalSamplesIsZero) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, a), 0.0);
+}
+
+TEST(KsTest, StatisticDisjointSamplesIsOne) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{10, 11, 12};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 1.0);
+}
+
+TEST(KsTest, StatisticKnownValue) {
+  // F steps at {1,3}, G at {2,4}: max CDF gap is 0.5.
+  const std::vector<double> a{1, 3};
+  const std::vector<double> b{2, 4};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 0.5);
+}
+
+TEST(KsTest, EmptySampleYieldsZero) {
+  const std::vector<double> a{1, 2};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, {}), 0.0);
+}
+
+TEST(KsTest, SameDistributionAccepted) {
+  const auto a = normal_sample(300, 100.0, 5.0, 1);
+  const auto b = normal_sample(300, 100.0, 5.0, 2);
+  const KsResult r = ks_test(a, b);
+  EXPECT_FALSE(r.reject_null);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(KsTest, ShiftedDistributionRejected) {
+  const auto a = normal_sample(300, 100.0, 5.0, 1);
+  const auto b = normal_sample(300, 120.0, 5.0, 2);
+  const KsResult r = ks_test(a, b);
+  EXPECT_TRUE(r.reject_null);
+  EXPECT_LT(r.p_value, 0.001);
+}
+
+TEST(KsTest, VarianceChangeRejected) {
+  // Non-parametric: detects shape changes, not just mean shifts.
+  const auto a = normal_sample(500, 100.0, 2.0, 3);
+  const auto b = normal_sample(500, 100.0, 20.0, 4);
+  EXPECT_TRUE(ks_test(a, b).reject_null);
+}
+
+TEST(KsTest, PValueMonotonicInStatistic) {
+  EXPECT_GT(ks_p_value(0.1, 100, 100), ks_p_value(0.3, 100, 100));
+  EXPECT_GT(ks_p_value(0.3, 100, 100), ks_p_value(0.6, 100, 100));
+}
+
+// Property sweep: detection power by separation, at fixed noise.
+class KsSeparationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(KsSeparationTest, DetectsMeanShiftAboveNoise) {
+  const double shift = GetParam();
+  const auto a = normal_sample(400, 100.0, 3.0, 10);
+  const auto b = normal_sample(400, 100.0 + shift, 3.0, 11);
+  const KsResult r = ks_test(a, b);
+  if (shift >= 2.0) {
+    EXPECT_TRUE(r.reject_null) << "shift=" << shift;
+  }
+  if (shift == 0.0) {
+    EXPECT_FALSE(r.reject_null);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, KsSeparationTest,
+                         ::testing::Values(0.0, 2.0, 5.0, 20.0, 100.0));
+
+}  // namespace
+}  // namespace mt4g::stats

@@ -1,0 +1,103 @@
+#include "core/benchmarks/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/registry.hpp"
+
+namespace mt4g::core {
+namespace {
+
+using sim::Element;
+
+LatencyBenchResult measure(const std::string& gpu_name, Element element,
+                           std::uint32_t fg, bool cold = false,
+                           std::uint64_t min_array = 0) {
+  const sim::GpuSpec& spec = sim::registry_get(gpu_name);
+  sim::Gpu gpu(spec, 42);
+  LatencyBenchOptions options;
+  options.target = target_for(spec.vendor, element);
+  options.fetch_granularity = fg;
+  options.cold = cold;
+  options.min_array_bytes = min_array;
+  // The collector passes the benchmarked size; mirror that here so small
+  // caches (TestGPU's 4 KiB L1, MI210's 16 KiB vL1) are not thrashed by the
+  // fixed 256 * granularity array.
+  if (!cold && element != Element::kConstL15) {
+    options.cache_bytes = spec.at(element).size_bytes;
+  } else if (element == Element::kConstL15) {
+    options.cache_bytes = spec.at(element).size_bytes;
+  }
+  return run_latency_benchmark(gpu, options);
+}
+
+TEST(LatencyBenchmark, L1NearSpec) {
+  const auto r = measure("TestGPU-NV", Element::kL1, 32);
+  EXPECT_NEAR(r.summary.mean, 30.0, 3.0);
+  EXPECT_DOUBLE_EQ(r.hit_fraction_in_target, 1.0);
+}
+
+TEST(LatencyBenchmark, L2BypassesL1) {
+  const auto r = measure("TestGPU-NV", Element::kL2, 32);
+  EXPECT_NEAR(r.summary.mean, 150.0, 4.0);
+  EXPECT_DOUBLE_EQ(r.hit_fraction_in_target, 1.0);
+}
+
+TEST(LatencyBenchmark, DeviceMemoryCold) {
+  const auto r = measure("TestGPU-NV", Element::kDeviceMem, 32, /*cold=*/true);
+  EXPECT_NEAR(r.summary.mean, 500.0, 5.0);
+}
+
+TEST(LatencyBenchmark, ConstL15RequiresCl1Thrashing) {
+  // Array spanning 4x the CL1 forces every timed load through to CL1.5.
+  const auto r = measure("TestGPU-NV", Element::kConstL15, 32, false,
+                         4 * 1024);
+  EXPECT_NEAR(r.summary.mean, 80.0, 4.0);
+  EXPECT_DOUBLE_EQ(r.hit_fraction_in_target, 1.0);
+}
+
+TEST(LatencyBenchmark, AmdScalarVsVector) {
+  const auto scalar = measure("TestGPU-AMD", Element::kSL1D, 64);
+  const auto vector = measure("TestGPU-AMD", Element::kVL1, 64);
+  EXPECT_NEAR(scalar.summary.mean, 50.0, 3.0);
+  EXPECT_NEAR(vector.summary.mean, 120.0, 3.0);
+}
+
+TEST(LatencyBenchmark, SummaryStatisticsPopulated) {
+  const auto r = measure("TestGPU-NV", Element::kL1, 32);
+  // The capacity cap shrinks the array on this tiny cache (3 KiB / 32 B).
+  EXPECT_EQ(r.summary.count, 96u);
+  EXPECT_GE(r.summary.p95, r.summary.p50);
+  EXPECT_GE(r.summary.max, r.summary.p99);
+  EXPECT_LE(r.summary.min, r.summary.p50);
+}
+
+TEST(LatencyBenchmark, ScratchpadLatency) {
+  sim::Gpu nv(sim::registry_get("TestGPU-NV"), 42);
+  const auto shared = run_scratchpad_latency(nv);
+  EXPECT_NEAR(shared.summary.mean, 25.0, 3.0);
+  sim::Gpu amd(sim::registry_get("TestGPU-AMD"), 42);
+  const auto lds = run_scratchpad_latency(amd);
+  EXPECT_NEAR(lds.summary.mean, 55.0, 3.0);
+}
+
+TEST(LatencyBenchmark, HopperLatenciesMatchTable3) {
+  // Paper Table III MT4G column: L1 38, L2 220, shared 30, DRAM 843.
+  EXPECT_NEAR(measure("H100-80", Element::kL1, 32).summary.mean, 38.0, 3.0);
+  EXPECT_NEAR(measure("H100-80", Element::kL2, 32).summary.mean, 220.0, 3.0);
+  EXPECT_NEAR(measure("H100-80", Element::kDeviceMem, 32, true).summary.mean,
+              843.0, 4.0);
+  sim::Gpu h100(sim::registry_get("H100-80"), 42);
+  EXPECT_NEAR(run_scratchpad_latency(h100).summary.mean, 30.0, 3.0);
+}
+
+TEST(LatencyBenchmark, Mi210LatenciesMatchTable3) {
+  // Paper Table III MT4G column: vL1 125, sL1d 50, L2 310, LDS 55, DRAM 748.
+  EXPECT_NEAR(measure("MI210", Element::kVL1, 64).summary.mean, 125.0, 3.0);
+  EXPECT_NEAR(measure("MI210", Element::kSL1D, 64).summary.mean, 50.0, 3.0);
+  EXPECT_NEAR(measure("MI210", Element::kL2, 64).summary.mean, 310.0, 3.0);
+  EXPECT_NEAR(measure("MI210", Element::kDeviceMem, 256, true).summary.mean,
+              748.0, 4.0);
+}
+
+}  // namespace
+}  // namespace mt4g::core

@@ -1,0 +1,101 @@
+#include "core/benchmarks/line_size.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::core {
+namespace {
+
+using sim::Element;
+
+LineSizeBenchResult detect(const std::string& gpu_name, Element element) {
+  const sim::GpuSpec& spec = sim::registry_get(gpu_name);
+  sim::Gpu gpu(spec, 42);
+  LineSizeBenchOptions options;
+  options.target = target_for(spec.vendor, element);
+  options.cache_bytes = spec.at(element).size_bytes;
+  options.fetch_granularity = spec.at(element).sector_bytes;
+  return run_line_size_benchmark(gpu, options);
+}
+
+TEST(LineSizeBenchmark, TestGpuL1Line64) {
+  const auto r = detect("TestGPU-NV", Element::kL1);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.line_bytes, 64u);
+}
+
+TEST(LineSizeBenchmark, H100L1Line128) {
+  // Paper Table III: 128 B lines with 32 B sectors — line != granularity.
+  const auto r = detect("H100-80", Element::kL1);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.line_bytes, 128u);
+}
+
+TEST(LineSizeBenchmark, H100ConstL1LineEqualsGranularity) {
+  // 64 B lines with 64 B sectors: the aliasing-prone case the heuristics
+  // must survive (the power-of-two stride 2L keeps a pivot-like score).
+  const auto r = detect("H100-80", Element::kConstL1);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.line_bytes, 64u);
+}
+
+TEST(LineSizeBenchmark, Mi210Vl1Line64) {
+  const auto r = detect("MI210", Element::kVL1);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.line_bytes, 64u);
+}
+
+TEST(LineSizeBenchmark, Mi210Sl1dLine64) {
+  const auto r = detect("MI210", Element::kSL1D);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.line_bytes, 64u);
+}
+
+TEST(LineSizeBenchmark, V100L1Line128WithSector64) {
+  const auto r = detect("V100", Element::kL1);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.line_bytes, 128u);
+}
+
+TEST(LineSizeBenchmark, ScoresDecreaseAcrossTheLineBoundary) {
+  const auto r = detect("TestGPU-NV", Element::kL1);
+  ASSERT_TRUE(r.found);
+  // Strides at or below the line size score pivot-like (high); the first
+  // non-aliasing stride beyond it collapses.
+  double at_line = -1.0;
+  double beyond = -1.0;
+  for (const auto& [stride, score] : r.scores) {
+    if (stride == 64) at_line = score;
+    if (stride == 96) beyond = score;  // 1.5x line: non-aliasing
+  }
+  ASSERT_GE(at_line, 0.0);
+  ASSERT_GE(beyond, 0.0);
+  EXPECT_GT(at_line, 0.8);
+  EXPECT_LT(beyond, 0.6);
+}
+
+TEST(LineSizeBenchmark, InconclusiveWithWrongCacheSizeInput) {
+  // Feeding a size beyond every cache level removes the contrast between
+  // pivot and MAX strides (every load lands in device memory regardless of
+  // stride): the benchmark must admit inconclusiveness rather than
+  // hallucinate a line size.
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  LineSizeBenchOptions options;
+  options.target = target_for(sim::Vendor::kNvidia, Element::kL1);
+  options.cache_bytes = 2 * MiB;  // real L1 is 4 KiB; L2 partition is 32 KiB
+  options.fetch_granularity = 32;
+  const auto r = run_line_size_benchmark(gpu, options);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(LineSizeBenchmark, RejectsMissingInputs) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  LineSizeBenchOptions options;
+  options.target = target_for(sim::Vendor::kNvidia, Element::kL1);
+  EXPECT_THROW(run_line_size_benchmark(gpu, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mt4g::core

@@ -1,0 +1,143 @@
+#include "model/hong_kim.hpp"
+#include "model/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/collector.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::model {
+namespace {
+
+const core::TopologyReport& h100_report() {
+  static const core::TopologyReport report = [] {
+    // The model only needs latency/bandwidth rows; restricting discovery to
+    // what it consumes keeps the test fast while staying end-to-end.
+    sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+    return core::discover(gpu);
+  }();
+  return report;
+}
+
+GpuModelParams test_params() {
+  GpuModelParams p;
+  p.mem_latency_cycles = 800;
+  p.mem_bandwidth_bytes_per_s = 1.5e12;
+  p.clock_hz = 1.4e9;
+  p.num_sms = 108;
+  p.max_active_warps_per_sm = 64;
+  return p;
+}
+
+ApplicationProfile memory_heavy_app() {
+  ApplicationProfile app;
+  app.name = "stream-like";
+  app.comp_cycles_per_warp = 50;
+  app.mem_insts_per_warp = 40;
+  app.active_warps_per_sm = 32;
+  app.total_warps = 32 * 108;
+  return app;
+}
+
+ApplicationProfile compute_heavy_app() {
+  ApplicationProfile app;
+  app.name = "gemm-like";
+  app.comp_cycles_per_warp = 20000;
+  app.mem_insts_per_warp = 4;
+  app.active_warps_per_sm = 32;
+  app.total_warps = 32 * 108;
+  return app;
+}
+
+TEST(HongKim, MemoryHeavyKernelIsMemoryBound) {
+  const auto r = evaluate(memory_heavy_app(), test_params());
+  EXPECT_TRUE(r.memory_bound);
+  EXPECT_GE(r.cwp, r.mwp);
+  // The unclamped demand exceeds what the memory system can serve.
+  EXPECT_GT(r.cwp_raw, std::min(r.mwp_latency, r.mwp_bandwidth));
+}
+
+TEST(HongKim, ComputeHeavyKernelIsComputeBound) {
+  const auto r = evaluate(compute_heavy_app(), test_params());
+  EXPECT_FALSE(r.memory_bound);
+  EXPECT_LE(r.cwp, r.mwp + 1e9);  // CWP clamps at the warp count
+  EXPECT_LT(r.cwp_raw, 2.0);      // compute dominates the per-warp cycle mix
+}
+
+TEST(HongKim, CwpClampedByActiveWarps) {
+  auto app = memory_heavy_app();
+  app.active_warps_per_sm = 4;
+  const auto r = evaluate(app, test_params());
+  EXPECT_DOUBLE_EQ(r.cwp, 4.0);
+  EXPECT_GT(r.cwp_raw, 4.0);
+}
+
+TEST(HongKim, MwpRespectsBandwidthCeiling) {
+  auto gpu = test_params();
+  gpu.mem_bandwidth_bytes_per_s = 1e10;  // starve the memory system
+  const auto r = evaluate(memory_heavy_app(), gpu);
+  EXPECT_LT(r.mwp_bandwidth, r.mwp_latency);
+  EXPECT_DOUBLE_EQ(r.mwp, std::max(r.mwp_bandwidth, 1.0));
+}
+
+TEST(HongKim, EstimatedCyclesScaleWithWork) {
+  auto app = memory_heavy_app();
+  const auto small = evaluate(app, test_params());
+  app.total_warps *= 4;
+  const auto big = evaluate(app, test_params());
+  EXPECT_NEAR(big.estimated_cycles / small.estimated_cycles, 4.0, 0.5);
+}
+
+TEST(HongKim, HigherLatencyWorsensMemoryBoundRuntime) {
+  auto fast = test_params();
+  auto slow = test_params();
+  slow.mem_latency_cycles = 4 * fast.mem_latency_cycles;
+  const auto fast_result = evaluate(memory_heavy_app(), fast);
+  const auto slow_result = evaluate(memory_heavy_app(), slow);
+  EXPECT_GT(slow_result.estimated_cycles, fast_result.estimated_cycles);
+}
+
+TEST(HongKim, ParamsFromReportPullMt4gValues) {
+  const auto params = params_from_report(h100_report(), MemoryLevel::kDram);
+  const auto& spec = sim::registry_get("TestGPU-NV");
+  EXPECT_NEAR(params.mem_latency_cycles,
+              spec.at(sim::Element::kDeviceMem).latency_cycles, 4.0);
+  EXPECT_GT(params.mem_bandwidth_bytes_per_s, 0.0);
+  EXPECT_EQ(params.num_sms, 4u);
+  EXPECT_GT(params.l1_latency_cycles, 0.0);
+  EXPECT_GT(params.l2_latency_cycles, params.l1_latency_cycles);
+}
+
+TEST(HongKim, ParamsFromReportL2Level) {
+  const auto params = params_from_report(h100_report(), MemoryLevel::kL2);
+  EXPECT_NEAR(params.mem_latency_cycles, 150.0, 4.0);
+}
+
+TEST(HongKim, RejectsBadInputs) {
+  EXPECT_THROW(evaluate({}, test_params()), std::invalid_argument);
+  auto app = memory_heavy_app();
+  GpuModelParams bad;
+  EXPECT_THROW(evaluate(app, bad), std::invalid_argument);
+}
+
+TEST(Roofline, CeilingsFromReport) {
+  const auto model = roofline_from_report(h100_report());
+  EXPECT_GT(model.peak_flops, 0.0);
+  ASSERT_GE(model.ceilings.size(), 2u);  // L2 + DRAM
+  EXPECT_EQ(model.ceilings.front().level, "L2");
+  EXPECT_EQ(model.ceilings.back().level, "DRAM");
+  EXPECT_GT(model.ceilings.front().bytes_per_second,
+            model.ceilings.back().bytes_per_second);
+}
+
+TEST(Roofline, AttainableIsMinOfRoofAndSlope) {
+  RooflineModel model;
+  model.peak_flops = 100.0;
+  const RooflineCeiling c{"DRAM", 10.0};
+  EXPECT_DOUBLE_EQ(model.attainable(1.0, c), 10.0);   // bandwidth-limited
+  EXPECT_DOUBLE_EQ(model.attainable(100.0, c), 100.0);  // compute-limited
+  EXPECT_DOUBLE_EQ(model.ridge(c), 10.0);
+}
+
+}  // namespace
+}  // namespace mt4g::model

@@ -1,0 +1,130 @@
+// Tests for the multi-change-point detectors: PELT (parametric, paper II-C)
+// and K-S binary segmentation (used for wide sweeps spanning several cache
+// boundaries, e.g. L1 and L2 in one search space — paper IV-B1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/binary_segmentation.hpp"
+#include "stats/pelt.hpp"
+
+namespace mt4g::stats {
+namespace {
+
+std::vector<double> multi_step(const std::vector<std::size_t>& changes,
+                               std::size_t n, double noise_sd,
+                               std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  double level = 40.0;
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (next < changes.size() && i == changes[next]) {
+      level += 150.0;
+      ++next;
+    }
+    out.push_back(level + noise_sd * rng.normal());
+  }
+  return out;
+}
+
+bool contains_near(const std::vector<std::size_t>& found, std::size_t truth) {
+  for (const std::size_t index : found) {
+    if (index + 1 >= truth && index <= truth + 1) return true;
+  }
+  return false;
+}
+
+TEST(Pelt, SingleStep) {
+  const auto series = multi_step({40}, 80, 2.0, 1);
+  const auto changes = pelt_change_points(series);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(changes[0]), 40.0, 1.0);
+}
+
+TEST(Pelt, TwoStepsLikeL1AndL2Boundaries) {
+  const auto series = multi_step({30, 70}, 100, 2.0, 2);
+  const auto changes = pelt_change_points(series);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_TRUE(contains_near(changes, 30));
+  EXPECT_TRUE(contains_near(changes, 70));
+}
+
+TEST(Pelt, NoChangeOnFlatSeries) {
+  const auto series = multi_step({}, 80, 3.0, 3);
+  EXPECT_TRUE(pelt_change_points(series).empty());
+}
+
+TEST(Pelt, ConstantSeries) {
+  EXPECT_TRUE(pelt_change_points(std::vector<double>(50, 7.0)).empty());
+}
+
+TEST(Pelt, ExplicitPenaltyControlsSensitivity) {
+  const auto series = multi_step({25, 50, 75}, 100, 2.0, 4);
+  PeltOptions lax;
+  lax.penalty = 100.0;
+  PeltOptions strict;
+  strict.penalty = 1e9;  // a huge penalty suppresses every change
+  EXPECT_EQ(pelt_change_points(series, lax).size(), 3u);
+  EXPECT_TRUE(pelt_change_points(series, strict).empty());
+}
+
+TEST(Pelt, ShortSeriesHandled) {
+  EXPECT_TRUE(pelt_change_points(std::vector<double>{1.0, 2.0}).empty());
+  EXPECT_TRUE(pelt_change_points({}).empty());
+}
+
+TEST(BinSeg, SingleStepMatchesSingleDetector) {
+  const auto series = multi_step({32}, 64, 1.0, 5);
+  const auto changes = binary_segmentation(series);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(changes[0].index), 32.0, 1.0);
+  EXPECT_GT(changes[0].confidence, 0.99);
+}
+
+TEST(BinSeg, RecoversBothCliffsOfAWideSweep) {
+  // A wide exploratory sweep crossing L1 *and* L2 boundaries (paper IV-B1's
+  // "there may be multiple change points in this space").
+  const auto series = multi_step({30, 80}, 120, 2.0, 6);
+  const auto changes = binary_segmentation(series);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(changes[0].index), 30.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(changes[1].index), 80.0, 1.0);
+}
+
+TEST(BinSeg, FlatSeriesYieldsNothing) {
+  const auto series = multi_step({}, 100, 3.0, 7);
+  EXPECT_TRUE(binary_segmentation(series).empty());
+}
+
+TEST(BinSeg, RespectsMaxChangePoints) {
+  const auto series = multi_step({20, 40, 60, 80}, 100, 1.0, 8);
+  BinSegOptions options;
+  options.max_change_points = 2;
+  EXPECT_LE(binary_segmentation(series, options).size(), 2u);
+}
+
+TEST(BinSeg, ResultsSortedByIndex) {
+  const auto series = multi_step({25, 50, 75}, 100, 1.5, 9);
+  const auto changes = binary_segmentation(series);
+  for (std::size_t i = 1; i < changes.size(); ++i) {
+    EXPECT_LT(changes[i - 1].index, changes[i].index);
+  }
+}
+
+TEST(MultiCpd, PeltAndBinSegAgreeOnCleanData) {
+  const auto series = multi_step({35, 70}, 105, 1.0, 10);
+  const auto pelt = pelt_change_points(series);
+  const auto binseg = binary_segmentation(series);
+  ASSERT_EQ(pelt.size(), 2u);
+  ASSERT_EQ(binseg.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(static_cast<double>(pelt[i]),
+                static_cast<double>(binseg[i].index), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mt4g::stats

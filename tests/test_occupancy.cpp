@@ -1,0 +1,103 @@
+#include "model/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "core/collector.hpp"
+#include "sim/gpu.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::model {
+namespace {
+
+const core::TopologyReport& h100() {
+  static const core::TopologyReport report = [] {
+    // Occupancy needs only the compute block + Shared Memory size; an
+    // element-scoped discovery keeps the fixture fast.
+    sim::Gpu gpu(sim::registry_get("H100-80"), 42);
+    core::DiscoverOptions options;
+    options.only = sim::Element::kSharedMem;
+    return core::discover(gpu, options);
+  }();
+  return report;
+}
+
+TEST(Occupancy, UnconstrainedKernelHitsFullOccupancy) {
+  KernelResources kernel;
+  kernel.threads_per_block = 256;
+  kernel.registers_per_thread = 32;  // 8192 regs/block, 8 blocks fit
+  const auto r = occupancy(h100(), kernel);
+  // H100: 2048 threads/SM / 256 = 8 blocks; 8 * 8 warps = 64 = max warps.
+  EXPECT_EQ(r.blocks_per_sm, 8u);
+  EXPECT_EQ(r.warps_per_sm, 64u);
+  EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+  EXPECT_EQ(r.limiter, "threads");
+}
+
+TEST(Occupancy, RegisterLimited) {
+  KernelResources kernel;
+  kernel.threads_per_block = 256;
+  kernel.registers_per_thread = 128;  // 32768 regs/block -> 2 blocks/SM
+  const auto r = occupancy(h100(), kernel);
+  EXPECT_EQ(r.blocks_per_sm, 2u);
+  EXPECT_EQ(r.limiter, "registers");
+  EXPECT_DOUBLE_EQ(r.occupancy, 0.25);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  KernelResources kernel;
+  kernel.threads_per_block = 128;
+  kernel.registers_per_thread = 16;
+  kernel.shared_mem_per_block = 100 * KiB;  // 228 KiB scratchpad -> 2 blocks
+  const auto r = occupancy(h100(), kernel);
+  EXPECT_EQ(r.blocks_per_sm, 2u);
+  EXPECT_EQ(r.limiter, "shared");
+  EXPECT_LT(r.occupancy, 0.2);
+}
+
+TEST(Occupancy, BlockSlotLimited) {
+  KernelResources kernel;
+  kernel.threads_per_block = 32;  // tiny blocks: 2048/32 = 64 > 32 slots
+  kernel.registers_per_thread = 16;
+  const auto r = occupancy(h100(), kernel);
+  EXPECT_EQ(r.blocks_per_sm, 32u);
+  EXPECT_EQ(r.limiter, "blocks");
+  EXPECT_DOUBLE_EQ(r.occupancy, 0.5);  // 32 blocks * 1 warp / 64
+}
+
+TEST(Occupancy, MonotoneInRegisterPressure) {
+  KernelResources kernel;
+  kernel.threads_per_block = 256;
+  double previous = 2.0;
+  for (const std::uint32_t regs : {16u, 32u, 64u, 128u, 255u}) {
+    kernel.registers_per_thread = regs;
+    const auto r = occupancy(h100(), kernel);
+    EXPECT_LE(r.occupancy, previous) << regs;
+    previous = r.occupancy;
+  }
+}
+
+TEST(Occupancy, FeedsHongKimActiveWarps) {
+  KernelResources kernel;
+  kernel.threads_per_block = 512;
+  kernel.registers_per_thread = 64;  // 32768/block -> 2 blocks -> 32 warps
+  const auto r = occupancy(h100(), kernel);
+  EXPECT_EQ(r.warps_per_sm, 32u);
+}
+
+TEST(Occupancy, RejectsImpossibleKernels) {
+  KernelResources kernel;
+  kernel.threads_per_block = 0;
+  EXPECT_THROW(occupancy(h100(), kernel), std::invalid_argument);
+  kernel.threads_per_block = 2048;  // above max threads/block
+  EXPECT_THROW(occupancy(h100(), kernel), std::invalid_argument);
+  kernel.threads_per_block = 1024;
+  kernel.registers_per_thread = 255;  // 261k regs > 64k per block
+  EXPECT_THROW(occupancy(h100(), kernel), std::invalid_argument);
+  kernel.registers_per_thread = 32;
+  kernel.shared_mem_per_block = 1 * MiB;  // bigger than the scratchpad
+  EXPECT_THROW(occupancy(h100(), kernel), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mt4g::model

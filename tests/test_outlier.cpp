@@ -1,0 +1,82 @@
+#include "stats/outlier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mt4g::stats {
+namespace {
+
+std::vector<double> flat(std::size_t n, double value) {
+  return std::vector<double>(n, value);
+}
+
+TEST(Outlier, CleanSeriesPasses) {
+  auto series = flat(30, 100.0);
+  const auto report = screen_outliers(series);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Outlier, IsolatedSpikeFlagged) {
+  auto series = flat(30, 100.0);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] += 0.1 * static_cast<double>(i % 3);  // mild texture, MAD > 0
+  }
+  series[15] = 10000.0;
+  const auto report = screen_outliers(series);
+  ASSERT_EQ(report.spike_indices.size(), 1u);
+  EXPECT_EQ(report.spike_indices[0], 15u);
+}
+
+TEST(Outlier, SustainedShiftIsNotASpike) {
+  // A genuine change point (what the K-S should see) must not be despiked.
+  std::vector<double> series = flat(15, 100.0);
+  std::vector<double> high = flat(15, 500.0);
+  series.insert(series.end(), high.begin(), high.end());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] += 0.1 * static_cast<double>(i % 3);
+  }
+  const auto report = screen_outliers(series);
+  EXPECT_TRUE(report.spike_indices.empty());
+}
+
+TEST(Outlier, ShiftAtLowerEdgeDetected) {
+  std::vector<double> series = flat(2, 500.0);  // the head sits high
+  const auto tail = flat(28, 100.0);
+  series.insert(series.end(), tail.begin(), tail.end());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] += 0.1 * static_cast<double>(i % 3);
+  }
+  const auto report = screen_outliers(series);
+  EXPECT_TRUE(report.change_at_lower_edge);
+}
+
+TEST(Outlier, ShiftAtUpperEdgeDetected) {
+  std::vector<double> series = flat(28, 100.0);
+  const auto tail = flat(2, 500.0);
+  series.insert(series.end(), tail.begin(), tail.end());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] += 0.1 * static_cast<double>(i % 3);
+  }
+  const auto report = screen_outliers(series);
+  EXPECT_TRUE(report.change_at_upper_edge);
+}
+
+TEST(Outlier, DespikeReplacesWithNeighbourMean) {
+  std::vector<double> series = flat(20, 10.0);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] += 0.1 * static_cast<double>(i % 3);
+  }
+  series[10] = 9999.0;
+  const auto cleaned = despike(series);
+  EXPECT_NEAR(cleaned[10], 10.0, 0.5);
+  EXPECT_DOUBLE_EQ(cleaned[9], series[9]);
+}
+
+TEST(Outlier, ShortSeriesPassThrough) {
+  const std::vector<double> series{1.0, 2.0, 3.0};
+  EXPECT_TRUE(screen_outliers(series).clean());
+}
+
+}  // namespace
+}  // namespace mt4g::stats

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/collector.hpp"
+#include "core/output/csv_output.hpp"
+#include "core/output/json_output.hpp"
+#include "core/output/markdown_output.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::core {
+namespace {
+
+const TopologyReport& test_report() {
+  static const TopologyReport report = [] {
+    sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+    return discover(gpu);
+  }();
+  return report;
+}
+
+const TopologyReport& amd_report() {
+  static const TopologyReport report = [] {
+    sim::Gpu gpu(sim::registry_get("TestGPU-AMD"), 42);
+    return discover(gpu);
+  }();
+  return report;
+}
+
+TEST(Outputs, JsonContainsAllSections) {
+  const auto value = to_json(test_report());
+  ASSERT_TRUE(value.is_object());
+  EXPECT_NE(value.find("general"), nullptr);
+  EXPECT_NE(value.find("compute"), nullptr);
+  EXPECT_NE(value.find("memory"), nullptr);
+  EXPECT_NE(value.find("meta"), nullptr);
+  EXPECT_EQ(value.find("sl1d_cu_sharing"), nullptr);  // NVIDIA: absent
+}
+
+TEST(Outputs, JsonMemoryRowsCarryProvenance) {
+  const auto value = to_json(test_report());
+  const auto* memory = value.find("memory");
+  ASSERT_NE(memory, nullptr);
+  ASSERT_TRUE(memory->is_array());
+  bool saw_api = false;
+  bool saw_benchmark = false;
+  for (const auto& row : memory->as_array()) {
+    const auto* size = row.find("size_bytes");
+    ASSERT_NE(size, nullptr);
+    const auto* provenance = size->find("provenance");
+    ASSERT_NE(provenance, nullptr);
+    if (provenance->as_string() == "!(API)") saw_api = true;
+    if (provenance->as_string() == "!") saw_benchmark = true;
+  }
+  EXPECT_TRUE(saw_api);
+  EXPECT_TRUE(saw_benchmark);
+}
+
+TEST(Outputs, JsonAmdHasCuSharingSection) {
+  const auto value = to_json(amd_report());
+  const auto* sharing = value.find("sl1d_cu_sharing");
+  ASSERT_NE(sharing, nullptr);
+  EXPECT_TRUE(sharing->find("available")->as_bool());
+  EXPECT_FALSE(sharing->find("groups")->as_array().empty());
+}
+
+TEST(Outputs, JsonStringIsStable) {
+  const std::string a = to_json_string(test_report());
+  const std::string b = to_json_string(test_report());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"gpu\": \"TestGPU-NV\""), std::string::npos);
+}
+
+TEST(Outputs, CsvHasHeaderAndOneRowPerElement) {
+  const std::string csv = to_csv(test_report());
+  std::size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, test_report().memory.size() + 1);
+  EXPECT_EQ(csv.find("element,size_bytes"), 0u);
+  EXPECT_NE(csv.find("L1"), std::string::npos);
+}
+
+TEST(Outputs, SeriesCsv) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  DiscoverOptions options;
+  options.collect_series = true;
+  const auto report = discover(gpu, options);
+  const std::string csv = series_to_csv(report);
+  EXPECT_NE(csv.find("element,array_bytes"), std::string::npos);
+  EXPECT_NE(csv.find("L1"), std::string::npos);
+}
+
+TEST(Outputs, MarkdownSections) {
+  const std::string md = to_markdown(test_report());
+  EXPECT_NE(md.find("# MT4G Topology Report — TestGPU-NV"), std::string::npos);
+  EXPECT_NE(md.find("## General Information"), std::string::npos);
+  EXPECT_NE(md.find("## Compute Resources"), std::string::npos);
+  EXPECT_NE(md.find("## Memory Resources"), std::string::npos);
+  EXPECT_NE(md.find("| L1 | 4KiB |"), std::string::npos);
+  EXPECT_NE(md.find("(API)"), std::string::npos);
+}
+
+TEST(Outputs, MarkdownAmdListsCuSharing) {
+  const std::string md = to_markdown(amd_report());
+  EXPECT_NE(md.find("## sL1d CU Sharing"), std::string::npos);
+  EXPECT_NE(md.find("CU 0: shares sL1d with {0, 1}"), std::string::npos);
+  EXPECT_NE(md.find("CU 2: shares sL1d with {2}"), std::string::npos);
+}
+
+TEST(Outputs, ProvenanceSymbolsMatchTable1Legend) {
+  EXPECT_EQ(provenance_symbol(Provenance::kBenchmark), "!");
+  EXPECT_EQ(provenance_symbol(Provenance::kApi), "!(API)");
+  EXPECT_EQ(provenance_symbol(Provenance::kUnavailable), "#");
+  EXPECT_EQ(provenance_symbol(Provenance::kNotApplicable), "n/a");
+}
+
+}  // namespace
+}  // namespace mt4g::core

@@ -1,0 +1,155 @@
+// Parameterised validation sweep over the ten paper GPUs (paper Sec. V):
+// for every first-level cache the benchmarks must re-discover the registry
+// ground truth — size exactly, fetch granularity and line size exactly, and
+// latency within the noise floor. This is the tests' equivalent of Table III,
+// extended to all ten machines.
+#include <gtest/gtest.h>
+
+#include "core/benchmarks/fetch_granularity.hpp"
+#include "core/benchmarks/latency.hpp"
+#include "core/benchmarks/line_size.hpp"
+#include "core/benchmarks/size.hpp"
+#include "core/target.hpp"
+#include "common/units.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::core {
+namespace {
+
+using sim::Element;
+
+struct RealGpuCase {
+  const char* gpu;
+  Element element;
+};
+
+std::string case_name(const ::testing::TestParamInfo<RealGpuCase>& info) {
+  std::string name = std::string(info.param.gpu) + "_" +
+                     sim::element_name(info.param.element);
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class FirstLevelCacheSweep : public ::testing::TestWithParam<RealGpuCase> {};
+
+TEST_P(FirstLevelCacheSweep, RediscoversGroundTruth) {
+  const auto [gpu_name, element] = GetParam();
+  const sim::GpuSpec& spec = sim::registry_get(gpu_name);
+  const sim::ElementSpec& truth = spec.at(element);
+  sim::Gpu gpu(spec, 42);
+  const Target target = target_for(spec.vendor, element);
+
+  // Fetch granularity.
+  FgBenchOptions fg_options;
+  fg_options.target = target;
+  if (element == Element::kConstL15) {
+    fg_options.min_array_bytes = 4 * spec.at(Element::kConstL1).size_bytes;
+  }
+  const auto fg = run_fg_benchmark(gpu, fg_options);
+  ASSERT_TRUE(fg.found);
+  EXPECT_EQ(fg.granularity, truth.sector_bytes);
+
+  // Size (skip CL1.5 models larger than the 64 KiB constant limit).
+  SizeBenchOptions size_options;
+  size_options.target = target;
+  size_options.lower = element == Element::kConstL15
+                           ? 2 * spec.at(Element::kConstL1).size_bytes
+                           : 512;
+  size_options.upper = element == Element::kConstL1 ||
+                               element == Element::kConstL15
+                           ? 64 * KiB
+                           : 1024 * KiB;
+  size_options.stride = fg.granularity;
+  const auto size = run_size_benchmark(gpu, size_options);
+  if (truth.size_bytes <= size_options.upper) {
+    ASSERT_TRUE(size.found);
+    EXPECT_EQ(size.exact_bytes, truth.size_bytes);
+    EXPECT_GT(size.confidence, 0.8);
+  } else {
+    EXPECT_TRUE(size.upper_bound_hit);  // the H100 CL1.5 ">64KiB" case
+  }
+
+  // Load latency within jitter of the spec. As in the collector, the
+  // previously *benchmarked* size caps the array.
+  LatencyBenchOptions latency_options;
+  latency_options.target = target;
+  latency_options.fetch_granularity = fg.granularity;
+  latency_options.cache_bytes = size.found ? size.exact_bytes : 0;
+  if (element == Element::kConstL15) {
+    latency_options.min_array_bytes =
+        4 * spec.at(Element::kConstL1).size_bytes;
+  }
+  const auto latency = run_latency_benchmark(gpu, latency_options);
+  EXPECT_NEAR(latency.summary.mean, truth.latency_cycles, 4.0);
+  EXPECT_GT(latency.hit_fraction_in_target, 0.99);
+
+  // Cache line size (needs the size; skip when the search was truncated).
+  if (size.found) {
+    LineSizeBenchOptions line_options;
+    line_options.target = target;
+    line_options.cache_bytes = size.exact_bytes;
+    line_options.fetch_granularity = fg.granularity;
+    const auto line = run_line_size_benchmark(gpu, line_options);
+    ASSERT_TRUE(line.found);
+    EXPECT_EQ(line.line_bytes, truth.line_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NvidiaL1, FirstLevelCacheSweep,
+    ::testing::Values(RealGpuCase{"P6000", Element::kL1},
+                      RealGpuCase{"V100", Element::kL1},
+                      RealGpuCase{"T1000", Element::kL1},
+                      RealGpuCase{"RTX2080", Element::kL1},
+                      RealGpuCase{"A100", Element::kL1},
+                      RealGpuCase{"H100-80", Element::kL1},
+                      RealGpuCase{"H100-96", Element::kL1}),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    NvidiaTexRo, FirstLevelCacheSweep,
+    ::testing::Values(RealGpuCase{"H100-80", Element::kTexture},
+                      RealGpuCase{"H100-80", Element::kReadOnly},
+                      RealGpuCase{"V100", Element::kTexture},
+                      RealGpuCase{"A100", Element::kReadOnly}),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    NvidiaConstant, FirstLevelCacheSweep,
+    ::testing::Values(RealGpuCase{"P6000", Element::kConstL1},
+                      RealGpuCase{"V100", Element::kConstL1},
+                      RealGpuCase{"A100", Element::kConstL1},
+                      RealGpuCase{"H100-80", Element::kConstL1},
+                      RealGpuCase{"P6000", Element::kConstL15},
+                      RealGpuCase{"H100-80", Element::kConstL15}),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    AmdL1, FirstLevelCacheSweep,
+    ::testing::Values(RealGpuCase{"MI100", Element::kVL1},
+                      RealGpuCase{"MI210", Element::kVL1},
+                      RealGpuCase{"MI300X", Element::kVL1},
+                      RealGpuCase{"MI100", Element::kSL1D},
+                      RealGpuCase{"MI210", Element::kSL1D},
+                      RealGpuCase{"MI300X", Element::kSL1D}),
+    case_name);
+
+// The MI210 sL1d ground truth is the paper's measured 15.5 KiB — make sure
+// the non-power-of-two value survives the whole pipeline.
+TEST(RealGpus, Mi210Sl1dMeasures15_5KiB) {
+  const sim::GpuSpec& spec = sim::registry_get("MI210");
+  sim::Gpu gpu(spec, 42);
+  SizeBenchOptions options;
+  options.target = target_for(sim::Vendor::kAmd, Element::kSL1D);
+  options.lower = 512;
+  options.upper = 64 * KiB;
+  options.stride = 64;
+  const auto size = run_size_benchmark(gpu, options);
+  ASSERT_TRUE(size.found);
+  EXPECT_EQ(size.exact_bytes, 15872u);
+}
+
+}  // namespace
+}  // namespace mt4g::core

@@ -1,0 +1,61 @@
+#include "stats/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mt4g::stats {
+namespace {
+
+TEST(Reduction, GlobalMin) {
+  const std::vector<std::vector<std::uint32_t>> rows{{5, 7}, {3, 9}};
+  EXPECT_DOUBLE_EQ(global_min(rows), 3.0);
+  EXPECT_DOUBLE_EQ(global_min({}), 0.0);
+}
+
+TEST(Reduction, Equation2KnownValue) {
+  // S_i = sqrt(sum_j (r_ij - min)^2) with min = 3:
+  // row {3,7}: sqrt(0 + 16) = 4 ; row {5,5}: sqrt(4+4) = sqrt(8).
+  const std::vector<std::vector<std::uint32_t>> rows{{3, 7}, {5, 5}};
+  const auto s = geometric_reduction(rows);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 4.0);
+  EXPECT_DOUBLE_EQ(s[1], std::sqrt(8.0));
+}
+
+TEST(Reduction, AllHitsRowReducesToNearZero) {
+  // A row at the global minimum contributes nothing.
+  const std::vector<std::vector<std::uint32_t>> rows{{30, 30, 30}, {30, 200, 200}};
+  const auto s = geometric_reduction(rows);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_GT(s[1], 200.0);
+}
+
+TEST(Reduction, MissRowsScaleWithMissCount) {
+  // More misses -> strictly larger reduced value (monotone in miss count).
+  std::vector<std::vector<std::uint32_t>> rows;
+  for (int misses = 0; misses <= 10; ++misses) {
+    std::vector<std::uint32_t> row(20, 30);
+    for (int m = 0; m < misses; ++m) row[static_cast<std::size_t>(m)] = 230;
+    rows.push_back(row);
+  }
+  const auto s = geometric_reduction(rows);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_GT(s[i], s[i - 1]);
+}
+
+TEST(Reduction, RespectsProvidedMinimum) {
+  const std::vector<std::vector<std::uint32_t>> rows{{10, 10}};
+  const auto s = reduce_rows(rows, 4.0);
+  EXPECT_DOUBLE_EQ(s[0], std::sqrt(36.0 + 36.0));
+}
+
+TEST(Reduction, EmptyRowsYieldZero) {
+  const std::vector<std::vector<std::uint32_t>> rows{{}};
+  const auto s = geometric_reduction(rows);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+}
+
+}  // namespace
+}  // namespace mt4g::stats

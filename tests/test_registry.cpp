@@ -1,0 +1,149 @@
+#include "sim/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace mt4g::sim {
+namespace {
+
+TEST(Registry, TenPaperGpusPresent) {
+  const auto names = registry_names();
+  ASSERT_EQ(names.size(), 10u);
+  for (const auto& name : names) {
+    EXPECT_TRUE(registry_contains(name)) << name;
+    EXPECT_NO_THROW(registry_host(name)) << name;
+  }
+}
+
+TEST(Registry, SyntheticModelsPresent) {
+  EXPECT_TRUE(registry_contains("TestGPU-NV"));
+  EXPECT_TRUE(registry_contains("TestGPU-AMD"));
+  EXPECT_EQ(registry_all_names().size(), 14u);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(registry_get("B200"), std::out_of_range);
+  EXPECT_FALSE(registry_contains("B200"));
+}
+
+TEST(Registry, H100MatchesPaperTable3) {
+  const GpuSpec& g = registry_get("H100-80");
+  EXPECT_EQ(g.vendor, Vendor::kNvidia);
+  EXPECT_EQ(g.microarchitecture, "Hopper");
+  EXPECT_EQ(g.at(Element::kL1).size_bytes, 238 * KiB);
+  EXPECT_EQ(g.at(Element::kL1).line_bytes, 128u);
+  EXPECT_EQ(g.at(Element::kL1).sector_bytes, 32u);
+  EXPECT_EQ(g.at(Element::kConstL1).size_bytes, 2 * KiB);
+  EXPECT_EQ(g.at(Element::kSharedMem).size_bytes, 228 * KiB);
+  // 50 MB L2 in two partitions.
+  EXPECT_EQ(g.at(Element::kL2).size_bytes * g.at(Element::kL2).amount,
+            50 * MiB);
+  EXPECT_EQ(g.l2_segments(), 2u);
+  EXPECT_EQ(g.at(Element::kDeviceMem).size_bytes, 80 * GiB);
+}
+
+TEST(Registry, Mi210MatchesPaperTable3) {
+  const GpuSpec& g = registry_get("MI210");
+  EXPECT_EQ(g.vendor, Vendor::kAmd);
+  EXPECT_EQ(g.num_sms, 104u);
+  EXPECT_EQ(g.at(Element::kVL1).size_bytes, 16 * KiB);
+  EXPECT_EQ(g.at(Element::kSL1D).size_bytes, 15872u);  // 15.5 KiB
+  EXPECT_EQ(g.at(Element::kL2).size_bytes, 8 * MiB);
+  EXPECT_EQ(g.at(Element::kLds).size_bytes, 64 * KiB);
+  EXPECT_FALSE(g.has(Element::kL3));  // no L3 on CDNA2
+  EXPECT_EQ(g.active_cu_ids.size(), 104u);
+  // Physical ids range beyond the logical count (die has 128 slots).
+  EXPECT_GT(g.active_cu_ids.back(), 104u);
+}
+
+TEST(Registry, Mi300xHasL3AndEightXcds) {
+  const GpuSpec& g = registry_get("MI300X");
+  EXPECT_TRUE(g.has(Element::kL3));
+  EXPECT_EQ(g.xcd_count, 8u);
+  EXPECT_EQ(g.at(Element::kL2).amount, 8u);
+  EXPECT_EQ(g.num_sms, 304u);
+  EXPECT_TRUE(g.cu_sharing_unavailable);  // virtualised access (paper Sec. V)
+}
+
+TEST(Registry, P6000QuirkFlag) {
+  EXPECT_TRUE(registry_get("P6000").l1_amount_unavailable);
+  EXPECT_FALSE(registry_get("V100").l1_amount_unavailable);
+}
+
+TEST(Registry, A100MigProfilesMatchPaperFig5) {
+  const GpuSpec& g = registry_get("A100");
+  ASSERT_GE(g.mig_profiles.size(), 4u);
+  const auto* profile_4g = [&]() -> const MigProfile* {
+    for (const auto& p : g.mig_profiles) {
+      if (p.name == "4g.20gb") return &p;
+    }
+    return nullptr;
+  }();
+  ASSERT_NE(profile_4g, nullptr);
+  EXPECT_EQ(profile_4g->l2_bytes, 20 * MiB);
+  EXPECT_EQ(profile_4g->mem_bytes, 20 * GiB);
+  // One L2 partition of the full GPU is also 20 MB: Fig. 5's "no difference".
+  EXPECT_EQ(g.at(Element::kL2).size_bytes, profile_4g->l2_bytes);
+}
+
+TEST(Registry, SpecInvariantsHoldForAllModels) {
+  for (const auto& name : registry_all_names()) {
+    const GpuSpec& g = registry_get(name);
+    EXPECT_FALSE(g.elements.empty()) << name;
+    EXPECT_GT(g.num_sms, 0u) << name;
+    EXPECT_GT(g.clock_mhz, 0.0) << name;
+    for (const auto& [element, spec] : g.elements) {
+      EXPECT_GT(spec.size_bytes, 0u)
+          << name << " " << element_name(element);
+      EXPECT_GT(spec.latency_cycles, 0.0)
+          << name << " " << element_name(element);
+      if (spec.line_bytes != 0) {
+        EXPECT_EQ(spec.line_bytes % spec.sector_bytes, 0u)
+            << name << " " << element_name(element);
+        EXPECT_EQ(spec.size_bytes % spec.line_bytes, 0u)
+            << name << " " << element_name(element);
+      }
+    }
+    // Latency ordering: first-level < L2 < DRAM, per vendor.
+    const Element first = g.vendor == Vendor::kNvidia ? Element::kL1
+                                                      : Element::kVL1;
+    if (g.has(first) && g.has(Element::kL2)) {
+      EXPECT_LT(g.at(first).latency_cycles, g.at(Element::kL2).latency_cycles)
+          << name;
+    }
+    if (g.has(Element::kL2) && g.has(Element::kDeviceMem)) {
+      EXPECT_LT(g.at(Element::kL2).latency_cycles,
+                g.at(Element::kDeviceMem).latency_cycles)
+          << name;
+    }
+  }
+}
+
+TEST(Registry, AmdActiveCuMapping) {
+  const GpuSpec& g = registry_get("TestGPU-AMD");
+  EXPECT_EQ(g.physical_cu(0), 0u);
+  EXPECT_EQ(g.physical_cu(3), 4u);  // id 3 is fused off
+  EXPECT_EQ(g.logical_cu(4), 3u);
+  EXPECT_FALSE(g.logical_cu(3).has_value());
+  EXPECT_FALSE(g.logical_cu(5).has_value());
+}
+
+TEST(Registry, Sl1dPeerGroups) {
+  const GpuSpec& g = registry_get("TestGPU-AMD");
+  // Pair (0,1) both active.
+  EXPECT_EQ(g.sl1d_peers(0), (std::vector<std::uint32_t>{0, 1}));
+  // Physical 2's partner (3) is fused off: exclusive sL1d.
+  EXPECT_EQ(g.sl1d_peers(2), (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(g.sl1d_peers(4), (std::vector<std::uint32_t>{4}));
+  EXPECT_EQ(g.sl1d_peers(7), (std::vector<std::uint32_t>{6, 7}));
+}
+
+TEST(Registry, L2SegmentAffinityCoversAllSegments) {
+  const GpuSpec& g = registry_get("H100-80");
+  EXPECT_EQ(g.l2_segment_of(0), 0u);
+  EXPECT_EQ(g.l2_segment_of(g.num_sms - 1), 1u);
+}
+
+}  // namespace
+}  // namespace mt4g::sim

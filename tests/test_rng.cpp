@@ -1,0 +1,82 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mt4g {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitIsIndependentAndStable) {
+  Xoshiro256 root(42);
+  Xoshiro256 s1 = root.split(1);
+  Xoshiro256 s1_again = Xoshiro256(42).split(1);
+  Xoshiro256 s2 = root.split(2);
+  EXPECT_EQ(s1(), s1_again());
+  EXPECT_NE(s1(), s2());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBoundsAndCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double variance = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(variance, 1.0, 0.1);
+}
+
+TEST(Rng, SplitMix64KnownStability) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(first, splitmix64(state2));
+  EXPECT_NE(splitmix64(state), first);
+}
+
+}  // namespace
+}  // namespace mt4g

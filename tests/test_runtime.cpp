@@ -1,0 +1,165 @@
+#include "runtime/device.hpp"
+#include "runtime/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::runtime {
+namespace {
+
+using sim::Element;
+using sim::Space;
+
+TEST(Device, NvidiaPropsMirrorSpec) {
+  sim::Gpu gpu(sim::registry_get("H100-80"), 1);
+  const DeviceProp p = get_device_prop(gpu);
+  EXPECT_EQ(p.vendor, "NVIDIA");
+  EXPECT_EQ(p.multi_processor_count, 132u);
+  EXPECT_EQ(p.warp_size, 32u);
+  EXPECT_EQ(p.total_global_mem, 80 * GiB);
+  EXPECT_EQ(p.shared_mem_per_block, 228 * KiB);
+  // NVIDIA API reports the aggregate L2 (both partitions).
+  EXPECT_EQ(p.l2_cache_size, 50 * MiB);
+  EXPECT_EQ(p.compute_capability, "9.0");
+}
+
+TEST(Device, AmdPropsReportPerXcdL2) {
+  sim::Gpu gpu(sim::registry_get("MI300X"), 1);
+  const DeviceProp p = get_device_prop(gpu);
+  EXPECT_EQ(p.vendor, "AMD");
+  EXPECT_EQ(p.l2_cache_size, 4 * MiB);  // per-XCD instance
+  EXPECT_EQ(p.xcd_count, 8u);
+  EXPECT_EQ(p.warp_size, 64u);
+}
+
+TEST(Device, CoresPerSmLookupTable) {
+  EXPECT_EQ(cores_per_sm_lookup("Hopper"), 128u);
+  EXPECT_EQ(cores_per_sm_lookup("Volta"), 64u);
+  EXPECT_EQ(cores_per_sm_lookup("Pascal"), 128u);
+  EXPECT_EQ(cores_per_sm_lookup("CDNA2"), 64u);
+}
+
+TEST(Device, HsaAndKfdOnlyOnAmd) {
+  sim::Gpu nv(sim::registry_get("H100-80"), 1);
+  sim::Gpu amd(sim::registry_get("MI210"), 1);
+  EXPECT_FALSE(hsa_cache_info(nv).has_value());
+  EXPECT_FALSE(kfd_cache_info(nv).has_value());
+  const auto hsa = hsa_cache_info(amd);
+  ASSERT_TRUE(hsa.has_value());
+  EXPECT_EQ(hsa->l2_size, 8 * MiB);
+  EXPECT_EQ(hsa->l2_instances, 1u);
+  const auto kfd = kfd_cache_info(amd);
+  ASSERT_TRUE(kfd.has_value());
+  EXPECT_EQ(kfd->l2_line, 128u);
+}
+
+TEST(Device, CuMappingOnlyOnAmd) {
+  sim::Gpu nv(sim::registry_get("V100"), 1);
+  sim::Gpu amd(sim::registry_get("MI210"), 1);
+  EXPECT_TRUE(logical_to_physical_cu(nv).empty());
+  const auto mapping = logical_to_physical_cu(amd);
+  ASSERT_EQ(mapping.size(), 104u);
+  EXPECT_EQ(mapping[0], 0u);
+  EXPECT_EQ(mapping[5], 6u);  // physical id 5 is fused off
+}
+
+TEST(Kernels, PchaseWarmArrayAllHits) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 1);
+  PChaseConfig config;
+  config.base = gpu.alloc(2 * KiB);
+  config.array_bytes = 2 * KiB;  // fits the 4 KiB L1
+  config.stride_bytes = 32;
+  const auto result = run_pchase(gpu, config);
+  EXPECT_EQ(result.timed_loads, 64u);
+  EXPECT_EQ(result.served_by.at(Element::kL1), 64u);
+  EXPECT_EQ(result.latencies.size(), 64u);
+}
+
+TEST(Kernels, PchaseOversizedArrayMisses) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 1);
+  PChaseConfig config;
+  config.base = gpu.alloc(16 * KiB);
+  config.array_bytes = 16 * KiB;  // 4x the L1
+  config.stride_bytes = 32;
+  const auto result = run_pchase(gpu, config);
+  EXPECT_EQ(result.served_by.count(Element::kL1), 0u);
+  EXPECT_GT(result.served_by.at(Element::kL2), 0u);
+}
+
+TEST(Kernels, PchaseRecordCountCapsStoredLatencies) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 1);
+  PChaseConfig config;
+  config.base = gpu.alloc(2 * KiB);
+  config.array_bytes = 2 * KiB;
+  config.stride_bytes = 32;
+  config.record_count = 10;
+  const auto result = run_pchase(gpu, config);
+  EXPECT_EQ(result.latencies.size(), 10u);
+  EXPECT_EQ(result.timed_loads, 64u);  // but the full pass still ran
+}
+
+TEST(Kernels, PchaseValidation) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 1);
+  PChaseConfig config;
+  config.array_bytes = 16;
+  config.stride_bytes = 0;
+  EXPECT_THROW(run_pchase(gpu, config), std::invalid_argument);
+  config.stride_bytes = 64;
+  config.array_bytes = 32;
+  EXPECT_THROW(run_pchase(gpu, config), std::invalid_argument);
+}
+
+TEST(Kernels, AmountKernelSameSegmentEvicts) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 1);
+  PChaseConfig config;
+  config.array_bytes = 3584;  // 7/8 of the 4 KiB L1 segment
+  config.stride_bytes = 32;
+  config.base = gpu.alloc(config.array_bytes);
+  const auto base_b = gpu.alloc(config.array_bytes);
+  // Core 1 shares core 0's segment: the timed pass must thrash.
+  const auto result = run_amount_pchase(gpu, config, 1, base_b);
+  EXPECT_EQ(result.served_by.count(Element::kL1), 0u);
+}
+
+TEST(Kernels, AmountKernelOtherSegmentKeepsHits) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 1);
+  PChaseConfig config;
+  config.array_bytes = 3584;
+  config.stride_bytes = 32;
+  config.base = gpu.alloc(config.array_bytes);
+  const auto base_b = gpu.alloc(config.array_bytes);
+  // Core 8 sits in the second L1 segment: core 0's array survives.
+  const auto result = run_amount_pchase(gpu, config, 8, base_b);
+  EXPECT_EQ(result.served_by.at(Element::kL1), result.timed_loads);
+}
+
+TEST(Kernels, ScratchpadChase) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-AMD"), 1);
+  const auto result = run_scratchpad_chase(gpu, 128);
+  EXPECT_EQ(result.latencies.size(), 128u);
+  EXPECT_EQ(result.served_by.at(Element::kLds), 128u);
+}
+
+TEST(Kernels, DualCuKernelDetectsSharedSl1d) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-AMD"), 1);
+  PChaseConfig config;
+  config.space = Space::kScalar;
+  config.array_bytes = 896;  // 7/8 of the 1 KiB sL1d
+  config.stride_bytes = 64;
+  config.base = gpu.alloc(config.array_bytes);
+  const auto base_b = gpu.alloc(config.array_bytes);
+  // Logical CUs 0 and 1 share one sL1d: eviction.
+  const auto shared = run_dual_cu_pchase(gpu, config, 1, base_b);
+  EXPECT_EQ(shared.served_by.count(Element::kSL1D), 0u);
+  // Logical CU 2 (physical 2, exclusive): no interference.
+  gpu.flush_caches();
+  config.base = gpu.alloc(config.array_bytes);
+  const auto isolated =
+      run_dual_cu_pchase(gpu, config, 2, gpu.alloc(config.array_bytes));
+  EXPECT_EQ(isolated.served_by.at(Element::kSL1D), isolated.timed_loads);
+}
+
+}  // namespace
+}  // namespace mt4g::runtime

@@ -1,0 +1,118 @@
+#include "scout/analyzer.hpp"
+#include "scout/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "core/collector.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::scout {
+namespace {
+
+const core::TopologyReport& topology() {
+  static const core::TopologyReport report = [] {
+    sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+    return core::discover(gpu);
+  }();
+  return report;
+}
+
+bool has_rule(const AnalysisResult& result, const std::string& rule) {
+  for (const auto& finding : result.findings) {
+    if (finding.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(Counters, HitRateHighWhenWorkingSetFits) {
+  KernelDescription kernel;
+  kernel.name = "small";
+  kernel.working_set_bytes = 1 * KiB;
+  kernel.reuse_factor = 16.0;
+  const auto counters = synthesize_counters(kernel, 4 * KiB, 64 * KiB, 255);
+  EXPECT_GT(counters.l1_hit_rate, 0.9);
+  EXPECT_EQ(counters.local_memory_spills, 0u);
+}
+
+TEST(Counters, HitRateCollapsesBeyondCapacity) {
+  KernelDescription kernel;
+  kernel.name = "big";
+  kernel.working_set_bytes = 64 * KiB;
+  kernel.reuse_factor = 16.0;
+  const auto counters = synthesize_counters(kernel, 4 * KiB, 64 * KiB, 255);
+  EXPECT_LT(counters.l1_hit_rate, 0.1);
+  EXPECT_GT(counters.bytes_l1_to_l2, 0u);
+}
+
+TEST(Counters, SpillsWhenRegistersExceedBudget) {
+  KernelDescription kernel;
+  kernel.name = "spilly";
+  kernel.working_set_bytes = 1 * KiB;
+  kernel.registers_per_thread = 128;
+  const auto counters = synthesize_counters(kernel, 4 * KiB, 64 * KiB, 64);
+  EXPECT_GT(counters.local_memory_spills, 0u);
+}
+
+TEST(Analyzer, FlagsL1WorkingSetOverflow) {
+  KernelDescription kernel;
+  kernel.name = "thrash";
+  kernel.working_set_bytes = 32 * KiB;  // TestGPU L1 is 4 KiB
+  kernel.reuse_factor = 8.0;
+  const auto counters = synthesize_counters(kernel, 4 * KiB, 64 * KiB, 255);
+  const auto result = analyze(counters, topology());
+  EXPECT_TRUE(has_rule(result, "l1-working-set"));
+}
+
+TEST(Analyzer, QuietOnWellBehavedKernel) {
+  KernelDescription kernel;
+  kernel.name = "tidy";
+  kernel.working_set_bytes = 2 * KiB;
+  kernel.reuse_factor = 32.0;
+  const auto counters = synthesize_counters(kernel, 4 * KiB, 64 * KiB, 255);
+  const auto result = analyze(counters, topology());
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(Analyzer, FlagsRegisterSpill) {
+  KernelDescription kernel;
+  kernel.name = "spilly";
+  kernel.working_set_bytes = 2 * KiB;
+  kernel.reuse_factor = 32.0;
+  kernel.registers_per_thread = 255;
+  const auto counters = synthesize_counters(kernel, 4 * KiB, 64 * KiB, 64);
+  const auto result = analyze(counters, topology());
+  ASSERT_TRUE(has_rule(result, "register-spill"));
+  for (const auto& finding : result.findings) {
+    if (finding.rule == "register-spill") {
+      EXPECT_EQ(finding.severity, Severity::kCritical);
+      // The recommendation carries the MT4G-provided register budget.
+      EXPECT_NE(finding.message.find("regs/block from MT4G"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(Analyzer, MemoryGraphHasThreeLevelsWithCapacities) {
+  KernelDescription kernel;
+  kernel.name = "any";
+  kernel.working_set_bytes = 8 * KiB;
+  const auto counters = synthesize_counters(kernel, 4 * KiB, 64 * KiB, 255);
+  const auto result = analyze(counters, topology());
+  ASSERT_EQ(result.memory_graph.size(), 3u);
+  EXPECT_EQ(result.memory_graph[0].level, "L1");
+  EXPECT_EQ(result.memory_graph[0].capacity, 4 * KiB);  // from MT4G
+  EXPECT_EQ(result.memory_graph[1].level, "L2");
+  EXPECT_EQ(result.memory_graph[2].level, "DRAM");
+  EXPECT_GE(result.memory_graph[0].incoming_bytes,
+            result.memory_graph[1].incoming_bytes);
+}
+
+TEST(Analyzer, SeverityNames) {
+  EXPECT_EQ(severity_name(Severity::kInfo), "info");
+  EXPECT_EQ(severity_name(Severity::kWarning), "warning");
+  EXPECT_EQ(severity_name(Severity::kCritical), "critical");
+}
+
+}  // namespace
+}  // namespace mt4g::scout

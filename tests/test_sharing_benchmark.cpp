@@ -1,0 +1,97 @@
+#include "core/benchmarks/sharing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::core {
+namespace {
+
+using sim::Element;
+
+SharingBenchOptions h100_entries() {
+  SharingBenchOptions options;
+  options.entries = {
+      {Element::kL1, 238 * KiB, 32, 0},
+      {Element::kTexture, 238 * KiB, 32, 0},
+      {Element::kReadOnly, 238 * KiB, 32, 0},
+      {Element::kConstL1, 2 * KiB, 64, 64 * KiB},
+  };
+  return options;
+}
+
+TEST(SharingBenchmark, H100UnifiedL1TexRoAndSeparateConstant) {
+  // Paper Table III: L1/Texture/ReadOnly are one physical cache since
+  // Pascal; the constant cache is its own.
+  sim::Gpu gpu(sim::registry_get("H100-80"), 42);
+  const auto r = run_sharing_benchmark(gpu, h100_entries());
+  ASSERT_EQ(r.pairs.size(), 6u);
+  EXPECT_TRUE(r.shared(Element::kL1, Element::kTexture));
+  EXPECT_TRUE(r.shared(Element::kL1, Element::kReadOnly));
+  EXPECT_TRUE(r.shared(Element::kTexture, Element::kReadOnly));
+  EXPECT_FALSE(r.shared(Element::kL1, Element::kConstL1));
+  EXPECT_FALSE(r.shared(Element::kTexture, Element::kConstL1));
+  EXPECT_FALSE(r.shared(Element::kReadOnly, Element::kConstL1));
+}
+
+TEST(SharingBenchmark, GroupOfListsPeers) {
+  sim::Gpu gpu(sim::registry_get("H100-80"), 42);
+  const auto r = run_sharing_benchmark(gpu, h100_entries());
+  const auto group = r.group_of(Element::kL1);
+  EXPECT_EQ(group.size(), 2u);
+  EXPECT_TRUE(r.group_of(Element::kConstL1).empty());
+}
+
+TEST(SharingBenchmark, AsymmetricSizesUseSmallerAsTracked) {
+  // The 2 KiB constant array cannot evict the 238 KiB L1; the benchmark must
+  // still resolve the pair by tracking through the constant cache. If it
+  // tracked the L1 instead, a false "not shared" would be unavoidable —
+  // this test pins the direction.
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  SharingBenchOptions options;
+  options.entries = {
+      {Element::kL1, 4 * KiB, 32, 0},
+      {Element::kConstL1, 1 * KiB, 32, 64 * KiB},
+  };
+  const auto r = run_sharing_benchmark(gpu, options);
+  ASSERT_EQ(r.pairs.size(), 1u);
+  EXPECT_FALSE(std::get<2>(r.pairs[0]));  // physically separate on TestGPU
+}
+
+TEST(CuSharingBenchmark, RecoversGroundTruthGroups) {
+  // TestGPU-AMD: pairs (0,1), (6,7), (8,9) share; 2 and 4 are exclusive.
+  const sim::GpuSpec& spec = sim::registry_get("TestGPU-AMD");
+  sim::Gpu gpu(spec, 42);
+  CuSharingBenchOptions options;
+  options.sl1d_bytes = 1 * KiB;
+  options.stride = 64;
+  const auto r = run_cu_sharing_benchmark(gpu, options);
+  ASSERT_EQ(r.peers.size(), 8u);
+  for (std::uint32_t logical = 0; logical < spec.num_sms; ++logical) {
+    const std::uint32_t physical = spec.physical_cu(logical);
+    EXPECT_EQ(r.peers.at(physical), spec.sl1d_peers(physical))
+        << "physical CU " << physical;
+  }
+}
+
+TEST(CuSharingBenchmark, ExclusiveCusKeepFullSl1d) {
+  const auto& spec = sim::registry_get("TestGPU-AMD");
+  sim::Gpu gpu(spec, 42);
+  CuSharingBenchOptions options;
+  options.sl1d_bytes = 1 * KiB;
+  const auto r = run_cu_sharing_benchmark(gpu, options);
+  // Physical CUs 2 and 4 lost their partners to fusing: singleton groups
+  // (the paper's "double the available sL1d" optimisation opportunity).
+  EXPECT_EQ(r.peers.at(2).size(), 1u);
+  EXPECT_EQ(r.peers.at(4).size(), 1u);
+  EXPECT_EQ(r.peers.at(0).size(), 2u);
+}
+
+TEST(CuSharingBenchmark, RequiresSl1dSize) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-AMD"), 42);
+  EXPECT_THROW(run_cu_sharing_benchmark(gpu, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mt4g::core

@@ -1,0 +1,186 @@
+// Property-based tests on the simulator's invariants, driven by seeded
+// random access sequences. These pin the behaviours every microbenchmark
+// depends on, independent of any specific GPU model.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/cache.hpp"
+#include "sim/gpu.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::sim {
+namespace {
+
+CacheGeometry random_geometry(Xoshiro256& rng) {
+  CacheGeometry g;
+  const std::uint32_t line_choices[] = {32, 64, 128, 256};
+  g.line_bytes = line_choices[rng.uniform_int(0, 3)];
+  const std::uint32_t sector_divisors[] = {1, 2, 4};
+  g.sector_bytes = g.line_bytes / sector_divisors[rng.uniform_int(0, 2)];
+  g.associativity = static_cast<std::uint32_t>(1 << rng.uniform_int(0, 4));
+  g.size_bytes = g.line_bytes * (8 + rng.uniform_int(0, 120));
+  return g;
+}
+
+class CachePropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CachePropertySweep, HitsPlusMissesEqualsAccesses) {
+  Xoshiro256 rng(GetParam());
+  SectoredCache cache(random_geometry(rng));
+  constexpr int kAccesses = 5000;
+  for (int i = 0; i < kAccesses; ++i) {
+    cache.access(rng.uniform_int(0, 64 * KiB));
+  }
+  EXPECT_EQ(cache.hits() + cache.misses(), kAccesses);
+}
+
+TEST_P(CachePropertySweep, ImmediateReaccessAlwaysHits) {
+  Xoshiro256 rng(GetParam() + 100);
+  SectoredCache cache(random_geometry(rng));
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t address = rng.uniform_int(0, 256 * KiB);
+    cache.access(address);
+    EXPECT_TRUE(cache.access(address).sector_hit) << "address " << address;
+  }
+}
+
+TEST_P(CachePropertySweep, PeekAgreesWithNextAccessOutcome) {
+  Xoshiro256 rng(GetParam() + 200);
+  SectoredCache cache(random_geometry(rng));
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t address = rng.uniform_int(0, 32 * KiB);
+    const CacheAccess predicted = cache.peek(address);
+    const CacheAccess actual = cache.access(address);
+    EXPECT_EQ(predicted.sector_hit, actual.sector_hit);
+    EXPECT_EQ(predicted.line_hit, actual.line_hit);
+  }
+}
+
+TEST_P(CachePropertySweep, ResidentSetNeverExceedsCapacity) {
+  Xoshiro256 rng(GetParam() + 300);
+  const CacheGeometry geometry = random_geometry(rng);
+  SectoredCache cache(geometry);
+  std::set<std::uint64_t> touched_lines;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t address = rng.uniform_int(0, 512 * KiB);
+    cache.access(address);
+    touched_lines.insert(address / geometry.line_bytes);
+  }
+  // Count resident lines via peek over everything ever touched.
+  std::size_t resident = 0;
+  for (const std::uint64_t line : touched_lines) {
+    if (cache.peek(line * geometry.line_bytes).line_hit) ++resident;
+  }
+  EXPECT_LE(resident, geometry.num_lines());
+}
+
+TEST_P(CachePropertySweep, WarmCyclicPassIsAllHitsIffArrayFits) {
+  // The foundational premise of the size benchmark (paper Fig. 1), held
+  // across random geometries: a cyclic chase over an array <= capacity hits
+  // everywhere after warm-up, and misses somewhere as soon as it exceeds it.
+  Xoshiro256 rng(GetParam() + 400);
+  const CacheGeometry geometry = random_geometry(rng);
+  for (const bool fits : {true, false}) {
+    SectoredCache cache(geometry);
+    const std::uint64_t array =
+        fits ? geometry.size_bytes : geometry.size_bytes + geometry.line_bytes;
+    for (std::uint64_t a = 0; a < array; a += geometry.sector_bytes) {
+      cache.access(a);
+    }
+    cache.reset_counters();
+    for (std::uint64_t a = 0; a < array; a += geometry.sector_bytes) {
+      cache.access(a);
+    }
+    if (fits) {
+      EXPECT_EQ(cache.misses(), 0u) << geometry.size_bytes;
+    } else {
+      EXPECT_GT(cache.misses(), 0u) << geometry.size_bytes;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CachePropertySweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(GpuProperties, LatencyMonotoneInHierarchyDepth) {
+  // Across every registry model: a load served deeper is never faster
+  // (modulo the bounded jitter), which is what makes latency samples
+  // classifiable at all.
+  for (const auto& name : registry_all_names()) {
+    const GpuSpec& spec = registry_get(name);
+    Gpu gpu(spec, 3);
+    const auto base = gpu.alloc(512);
+    const auto cold = gpu.access_traced({0, 0}, Space::kGlobal, base);
+    const auto warm = gpu.access_traced({0, 0}, Space::kGlobal, base);
+    EXPECT_EQ(cold.served_by, Element::kDeviceMem) << name;
+    EXPECT_GT(cold.latency + 3, warm.latency) << name;
+    EXPECT_GT(cold.latency, warm.latency / 2) << name;
+  }
+}
+
+// Local mirror of core::depth_rank to avoid a core dependency in a sim test.
+int depth_rank_for_test(Element element) {
+  switch (element) {
+    case Element::kL1:
+    case Element::kTexture:
+    case Element::kReadOnly:
+    case Element::kConstL1:
+    case Element::kVL1:
+    case Element::kSL1D:
+    case Element::kSharedMem:
+    case Element::kLds:
+      return 0;
+    default:
+      return 1;
+  }
+}
+
+TEST(GpuProperties, EverySpaceReachesItsFirstLevelWarm) {
+  for (const auto& name : registry_all_names()) {
+    const GpuSpec& spec = registry_get(name);
+    Gpu gpu(spec, 4);
+    const auto base = gpu.alloc(512);
+    const std::vector<Space> spaces =
+        spec.vendor == Vendor::kNvidia
+            ? std::vector<Space>{Space::kGlobal, Space::kTexture,
+                                 Space::kReadOnly, Space::kConstant}
+            : std::vector<Space>{Space::kGlobal, Space::kScalar};
+    for (const Space space : spaces) {
+      gpu.flush_caches();
+      gpu.access({0, 0}, space, base);
+      const auto warm = gpu.access_traced({0, 0}, space, base);
+      EXPECT_EQ(depth_rank_for_test(warm.served_by), 0)
+          << name << " " << space_name(space);
+    }
+  }
+}
+
+TEST(GpuProperties, FlushedGpuReplaysIdenticalServeSequence) {
+  // Flush + identical access sequence => identical serve levels (cache state
+  // is a pure function of the access history).
+  const GpuSpec& spec = registry_get("TestGPU-NV");
+  Gpu gpu(spec, 7);
+  Xoshiro256 rng(99);
+  const auto base = gpu.alloc(64 * KiB);
+  std::vector<std::uint64_t> addresses;
+  for (int i = 0; i < 3000; ++i) {
+    addresses.push_back(base + rng.uniform_int(0, 32 * KiB));
+  }
+  std::vector<Element> first;
+  for (const auto a : addresses) {
+    first.push_back(gpu.access_traced({0, 0}, Space::kGlobal, a).served_by);
+  }
+  gpu.flush_caches();
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    EXPECT_EQ(gpu.access_traced({0, 0}, Space::kGlobal, addresses[i]).served_by,
+              first[i])
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace mt4g::sim

@@ -1,0 +1,117 @@
+#include "core/benchmarks/size.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::core {
+namespace {
+
+using sim::Element;
+
+SizeBenchResult detect(const std::string& gpu_name, Element element,
+                       std::uint64_t lower, std::uint64_t upper,
+                       std::uint64_t seed = 42) {
+  const sim::GpuSpec& spec = sim::registry_get(gpu_name);
+  sim::Gpu gpu(spec, seed);
+  SizeBenchOptions options;
+  options.target = target_for(spec.vendor, element);
+  options.lower = lower;
+  options.upper = upper;
+  options.stride = spec.at(element).sector_bytes;
+  return run_size_benchmark(gpu, options);
+}
+
+TEST(SizeBenchmark, DetectsTestGpuL1Exactly) {
+  const auto result = detect("TestGPU-NV", Element::kL1, 512, 64 * KiB);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.exact_bytes, 4 * KiB);
+  EXPECT_GT(result.confidence, 0.9);
+}
+
+TEST(SizeBenchmark, DetectsTestGpuConstL1) {
+  const auto result = detect("TestGPU-NV", Element::kConstL1, 256, 16 * KiB);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.exact_bytes, 1 * KiB);
+}
+
+TEST(SizeBenchmark, DetectsTestGpuConstL15BehindConstL1) {
+  // The chase must look *through* the 1 KiB CL1 at the 8 KiB CL1.5.
+  const auto result = detect("TestGPU-NV", Element::kConstL15, 2 * KiB,
+                             64 * KiB);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.exact_bytes, 8 * KiB);
+}
+
+TEST(SizeBenchmark, DetectsAmdVl1AndSl1d) {
+  const auto vl1 = detect("TestGPU-AMD", Element::kVL1, 512, 32 * KiB);
+  ASSERT_TRUE(vl1.found);
+  EXPECT_EQ(vl1.exact_bytes, 2 * KiB);
+  const auto sl1d = detect("TestGPU-AMD", Element::kSL1D, 256, 32 * KiB);
+  ASSERT_TRUE(sl1d.found);
+  EXPECT_EQ(sl1d.exact_bytes, 1 * KiB);
+}
+
+TEST(SizeBenchmark, DetectsL2SegmentNotApiTotal) {
+  // TestGPU-NV: API total 64 KiB, but one SM sees one 32 KiB partition.
+  const auto result = detect("TestGPU-NV", Element::kL2, 4 * KiB, 128 * KiB);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.exact_bytes, 32 * KiB);
+}
+
+TEST(SizeBenchmark, UpperBoundHitWhenCacheLargerThanSearchSpace) {
+  // Search capped below the real size: the paper's ">64KiB" behaviour.
+  const auto result = detect("TestGPU-NV", Element::kL2, 4 * KiB, 16 * KiB);
+  EXPECT_FALSE(result.found);
+  EXPECT_TRUE(result.upper_bound_hit);
+}
+
+TEST(SizeBenchmark, SweepSeriesShowsTheCliff) {
+  const auto result = detect("TestGPU-NV", Element::kL1, 512, 64 * KiB);
+  ASSERT_TRUE(result.found);
+  ASSERT_FALSE(result.reduced.empty());
+  ASSERT_EQ(result.sweep_sizes.size(), result.reduced.size());
+  // Reduced values left of the change point sit well below those right of it
+  // (the Fig. 2 picture).
+  double left_max = 0.0;
+  double right_min = 1e300;
+  for (std::size_t i = 0; i < result.sweep_sizes.size(); ++i) {
+    if (result.sweep_sizes[i] <= result.exact_bytes) {
+      left_max = std::max(left_max, result.reduced[i]);
+    } else if (result.sweep_sizes[i] > result.exact_bytes + 512) {
+      right_min = std::min(right_min, result.reduced[i]);
+    }
+  }
+  EXPECT_GT(right_min, left_max);
+}
+
+TEST(SizeBenchmark, DeterministicAcrossRuns) {
+  const auto a = detect("TestGPU-NV", Element::kL1, 512, 64 * KiB, 5);
+  const auto b = detect("TestGPU-NV", Element::kL1, 512, 64 * KiB, 5);
+  EXPECT_EQ(a.exact_bytes, b.exact_bytes);
+  EXPECT_EQ(a.detected_bytes, b.detected_bytes);
+}
+
+TEST(SizeBenchmark, RobustAcrossSeeds) {
+  for (const std::uint64_t seed : {1ull, 7ull, 99ull, 1234ull}) {
+    const auto result = detect("TestGPU-NV", Element::kL1, 512, 64 * KiB, seed);
+    ASSERT_TRUE(result.found) << "seed " << seed;
+    EXPECT_EQ(result.exact_bytes, 4 * KiB) << "seed " << seed;
+  }
+}
+
+TEST(SizeBenchmark, RejectsBadBounds) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 1);
+  SizeBenchOptions options;
+  options.target = target_for(sim::Vendor::kNvidia, Element::kL1);
+  options.lower = 1024;
+  options.upper = 512;
+  EXPECT_THROW(run_size_benchmark(gpu, options), std::invalid_argument);
+  options.upper = 2048;
+  options.stride = 0;
+  EXPECT_THROW(run_size_benchmark(gpu, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mt4g::core

@@ -1,0 +1,40 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mt4g {
+namespace {
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\ta b\n"), "a b");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("HeLLo"), "hello");
+  EXPECT_EQ(to_lower("L1_Cache"), "l1_cache");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, FormatDoubleStripsTrailingZeros) {
+  EXPECT_EQ(format_double(1.50, 2), "1.5");
+  EXPECT_EQ(format_double(2.00, 2), "2");
+  EXPECT_EQ(format_double(0.25, 2), "0.25");
+  EXPECT_EQ(format_double(1.234, 1), "1.2");
+}
+
+}  // namespace
+}  // namespace mt4g

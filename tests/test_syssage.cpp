@@ -1,0 +1,135 @@
+#include "syssage/component.hpp"
+#include "syssage/gpu_import.hpp"
+#include "syssage/mig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "core/collector.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::syssage {
+namespace {
+
+const core::TopologyReport& nv_report() {
+  static const core::TopologyReport report = [] {
+    sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+    return core::discover(gpu);
+  }();
+  return report;
+}
+
+TEST(Component, TreeConstructionAndOwnership) {
+  Component root(ComponentType::kChip, "gpu");
+  Component* sm = root.add_child(ComponentType::kSm, "SM0");
+  sm->add_child(ComponentType::kCache, "L1", 4096);
+  EXPECT_EQ(root.total_count(), 3u);
+  EXPECT_EQ(sm->parent(), &root);
+  EXPECT_EQ(root.children().size(), 1u);
+}
+
+TEST(Component, Attributes) {
+  Component c(ComponentType::kCache, "L1", 4096);
+  c.set_attribute("latency", 30.0);
+  EXPECT_TRUE(c.has_attribute("latency"));
+  EXPECT_DOUBLE_EQ(c.attribute("latency"), 30.0);
+  EXPECT_FALSE(c.has_attribute("bogus"));
+  EXPECT_THROW(c.attribute("bogus"), std::out_of_range);
+}
+
+TEST(Component, Search) {
+  Component root(ComponentType::kChip, "gpu");
+  root.add_child(ComponentType::kCache, "L2", 1 << 20);
+  Component* sm = root.add_child(ComponentType::kSm, "SM0");
+  sm->add_child(ComponentType::kCache, "L1", 4096);
+  EXPECT_NE(root.find_by_name("L1"), nullptr);
+  EXPECT_EQ(root.find_by_name("L9"), nullptr);
+  EXPECT_EQ(root.find_all_by_type(ComponentType::kCache).size(), 2u);
+}
+
+TEST(GpuImport, TreeMirrorsReport) {
+  const auto chip = import_report(nv_report());
+  ASSERT_NE(chip, nullptr);
+  EXPECT_EQ(chip->name(), "TestGPU-NV");
+  EXPECT_DOUBLE_EQ(chip->attribute("num_sms"), 4.0);
+
+  Component* l2 = chip->find_by_name("L2");
+  ASSERT_NE(l2, nullptr);
+  EXPECT_EQ(l2->size(), 64 * KiB);  // API total
+  EXPECT_DOUBLE_EQ(l2->attribute("amount"), 2.0);
+
+  Component* l1 = chip->find_by_name("L1");
+  ASSERT_NE(l1, nullptr);
+  EXPECT_EQ(l1->size(), 4 * KiB);
+  EXPECT_GT(l1->attribute("latency"), 0.0);
+  // L1 sits under the SM, not directly under the chip.
+  EXPECT_EQ(l1->parent()->type(), ComponentType::kSm);
+}
+
+TEST(GpuImport, VisibleL2PerSmDividesByAmount) {
+  const auto chip = import_report(nv_report());
+  // 64 KiB total / 2 partitions = 32 KiB observable from one SM.
+  EXPECT_EQ(visible_l2_per_sm(*chip), 32 * KiB);
+}
+
+TEST(Mig, FullGpuCapabilities) {
+  const auto& spec = sim::registry_get("A100");
+  sim::Gpu gpu(spec, 42);
+  sim::Gpu test_nv(sim::registry_get("TestGPU-NV"), 42);
+  auto report = core::discover(test_nv);
+  // Build the A100 tree cheaply: reuse the structure but query the A100 GPU.
+  Component chip(ComponentType::kChip, "A100");
+  auto* l2 = chip.add_child(ComponentType::kCache, "L2", 40 * MiB);
+  l2->set_attribute("amount", 2.0);
+  chip.add_child(ComponentType::kMemory, "DeviceMemory", 40 * GiB);
+
+  const auto caps = query_capabilities(chip, gpu);
+  EXPECT_EQ(caps.mig_profile, "full");
+  EXPECT_EQ(caps.visible_sms, 108u);
+  EXPECT_EQ(caps.visible_l2_per_sm, 20 * MiB);  // one partition
+}
+
+TEST(Mig, PartitionedCapabilitiesAndFig5Invariant) {
+  const auto& spec = sim::registry_get("A100");
+  Component chip(ComponentType::kChip, "A100");
+  auto* l2 = chip.add_child(ComponentType::kCache, "L2", 40 * MiB);
+  l2->set_attribute("amount", 2.0);
+  chip.add_child(ComponentType::kMemory, "DeviceMemory", 40 * GiB);
+
+  sim::Gpu gpu_4g(spec, 42, spec.mig_profiles[1]);  // 4g.20gb
+  const auto caps_4g = query_capabilities(chip, gpu_4g);
+  EXPECT_EQ(caps_4g.mig_profile, "4g.20gb");
+  EXPECT_EQ(caps_4g.visible_sms, 56u);
+  // Fig. 5 observation (2): same per-SM L2 visibility as the full GPU.
+  sim::Gpu gpu_full(spec, 42);
+  EXPECT_EQ(caps_4g.visible_l2_per_sm,
+            query_capabilities(chip, gpu_full).visible_l2_per_sm);
+
+  sim::Gpu gpu_1g(spec, 42, spec.mig_profiles.back());  // 1g.5gb
+  const auto caps_1g = query_capabilities(chip, gpu_1g);
+  EXPECT_EQ(caps_1g.visible_l2_per_sm, 5 * MiB);
+}
+
+TEST(Mig, ApplyToTreeRescalesComponents) {
+  Component chip(ComponentType::kChip, "A100");
+  chip.set_attribute("num_sms", 108);
+  auto* l2 = chip.add_child(ComponentType::kCache, "L2", 40 * MiB);
+  l2->set_attribute("amount", 2.0);
+  chip.add_child(ComponentType::kMemory, "DeviceMemory", 40 * GiB);
+
+  DynamicCapabilities caps;
+  caps.mig_profile = "2g.10gb";
+  caps.visible_sms = 28;
+  caps.visible_memory = 10 * GiB;
+  caps.visible_l2 = 10 * MiB;
+  caps.visible_l2_per_sm = 10 * MiB;
+  caps.bandwidth_fraction = 2.0 / 7.0;
+  apply_to_tree(chip, caps);
+
+  EXPECT_DOUBLE_EQ(chip.attribute("num_sms"), 28.0);
+  EXPECT_EQ(chip.find_by_name("L2")->size(), 10 * MiB);
+  EXPECT_EQ(chip.find_by_name("DeviceMemory")->size(), 10 * GiB);
+}
+
+}  // namespace
+}  // namespace mt4g::syssage

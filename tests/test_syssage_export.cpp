@@ -1,0 +1,77 @@
+#include "syssage/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/collector.hpp"
+#include "sim/gpu.hpp"
+#include "sim/registry.hpp"
+#include "syssage/gpu_import.hpp"
+
+namespace mt4g::syssage {
+namespace {
+
+std::unique_ptr<Component> sample_tree() {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  return import_report(core::discover(gpu));
+}
+
+TEST(SyssageExport, DotIsWellFormed) {
+  const auto chip = sample_tree();
+  const std::string dot = to_dot(*chip);
+  EXPECT_EQ(dot.rfind("digraph topology {", 0), 0u);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  // One node statement per component.
+  std::size_t nodes = 0;
+  for (std::size_t pos = dot.find(" [label=\""); pos != std::string::npos;
+       pos = dot.find(" [label=\"", pos + 1)) {
+    ++nodes;
+  }
+  EXPECT_EQ(nodes, chip->total_count());
+}
+
+TEST(SyssageExport, DotEdgesConnectParents) {
+  const auto chip = sample_tree();
+  const std::string dot = to_dot(*chip);
+  // Edges = nodes - 1 (a tree).
+  std::size_t edges = 0;
+  for (std::size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, chip->total_count() - 1);
+}
+
+TEST(SyssageExport, DotCarriesAttributes) {
+  const auto chip = sample_tree();
+  const std::string dot = to_dot(*chip);
+  EXPECT_NE(dot.find("4KiB"), std::string::npos);   // L1 size
+  EXPECT_NE(dot.find("cyc"), std::string::npos);    // latency annotation
+  EXPECT_NE(dot.find("cylinder"), std::string::npos);  // memory shape
+}
+
+TEST(SyssageExport, TextRenderingIndentsByDepth) {
+  const auto chip = sample_tree();
+  const std::string text = to_text(*chip);
+  EXPECT_EQ(text.rfind("Chip TestGPU-NV", 0), 0u);
+  EXPECT_NE(text.find("\n  Cache L2"), std::string::npos);
+  EXPECT_NE(text.find("\n  SM SM0"), std::string::npos);
+  EXPECT_NE(text.find("\n    Cache L1"), std::string::npos);
+  // One line per component.
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, chip->total_count());
+}
+
+TEST(SyssageExport, SingleNodeTree) {
+  Component lone(ComponentType::kChip, "empty");
+  const std::string dot = to_dot(lone);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_EQ(dot.find(" -> "), std::string::npos);
+  EXPECT_EQ(to_text(lone), "Chip empty\n");
+}
+
+}  // namespace
+}  // namespace mt4g::syssage

@@ -1,0 +1,45 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mt4g {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  TablePrinter table({"name", "v"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "22"});
+  const std::string out = table.str();
+  EXPECT_NE(out.find("| name        | v  |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22 |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.add_row({"1"});
+  EXPECT_NE(table.str().find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, SeparatorInsertsRule) {
+  TablePrinter table({"a"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.str();
+  // header rule + top + separator + bottom = 4 rules
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(Table, RejectsBadArity) {
+  TablePrinter table({"a"});
+  EXPECT_THROW(table.add_row({"1", "2"}), std::invalid_argument);
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mt4g

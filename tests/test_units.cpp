@@ -1,0 +1,71 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mt4g {
+namespace {
+
+TEST(Units, FormatBytesPlain) {
+  EXPECT_EQ(format_bytes(0), "0B");
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(1023), "1023B");
+}
+
+TEST(Units, FormatBytesBinarySuffixes) {
+  EXPECT_EQ(format_bytes(1024), "1KiB");
+  EXPECT_EQ(format_bytes(238 * KiB), "238KiB");
+  EXPECT_EQ(format_bytes(50 * MiB), "50MiB");
+  EXPECT_EQ(format_bytes(80 * GiB), "80GiB");
+  EXPECT_EQ(format_bytes(2 * TiB), "2TiB");
+}
+
+TEST(Units, FormatBytesFractions) {
+  EXPECT_EQ(format_bytes(1536), "1.5KiB");
+  EXPECT_EQ(format_bytes(15872), "15.5KiB");
+}
+
+TEST(Units, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth(4.4 * static_cast<double>(TiB)), "4.4 TiB/s");
+  EXPECT_EQ(format_bandwidth(500.0 * static_cast<double>(GiB)), "500 GiB/s");
+}
+
+TEST(Units, FormatFrequency) {
+  EXPECT_EQ(format_frequency(1980e6), "1.98 GHz");
+  EXPECT_EQ(format_frequency(877e6), "877 MHz");
+}
+
+TEST(Units, ParseBytesRoundTrip) {
+  EXPECT_EQ(parse_bytes("64KiB"), 64 * KiB);
+  EXPECT_EQ(parse_bytes("50MB"), 50 * MiB);
+  EXPECT_EQ(parse_bytes("8M"), 8 * MiB);
+  EXPECT_EQ(parse_bytes("1024"), 1024u);
+  EXPECT_EQ(parse_bytes("1.5k"), 1536u);
+  EXPECT_EQ(parse_bytes("2 GiB"), 2 * GiB);
+}
+
+TEST(Units, ParseBytesRejectsGarbage) {
+  EXPECT_THROW(parse_bytes(""), std::invalid_argument);
+  EXPECT_THROW(parse_bytes("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_bytes("12parsecs"), std::invalid_argument);
+  EXPECT_THROW(parse_bytes("-5KiB"), std::invalid_argument);
+}
+
+TEST(Units, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(4096));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(96));
+  EXPECT_EQ(floor_pow2(96), 64u);
+  EXPECT_EQ(floor_pow2(128), 128u);
+  EXPECT_EQ(floor_pow2(1), 1u);
+}
+
+TEST(Units, Rounding) {
+  EXPECT_EQ(round_up(100, 32), 128u);
+  EXPECT_EQ(round_up(128, 32), 128u);
+  EXPECT_EQ(round_down(100, 32), 96u);
+  EXPECT_EQ(round_down(128, 32), 128u);
+}
+
+}  // namespace
+}  // namespace mt4g
