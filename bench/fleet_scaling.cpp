@@ -1,0 +1,90 @@
+// Parallel-speedup bench for the fleet scheduler: the full registry swept
+// serially (plain run_job loop, no pool) and through run_sweep() with
+// 1/2/4/8 workers. On an N-core host the expected speedup approaches
+// min(workers, N); the table reports measured wall time and speedup, plus a
+// determinism check that every worker count produced identical reports.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/output/json_output.hpp"
+#include "fleet/fleet.hpp"
+
+namespace {
+
+using namespace mt4g;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Concatenated report JSON of all successful jobs — the determinism
+/// fingerprint compared across worker counts.
+std::string fingerprint(const std::vector<fleet::JobResult>& results) {
+  std::string all;
+  for (const auto& result : results) {
+    all += result.ok ? core::to_json_string(result.report) : "<failed>";
+  }
+  return all;
+}
+
+}  // namespace
+
+int main() {
+  fleet::SweepPlan plan;  // whole registry, one seed, incl. MIG partitions
+  const auto jobs = fleet::expand_jobs(plan);
+  std::printf("fleet_scaling: %zu jobs over the full registry\n\n",
+              jobs.size());
+
+  // Serial reference: a bare loop, no pool, no cache — what a shell script
+  // looping `mt4g --gpu ...` over the registry amounts to.
+  const auto serial_start = Clock::now();
+  std::vector<fleet::JobResult> serial(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    serial[i].job = jobs[i];
+    try {
+      serial[i].report = fleet::run_job(jobs[i]);
+      serial[i].ok = true;
+    } catch (const std::exception& e) {
+      serial[i].error = e.what();
+    }
+  }
+  const double serial_seconds = seconds_since(serial_start);
+  const std::string serial_fingerprint = fingerprint(serial);
+
+  TablePrinter table({"configuration", "wall [s]", "speedup", "identical"});
+  table.add_row({"serial loop", std::to_string(serial_seconds), "1.00", "-"});
+
+  for (const std::uint32_t workers : {1u, 2u, 4u, 8u}) {
+    fleet::SchedulerOptions options;
+    options.workers = workers;
+    const auto start = Clock::now();
+    const auto results = fleet::run_sweep(jobs, options);
+    const double elapsed = seconds_since(start);
+    const bool identical = fingerprint(results) == serial_fingerprint;
+    char speedup[32];
+    std::snprintf(speedup, sizeof speedup, "%.2f", serial_seconds / elapsed);
+    table.add_row({"pool, " + std::to_string(workers) + " workers",
+                   std::to_string(elapsed), speedup,
+                   identical ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // Cached rerun: the orchestrator's second win — zero re-discovery.
+  fleet::ResultCache cache;
+  fleet::SchedulerOptions options;
+  options.workers = 4;
+  options.cache = &cache;
+  (void)fleet::run_sweep(jobs, options);
+  const auto warm_start = Clock::now();
+  const auto warm = fleet::run_sweep(jobs, options);
+  const double warm_seconds = seconds_since(warm_start);
+  std::size_t hits = 0;
+  for (const auto& result : warm) hits += result.from_cache ? 1 : 0;
+  std::printf("warm cache rerun: %zu/%zu hits, %.3f s (cold serial %.1f s)\n",
+              hits, warm.size(), warm_seconds, serial_seconds);
+  return 0;
+}

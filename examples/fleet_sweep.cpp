@@ -1,0 +1,43 @@
+// Fleet orchestrator walkthrough: sweep a handful of models over several
+// seeds in parallel, aggregate the cross-GPU comparison matrix, then rerun
+// against the warm cache to show that completed work is never repeated.
+#include <cstdio>
+
+#include "fleet/fleet.hpp"
+
+int main() {
+  using namespace mt4g;
+
+  fleet::SweepPlan plan;
+  plan.models = {"TestGPU-NV", "TestGPU-AMD", "T1000", "A100"};
+  plan.seed_count = 2;
+  plan.include_mig = true;  // A100 contributes its four MIG partitions
+
+  const auto jobs = fleet::expand_jobs(plan);
+  std::printf("sweep: %zu jobs (%zu models x seeds x partitions)\n\n",
+              jobs.size(), plan.models.size());
+
+  fleet::ResultCache cache;  // in-memory for the demo; pass a path to persist
+  fleet::SchedulerOptions scheduler;
+  scheduler.workers = 4;
+  scheduler.cache = &cache;
+  scheduler.on_result = [](const fleet::JobResult& result, std::size_t done,
+                           std::size_t total) {
+    std::printf("  [%zu/%zu] %-55s %s\n", done, total,
+                result.job.key().c_str(), result.ok ? "ok" : "FAILED");
+  };
+
+  const auto results = fleet::run_sweep(jobs, scheduler);
+  const fleet::FleetReport report = fleet::aggregate(results);
+  std::printf("\n%s", fleet::to_markdown(report).c_str());
+
+  // Second pass: every job is answered from the cache.
+  fleet::SchedulerOptions warm = scheduler;
+  warm.on_result = nullptr;
+  const auto rerun = fleet::run_sweep(jobs, warm);
+  std::size_t from_cache = 0;
+  for (const auto& result : rerun) from_cache += result.from_cache ? 1 : 0;
+  std::printf("warm rerun: %zu/%zu jobs served from cache\n", from_cache,
+              rerun.size());
+  return 0;
+}

@@ -2,12 +2,22 @@
 // `./mt4g` binary. Flags follow the artifact description (Appendix A):
 //   -g graphs/series, -o raw data, -p markdown, -j JSON file, -q quiet,
 // plus substrate-specific selectors (--gpu, --seed, --only, --cache-config).
+//
+// The `fleet` subcommand drives the discovery orchestrator instead of a
+// single run: `mt4g fleet --models all --seeds 3 --workers 8` sweeps the
+// whole registry (incl. MIG partitions) in parallel, caches results in a
+// JSON file, and writes an aggregated cross-GPU fleet report.
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common/cli.hpp"
+#include "common/strings.hpp"
 #include "core/mt4g.hpp"
+#include "fleet/fleet.hpp"
 #include "sim/gpu.hpp"
 
 namespace {
@@ -24,9 +34,191 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
+const char kFleetUsage[] =
+    "usage: mt4g fleet [options]\n"
+    "  --models all|NAME[,NAME...]  registry models to sweep (default all)\n"
+    "  --seeds N                    noise seeds per configuration (default 1)\n"
+    "  --first-seed N               first seed value (default 42)\n"
+    "  --workers N                  worker threads (default hardware)\n"
+    "  --no-mig                     skip MIG partitions of MIG-capable GPUs\n"
+    "  --cache FILE                 result-cache JSON file\n"
+    "                               (default <out>/fleet_cache.json; 'none'\n"
+    "                               disables caching)\n"
+    "  --baseline DIR               diff results against DIR/<model>.json\n"
+    "  --out DIR                    report output directory (default .)\n"
+    "  --quiet                      no per-job progress on stderr\n"
+    "  --help                       this text\n";
+
+int run_fleet(int argc, char** argv) {
+  fleet::SweepPlan plan;
+  fleet::SchedulerOptions scheduler;
+  std::string cache_path;    // empty = derive from out dir
+  std::string baseline_dir;
+  std::string out_dir = ".";
+  bool quiet = false;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mt4g fleet: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const auto count_value = [&](long min) {
+      const char* text = value();
+      char* end = nullptr;
+      const long parsed = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0' || parsed < min || parsed > 1 << 20) {
+        std::fprintf(stderr, "mt4g fleet: %s expects an integer in [%ld, %d]\n",
+                     arg.c_str(), min, 1 << 20);
+        std::exit(2);
+      }
+      return static_cast<std::uint32_t>(parsed);
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kFleetUsage, stdout);
+      return 0;
+    } else if (arg == "--models") {
+      const std::string models = value();
+      if (models != "all") plan.models = split(models, ',');
+    } else if (arg == "--seeds") {
+      plan.seed_count = count_value(1);
+    } else if (arg == "--first-seed") {
+      plan.first_seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--workers") {
+      scheduler.workers = count_value(0);
+    } else if (arg == "--no-mig") {
+      plan.include_mig = false;
+    } else if (arg == "--cache") {
+      cache_path = value();
+    } else if (arg == "--baseline") {
+      baseline_dir = value();
+    } else if (arg == "--out") {
+      out_dir = value();
+    } else if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "mt4g fleet: unknown option '%s'\n", arg.c_str());
+      std::fputs(kFleetUsage, stderr);
+      return 2;
+    }
+  }
+  if (plan.seed_count == 0) {
+    std::fprintf(stderr, "mt4g fleet: --seeds must be >= 1\n");
+    return 2;
+  }
+  for (const auto& model : plan.models) {
+    if (!sim::registry_contains(model)) {
+      std::fprintf(stderr, "mt4g fleet: unknown GPU '%s' (see --list)\n",
+                   model.c_str());
+      return 2;
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "mt4g fleet: cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  std::optional<fleet::ResultCache> cache;
+  if (cache_path.empty()) cache_path = out_dir + "/fleet_cache.json";
+  if (cache_path != "none") {
+    cache.emplace(cache_path);
+    if (!cache->load_error().empty()) {
+      std::fprintf(stderr, "mt4g fleet: %s — rebuilding cache\n",
+                   cache->load_error().c_str());
+    }
+    scheduler.cache = &*cache;
+  }
+  if (!quiet) {
+    scheduler.on_result = [](const fleet::JobResult& result, std::size_t done,
+                             std::size_t total) {
+      std::fprintf(stderr, "fleet: [%zu/%zu] %s %s%s\n", done, total,
+                   result.job.key().c_str(), result.ok ? "ok" : "FAILED",
+                   result.from_cache ? " (cache)" : "");
+    };
+  }
+
+  const std::vector<fleet::DiscoveryJob> jobs = fleet::expand_jobs(plan);
+  const std::vector<fleet::JobResult> results =
+      fleet::run_sweep(jobs, scheduler);
+  const fleet::FleetReport report = fleet::aggregate(results);
+
+  if (cache && !cache->save()) {
+    std::fprintf(stderr, "mt4g fleet: cannot write cache %s\n",
+                 cache_path.c_str());
+  }
+
+  std::string markdown = fleet::to_markdown(report);
+  bool regressions = false;
+  if (!baseline_dir.empty()) {
+    std::map<std::string, core::TopologyReport> baselines;
+    for (const auto& model : report.models) {
+      std::ifstream in(baseline_dir + "/" + model + ".json");
+      if (!in) {
+        std::fprintf(stderr, "mt4g fleet: no baseline %s/%s.json — skipped\n",
+                     baseline_dir.c_str(), model.c_str());
+        continue;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      try {
+        baselines.emplace(model, core::from_json_string(buffer.str()));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "mt4g fleet: baseline %s.json unreadable: %s\n",
+                     model.c_str(), e.what());
+      }
+    }
+    if (baselines.empty()) {
+      std::fprintf(stderr,
+                   "mt4g fleet: --baseline %s matched no model — check the "
+                   "directory\n",
+                   baseline_dir.c_str());
+    }
+    markdown += "## Baseline diff\n\n";
+    for (const auto& diff : fleet::diff_vs_baseline(results, baselines)) {
+      if (diff.differences.empty()) {
+        markdown += "- " + diff.model + ": matches baseline\n";
+        continue;
+      }
+      regressions = true;
+      markdown += "- " + diff.model + ": " +
+                  std::to_string(diff.differences.size()) + " difference(s)\n";
+      for (const auto& difference : diff.differences) {
+        markdown += "  - " + difference.element + "." + difference.attribute +
+                    ": " + difference.lhs + " -> " + difference.rhs + "\n";
+      }
+    }
+    markdown += "\n";
+  }
+
+  bool ok = true;
+  ok &= write_file(out_dir + "/fleet_report.md", markdown);
+  ok &= write_file(out_dir + "/fleet_report.json",
+                   fleet::fleet_to_json(report).dump() + "\n");
+  std::fputs(markdown.c_str(), stdout);
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "fleet: %zu jobs, %zu ok, %zu failed, %zu cache hits\n",
+                 report.summary.total_jobs, report.summary.succeeded,
+                 report.summary.failed, report.summary.cache_hits);
+  }
+  if (!ok) return 1;
+  if (regressions) return 3;
+  return report.summary.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "fleet") {
+    return run_fleet(argc - 2, argv + 2);
+  }
   const cli::ParseResult parsed = cli::parse(argc, argv);
   if (parsed.show_help) {
     std::fputs(cli::usage().c_str(), stdout);

@@ -66,6 +66,8 @@ std::string usage() {
   return R"(mt4g — GPU compute & memory topology auto-discovery (simulated substrate)
 
 Usage: mt4g [options]
+       mt4g fleet [fleet-options]   parallel whole-registry sweep
+                                    (see `mt4g fleet --help`)
   --gpu <name>           GPU model to analyse (default H100-80; see --list)
   --list                 list available GPU models and exit
   --seed <n>             simulator noise seed (default 42)

@@ -4,6 +4,23 @@
 //   sim::Gpu gpu(sim::registry_get("H100-80"), /*seed=*/42);
 //   core::TopologyReport report = core::discover(gpu);
 //   std::cout << core::to_json_string(report);
+//
+// Thread-safety contract (load-bearing for the fleet orchestrator in
+// fleet/fleet.hpp, which runs many discoveries concurrently):
+//
+//   - Concurrent discovery over *distinct* sim::Gpu instances is safe.
+//     A Gpu owns all of its state — cache arrays, heap allocator, and the
+//     Xoshiro256 noise streams are per-instance; nothing in sim/, stats/,
+//     runtime/ or core/ keeps function-static or global mutable state.
+//   - One sim::Gpu instance must not be shared between threads: access()
+//     mutates cache state and RNG streams without internal locking. The same
+//     holds for core::discover() — it drives the Gpu it is given.
+//   - The shared singletons (sim::registry_get()'s model map, host table,
+//     sim::all_dtypes()) are `static const`, built once under the C++11
+//     magic-static guarantee and immutable afterwards; reading them from any
+//     number of threads is safe.
+//   - Reports, specs and options are plain values; distinct instances are
+//     independent, and const access to a shared instance is safe.
 #pragma once
 
 #include "core/cache_config.hpp"      // IWYU pragma: export

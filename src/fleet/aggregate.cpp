@@ -1,0 +1,350 @@
+#include "fleet/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace mt4g::fleet {
+namespace {
+
+// Canonical row order of the comparison matrix (paper Table I order).
+const sim::Element kMatrixElements[] = {
+    sim::Element::kL1,       sim::Element::kTexture,  sim::Element::kReadOnly,
+    sim::Element::kConstL1,  sim::Element::kConstL15, sim::Element::kVL1,
+    sim::Element::kSL1D,     sim::Element::kSharedMem, sim::Element::kLds,
+    sim::Element::kL2,       sim::Element::kL3,       sim::Element::kDeviceMem,
+};
+
+enum class Render { kBytes, kCycles, kCount };
+
+struct MatrixAttribute {
+  const char* name;
+  const core::Attribute& (*pick)(const core::MemoryElementReport&);
+  Render render;
+};
+
+const MatrixAttribute kMatrixAttributes[] = {
+    {"size",
+     [](const core::MemoryElementReport& r) -> const core::Attribute& {
+       return r.size;
+     },
+     Render::kBytes},
+    {"load_latency",
+     [](const core::MemoryElementReport& r) -> const core::Attribute& {
+       return r.load_latency;
+     },
+     Render::kCycles},
+    {"cache_line",
+     [](const core::MemoryElementReport& r) -> const core::Attribute& {
+       return r.cache_line;
+     },
+     Render::kBytes},
+    {"fetch_granularity",
+     [](const core::MemoryElementReport& r) -> const core::Attribute& {
+       return r.fetch_granularity;
+     },
+     Render::kBytes},
+    {"amount",
+     [](const core::MemoryElementReport& r) -> const core::Attribute& {
+       return r.amount;
+     },
+     Render::kCount},
+};
+
+std::string render_attribute(const core::Attribute& attribute, Render render) {
+  if (attribute.provenance == core::Provenance::kNotApplicable) return "n/a";
+  if (attribute.provenance == core::Provenance::kUnavailable) {
+    return attribute.note.empty() ? "#" : "# " + attribute.note;
+  }
+  switch (render) {
+    case Render::kBytes:
+      return format_bytes(static_cast<std::uint64_t>(
+          std::llround(std::max(0.0, attribute.value))));
+    case Render::kCycles:
+      return format_double(attribute.value, 1) + " cyc";
+    case Render::kCount:
+      return std::to_string(
+          static_cast<long long>(std::llround(attribute.value)));
+  }
+  return "?";
+}
+
+/// Index of the representative result per model: first successful full-GPU,
+/// unrestricted job. Models keep the order of their first representative.
+std::vector<std::pair<std::string, const JobResult*>> representatives(
+    const std::vector<JobResult>& results) {
+  std::vector<std::pair<std::string, const JobResult*>> reps;
+  for (const auto& result : results) {
+    if (!result.ok || !result.job.mig_profile.empty() ||
+        result.job.options.only) {
+      continue;
+    }
+    const auto seen =
+        std::find_if(reps.begin(), reps.end(), [&](const auto& entry) {
+          return entry.first == result.job.model;
+        });
+    if (seen == reps.end()) reps.emplace_back(result.job.model, &result);
+  }
+  return reps;
+}
+
+bool discrete_equal(const core::Attribute& lhs, const core::Attribute& rhs) {
+  if (lhs.provenance != rhs.provenance) return false;
+  if (!lhs.available()) return true;  // both unavailable/na: no value to differ
+  return lhs.value == rhs.value;
+}
+
+}  // namespace
+
+FleetReport aggregate(const std::vector<JobResult>& results) {
+  FleetReport fleet;
+  fleet.summary.total_jobs = results.size();
+  for (const auto& result : results) {
+    if (result.ok) {
+      ++fleet.summary.succeeded;
+      fleet.summary.simulated_seconds += result.report.simulated_seconds;
+    } else {
+      ++fleet.summary.failed;
+      fleet.failures.push_back({result.job.key(), result.error});
+    }
+    if (result.from_cache) ++fleet.summary.cache_hits;
+    fleet.summary.wall_seconds += result.wall_seconds;
+  }
+
+  const auto reps = representatives(results);
+  for (const auto& [model, result] : reps) fleet.models.push_back(model);
+
+  // Comparison matrix + coverage, element by element.
+  for (const sim::Element element : kMatrixElements) {
+    std::size_t models_reporting = 0;
+    for (const auto& [model, result] : reps) {
+      if (result->report.find(element) != nullptr) ++models_reporting;
+    }
+    if (models_reporting == 0) continue;
+
+    ElementCoverage coverage;
+    coverage.element = sim::element_name(element);
+    coverage.models_reporting = models_reporting;
+    for (const auto& [model, result] : reps) {
+      const core::MemoryElementReport* row = result->report.find(element);
+      if (row == nullptr) continue;
+      const core::Attribute* slots[] = {
+          &row->size,       &row->load_latency,      &row->read_bandwidth,
+          &row->write_bandwidth, &row->cache_line,   &row->fetch_granularity,
+          &row->amount};
+      for (const core::Attribute* slot : slots) {
+        if (slot->provenance == core::Provenance::kNotApplicable) continue;
+        ++coverage.attributes_total;
+        if (slot->available()) ++coverage.attributes_available;
+      }
+    }
+    fleet.coverage.push_back(coverage);
+
+    for (const MatrixAttribute& attribute : kMatrixAttributes) {
+      MatrixRow matrix_row;
+      matrix_row.element = sim::element_name(element);
+      matrix_row.attribute = attribute.name;
+      bool any = false;
+      for (const auto& [model, result] : reps) {
+        const core::MemoryElementReport* row = result->report.find(element);
+        if (row == nullptr) {
+          matrix_row.values.push_back("—");
+          continue;
+        }
+        const core::Attribute& value = attribute.pick(*row);
+        if (value.provenance != core::Provenance::kNotApplicable) any = true;
+        matrix_row.values.push_back(render_attribute(value, attribute.render));
+      }
+      if (any) fleet.matrix.push_back(std::move(matrix_row));
+    }
+  }
+
+  // Cross-seed consistency: group successful full jobs by everything except
+  // the seed, then demand identical discrete attributes within each group.
+  std::map<std::string, const JobResult*> group_first;
+  for (const auto& result : results) {
+    if (!result.ok) continue;
+    DiscoveryJob masked = result.job;
+    masked.seed = 0;
+    const std::string group_key = masked.key();
+    const auto [it, inserted] = group_first.emplace(group_key, &result);
+    if (inserted) continue;
+
+    const core::TopologyReport& lhs = it->second->report;
+    const core::TopologyReport& rhs = result.report;
+    for (const sim::Element element : kMatrixElements) {
+      const core::MemoryElementReport* a = lhs.find(element);
+      const core::MemoryElementReport* b = rhs.find(element);
+      if (a == nullptr || b == nullptr) continue;
+      const struct {
+        const char* name;
+        const core::Attribute& x;
+        const core::Attribute& y;
+      } discrete[] = {
+          {"size", a->size, b->size},
+          {"cache_line", a->cache_line, b->cache_line},
+          {"fetch_granularity", a->fetch_granularity, b->fetch_granularity},
+          {"amount", a->amount, b->amount},
+      };
+      for (const auto& entry : discrete) {
+        if (discrete_equal(entry.x, entry.y)) continue;
+        SeedDisagreement disagreement{result.job.model,
+                                      sim::element_name(element), entry.name};
+        const bool duplicate = std::any_of(
+            fleet.disagreements.begin(), fleet.disagreements.end(),
+            [&](const SeedDisagreement& d) {
+              return d.model == disagreement.model &&
+                     d.element == disagreement.element &&
+                     d.attribute == disagreement.attribute;
+            });
+        if (!duplicate) fleet.disagreements.push_back(disagreement);
+      }
+    }
+  }
+  return fleet;
+}
+
+std::string to_markdown(const FleetReport& fleet) {
+  std::string out;
+  out += "# Fleet discovery report\n\n";
+  out += "- jobs: " + std::to_string(fleet.summary.total_jobs) +
+         " (succeeded " + std::to_string(fleet.summary.succeeded) +
+         ", failed " + std::to_string(fleet.summary.failed) +
+         ", cache hits " + std::to_string(fleet.summary.cache_hits) + ")\n";
+  out += "- worker time: " + format_double(fleet.summary.wall_seconds, 2) +
+         " s, simulated GPU time: " +
+         format_double(fleet.summary.simulated_seconds, 1) + " s\n\n";
+
+  if (!fleet.matrix.empty()) {
+    out += "## Comparison matrix\n\n";
+    out += "| element | attribute |";
+    for (const auto& model : fleet.models) out += " " + model + " |";
+    out += "\n|---|---|";
+    for (std::size_t i = 0; i < fleet.models.size(); ++i) out += "---|";
+    out += "\n";
+    for (const auto& row : fleet.matrix) {
+      out += "| " + row.element + " | " + row.attribute + " |";
+      for (const auto& value : row.values) out += " " + value + " |";
+      out += "\n";
+    }
+    out += "\n";
+  }
+
+  if (!fleet.coverage.empty()) {
+    out += "## Coverage\n\n";
+    out += "| element | models | attributes resolved |\n|---|---|---|\n";
+    for (const auto& coverage : fleet.coverage) {
+      out += "| " + coverage.element + " | " +
+             std::to_string(coverage.models_reporting) + " | " +
+             std::to_string(coverage.attributes_available) + "/" +
+             std::to_string(coverage.attributes_total) + " (" +
+             format_double(100.0 * coverage.fraction(), 1) + "%) |\n";
+    }
+    out += "\n";
+  }
+
+  if (!fleet.disagreements.empty()) {
+    out += "## Cross-seed disagreements\n\n";
+    for (const auto& disagreement : fleet.disagreements) {
+      out += "- " + disagreement.model + " " + disagreement.element + "." +
+             disagreement.attribute + " differs between seeds\n";
+    }
+    out += "\n";
+  }
+
+  if (!fleet.failures.empty()) {
+    out += "## Failures\n\n";
+    for (const auto& failure : fleet.failures) {
+      out += "- `" + failure.key + "`: " + failure.error + "\n";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+json::Value fleet_to_json(const FleetReport& fleet) {
+  json::Object summary;
+  summary.emplace_back("total_jobs",
+                       static_cast<std::uint64_t>(fleet.summary.total_jobs));
+  summary.emplace_back("succeeded",
+                       static_cast<std::uint64_t>(fleet.summary.succeeded));
+  summary.emplace_back("failed",
+                       static_cast<std::uint64_t>(fleet.summary.failed));
+  summary.emplace_back("cache_hits",
+                       static_cast<std::uint64_t>(fleet.summary.cache_hits));
+  summary.emplace_back("wall_seconds", fleet.summary.wall_seconds);
+  summary.emplace_back("simulated_seconds", fleet.summary.simulated_seconds);
+
+  json::Array models;
+  for (const auto& model : fleet.models) models.emplace_back(model);
+
+  json::Array matrix;
+  for (const auto& row : fleet.matrix) {
+    json::Object item;
+    item.emplace_back("element", row.element);
+    item.emplace_back("attribute", row.attribute);
+    json::Array values;
+    for (const auto& value : row.values) values.emplace_back(value);
+    item.emplace_back("values", std::move(values));
+    matrix.emplace_back(std::move(item));
+  }
+
+  json::Array coverage;
+  for (const auto& entry : fleet.coverage) {
+    json::Object item;
+    item.emplace_back("element", entry.element);
+    item.emplace_back("models_reporting",
+                      static_cast<std::uint64_t>(entry.models_reporting));
+    item.emplace_back("attributes_available",
+                      static_cast<std::uint64_t>(entry.attributes_available));
+    item.emplace_back("attributes_total",
+                      static_cast<std::uint64_t>(entry.attributes_total));
+    item.emplace_back("fraction", entry.fraction());
+    coverage.emplace_back(std::move(item));
+  }
+
+  json::Array failures;
+  for (const auto& failure : fleet.failures) {
+    json::Object item;
+    item.emplace_back("job", failure.key);
+    item.emplace_back("error", failure.error);
+    failures.emplace_back(std::move(item));
+  }
+
+  json::Array disagreements;
+  for (const auto& disagreement : fleet.disagreements) {
+    json::Object item;
+    item.emplace_back("model", disagreement.model);
+    item.emplace_back("element", disagreement.element);
+    item.emplace_back("attribute", disagreement.attribute);
+    disagreements.emplace_back(std::move(item));
+  }
+
+  json::Object doc;
+  doc.emplace_back("summary", std::move(summary));
+  doc.emplace_back("models", std::move(models));
+  doc.emplace_back("matrix", std::move(matrix));
+  doc.emplace_back("coverage", std::move(coverage));
+  doc.emplace_back("failures", std::move(failures));
+  doc.emplace_back("disagreements", std::move(disagreements));
+  return json::Value(std::move(doc));
+}
+
+std::vector<BaselineDiff> diff_vs_baseline(
+    const std::vector<JobResult>& results,
+    const std::map<std::string, core::TopologyReport>& baselines,
+    const core::DiffOptions& options) {
+  std::vector<BaselineDiff> diffs;
+  for (const auto& [model, result] : representatives(results)) {
+    const auto baseline = baselines.find(model);
+    if (baseline == baselines.end()) continue;
+    diffs.push_back(
+        {model,
+         core::diff_reports(baseline->second, result->report, options)});
+  }
+  return diffs;
+}
+
+}  // namespace mt4g::fleet

@@ -1,0 +1,103 @@
+// Cross-GPU aggregation of a fleet sweep.
+//
+// aggregate() condenses the per-job results of run_sweep() into one
+// fleet-level report: a comparison matrix (memory elements × models, the
+// fleet-wide analogue of paper Table III), a per-element coverage summary
+// (how many attributes each element's benchmarks resolved across the fleet),
+// the list of failed jobs, and any cross-seed disagreement on discrete
+// attributes (which would indicate a non-deterministic detection path).
+// diff_vs_baseline() reuses core::diff_reports() to flag regressions against
+// stored reference reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/output/report_io.hpp"
+#include "fleet/scheduler.hpp"
+
+namespace mt4g::fleet {
+
+/// Sweep-level totals.
+struct FleetSummary {
+  std::size_t total_jobs = 0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::size_t cache_hits = 0;
+  double wall_seconds = 0.0;       ///< summed per-job worker time
+  double simulated_seconds = 0.0;  ///< summed simulated GPU time
+};
+
+/// One row of the comparison matrix: an (element, attribute) pair with one
+/// rendered value per model column ("—" = element absent, "#" = unavailable).
+struct MatrixRow {
+  std::string element;
+  std::string attribute;
+  std::vector<std::string> values;  ///< parallel to FleetReport::models
+};
+
+/// How completely one element was resolved across the fleet.
+struct ElementCoverage {
+  std::string element;
+  std::size_t models_reporting = 0;       ///< models whose report has the row
+  std::size_t attributes_available = 0;   ///< benchmark/API-resolved
+  std::size_t attributes_total = 0;       ///< counted attribute slots
+  double fraction() const {
+    return attributes_total == 0
+               ? 0.0
+               : static_cast<double>(attributes_available) /
+                     static_cast<double>(attributes_total);
+  }
+};
+
+struct JobFailure {
+  std::string key;    ///< DiscoveryJob::key()
+  std::string error;
+};
+
+/// A discrete attribute that changed between seeds of one configuration —
+/// detection should be seed-independent, so any entry here is a finding.
+struct SeedDisagreement {
+  std::string model;
+  std::string element;
+  std::string attribute;
+};
+
+struct FleetReport {
+  FleetSummary summary;
+  std::vector<std::string> models;  ///< column order of the matrix
+  std::vector<MatrixRow> matrix;
+  std::vector<ElementCoverage> coverage;
+  std::vector<JobFailure> failures;
+  std::vector<SeedDisagreement> disagreements;
+};
+
+/// Builds the fleet report. The matrix uses one representative report per
+/// model: the first successful full-GPU (non-MIG), unrestricted job.
+FleetReport aggregate(const std::vector<JobResult>& results);
+
+/// Renders the fleet report as markdown (summary, matrix, coverage,
+/// failures).
+std::string to_markdown(const FleetReport& fleet);
+
+/// JSON document of the fleet report.
+json::Value fleet_to_json(const FleetReport& fleet);
+
+/// Comparison of sweep results against stored baseline reports, keyed by
+/// model name. Models without a baseline (or without a successful
+/// representative result) are skipped; matching models are compared with
+/// core::diff_reports(). One entry per compared model; empty differences
+/// means the model matches its baseline.
+struct BaselineDiff {
+  std::string model;
+  std::vector<core::ReportDifference> differences;
+};
+std::vector<BaselineDiff> diff_vs_baseline(
+    const std::vector<JobResult>& results,
+    const std::map<std::string, core::TopologyReport>& baselines,
+    const core::DiffOptions& options = {});
+
+}  // namespace mt4g::fleet

@@ -1,0 +1,131 @@
+#include "fleet/cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/json_parse.hpp"
+#include "core/output/json_output.hpp"
+#include "core/output/report_io.hpp"
+
+namespace mt4g::fleet {
+namespace {
+
+constexpr int kCacheFileVersion = 1;
+
+}  // namespace
+
+ResultCache::ResultCache(std::string file_path)
+    : file_path_(std::move(file_path)) {
+  std::ifstream in(file_path_);
+  if (!in) return;  // no file yet: a fresh cache, not an error
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  const json::ParseResult parsed = json::parse(buffer.str());
+  if (!parsed.ok()) {
+    load_error_ = "cache file is not valid JSON: " + parsed.error.message;
+    return;
+  }
+  const json::Value& doc = *parsed.value;
+  const json::Value* version = doc.find("version");
+  const json::Value* entries = doc.find("entries");
+  if (version == nullptr || !version->is_int() ||
+      version->as_int() != kCacheFileVersion || entries == nullptr ||
+      !entries->is_array()) {
+    load_error_ = "cache file has an unexpected shape";
+    return;
+  }
+  for (const json::Value& item : entries->as_array()) {
+    const json::Value* hash = item.find("hash");
+    const json::Value* key = item.find("key");
+    const json::Value* report = item.find("report");
+    if (hash == nullptr || !hash->is_string() || key == nullptr ||
+        !key->is_string() || report == nullptr || !report->is_object()) {
+      load_error_ = "cache file contains a malformed entry";
+      entries_.clear();
+      return;
+    }
+    // Every stored report must parse; a truncated or hand-edited report
+    // poisons the whole file rather than resurfacing later as a bad hit.
+    try {
+      entries_[hash->as_string()] =
+          Entry{key->as_string(), core::from_json_string(report->dump())};
+    } catch (const std::exception& e) {
+      load_error_ = std::string("cache file holds an unreadable report: ") +
+                    e.what();
+      entries_.clear();
+      return;
+    }
+  }
+}
+
+std::optional<core::TopologyReport> ResultCache::get(
+    const DiscoveryJob& job) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(job.hash_hex());
+  // The stored key must match exactly: a 64-bit hash collision between two
+  // distinct jobs must read as a miss, never as a wrong report.
+  if (it == entries_.end() || it->second.key != job.key()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second.report;  // a copy, not a reparse: hits stay cheap
+}
+
+void ResultCache::put(const DiscoveryJob& job,
+                      const core::TopologyReport& report) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[job.hash_hex()] = Entry{job.key(), report};
+}
+
+bool ResultCache::contains(const DiscoveryJob& job) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(job.hash_hex());
+  return it != entries_.end() && it->second.key == job.key();
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+bool ResultCache::save() const {
+  if (file_path_.empty()) return true;
+  return save_as(file_path_);
+}
+
+bool ResultCache::save_as(const std::string& path) const {
+  json::Array entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [hash, entry] : entries_) {
+      json::Object item;
+      item.emplace_back("hash", hash);
+      item.emplace_back("key", entry.key);
+      item.emplace_back("report", core::to_json(entry.report));
+      entries.emplace_back(std::move(item));
+    }
+  }
+  json::Object doc;
+  doc.emplace_back("version", kCacheFileVersion);
+  doc.emplace_back("entries", std::move(entries));
+
+  std::ofstream out(path);
+  if (!out) return false;
+  out << json::Value(std::move(doc)).dump() << "\n";
+  return out.good();
+}
+
+}  // namespace mt4g::fleet

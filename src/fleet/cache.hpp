@@ -1,0 +1,76 @@
+// Result cache for fleet sweeps.
+//
+// Stores one TopologyReport per DiscoveryJob content hash, in memory and
+// optionally persisted to a single JSON file, so a repeated sweep skips every
+// job whose result is already known. The design follows the frozen-index /
+// handle-lookup registry pattern: jobs never carry results, they carry a
+// stable key, and the cache is the only authority mapping keys to reports.
+//
+// All member functions are safe to call concurrently — the scheduler's worker
+// threads probe and fill the cache in parallel.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/report.hpp"
+#include "fleet/job.hpp"
+
+namespace mt4g::fleet {
+
+class ResultCache {
+ public:
+  /// In-memory cache with no backing file.
+  ResultCache() = default;
+
+  /// File-backed cache: loads @p file_path when it exists. A missing file
+  /// starts empty; a corrupted or wrong-shape file also starts empty and
+  /// records the problem in load_error() (the file is overwritten wholesale
+  /// on the next save(), which is the recovery).
+  explicit ResultCache(std::string file_path);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Cached report for @p job, or nullopt. Bumps the hit/miss counters.
+  std::optional<core::TopologyReport> get(const DiscoveryJob& job) const;
+
+  /// Stores (or overwrites) the report for @p job.
+  void put(const DiscoveryJob& job, const core::TopologyReport& report);
+
+  /// True when a result for @p job is present (no counter side effects).
+  bool contains(const DiscoveryJob& job) const;
+
+  std::size_t size() const;
+  std::size_t hits() const;
+  std::size_t misses() const;
+
+  /// Why the backing file failed to load; empty when it loaded (or when the
+  /// cache is memory-only / the file did not exist yet).
+  const std::string& load_error() const { return load_error_; }
+
+  /// Writes all entries to the backing file. No-op (returns true) for
+  /// memory-only caches; returns false when the file cannot be written.
+  bool save() const;
+
+  /// Writes all entries to an explicit path.
+  bool save_as(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string key;              ///< DiscoveryJob::key() — collision guard
+    core::TopologyReport report;  ///< parsed once at load()/put() time
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  ///< keyed by DiscoveryJob::hash_hex()
+  std::string file_path_;
+  std::string load_error_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace mt4g::fleet

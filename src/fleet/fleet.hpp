@@ -1,0 +1,18 @@
+// Umbrella header: the fleet discovery orchestrator.
+//
+// Typical use:
+//   fleet::SweepPlan plan;                       // whole registry, one seed
+//   plan.seed_count = 3;
+//   fleet::ResultCache cache("fleet_cache.json");
+//   fleet::SchedulerOptions scheduler;
+//   scheduler.workers = 8;
+//   scheduler.cache = &cache;
+//   const auto results = fleet::run_sweep(fleet::expand_jobs(plan), scheduler);
+//   std::cout << fleet::to_markdown(fleet::aggregate(results));
+//   cache.save();
+#pragma once
+
+#include "fleet/aggregate.hpp"  // IWYU pragma: export
+#include "fleet/cache.hpp"      // IWYU pragma: export
+#include "fleet/job.hpp"        // IWYU pragma: export
+#include "fleet/scheduler.hpp"  // IWYU pragma: export

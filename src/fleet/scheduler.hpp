@@ -1,0 +1,49 @@
+// Worker-pool discovery scheduler.
+//
+// run_sweep() fans a job list out across a fixed-size thread pool and returns
+// one JobResult per job, in job order — the result vector is identical for
+// any worker count, because each worker writes into the slot of the job index
+// it claimed (there is no completion-order dependence). A job that throws is
+// captured as a failed JobResult; the sweep always runs to completion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "fleet/cache.hpp"
+#include "fleet/job.hpp"
+
+namespace mt4g::fleet {
+
+/// Outcome of one job within a sweep.
+struct JobResult {
+  DiscoveryJob job;
+  bool ok = false;
+  bool from_cache = false;      ///< served by the ResultCache, not discovery
+  std::string error;            ///< exception message when !ok
+  core::TopologyReport report;  ///< valid only when ok
+  double wall_seconds = 0.0;    ///< host time this job took on its worker
+};
+
+struct SchedulerOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
+  std::uint32_t workers = 0;
+  /// Optional shared result cache probed before and filled after each run.
+  ResultCache* cache = nullptr;
+  /// Progress callback, invoked once per finished job from worker threads but
+  /// never concurrently (serialised internally). @p done counts finished
+  /// jobs including this one, @p total is the sweep size.
+  std::function<void(const JobResult& result, std::size_t done,
+                     std::size_t total)>
+      on_result;
+};
+
+/// Runs every job and returns results in job order. Never throws for
+/// per-job failures; see JobResult::ok / error.
+std::vector<JobResult> run_sweep(const std::vector<DiscoveryJob>& jobs,
+                                 const SchedulerOptions& options = {});
+
+}  // namespace mt4g::fleet

@@ -568,12 +568,19 @@ std::vector<std::string> registry_names() {
           "H100-80", "H100-96", "MI100", "MI210",   "MI300X"};
 }
 
+std::vector<std::string> registry_preview_names() {
+  return {"B100-preview", "MI355X-preview"};
+}
+
+std::vector<std::string> registry_synthetic_names() {
+  return {"TestGPU-NV", "TestGPU-AMD"};
+}
+
 std::vector<std::string> registry_all_names() {
   auto names = registry_names();
-  names.push_back("B100-preview");
-  names.push_back("MI355X-preview");
-  names.push_back("TestGPU-NV");
-  names.push_back("TestGPU-AMD");
+  for (auto&& group : {registry_preview_names(), registry_synthetic_names()}) {
+    names.insert(names.end(), group.begin(), group.end());
+  }
   return names;
 }
 

@@ -2,10 +2,14 @@
 //
 // Ground-truth values for H100-80 and MI210 follow the paper's Table III
 // (MT4G column where it reveals "true" values, reference column otherwise);
-// the remaining eight machines use public datasheet/whitepaper values. Two
-// additional synthetic models ("TestGPU-NV", "TestGPU-AMD") have deliberately
-// tiny caches and multi-segment layouts so unit tests can exercise every
-// detection path quickly.
+// the remaining eight machines use public datasheet/whitepaper values.
+// Beyond the ten paper machines the registry carries four extra models,
+// enumerable via registry_preview_names() / registry_synthetic_names():
+//   - two future-architecture previews ("B100-preview", "MI355X-preview",
+//     paper Sec. VII) with extrapolated parameters, and
+//   - two synthetic models ("TestGPU-NV", "TestGPU-AMD") with deliberately
+//     tiny caches and multi-segment layouts so unit tests can exercise every
+//     detection path quickly.
 #pragma once
 
 #include <string>
@@ -24,7 +28,13 @@ struct HostInfo {
 /// Names of the ten evaluated GPUs, in the paper's order.
 std::vector<std::string> registry_names();
 
-/// Names including the synthetic test models.
+/// Names of the future-architecture preview models (paper Sec. VII).
+std::vector<std::string> registry_preview_names();
+
+/// Names of the synthetic fast-test models.
+std::vector<std::string> registry_synthetic_names();
+
+/// All registered names: paper machines, then previews, then synthetics.
 std::vector<std::string> registry_all_names();
 
 /// Looks a model up by name (case-sensitive). Throws std::out_of_range.

@@ -1,0 +1,132 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/output/json_output.hpp"
+#include "fleet/fleet.hpp"
+
+namespace mt4g::fleet {
+namespace {
+
+DiscoveryJob synthetic_job(std::uint64_t seed = 42) {
+  DiscoveryJob job;
+  job.model = "TestGPU-NV";
+  job.seed = seed;
+  return job;
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "mt4g_" + name;
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name) : path_(temp_path(name)) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(FleetCache, MissThenHitRoundTripsTheReport) {
+  ResultCache cache;
+  const DiscoveryJob job = synthetic_job();
+  EXPECT_FALSE(cache.get(job).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  const core::TopologyReport report = run_job(job);
+  cache.put(job, report);
+  EXPECT_TRUE(cache.contains(job));
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto cached = cache.get(job);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(core::to_json_string(*cached), core::to_json_string(report));
+
+  // A different seed is different work: miss, not a stale hit.
+  EXPECT_FALSE(cache.get(synthetic_job(43)).has_value());
+}
+
+TEST(FleetCache, FileRoundTripAcrossInstances) {
+  TempFile file("cache_roundtrip.json");
+  const DiscoveryJob job = synthetic_job();
+  const core::TopologyReport report = run_job(job);
+  {
+    ResultCache cache(file.path());
+    EXPECT_TRUE(cache.load_error().empty());  // missing file is not an error
+    cache.put(job, report);
+    EXPECT_TRUE(cache.save());
+  }
+  ResultCache reloaded(file.path());
+  EXPECT_TRUE(reloaded.load_error().empty());
+  EXPECT_EQ(reloaded.size(), 1u);
+  const auto cached = reloaded.get(job);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(core::to_json_string(*cached), core::to_json_string(report));
+}
+
+TEST(FleetCache, CorruptedFileRecoversEmpty) {
+  const char* corruptions[] = {
+      "not json at all {{{",
+      "[1, 2, 3]",
+      R"({"version": 99, "entries": []})",
+      R"({"version": 1, "entries": [{"hash": "abc"}]})",
+      R"({"version": 1, "entries": [{"hash": "abc", "key": "k",
+          "report": {"general": "truncated"}}]})",
+  };
+  for (const char* corruption : corruptions) {
+    TempFile file("cache_corrupt.json");
+    {
+      std::ofstream out(file.path());
+      out << corruption;
+    }
+    ResultCache cache(file.path());
+    EXPECT_FALSE(cache.load_error().empty()) << corruption;
+    EXPECT_EQ(cache.size(), 0u) << corruption;
+
+    // Recovery: the next save overwrites the corrupted file wholesale.
+    const DiscoveryJob job = synthetic_job();
+    cache.put(job, run_job(job));
+    EXPECT_TRUE(cache.save());
+    ResultCache healed(file.path());
+    EXPECT_TRUE(healed.load_error().empty()) << corruption;
+    EXPECT_TRUE(healed.get(job).has_value()) << corruption;
+  }
+}
+
+TEST(FleetCache, SchedulerSkipsCachedJobsOnRerun) {
+  const SweepPlan plan = [] {
+    SweepPlan p;
+    p.models = {"TestGPU-NV", "TestGPU-AMD"};
+    p.seed_count = 2;
+    return p;
+  }();
+  const auto jobs = expand_jobs(plan);
+
+  ResultCache cache;
+  SchedulerOptions options;
+  options.workers = 2;
+  options.cache = &cache;
+
+  const auto cold = run_sweep(jobs, options);
+  for (const auto& result : cold) EXPECT_FALSE(result.from_cache);
+  EXPECT_EQ(cache.size(), jobs.size());
+
+  const auto warm = run_sweep(jobs, options);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_TRUE(warm[i].from_cache) << warm[i].job.key();
+    EXPECT_EQ(core::to_json_string(warm[i].report),
+              core::to_json_string(cold[i].report));
+  }
+  const FleetReport fleet = aggregate(warm);
+  EXPECT_EQ(fleet.summary.cache_hits, jobs.size());
+}
+
+}  // namespace
+}  // namespace mt4g::fleet

@@ -22,6 +22,18 @@ TEST(Registry, SyntheticModelsPresent) {
   EXPECT_EQ(registry_all_names().size(), 14u);
 }
 
+TEST(Registry, AllNamesIsPaperPlusPreviewsPlusSynthetics) {
+  auto expected = registry_names();
+  for (const auto& name : registry_preview_names()) expected.push_back(name);
+  for (const auto& name : registry_synthetic_names()) expected.push_back(name);
+  EXPECT_EQ(registry_all_names(), expected);
+  EXPECT_EQ(registry_preview_names().size(), 2u);
+  EXPECT_EQ(registry_synthetic_names().size(), 2u);
+  for (const auto& name : registry_all_names()) {
+    EXPECT_TRUE(registry_contains(name)) << name;
+  }
+}
+
 TEST(Registry, UnknownNameThrows) {
   EXPECT_THROW(registry_get("B200"), std::out_of_range);
   EXPECT_FALSE(registry_contains("B200"));
