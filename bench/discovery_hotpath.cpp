@@ -1,0 +1,135 @@
+// Discovery hot-path bench: per-model serial discovery timings through the
+// compiled-AccessPath engine vs the per-load reference engine, plus the
+// golden-equivalence check that both engines produce byte-identical reports
+// at a fixed seed. Writes BENCH_discovery.json, the repo's perf trajectory
+// record for the simulator hot path.
+//
+// Usage:
+//   discovery_hotpath                        # full registry
+//   discovery_hotpath TestGPU-NV ...         # explicit model list (CI smoke)
+//   discovery_hotpath --max-seconds N ...    # fail if any compiled
+//                                            # discovery exceeds N seconds
+//
+// Exits 1 when any model's reports diverge between engines and 2 when the
+// --max-seconds budget is exceeded, so correctness or perf regressions in
+// the compiled path fail loudly instead of skewing results silently.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "core/output/json_output.hpp"
+#include "fleet/fleet.hpp"
+#include "runtime/kernels.hpp"
+#include "sim/registry.hpp"
+
+namespace {
+
+using namespace mt4g;
+using Clock = std::chrono::steady_clock;
+
+struct ModelResult {
+  std::string model;
+  double compiled_s = 0.0;
+  double reference_s = 0.0;
+  bool identical = false;
+};
+
+std::string timed_discovery(const std::string& model,
+                            runtime::PChaseEngine engine, double& seconds) {
+  fleet::DiscoveryJob job;
+  job.model = model;
+  runtime::ScopedPChaseEngine scope(engine);
+  const auto start = Clock::now();
+  const core::TopologyReport report = fleet::run_job(job);
+  seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return core::to_json_string(report);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> models;
+  double max_seconds = 0.0;  // 0 = no budget
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-seconds" && i + 1 < argc) {
+      max_seconds = std::atof(argv[++i]);
+    } else {
+      models.push_back(arg);
+    }
+  }
+  if (models.empty()) models = sim::registry_all_names();
+
+  std::vector<ModelResult> results;
+  TablePrinter table(
+      {"model", "compiled [s]", "reference [s]", "speedup", "identical"});
+  bool all_identical = true;
+
+  for (const auto& model : models) {
+    ModelResult r;
+    r.model = model;
+    const std::string compiled =
+        timed_discovery(model, runtime::PChaseEngine::kCompiled, r.compiled_s);
+    const std::string reference = timed_discovery(
+        model, runtime::PChaseEngine::kReference, r.reference_s);
+    r.identical = compiled == reference;
+    all_identical = all_identical && r.identical;
+    results.push_back(r);
+
+    char compiled_s[32], reference_s[32], speedup[32];
+    std::snprintf(compiled_s, sizeof compiled_s, "%.3f", r.compiled_s);
+    std::snprintf(reference_s, sizeof reference_s, "%.3f", r.reference_s);
+    std::snprintf(speedup, sizeof speedup, "%.2f",
+                  r.compiled_s > 0 ? r.reference_s / r.compiled_s : 0.0);
+    table.add_row({model, compiled_s, reference_s, speedup,
+                   r.identical ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  json::Object per_model;
+  double slowest_compiled = 0.0;
+  std::string slowest_model;
+  for (const auto& r : results) {
+    json::Object entry;
+    entry.emplace_back("compiled_seconds", r.compiled_s);
+    entry.emplace_back("reference_seconds", r.reference_s);
+    entry.emplace_back(
+        "speedup", r.compiled_s > 0 ? r.reference_s / r.compiled_s : 0.0);
+    entry.emplace_back("identical_reports", r.identical);
+    per_model.emplace_back(r.model, json::Value(std::move(entry)));
+    if (r.compiled_s > slowest_compiled) {
+      slowest_compiled = r.compiled_s;
+      slowest_model = r.model;
+    }
+  }
+  json::Object root;
+  root.emplace_back("bench", "discovery_hotpath");
+  root.emplace_back("models", per_model);
+  root.emplace_back("slowest_model", slowest_model);
+  root.emplace_back("slowest_compiled_seconds", slowest_compiled);
+  root.emplace_back("all_reports_identical", all_identical);
+  std::ofstream out("BENCH_discovery.json");
+  out << json::Value(std::move(root)).dump() << "\n";
+  std::printf("wrote BENCH_discovery.json (slowest compiled: %s, %.3f s)\n",
+              slowest_model.c_str(), slowest_compiled);
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: compiled and reference engines disagree on at least "
+                 "one model's report\n");
+    return 1;
+  }
+  if (max_seconds > 0.0 && slowest_compiled > max_seconds) {
+    std::fprintf(stderr,
+                 "FAIL: slowest compiled discovery (%s, %.3f s) exceeds the "
+                 "--max-seconds budget of %.1f s\n",
+                 slowest_model.c_str(), slowest_compiled, max_seconds);
+    return 2;
+  }
+  return 0;
+}

@@ -11,8 +11,14 @@
 
 namespace mt4g {
 
-/// splitmix64 step; used for seeding and cheap hashing.
-std::uint64_t splitmix64(std::uint64_t& state);
+/// splitmix64 step; used for seeding, cheap hashing, and the per-load noise
+/// draw (inline: one call per simulated load).
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
 
 /// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
 class Xoshiro256 {
@@ -24,7 +30,18 @@ class Xoshiro256 {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }
 
-  result_type operator()();
+  // Inline: one call per simulated load (via NoiseModel::sample).
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Returns a generator with a statistically independent stream, derived from
   /// this generator's seed and @p stream_id. Does not advance this generator.
@@ -40,6 +57,10 @@ class Xoshiro256 {
   double normal();
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t seed_;
   std::uint64_t s_[4];
 };

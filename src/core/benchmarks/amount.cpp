@@ -20,6 +20,14 @@ AmountBenchResult run_amount_benchmark(sim::Gpu& gpu,
   const std::uint64_t array_bytes =
       round_down(options.cache_bytes - options.cache_bytes / 8,
                  options.stride);
+  if (array_bytes < options.stride) {
+    // The cache is smaller than ~one stride (e.g. a tiny constL1 probed at a
+    // coarse fetch granularity): the two-array eviction pattern cannot be
+    // formed. Report unavailable instead of letting the p-chase validation
+    // abort the whole discovery.
+    out.available = false;
+    return out;
+  }
 
   runtime::PChaseConfig config;
   config.space = options.target.space;
@@ -28,11 +36,14 @@ AmountBenchResult run_amount_benchmark(sim::Gpu& gpu,
   config.stride_bytes = options.stride;
   config.record_count = 512;
   config.where = options.where;
+  // Both arrays are allocated once and reused by every probe: per-probe
+  // allocations would grow the simulated heap, making set mapping (and hence
+  // the observed hit/miss pattern) depend on probe order.
+  config.base = gpu.alloc(array_bytes, 256);
+  const std::uint64_t base_b = gpu.alloc(array_bytes, 256);
 
   for (std::uint32_t core_b = 1; core_b < cores; core_b *= 2) {
     gpu.flush_caches();
-    config.base = gpu.alloc(array_bytes, 256);
-    const std::uint64_t base_b = gpu.alloc(array_bytes, 256);
     const auto result =
         runtime::run_amount_pchase(gpu, config, core_b, base_b);
     out.cycles += result.total_cycles;

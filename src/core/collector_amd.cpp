@@ -109,7 +109,10 @@ void collect_amd(CollectorContext& ctx) {
       amount_options.stride = state.fg;
       const auto amount = run_amount_benchmark(gpu, amount_options);
       ctx.book(amount.cycles);
-      row.amount = Attribute::benchmarked(amount.amount);
+      row.amount =
+          amount.available
+              ? Attribute::benchmarked(amount.amount)
+              : Attribute::unavailable("cache smaller than one stride");
     } else {
       row.amount = Attribute::unavailable("cache size unknown");
     }

@@ -96,8 +96,9 @@ double hit_fraction(const runtime::PChaseResult& result,
                     sim::Element tracked) {
   if (result.timed_loads == 0) return 0.0;
   std::uint64_t within = 0;
-  for (const auto& [element, count] : result.served_by) {
-    if (served_within(tracked, element)) within += count;
+  for (std::size_t i = 0; i < sim::kElementCount; ++i) {
+    const auto element = static_cast<sim::Element>(i);
+    if (served_within(tracked, element)) within += result.served_by.at(element);
   }
   return static_cast<double>(within) /
          static_cast<double>(result.timed_loads);

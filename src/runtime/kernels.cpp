@@ -1,9 +1,12 @@
 #include "runtime/kernels.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mt4g::runtime {
 namespace {
+
+thread_local PChaseEngine t_engine = PChaseEngine::kCompiled;
 
 void validate(const PChaseConfig& config) {
   if (config.stride_bytes == 0) {
@@ -18,12 +21,17 @@ void validate(const PChaseConfig& config) {
 std::uint64_t warmup_pass(sim::Gpu& gpu, const PChaseConfig& config,
                           const sim::Placement& where) {
   const std::uint64_t steps = config.array_bytes / config.stride_bytes;
-  std::uint64_t cycles = 0;
-  for (std::uint64_t i = 0; i < steps; ++i) {
-    cycles += gpu.access(where, config.space,
-                         config.base + i * config.stride_bytes, config.flags);
+  if (t_engine == PChaseEngine::kReference) {
+    std::uint64_t cycles = 0;
+    for (std::uint64_t i = 0; i < steps; ++i) {
+      cycles += gpu.access(where, config.space,
+                           config.base + i * config.stride_bytes, config.flags);
+    }
+    return cycles;
   }
-  return cycles;
+  const sim::AccessPath path =
+      gpu.compile_path(where, config.space, config.flags);
+  return gpu.run_pass(path, config.base, config.stride_bytes, steps);
 }
 
 /// The timed pass: records the first record_count latencies and classifies
@@ -34,19 +42,31 @@ void timed_pass(sim::Gpu& gpu, const PChaseConfig& config,
   result.timed_loads = steps;
   result.latencies.reserve(
       std::min<std::uint64_t>(steps, config.record_count));
-  for (std::uint64_t i = 0; i < steps; ++i) {
-    const sim::AccessResult access = gpu.access_traced(
-        config.where, config.space, config.base + i * config.stride_bytes,
-        config.flags);
-    result.total_cycles += access.latency;
-    ++result.served_by[access.served_by];
-    if (result.latencies.size() < config.record_count) {
-      result.latencies.push_back(access.latency);
+  if (t_engine == PChaseEngine::kReference) {
+    for (std::uint64_t i = 0; i < steps; ++i) {
+      const sim::AccessResult access = gpu.access_traced(
+          config.where, config.space, config.base + i * config.stride_bytes,
+          config.flags);
+      result.total_cycles += access.latency;
+      ++result.served_by[access.served_by];
+      if (result.latencies.size() < config.record_count) {
+        result.latencies.push_back(access.latency);
+      }
     }
+    return;
   }
+  const sim::AccessPath path =
+      gpu.compile_path(config.where, config.space, config.flags);
+  result.total_cycles +=
+      gpu.run_pass(path, config.base, config.stride_bytes, steps,
+                   &result.served_by, &result.latencies, config.record_count);
 }
 
 }  // namespace
+
+PChaseEngine pchase_engine() { return t_engine; }
+
+void set_pchase_engine(PChaseEngine engine) { t_engine = engine; }
 
 std::uint64_t pchase_steps(const PChaseConfig& config) {
   return config.array_bytes / config.stride_bytes;

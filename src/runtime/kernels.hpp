@@ -9,13 +9,46 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "sim/bandwidth.hpp"
 #include "sim/gpu.hpp"
 
 namespace mt4g::runtime {
+
+/// Which pass engine executes p-chase loads.
+///
+/// kCompiled is the production engine: each pass compiles one AccessPath and
+/// runs batched through Gpu::run_pass (zero per-load allocation). kReference
+/// keeps the per-load Gpu::access_traced loop; both must produce
+/// bit-identical results for the same seed, which the equivalence tests and
+/// bench/discovery_hotpath assert. Note the scope of that gate: it verifies
+/// the batched execution (pass splitting, counter accumulation, latency
+/// recording) against the one-load-at-a-time walk, but both engines share
+/// the cache model and noise model underneath — a bug in those shared layers
+/// would affect both sides identically and is covered by the behavioural
+/// sim/cache/benchmark tests instead.
+enum class PChaseEngine { kCompiled, kReference };
+
+/// Engine used by the run_* kernels on this thread (default kCompiled).
+PChaseEngine pchase_engine();
+void set_pchase_engine(PChaseEngine engine);
+
+/// RAII engine override for equivalence tests and benches. Thread-local, so
+/// fleet workers on other threads are unaffected.
+class ScopedPChaseEngine {
+ public:
+  explicit ScopedPChaseEngine(PChaseEngine engine)
+      : previous_(pchase_engine()) {
+    set_pchase_engine(engine);
+  }
+  ~ScopedPChaseEngine() { set_pchase_engine(previous_); }
+  ScopedPChaseEngine(const ScopedPChaseEngine&) = delete;
+  ScopedPChaseEngine& operator=(const ScopedPChaseEngine&) = delete;
+
+ private:
+  PChaseEngine previous_;
+};
 
 /// Configuration of one fine-grained p-chase execution.
 struct PChaseConfig {
@@ -38,7 +71,9 @@ struct PChaseResult {
   /// Which level served each timed load (whole pass, not just recorded).
   /// This is the simulator's noise-free ground truth; the auto-evaluation
   /// uses it only for the exact bisection refinements, never for the K-S.
-  std::map<sim::Element, std::uint64_t> served_by;
+  /// A fixed-size per-element array: the timed pass bumps one slot per load,
+  /// so this must not be a node-based map.
+  sim::ElementCounts served_by;
   /// Simulated GPU cycles spent (warm-up + timed), for run-time accounting.
   std::uint64_t total_cycles = 0;
 };

@@ -1,6 +1,7 @@
 #include "sim/cache.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace mt4g::sim {
@@ -33,7 +34,25 @@ SectoredCache::SectoredCache(const CacheGeometry& geometry)
   while (sets > 1 && lines % sets != 0) --sets;
   num_sets_ = static_cast<std::uint32_t>(sets);
   ways_per_set_ = static_cast<std::uint32_t>(lines / sets);
-  ways_.assign(static_cast<std::size_t>(num_sets_) * ways_per_set_, Way{});
+  const std::size_t total = static_cast<std::size_t>(num_sets_) * ways_per_set_;
+  tags_.assign(total, kInvalidTag);
+  masks_.assign(total, 0);
+  stamps_.assign(total, 0);
+  hints_.assign(num_sets_, 0);
+  journal_.assign(kFlushJournal, 0);
+
+  if (std::has_single_bit(geometry_.line_bytes)) {
+    line_shift_ = static_cast<std::uint32_t>(
+        std::countr_zero(geometry_.line_bytes));
+  }
+  if (std::has_single_bit(geometry_.sector_bytes)) {
+    sector_shift_ = static_cast<std::uint32_t>(
+        std::countr_zero(geometry_.sector_bytes));
+  }
+  if (std::has_single_bit(num_sets_)) {
+    set_mask_ = num_sets_ - 1;
+  }
+  sets_inv_ = 1.0 / static_cast<double>(num_sets_);
 }
 
 CacheAccess SectoredCache::peek(std::uint64_t address) const {
@@ -41,61 +60,37 @@ CacheAccess SectoredCache::peek(std::uint64_t address) const {
   const std::uint32_t set = set_of(line);
   const std::uint32_t sector = sector_of(address);
   CacheAccess result;
-  const Way* base = &ways_[static_cast<std::size_t>(set) * ways_per_set_];
+  const std::size_t base = static_cast<std::size_t>(set) * ways_per_set_;
   for (std::uint32_t w = 0; w < ways_per_set_; ++w) {
-    const Way& way = base[w];
-    if (way.valid && way.tag == line) {
+    if (tags_[base + w] == line) {
       result.line_hit = true;
-      result.sector_hit = (way.sector_mask >> sector) & 1u;
+      result.sector_hit = (masks_[base + w] >> sector) & 1u;
       break;
     }
   }
-  return result;
-}
-
-CacheAccess SectoredCache::access(std::uint64_t address) {
-  const std::uint64_t line = line_of(address);
-  const std::uint32_t set = set_of(line);
-  const std::uint32_t sector = sector_of(address);
-  Way* base = &ways_[static_cast<std::size_t>(set) * ways_per_set_];
-  ++stamp_;
-
-  CacheAccess result;
-  for (std::uint32_t w = 0; w < ways_per_set_; ++w) {
-    Way& way = base[w];
-    if (way.valid && way.tag == line) {
-      result.line_hit = true;
-      result.sector_hit = (way.sector_mask >> sector) & 1u;
-      way.sector_mask |= 1u << sector;
-      way.lru_stamp = stamp_;
-      if (result.sector_hit) {
-        ++hits_;
-      } else {
-        ++misses_;
-      }
-      return result;
-    }
-  }
-  // Line miss: allocate over an invalid way if any, else the LRU way.
-  Way* victim = base;
-  for (std::uint32_t w = 0; w < ways_per_set_; ++w) {
-    Way& way = base[w];
-    if (!way.valid) {
-      victim = &way;
-      break;
-    }
-    if (way.lru_stamp < victim->lru_stamp) victim = &way;
-  }
-  ++misses_;
-  victim->valid = true;
-  victim->tag = line;
-  victim->sector_mask = 1u << sector;
-  victim->lru_stamp = stamp_;
   return result;
 }
 
 void SectoredCache::flush() {
-  std::fill(ways_.begin(), ways_.end(), Way{});
+  // Stamps must be zeroed too: access() relies on empty ways carrying
+  // stamp 0 so the victim scan can be a pure minimum search. Masks of empty
+  // ways are never read before the way is refilled. Stale hints are safe
+  // (the hinted way's tag simply won't match).
+  if (stamp_ == 0) return;  // untouched since the last flush
+  if (stamp_ <= kFlushJournal) {
+    // Sparse flush: only the journaled sets were touched.
+    for (std::uint64_t i = 0; i < stamp_; ++i) {
+      const std::size_t base =
+          static_cast<std::size_t>(journal_[i]) * ways_per_set_;
+      for (std::uint32_t w = 0; w < ways_per_set_; ++w) {
+        tags_[base + w] = kInvalidTag;
+        stamps_[base + w] = 0;
+      }
+    }
+  } else {
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+  }
   stamp_ = 0;
 }
 

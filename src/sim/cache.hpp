@@ -33,6 +33,12 @@ struct CacheAccess {
 
 /// One physical cache. Addresses are raw byte addresses in the simulated
 /// global heap; the cache is physically indexed/tagged.
+///
+/// access() is THE simulator hot path: a discovery issues hundreds of
+/// millions of loads, each one call. It is defined inline below so the
+/// batched pass loop (Gpu::run_pass) can absorb it, and the index math uses
+/// precomputed shifts/masks instead of per-access divisions whenever the
+/// geometry is a power of two (it always is for real specs).
 class SectoredCache {
  public:
   explicit SectoredCache(const CacheGeometry& geometry);
@@ -52,15 +58,20 @@ class SectoredCache {
   std::uint64_t misses() const { return misses_; }
   void reset_counters() { hits_ = misses_ = 0; }
 
+  /// Restores externally captured counters. Used when a cache instance is
+  /// rebuilt (e.g. an L2 fetch-granularity change) but the accumulated
+  /// hit/miss telemetry must survive the rebuild.
+  void set_counters(std::uint64_t hits, std::uint64_t misses) {
+    hits_ = hits;
+    misses_ = misses;
+  }
+
   std::uint32_t num_sets() const { return num_sets_; }
 
  private:
-  struct Way {
-    std::uint64_t tag = ~0ULL;
-    std::uint32_t sector_mask = 0;  ///< bit i: sector i of the line is filled
-    std::uint64_t lru_stamp = 0;
-    bool valid = false;
-  };
+  /// Tag value of an empty way. Real tags are line numbers, bounded far
+  /// below 2^63 by the simulated heap size, so the sentinel cannot collide.
+  static constexpr std::uint64_t kInvalidTag = ~0ULL;
 
   CacheGeometry geometry_;
   std::uint32_t num_sets_ = 1;
@@ -69,18 +80,123 @@ class SectoredCache {
   std::uint64_t stamp_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
-  std::vector<Way> ways_;  ///< num_sets_ * ways_per_set_, row-major by set
+  // Way state in structure-of-arrays layout, row-major by set: the tag scan
+  // of an 8-way set then touches one cache line instead of four, which is
+  // most of access()'s cost. Entry w of set s lives at s * ways_per_set_ + w.
+  std::vector<std::uint64_t> tags_;    ///< kInvalidTag marks an empty way
+  std::vector<std::uint32_t> masks_;   ///< bit i: sector i of the line filled
+  std::vector<std::uint64_t> stamps_;  ///< LRU stamps (unique, monotonic)
+  std::vector<std::uint32_t> hints_;   ///< per-set way index of last access
+
+  /// Ring journal of recently touched set indices. While a flush interval
+  /// stays within the journal capacity, flush() resets only the journaled
+  /// sets instead of memsetting the whole way state — benchmarks that flush
+  /// a barely-touched many-MB cache thousands of times (e.g. the O(CUs^2)
+  /// CU-sharing probe over a chip with a large L3) would otherwise spend
+  /// nearly all their time in flush. stamp_ doubles as the write cursor:
+  /// it counts accesses since the last flush.
+  static constexpr std::uint64_t kFlushJournal = 1024;
+  std::vector<std::uint32_t> journal_;
+
+  // Precomputed index math (set up by the constructor). A shift value of
+  // kNoShift means the quantity is not a power of two and the division is
+  // performed directly — 64-bit divisions cost tens of cycles each and there
+  // are up to three per access, so the shift path matters.
+  static constexpr std::uint32_t kNoShift = 0xFFFFFFFF;
+  std::uint32_t line_shift_ = kNoShift;    ///< log2(line_bytes) if pow2
+  std::uint32_t sector_shift_ = kNoShift;  ///< log2(sector_bytes) if pow2
+  std::uint32_t set_mask_ = 0;             ///< num_sets_ - 1 if pow2, else 0
+  double sets_inv_ = 1.0;                  ///< 1.0 / num_sets_
 
   std::uint64_t line_of(std::uint64_t address) const {
-    return address / geometry_.line_bytes;
+    return line_shift_ != kNoShift ? address >> line_shift_
+                                   : address / geometry_.line_bytes;
   }
   std::uint32_t set_of(std::uint64_t line) const {
-    return static_cast<std::uint32_t>(line % num_sets_);
+    if (set_mask_ != 0 || num_sets_ == 1) {
+      return static_cast<std::uint32_t>(line & set_mask_);
+    }
+    // Non-power-of-two set counts (25 MiB L2 partitions and friends) would
+    // pay a hardware 64-bit modulo per access. A double-precision reciprocal
+    // gives the quotient within +-2 for any line index below 2^52 (simulated
+    // addresses stay far below that), and the fix-up loops make the
+    // remainder exact.
+    const auto q = static_cast<std::uint64_t>(
+        static_cast<double>(line) * sets_inv_);
+    auto r = static_cast<std::int64_t>(line - q * num_sets_);
+    while (r < 0) r += num_sets_;
+    while (r >= num_sets_) r -= num_sets_;
+    return static_cast<std::uint32_t>(r);
   }
   std::uint32_t sector_of(std::uint64_t address) const {
-    return static_cast<std::uint32_t>((address % geometry_.line_bytes) /
-                                      geometry_.sector_bytes);
+    const std::uint64_t offset =
+        line_shift_ != kNoShift
+            ? address & ((1ULL << line_shift_) - 1)
+            : address % geometry_.line_bytes;
+    return static_cast<std::uint32_t>(
+        sector_shift_ != kNoShift ? offset >> sector_shift_
+                                  : offset / geometry_.sector_bytes);
   }
 };
+
+inline CacheAccess SectoredCache::access(std::uint64_t address) {
+  const std::uint64_t line = line_of(address);
+  const std::uint32_t set = set_of(line);
+  const std::uint32_t sector = sector_of(address);
+  const std::size_t base = static_cast<std::size_t>(set) * ways_per_set_;
+  journal_[stamp_ & (kFlushJournal - 1)] = set;
+  ++stamp_;
+
+  // A p-chase revisits the same line line/stride times in a row, so the way
+  // touched by the previous access to this set almost always holds the next
+  // match. Probing it first turns the data-dependent scan exit (a mispredict
+  // per load) into one predictable compare. Tags are unique within a set,
+  // so probe order cannot change the outcome.
+  CacheAccess result;
+  const std::uint32_t hinted = hints_[set];
+  std::uint32_t match = ways_per_set_;
+  if (tags_[base + hinted] == line) {
+    match = hinted;
+  } else {
+    for (std::uint32_t w = 0; w < ways_per_set_; ++w) {
+      if (tags_[base + w] == line) {
+        match = w;
+        break;
+      }
+    }
+  }
+  if (match != ways_per_set_) {
+    result.line_hit = true;
+    result.sector_hit = (masks_[base + match] >> sector) & 1u;
+    masks_[base + match] |= 1u << sector;
+    stamps_[base + match] = stamp_;
+    hints_[set] = match;
+    if (result.sector_hit) {
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+    return result;
+  }
+  // Line miss: allocate over the minimum-stamp way, branchlessly (the LRU
+  // compare outcome is data-dependent and would mispredict). Empty ways
+  // carry stamp 0 (stamps are zeroed on flush, live stamps start at 1) and
+  // the strict < keeps the first minimum, so this selects exactly what the
+  // historical "first empty way, else LRU" rule selected.
+  std::size_t victim = base;
+  std::uint64_t victim_stamp = stamps_[base];
+  for (std::uint32_t w = 1; w < ways_per_set_; ++w) {
+    const std::uint64_t s = stamps_[base + w];
+    const bool less = s < victim_stamp;
+    victim = less ? base + w : victim;
+    victim_stamp = less ? s : victim_stamp;
+  }
+  ++misses_;
+  tags_[victim] = line;
+  masks_[victim] = 1u << sector;
+  stamps_[victim] = stamp_;
+  hints_[set] = static_cast<std::uint32_t>(victim - base);
+  return result;
+}
 
 }  // namespace mt4g::sim

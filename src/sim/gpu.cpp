@@ -94,11 +94,24 @@ void Gpu::set_l2_fetch_granularity(std::uint32_t bytes) {
         "set_l2_fetch_granularity: granularity must divide the line size");
   }
   l2.sector_bytes = bytes;
+  // Rebuilding loses the segments' content (the real cudaDeviceSetLimit does
+  // flush), but the accumulated hit/miss counters are telemetry, not cache
+  // state: carry them over so a mid-discovery granularity switch does not
+  // zero the scout counter report.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> carried;
+  carried.reserve(l2_segments_.size());
+  for (const auto& segment : l2_segments_) {
+    carried.emplace_back(segment.hits(), segment.misses());
+  }
   const std::uint32_t segments = std::max<std::uint32_t>(l2.amount, 1);
   l2_segments_.clear();
   for (std::uint32_t s = 0; s < segments; ++s) {
     l2_segments_.emplace_back(geometry_of(l2));
+    if (s < carried.size()) {
+      l2_segments_.back().set_counters(carried[s].first, carried[s].second);
+    }
   }
+  ++path_epoch_;  // compiled paths hold dangling L2 pointers now
 }
 
 std::uint32_t Gpu::l2_fetch_granularity() const {
@@ -123,10 +136,25 @@ std::uint64_t Gpu::alloc(std::uint64_t bytes, std::uint64_t alignment) {
   return base;
 }
 
-std::vector<Element> Gpu::chain_for(Space space, AccessFlags flags) const {
-  std::vector<Element> chain;
-  auto push_if = [this, &chain](Element e) {
-    if (spec_.has(e)) chain.push_back(e);
+AccessPath Gpu::compile_path(const Placement& where, Space space,
+                             AccessFlags flags) {
+  AccessPath path;
+  path.epoch = path_epoch_;
+
+  if (space == Space::kShared) {
+    // Scratchpads bypass the cache hierarchy entirely: the path has no cache
+    // levels and terminates in Shared Memory / LDS, not device memory.
+    path.terminal = spec_.vendor == Vendor::kNvidia ? Element::kSharedMem
+                                                    : Element::kLds;
+    path.terminal_latency = rounded_latency(path.terminal);
+    path.terminal_is_dmem = false;
+    return path;
+  }
+
+  Element chain[AccessPath::kMaxLevels];
+  std::size_t chain_len = 0;
+  auto push_if = [this, &chain, &chain_len](Element e) {
+    if (spec_.has(e)) chain[chain_len++] = e;
   };
   if (spec_.vendor == Vendor::kNvidia) {
     switch (space) {
@@ -175,7 +203,89 @@ std::vector<Element> Gpu::chain_for(Space space, AccessFlags flags) const {
         throw std::invalid_argument("gpu: space has no cache chain");
     }
   }
-  return chain;
+
+  // Resolve each chain element to its physical segment for this placement.
+  // Elements without a backing cache instance (segment_for == nullptr) are
+  // skipped at compile time, exactly as the per-load walk skipped them.
+  for (std::size_t i = 0; i < chain_len; ++i) {
+    SectoredCache* cache = segment_for(where, chain[i]);
+    if (cache == nullptr) continue;
+    path.levels[path.depth++] = {cache, chain[i], rounded_latency(chain[i])};
+  }
+  path.terminal = Element::kDeviceMem;
+  path.terminal_latency = rounded_latency(Element::kDeviceMem);
+  return path;
+}
+
+namespace {
+
+/// The per-load body of a batched pass, specialised at compile time on
+/// whether served counters and latency recording are wanted, so the bulk of
+/// a pass (typically thousands of loads past the record limit) runs with no
+/// per-load capacity checks at all.
+template <bool kServed, bool kRecord>
+std::uint64_t pass_loop(const AccessPath& path, std::uint64_t base,
+                        std::uint64_t stride_bytes, std::uint64_t first,
+                        std::uint64_t last, NoiseModel& noise,
+                        std::uint64_t& dmem_accesses, ElementCounts* served,
+                        std::vector<std::uint32_t>* record) {
+  std::uint64_t total_cycles = 0;
+  for (std::uint64_t i = first; i < last; ++i) {
+    const std::uint64_t address = base + i * stride_bytes;
+    Element served_by = path.terminal;
+    std::uint32_t base_latency = path.terminal_latency;
+    bool hit = false;
+    for (std::size_t level = 0; level < path.depth; ++level) {
+      const CacheAccess a = path.levels[level].cache->access(address);
+      if (a.sector_hit) {
+        served_by = path.levels[level].element;
+        base_latency = path.levels[level].latency;
+        hit = true;
+        break;
+      }
+    }
+    if (!hit && path.terminal_is_dmem) ++dmem_accesses;
+    const std::uint32_t latency = noise.sample_rounded(base_latency);
+    total_cycles += latency;
+    if constexpr (kServed) ++(*served)[served_by];
+    if constexpr (kRecord) record->push_back(latency);
+  }
+  return total_cycles;
+}
+
+}  // namespace
+
+std::uint64_t Gpu::run_pass(const AccessPath& path, std::uint64_t base,
+                            std::uint64_t stride_bytes, std::uint64_t steps,
+                            ElementCounts* served,
+                            std::vector<std::uint32_t>* record,
+                            std::uint64_t record_limit) {
+  if (path.epoch != path_epoch_) {
+    throw std::logic_error(
+        "gpu: stale AccessPath (caches were rebuilt after compile_path)");
+  }
+  // Recorded loads are a prefix of the pass; split there so the bulk loop
+  // carries no record bookkeeping.
+  std::uint64_t recorded = 0;
+  if (record != nullptr && record->size() < record_limit) {
+    recorded = std::min<std::uint64_t>(steps, record_limit - record->size());
+  }
+  std::uint64_t total_cycles = 0;
+  if (recorded > 0) {
+    total_cycles +=
+        served != nullptr
+            ? pass_loop<true, true>(path, base, stride_bytes, 0, recorded,
+                                    noise_, dmem_accesses_, served, record)
+            : pass_loop<false, true>(path, base, stride_bytes, 0, recorded,
+                                     noise_, dmem_accesses_, served, record);
+  }
+  total_cycles +=
+      served != nullptr
+          ? pass_loop<true, false>(path, base, stride_bytes, recorded, steps,
+                                   noise_, dmem_accesses_, served, record)
+          : pass_loop<false, false>(path, base, stride_bytes, recorded, steps,
+                                    noise_, dmem_accesses_, served, record);
+  return total_cycles;
 }
 
 SectoredCache* Gpu::segment_for(const Placement& where, Element element) {
@@ -215,29 +325,25 @@ double Gpu::level_latency(Element element) const {
   return spec_.at(element).latency_cycles;
 }
 
+std::uint32_t Gpu::rounded_latency(Element element) const {
+  // Half-up rounding, matching NoiseModel::sample's treatment of a raw
+  // double base latency.
+  return static_cast<std::uint32_t>(spec_.at(element).latency_cycles + 0.5);
+}
+
 AccessResult Gpu::access_traced(const Placement& where, Space space,
                                 std::uint64_t address, AccessFlags flags) {
+  const AccessPath path = compile_path(where, space, flags);
+  ElementCounts served;
   AccessResult result;
-  if (space == Space::kShared) {
-    const Element e = spec_.vendor == Vendor::kNvidia ? Element::kSharedMem
-                                                      : Element::kLds;
-    result.served_by = e;
-    result.latency = noise_.sample(level_latency(e));
-    return result;
-  }
-  for (Element element : chain_for(space, flags)) {
-    SectoredCache* cache = segment_for(where, element);
-    if (cache == nullptr) continue;
-    const CacheAccess a = cache->access(address);
-    if (a.sector_hit) {
-      result.served_by = element;
-      result.latency = noise_.sample(level_latency(element));
-      return result;
+  result.latency = static_cast<std::uint32_t>(
+      run_pass(path, address, /*stride_bytes=*/0, /*steps=*/1, &served));
+  for (std::size_t i = 0; i < kElementCount; ++i) {
+    if (served.raw()[i] != 0) {
+      result.served_by = static_cast<Element>(i);
+      break;
     }
   }
-  ++dmem_accesses_;
-  result.served_by = Element::kDeviceMem;
-  result.latency = noise_.sample(level_latency(Element::kDeviceMem));
   return result;
 }
 

@@ -3,12 +3,15 @@
 // A Gpu owns the functional cache state of one chip: per-SM physical caches
 // (with logical-space sharing and multi-segment "amount" layouts), GPU-level
 // L2 partitions, an optional L3, AMD sL1d caches shared between CU groups,
-// and a flat device memory. Every load issued by the runtime's kernels is a
-// call to Gpu::access(), which walks the hierarchy for the load's logical
-// space, updates cache state, and returns a noisy latency in clock cycles —
-// the exact observable MT4G's p-chase records on real hardware.
+// and a flat device memory. Every load walks the hierarchy of its logical
+// space, updates cache state, and yields a noisy latency in clock cycles —
+// the exact observable MT4G's p-chase records on real hardware. Single loads
+// go through Gpu::access(); the runtime's p-chase kernels execute whole
+// passes through a compiled AccessPath via Gpu::run_pass(), which resolves
+// the chain once and then runs allocation-free.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -28,6 +31,38 @@ struct AccessResult {
   std::uint32_t latency = 0;                ///< noisy observed latency
 };
 
+/// A compiled cache chain: the per-load resolution work of access() — the
+/// chain construction and the segment map lookups — done once per
+/// (space, flags, placement) and frozen into direct cache pointers with their
+/// hit latencies. Compiling allocates nothing (the levels live inline), and
+/// executing loads through a compiled path (Gpu::run_pass) allocates nothing
+/// per load.
+///
+/// A path borrows cache pointers from its Gpu: it is invalidated whenever the
+/// owning Gpu rebuilds caches (set_l2_fetch_granularity). run_pass detects a
+/// stale path via the epoch and throws rather than chasing dangling pointers.
+struct AccessPath {
+  struct Level {
+    SectoredCache* cache = nullptr;
+    Element element = Element::kDeviceMem;
+    /// Hit latency in whole cycles (the spec latency rounded half-up once at
+    /// compile time, so the per-load noise sampling stays integer-only).
+    std::uint32_t latency = 0;
+  };
+  /// Deepest modelled chain is three levels (e.g. CL1 -> CL1.5 -> L2 or
+  /// vL1 -> L2 -> L3); one spare slot for future hierarchies.
+  static constexpr std::size_t kMaxLevels = 4;
+
+  std::array<Level, kMaxLevels> levels{};
+  std::size_t depth = 0;
+  /// Serves every load that misses all levels: device memory, or the
+  /// scratchpad (Shared Memory / LDS) for Space::kShared paths.
+  Element terminal = Element::kDeviceMem;
+  std::uint32_t terminal_latency = 0;  ///< rounded like Level::latency
+  bool terminal_is_dmem = true;  ///< full misses count as device-memory reads
+  std::uint64_t epoch = 0;       ///< must equal Gpu::path_epoch() when used
+};
+
 class Gpu {
  public:
   /// @param mig optional MIG profile restricting the visible resources;
@@ -39,7 +74,9 @@ class Gpu {
 
   /// cudaDeviceSetLimit analogue: newer NVIDIA L2 caches have a configurable
   /// fetch granularity (paper Sec. IV-D). Rebuilds the L2 partitions with the
-  /// new sector size (must divide the L2 line size); their content is lost.
+  /// new sector size (must divide the L2 line size); their content is lost
+  /// but accumulated hit/miss counters carry over, and previously compiled
+  /// AccessPaths become stale (run_pass rejects them via the path epoch).
   /// Throws std::invalid_argument for invalid granularities or GPUs without
   /// an L2.
   void set_l2_fetch_granularity(std::uint32_t bytes);
@@ -66,8 +103,38 @@ class Gpu {
 
   /// Like access() but also reports which level served the load (noise-free
   /// classification for tests and the exact bisection predicates).
+  /// Implemented as a thin wrapper over compile_path() + run_pass(): one
+  /// compiled-path load is observationally identical to one access().
   AccessResult access_traced(const Placement& where, Space space,
                              std::uint64_t address, AccessFlags flags = {});
+
+  /// Resolves the cache chain of (space, flags, placement) into direct cache
+  /// pointers + latencies. Throws std::invalid_argument for spaces with no
+  /// load path on this vendor (e.g. kScalar on NVIDIA) and std::out_of_range
+  /// for SM indices beyond the chip.
+  AccessPath compile_path(const Placement& where, Space space,
+                          AccessFlags flags = {});
+
+  /// Current path epoch; bumped whenever compiled paths become stale because
+  /// a cache was rebuilt (set_l2_fetch_granularity).
+  std::uint64_t path_epoch() const { return path_epoch_; }
+
+  /// Executes @p steps loads at base, base + stride, ... through a compiled
+  /// path: the batched equivalent of calling access_traced() per address,
+  /// with identical cache-state, counter and noise-stream effects, but zero
+  /// heap allocation per load. Returns the summed noisy latency in cycles.
+  ///
+  /// @param served    when non-null, the per-element served counters are
+  ///                  accumulated into it (one increment per load).
+  /// @param record    when non-null, per-load latencies are appended until
+  ///                  record->size() reaches @p record_limit. The caller
+  ///                  reserves capacity; run_pass never does.
+  /// Throws std::logic_error when @p path is stale (epoch mismatch).
+  std::uint64_t run_pass(const AccessPath& path, std::uint64_t base,
+                         std::uint64_t stride_bytes, std::uint64_t steps,
+                         ElementCounts* served = nullptr,
+                         std::vector<std::uint32_t>* record = nullptr,
+                         std::uint64_t record_limit = 0);
 
   /// Drops the content of all modelled caches.
   void flush_caches();
@@ -94,8 +161,8 @@ class Gpu {
 
   const SectoredCache* find_cache(const Placement& where, Element element) const;
   SectoredCache* segment_for(const Placement& where, Element element);
-  std::vector<Element> chain_for(Space space, AccessFlags flags) const;
   double level_latency(Element element) const;
+  std::uint32_t rounded_latency(Element element) const;
 
   GpuSpec spec_;
   std::optional<MigProfile> mig_;
@@ -106,6 +173,7 @@ class Gpu {
   std::map<std::uint32_t, SectoredCache> sl1d_;  // keyed by physical CU group
   std::uint64_t heap_top_ = 4096;              // never hand out address 0
   std::uint64_t dmem_accesses_ = 0;
+  std::uint64_t path_epoch_ = 0;               // invalidates compiled paths
 };
 
 }  // namespace mt4g::sim

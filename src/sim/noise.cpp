@@ -1,18 +1,6 @@
 #include "sim/noise.hpp"
 
-#include <cmath>
-
 namespace mt4g::sim {
-
-std::uint32_t NoiseModel::sample(double base_cycles) {
-  double value = base_cycles;
-  value += static_cast<double>(rng_.uniform_int(0, params_.jitter_max));
-  if (rng_.uniform() < params_.spike_probability) {
-    value += static_cast<double>(
-        rng_.uniform_int(params_.spike_min, params_.spike_max));
-  }
-  return static_cast<std::uint32_t>(std::llround(value));
-}
 
 double NoiseModel::bandwidth_factor(double relative_range) {
   return 1.0 + relative_range * (2.0 * rng_.uniform() - 1.0);

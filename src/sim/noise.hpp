@@ -8,6 +8,7 @@
 //   latency = base + U{0..jitter_max} + spike (probability p, size U{lo..hi})
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/rng.hpp"
@@ -22,12 +23,48 @@ struct NoiseParams {
 };
 
 /// Applies noise to a base latency. Deterministic given the RNG state.
+///
+/// sample() sits on the simulator hot path (one call per simulated load), so
+/// it is inline and burns exactly one RNG draw per load in the common case:
+/// the jitter comes from the draw's high bits via a multiply-shift range
+/// reduction and the spike decision from its low 32 bits, avoiding the
+/// second draw and the 64-bit modulo of the naive formulation. Only actual
+/// spikes (probability ~5e-4) cost a second draw for the magnitude.
 class NoiseModel {
  public:
   NoiseModel(const NoiseParams& params, Xoshiro256 rng)
-      : params_(params), rng_(rng) {}
+      : params_(params),
+        rng_(rng),
+        jitter_span_(params.jitter_max + 1),
+        // Clamped to [0, 1] before scaling: a probability of 1.0 must map to
+        // 2^32 (always spikes), and out-of-range values must not overflow
+        // the cast.
+        spike_threshold_(static_cast<std::uint64_t>(
+            std::clamp(params.spike_probability, 0.0, 1.0) * 4294967296.0)),
+        mix_state_(rng_()) {}
 
-  std::uint32_t sample(double base_cycles);
+  /// sample() for a base latency already rounded to whole cycles; the hot
+  /// passes precompute the rounding once per compiled path, keeping the
+  /// per-load work integer-only. The per-load draw is a splitmix64 step —
+  /// 8 bytes of state against xoshiro's 32 — seeded from the xoshiro stream;
+  /// rare spike magnitudes still come from the xoshiro generator.
+  std::uint32_t sample_rounded(std::uint32_t base_cycles) {
+    const std::uint64_t bits = splitmix64(mix_state_);
+    const auto jitter = static_cast<std::uint32_t>(
+        ((bits >> 32) * jitter_span_) >> 32);
+    std::uint32_t value = base_cycles + jitter;
+    if ((bits & 0xFFFFFFFFULL) < spike_threshold_) {
+      value += static_cast<std::uint32_t>(
+          rng_.uniform_int(params_.spike_min, params_.spike_max));
+    }
+    return value;
+  }
+
+  std::uint32_t sample(double base_cycles) {
+    // Truncating base + 0.5 rounds half up — identical to llround for the
+    // non-negative latencies the specs hold — without the libcall.
+    return sample_rounded(static_cast<std::uint32_t>(base_cycles + 0.5));
+  }
 
   /// Multiplicative noise for bandwidth measurements, ~ U[1-r, 1+r].
   double bandwidth_factor(double relative_range = 0.02);
@@ -35,6 +72,9 @@ class NoiseModel {
  private:
   NoiseParams params_;
   Xoshiro256 rng_;
+  std::uint64_t jitter_span_;       ///< jitter_max + 1
+  std::uint64_t spike_threshold_;   ///< clamped spike_probability * 2^32
+  std::uint64_t mix_state_;         ///< splitmix64 state for per-load draws
 };
 
 }  // namespace mt4g::sim

@@ -3,6 +3,7 @@
 // the MT4G collectors.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -32,6 +33,50 @@ std::string element_name(Element element);
 
 /// Parses "L1", "CONST_L15", "vL1"... (case-insensitive). Throws on garbage.
 Element parse_element(const std::string& name);
+
+/// Number of Element enumerators (kDeviceMem is the last one).
+inline constexpr std::size_t kElementCount =
+    static_cast<std::size_t>(Element::kDeviceMem) + 1;
+
+constexpr std::size_t element_index(Element element) {
+  return static_cast<std::size_t>(element);
+}
+
+/// Fixed-size per-Element counter block. The hot simulator passes bump one
+/// slot per load, so this must stay an inline array: no node allocation, no
+/// tree walk. The at()/count() accessors mirror the std::map interface this
+/// type replaced, so classification code reads the same either way.
+class ElementCounts {
+ public:
+  std::uint64_t& operator[](Element element) {
+    return counts_[element_index(element)];
+  }
+  std::uint64_t operator[](Element element) const {
+    return counts_[element_index(element)];
+  }
+  /// Loads served by @p element (0 when it never served one).
+  std::uint64_t at(Element element) const {
+    return counts_[element_index(element)];
+  }
+  /// map::count-compatible existence check: 1 when the element served at
+  /// least one load.
+  std::size_t count(Element element) const { return at(element) != 0 ? 1 : 0; }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : counts_) sum += c;
+    return sum;
+  }
+
+  const std::array<std::uint64_t, kElementCount>& raw() const {
+    return counts_;
+  }
+
+  bool operator==(const ElementCounts&) const = default;
+
+ private:
+  std::array<std::uint64_t, kElementCount> counts_{};
+};
 
 /// Logical address space a load instruction targets. The same physical cache
 /// may back several logical spaces (paper Sec. IV-G).

@@ -1,0 +1,224 @@
+// Tests for the compiled access path: golden equivalence between the
+// compiled (batched Gpu::run_pass) and reference (per-load access_traced)
+// p-chase engines, and the zero-allocation guarantee of the hot pass loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/mt4g.hpp"
+#include "core/output/json_output.hpp"
+#include "fleet/fleet.hpp"
+#include "runtime/kernels.hpp"
+#include "sim/registry.hpp"
+
+// --- Counting allocator hooks ------------------------------------------------
+// Global operator new/delete replacements that count allocations, so the
+// zero-allocation tests below can assert that a batched pass performs no
+// per-load heap traffic. Counting is process-wide; the tests read deltas.
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mt4g {
+namespace {
+
+using sim::Element;
+
+// --- Golden equivalence ------------------------------------------------------
+
+std::string report_json(const std::string& model, runtime::PChaseEngine engine,
+                        const core::DiscoverOptions& options = {}) {
+  fleet::DiscoveryJob job;
+  job.model = model;
+  job.options = options;
+  runtime::ScopedPChaseEngine scope(engine);
+  return core::to_json_string(fleet::run_job(job));
+}
+
+TEST(AccessPathEquivalence, FullReportsIdenticalForEveryRegistryModel) {
+  // Full-report equivalence on every registry model at the default seed.
+  // The expensive NVIDIA datacenter models (whose L2 discovery dominates the
+  // wall time) are covered element-by-element in the test below and in full
+  // by bench/discovery_hotpath, so this loop skips only them.
+  for (const std::string& model : sim::registry_all_names()) {
+    const auto& spec = sim::registry_get(model);
+    if (spec.vendor == sim::Vendor::kNvidia &&
+        spec.at(Element::kL2).size_bytes > 8 * MiB) {
+      continue;
+    }
+    const std::string compiled =
+        report_json(model, runtime::PChaseEngine::kCompiled);
+    const std::string reference =
+        report_json(model, runtime::PChaseEngine::kReference);
+    EXPECT_EQ(compiled, reference) << model;
+  }
+}
+
+TEST(AccessPathEquivalence, LargeNvidiaModelsIdenticalPerElement) {
+  // The big-L2 NVIDIA models, restricted per element so the suite stays
+  // fast; every load path (L1/Tex/RO/Const chains and the L2 bypass) is
+  // exercised. bench/discovery_hotpath covers the unrestricted reports.
+  const char* elements[] = {"L1",        "TEXTURE", "READONLY", "CONST_L1",
+                            "CONST_L15", "SHARED",  "DMEM"};
+  for (const std::string& model : sim::registry_all_names()) {
+    const auto& spec = sim::registry_get(model);
+    if (spec.vendor != sim::Vendor::kNvidia ||
+        spec.at(Element::kL2).size_bytes <= 8 * MiB) {
+      continue;
+    }
+    for (const char* element : elements) {
+      core::DiscoverOptions options;
+      options.only = sim::parse_element(element);
+      const std::string compiled =
+          report_json(model, runtime::PChaseEngine::kCompiled, options);
+      const std::string reference =
+          report_json(model, runtime::PChaseEngine::kReference, options);
+      EXPECT_EQ(compiled, reference) << model << " --only " << element;
+    }
+  }
+}
+
+TEST(AccessPathEquivalence, KernelLevelResultsMatch) {
+  // Below the collector: run_pchase itself must agree between engines for
+  // both a fitting and a thrashing configuration, including the recorded
+  // latency series, the served-by counters and the cycle totals.
+  for (const std::uint64_t array_bytes : {2 * KiB, 16 * KiB}) {
+    sim::Gpu compiled_gpu(sim::registry_get("TestGPU-NV"), 7);
+    sim::Gpu reference_gpu(sim::registry_get("TestGPU-NV"), 7);
+    runtime::PChaseConfig config;
+    config.array_bytes = array_bytes;
+    config.stride_bytes = 32;
+    config.base = compiled_gpu.alloc(array_bytes);
+    ASSERT_EQ(config.base, reference_gpu.alloc(array_bytes));
+
+    runtime::PChaseResult compiled, reference;
+    {
+      runtime::ScopedPChaseEngine scope(runtime::PChaseEngine::kCompiled);
+      compiled = runtime::run_pchase(compiled_gpu, config);
+    }
+    {
+      runtime::ScopedPChaseEngine scope(runtime::PChaseEngine::kReference);
+      reference = runtime::run_pchase(reference_gpu, config);
+    }
+    EXPECT_EQ(compiled.latencies, reference.latencies);
+    EXPECT_EQ(compiled.served_by, reference.served_by);
+    EXPECT_EQ(compiled.total_cycles, reference.total_cycles);
+    EXPECT_EQ(compiled.timed_loads, reference.timed_loads);
+  }
+}
+
+// --- Zero allocation ---------------------------------------------------------
+
+TEST(AccessPathAllocation, RunPassAllocatesNothingPerLoad) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 1);
+  const std::uint64_t bytes = 64 * KiB;  // larger than L1+L2: misses too
+  const std::uint64_t base = gpu.alloc(bytes);
+  const sim::AccessPath path = gpu.compile_path({0, 0}, sim::Space::kGlobal);
+
+  sim::ElementCounts served;
+  std::vector<std::uint32_t> record;
+  record.reserve(512);
+
+  const std::size_t before = g_allocations.load();
+  const std::uint64_t cycles =
+      gpu.run_pass(path, base, 32, bytes / 32, &served, &record, 512);
+  const std::size_t after = g_allocations.load();
+
+  EXPECT_EQ(after - before, 0u) << "run_pass must not allocate";
+  EXPECT_GT(cycles, 0u);
+  EXPECT_EQ(served.total(), bytes / 32);
+  EXPECT_EQ(record.size(), 512u);
+}
+
+TEST(AccessPathAllocation, CompilePathAllocatesNothing) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 1);
+  const std::size_t before = g_allocations.load();
+  const sim::AccessPath path = gpu.compile_path({0, 0}, sim::Space::kGlobal);
+  const std::size_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u) << "compile_path must not allocate";
+  EXPECT_EQ(path.depth, 2u);  // L1 -> L2
+}
+
+TEST(AccessPathAllocation, WholePchaseAllocatesOnlyTheRecordBuffer) {
+  // run_pchase may allocate the result's latency buffer (one reserve), but
+  // nothing per load: the allocation count must stay O(1) regardless of the
+  // pass length.
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 1);
+  runtime::PChaseConfig config;
+  config.array_bytes = 256 * KiB;  // 8192 loads per pass
+  config.stride_bytes = 32;
+  config.base = gpu.alloc(config.array_bytes);
+
+  const std::size_t before = g_allocations.load();
+  const auto result = runtime::run_pchase(gpu, config);
+  const std::size_t after = g_allocations.load();
+
+  EXPECT_EQ(result.timed_loads, 8192u);
+  EXPECT_LE(after - before, 4u)
+      << "run_pchase must allocate O(1), not O(loads)";
+}
+
+// --- Compiled-path lifecycle -------------------------------------------------
+
+TEST(AccessPath, StalePathIsRejectedAfterL2Rebuild) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 1);
+  const sim::AccessPath path = gpu.compile_path({0, 0}, sim::Space::kGlobal);
+  gpu.set_l2_fetch_granularity(64);
+  EXPECT_THROW(gpu.run_pass(path, 4096, 32, 4), std::logic_error);
+  // A freshly compiled path works again.
+  const sim::AccessPath fresh = gpu.compile_path({0, 0}, sim::Space::kGlobal);
+  EXPECT_NO_THROW(gpu.run_pass(fresh, 4096, 32, 4));
+}
+
+TEST(AccessPath, L2RebuildPreservesHitMissCounters) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 1);
+  sim::AccessFlags cg;
+  cg.bypass_l1 = true;
+  const std::uint64_t base = gpu.alloc(4 * KiB);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    gpu.access({0, 0}, sim::Space::kGlobal, base + i * 32, cg);
+  }
+  const std::uint64_t hits = gpu.hit_count(0, Element::kL2);
+  const std::uint64_t misses = gpu.miss_count(0, Element::kL2);
+  ASSERT_GT(hits + misses, 0u);
+
+  gpu.set_l2_fetch_granularity(64);
+  EXPECT_EQ(gpu.hit_count(0, Element::kL2), hits)
+      << "granularity rebuild must not zero accumulated hits";
+  EXPECT_EQ(gpu.miss_count(0, Element::kL2), misses)
+      << "granularity rebuild must not zero accumulated misses";
+}
+
+TEST(AccessPath, SharedSpacePathTerminatesInScratchpad) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 1);
+  const sim::AccessPath path = gpu.compile_path({0, 0}, sim::Space::kShared);
+  EXPECT_EQ(path.depth, 0u);
+  EXPECT_EQ(path.terminal, Element::kSharedMem);
+  EXPECT_FALSE(path.terminal_is_dmem);
+  sim::ElementCounts served;
+  gpu.run_pass(path, 0, 4, 16, &served);
+  EXPECT_EQ(served.at(Element::kSharedMem), 16u);
+  EXPECT_EQ(gpu.miss_count(0, Element::kDeviceMem), 0u);
+}
+
+}  // namespace
+}  // namespace mt4g

@@ -55,6 +55,39 @@ TEST(AmountBenchmark, RequiresCacheSize) {
   EXPECT_THROW(run_amount_benchmark(gpu, options), std::invalid_argument);
 }
 
+TEST(AmountBenchmark, TinyCacheReportsUnavailableInsteadOfThrowing) {
+  // A cache smaller than ~one stride (e.g. a small constL1 probed at a
+  // coarse fetch granularity) used to produce array_bytes == 0 and abort the
+  // whole discovery via the p-chase validation.
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  AmountBenchOptions options;
+  options.target = target_for(sim::Vendor::kNvidia, Element::kConstL1);
+  options.cache_bytes = 1 * KiB;
+  options.stride = 2048;  // > 7/8 of the cache
+  AmountBenchResult result;
+  ASSERT_NO_THROW(result = run_amount_benchmark(gpu, options));
+  EXPECT_FALSE(result.available);
+  EXPECT_TRUE(result.probes.empty());
+}
+
+TEST(AmountBenchmark, AllocatesArraysOnceNotPerProbe) {
+  // Per-probe allocations grew the simulated heap with every probe, making
+  // addresses (and therefore set mapping) depend on probe order.
+  const sim::GpuSpec& spec = sim::registry_get("TestGPU-NV");
+  sim::Gpu gpu(spec, 42);
+  AmountBenchOptions options;
+  options.target = target_for(spec.vendor, Element::kL1);
+  options.cache_bytes = 4 * KiB;
+  options.stride = 32;
+  const std::uint64_t before = gpu.alloc(1, 256);
+  run_amount_benchmark(gpu, options);
+  const std::uint64_t after = gpu.alloc(1, 256);
+  // 7/8 of 4 KiB, stride-aligned, 256-byte allocation granularity: exactly
+  // two arrays regardless of how many probes ran.
+  const std::uint64_t array_alloc = round_up(3584, 256);
+  EXPECT_EQ(after - before, 256 + 2 * array_alloc);
+}
+
 TEST(L2SegmentBenchmark, H100FindsTwoPartitions) {
   // Paper Table III: MT4G reports 2 L2 partitions on H100 (2 x 25 MB).
   sim::Gpu gpu(sim::registry_get("H100-80"), 42);
