@@ -1,23 +1,31 @@
 // Discovery hot-path bench: per-model serial discovery timings through the
 // compiled-AccessPath engine vs the per-load reference engine, plus the
-// golden-equivalence check that both engines produce byte-identical reports
-// at a fixed seed. Writes BENCH_discovery.json, the repo's perf trajectory
-// record for the simulator hot path.
+// sweep-engine comparison — serial (sweep_threads=1) vs parallel
+// (sweep_threads=N) size sweeps — with the golden-equivalence checks that
+// all engines produce byte-identical reports at a fixed seed. Writes
+// BENCH_discovery.json, the repo's perf trajectory record for the discovery
+// hot path, including per-model widening counts and the sweep-vs-rest cycle
+// breakdown so the next algorithmic target stays visible.
 //
 // Usage:
 //   discovery_hotpath                        # full registry
 //   discovery_hotpath TestGPU-NV ...         # explicit model list (CI smoke)
-//   discovery_hotpath --max-seconds N ...    # fail if any compiled
+//   discovery_hotpath --max-seconds N        # fail if any serial compiled
 //                                            # discovery exceeds N seconds
+//   discovery_hotpath --sweep-threads N      # parallel sweep width
+//                                            # (default: hardware)
+//   discovery_hotpath --skip-reference       # determinism job: only compare
+//                                            # serial vs parallel sweeps
 //
 // Exits 1 when any model's reports diverge between engines and 2 when the
 // --max-seconds budget is exceeded, so correctness or perf regressions in
-// the compiled path fail loudly instead of skewing results silently.
+// the hot path fail loudly instead of skewing results silently.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json.hpp"
@@ -34,20 +42,29 @@ using Clock = std::chrono::steady_clock;
 
 struct ModelResult {
   std::string model;
-  double compiled_s = 0.0;
-  double reference_s = 0.0;
-  bool identical = false;
+  double serial_s = 0.0;     ///< compiled engine, sweep_threads = 1
+  double parallel_s = 0.0;   ///< compiled engine, sweep_threads = N
+  double reference_s = 0.0;  ///< reference engine, sweep_threads = 1
+  bool identical = false;    ///< all measured engines agree byte-for-byte
+  std::uint32_t widenings = 0;
+  std::uint64_t sweep_cycles = 0;
+  std::uint64_t total_cycles = 0;
 };
 
 std::string timed_discovery(const std::string& model,
-                            runtime::PChaseEngine engine, double& seconds) {
+                            runtime::PChaseEngine engine,
+                            std::uint32_t sweep_threads, double& seconds,
+                            core::TopologyReport* out_report = nullptr) {
   fleet::DiscoveryJob job;
   job.model = model;
+  job.options.sweep_threads = sweep_threads;
   runtime::ScopedPChaseEngine scope(engine);
   const auto start = Clock::now();
-  const core::TopologyReport report = fleet::run_job(job);
+  core::TopologyReport report = fleet::run_job(job);
   seconds = std::chrono::duration<double>(Clock::now() - start).count();
-  return core::to_json_string(report);
+  std::string json = core::to_json_string(report);
+  if (out_report) *out_report = std::move(report);
+  return json;
 }
 
 }  // namespace
@@ -55,10 +72,17 @@ std::string timed_discovery(const std::string& model,
 int main(int argc, char** argv) {
   std::vector<std::string> models;
   double max_seconds = 0.0;  // 0 = no budget
+  std::uint32_t sweep_threads = std::max(1u, std::thread::hardware_concurrency());
+  bool skip_reference = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--max-seconds" && i + 1 < argc) {
       max_seconds = std::atof(argv[++i]);
+    } else if (arg == "--sweep-threads" && i + 1 < argc) {
+      sweep_threads = static_cast<std::uint32_t>(
+          std::max(1L, std::atol(argv[++i])));
+    } else if (arg == "--skip-reference") {
+      skip_reference = true;
     } else {
       models.push_back(arg);
     }
@@ -66,69 +90,108 @@ int main(int argc, char** argv) {
   if (models.empty()) models = sim::registry_all_names();
 
   std::vector<ModelResult> results;
-  TablePrinter table(
-      {"model", "compiled [s]", "reference [s]", "speedup", "identical"});
+  TablePrinter table({"model", "serial [s]", "parallel [s]", "par x",
+                      "reference [s]", "identical", "widen", "sweep %"});
   bool all_identical = true;
+  double total_serial = 0.0;
 
   for (const auto& model : models) {
     ModelResult r;
     r.model = model;
-    const std::string compiled =
-        timed_discovery(model, runtime::PChaseEngine::kCompiled, r.compiled_s);
-    const std::string reference = timed_discovery(
-        model, runtime::PChaseEngine::kReference, r.reference_s);
-    r.identical = compiled == reference;
+    core::TopologyReport report;
+    const std::string serial = timed_discovery(
+        model, runtime::PChaseEngine::kCompiled, 1, r.serial_s, &report);
+    const std::string parallel =
+        timed_discovery(model, runtime::PChaseEngine::kCompiled, sweep_threads,
+                        r.parallel_s);
+    r.identical = serial == parallel;
+    if (!skip_reference) {
+      const std::string reference = timed_discovery(
+          model, runtime::PChaseEngine::kReference, 1, r.reference_s);
+      r.identical = r.identical && serial == reference;
+    }
+    r.widenings = report.sweep_widenings;
+    r.sweep_cycles = report.sweep_cycles;
+    r.total_cycles = report.total_cycles;
     all_identical = all_identical && r.identical;
+    total_serial += r.serial_s;
     results.push_back(r);
 
-    char compiled_s[32], reference_s[32], speedup[32];
-    std::snprintf(compiled_s, sizeof compiled_s, "%.3f", r.compiled_s);
-    std::snprintf(reference_s, sizeof reference_s, "%.3f", r.reference_s);
+    char serial_s[32], parallel_s[32], speedup[32], reference_s[32],
+        widen[16], sweep_pct[16];
+    std::snprintf(serial_s, sizeof serial_s, "%.3f", r.serial_s);
+    std::snprintf(parallel_s, sizeof parallel_s, "%.3f", r.parallel_s);
     std::snprintf(speedup, sizeof speedup, "%.2f",
-                  r.compiled_s > 0 ? r.reference_s / r.compiled_s : 0.0);
-    table.add_row({model, compiled_s, reference_s, speedup,
-                   r.identical ? "yes" : "NO"});
+                  r.parallel_s > 0 ? r.serial_s / r.parallel_s : 0.0);
+    std::snprintf(reference_s, sizeof reference_s, "%.3f", r.reference_s);
+    std::snprintf(widen, sizeof widen, "%u", r.widenings);
+    std::snprintf(sweep_pct, sizeof sweep_pct, "%.0f",
+                  r.total_cycles > 0
+                      ? 100.0 * static_cast<double>(r.sweep_cycles) /
+                            static_cast<double>(r.total_cycles)
+                      : 0.0);
+    table.add_row({model, serial_s, parallel_s, speedup,
+                   skip_reference ? "-" : reference_s,
+                   r.identical ? "yes" : "NO", widen, sweep_pct});
   }
   std::printf("%s\n", table.str().c_str());
 
   json::Object per_model;
-  double slowest_compiled = 0.0;
+  double slowest_serial = 0.0;
   std::string slowest_model;
   for (const auto& r : results) {
     json::Object entry;
-    entry.emplace_back("compiled_seconds", r.compiled_s);
-    entry.emplace_back("reference_seconds", r.reference_s);
+    entry.emplace_back("serial_seconds", r.serial_s);
+    entry.emplace_back("parallel_seconds", r.parallel_s);
     entry.emplace_back(
-        "speedup", r.compiled_s > 0 ? r.reference_s / r.compiled_s : 0.0);
+        "parallel_speedup", r.parallel_s > 0 ? r.serial_s / r.parallel_s : 0.0);
+    if (!skip_reference) {
+      entry.emplace_back("reference_seconds", r.reference_s);
+    }
     entry.emplace_back("identical_reports", r.identical);
+    entry.emplace_back("widenings", static_cast<std::int64_t>(r.widenings));
+    entry.emplace_back("sweep_cycles",
+                       static_cast<std::int64_t>(r.sweep_cycles));
+    entry.emplace_back("total_cycles",
+                       static_cast<std::int64_t>(r.total_cycles));
+    entry.emplace_back(
+        "sweep_cycle_fraction",
+        r.total_cycles > 0 ? static_cast<double>(r.sweep_cycles) /
+                                 static_cast<double>(r.total_cycles)
+                           : 0.0);
     per_model.emplace_back(r.model, json::Value(std::move(entry)));
-    if (r.compiled_s > slowest_compiled) {
-      slowest_compiled = r.compiled_s;
+    if (r.serial_s > slowest_serial) {
+      slowest_serial = r.serial_s;
       slowest_model = r.model;
     }
   }
   json::Object root;
   root.emplace_back("bench", "discovery_hotpath");
+  root.emplace_back("sweep_threads", static_cast<std::int64_t>(sweep_threads));
   root.emplace_back("models", per_model);
+  root.emplace_back("total_serial_seconds", total_serial);
   root.emplace_back("slowest_model", slowest_model);
-  root.emplace_back("slowest_compiled_seconds", slowest_compiled);
+  root.emplace_back("slowest_serial_seconds", slowest_serial);
   root.emplace_back("all_reports_identical", all_identical);
   std::ofstream out("BENCH_discovery.json");
   out << json::Value(std::move(root)).dump() << "\n";
-  std::printf("wrote BENCH_discovery.json (slowest compiled: %s, %.3f s)\n",
-              slowest_model.c_str(), slowest_compiled);
+  std::printf(
+      "wrote BENCH_discovery.json (total serial: %.3f s, slowest: %s, "
+      "%.3f s)\n",
+      total_serial, slowest_model.c_str(), slowest_serial);
 
   if (!all_identical) {
     std::fprintf(stderr,
-                 "FAIL: compiled and reference engines disagree on at least "
-                 "one model's report\n");
+                 "FAIL: discovery engines disagree on at least one model's "
+                 "report (serial vs parallel sweep%s)\n",
+                 skip_reference ? "" : " or compiled vs reference");
     return 1;
   }
-  if (max_seconds > 0.0 && slowest_compiled > max_seconds) {
+  if (max_seconds > 0.0 && slowest_serial > max_seconds) {
     std::fprintf(stderr,
-                 "FAIL: slowest compiled discovery (%s, %.3f s) exceeds the "
+                 "FAIL: slowest serial discovery (%s, %.3f s) exceeds the "
                  "--max-seconds budget of %.1f s\n",
-                 slowest_model.c_str(), slowest_compiled, max_seconds);
+                 slowest_model.c_str(), slowest_serial, max_seconds);
     return 2;
   }
   return 0;

@@ -40,6 +40,9 @@ const char kFleetUsage[] =
     "  --seeds N                    noise seeds per configuration (default 1)\n"
     "  --first-seed N               first seed value (default 42)\n"
     "  --workers N                  worker threads (default hardware)\n"
+    "  --sweep-threads N            parallel size-sweep measurements inside\n"
+    "                               each job (default 1; reports are\n"
+    "                               byte-identical for every value)\n"
     "  --no-mig                     skip MIG partitions of MIG-capable GPUs\n"
     "  --cache FILE                 result-cache JSON file\n"
     "                               (default <out>/fleet_cache.json; 'none'\n"
@@ -56,6 +59,7 @@ int run_fleet(int argc, char** argv) {
   std::string baseline_dir;
   std::string out_dir = ".";
   bool quiet = false;
+  std::uint32_t sweep_threads = 1;
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -89,6 +93,8 @@ int run_fleet(int argc, char** argv) {
       plan.first_seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--workers") {
       scheduler.workers = count_value(0);
+    } else if (arg == "--sweep-threads") {
+      sweep_threads = count_value(1);
     } else if (arg == "--no-mig") {
       plan.include_mig = false;
     } else if (arg == "--cache") {
@@ -142,6 +148,12 @@ int run_fleet(int argc, char** argv) {
                    result.job.key().c_str(), result.ok ? "ok" : "FAILED",
                    result.from_cache ? " (cache)" : "");
     };
+  }
+
+  if (sweep_threads > 1 && plan.option_variants.empty()) {
+    core::DiscoverOptions options;
+    options.sweep_threads = sweep_threads;
+    plan.option_variants.push_back(options);
   }
 
   const std::vector<fleet::DiscoveryJob> jobs = fleet::expand_jobs(plan);
@@ -259,6 +271,7 @@ int main(int argc, char** argv) {
   }
   discover_options.collect_series = options.emit_graphs || options.emit_raw;
   discover_options.measure_compute = options.measure_flops;
+  discover_options.sweep_threads = options.sweep_threads;
 
   const sim::GpuSpec spec = core::apply_cache_config(
       sim::registry_get(options.gpu_name), options.cache_config);

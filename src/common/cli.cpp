@@ -45,6 +45,17 @@ ParseResult parse(int argc, const char* const* argv) {
       }
     } else if (arg == "--only") {
       if (auto v = need_value(i, arg)) result.options.only = *v;
+    } else if (arg == "--sweep-threads") {
+      if (auto v = need_value(i, arg)) {
+        try {
+          const unsigned long parsed = std::stoul(*v);
+          if (parsed == 0 || parsed > 1024) throw std::out_of_range(*v);
+          result.options.sweep_threads = static_cast<std::uint32_t>(parsed);
+        } catch (const std::exception&) {
+          result.errors.push_back("invalid --sweep-threads value '" + *v +
+                                  "' (expected 1..1024)");
+        }
+      }
     } else if (arg == "--cache-config") {
       if (auto v = need_value(i, arg)) {
         if (*v != "PreferL1" && *v != "PreferShared" && *v != "PreferEqual") {
@@ -73,6 +84,8 @@ Usage: mt4g [options]
   --seed <n>             simulator noise seed (default 42)
   --only <element>       restrict to one memory element (L1, L2, TEX, RO,
                          CONST_L1, CONST_L15, SHARED, DMEM, VL1, SL1D, L3, LDS)
+  --sweep-threads <n>    parallel size-sweep measurements (default 1; the
+                         report is byte-identical for every value)
   --cache-config <mode>  PreferL1 | PreferShared | PreferEqual (default PreferL1)
   --out <dir>            output directory for report files (default .)
   --flops                also run the per-datatype compute benchmarks

@@ -24,6 +24,7 @@ struct Options {
   bool list_gpus = false;             ///< --list: print registry and exit
   bool measure_flops = false;         ///< --flops: per-dtype compute benchmarks
   std::optional<std::string> only;    ///< --only L1|L2|...: restrict scope
+  std::uint32_t sweep_threads = 1;    ///< --sweep-threads: parallel sweeps
   std::string cache_config = "PreferL1";  ///< L1/Shared split policy
   std::string output_dir = ".";       ///< where -j/-p/-g/-o files land
 };

@@ -34,7 +34,7 @@ AmountBenchResult run_amount_benchmark(sim::Gpu& gpu,
   config.flags = options.target.flags;
   config.array_bytes = array_bytes;
   config.stride_bytes = options.stride;
-  config.record_count = 512;
+  config.record_count = options.record_count;
   config.where = options.where;
   // Both arrays are allocated once and reused by every probe: per-probe
   // allocations would grow the simulated heap, making set mapping (and hence
@@ -64,7 +64,8 @@ AmountBenchResult run_amount_benchmark(sim::Gpu& gpu,
 L2SegmentResult run_l2_segment_benchmark(sim::Gpu& gpu,
                                          std::uint64_t api_total_bytes,
                                          std::uint32_t fetch_granularity,
-                                         sim::Placement where) {
+                                         sim::Placement where,
+                                         std::uint32_t sweep_threads) {
   if (api_total_bytes == 0) {
     throw std::invalid_argument("l2 segment benchmark: missing API size");
   }
@@ -74,9 +75,12 @@ L2SegmentResult run_l2_segment_benchmark(sim::Gpu& gpu,
   size_options.lower = std::max<std::uint64_t>(api_total_bytes / 8, 1024);
   size_options.upper = api_total_bytes + api_total_bytes / 4;
   size_options.stride = fetch_granularity;
+  size_options.sweep_threads = sweep_threads;
   size_options.where = where;
   const auto size_result = run_size_benchmark(gpu, size_options);
   out.cycles = size_result.cycles;
+  out.widenings = size_result.widenings;
+  out.sweep_cycles = size_result.sweep_cycles;
   if (!size_result.found) return out;
   out.measured_bytes = size_result.exact_bytes;
 

@@ -23,6 +23,9 @@ struct AmountBenchOptions {
   Target target;
   std::uint64_t cache_bytes = 0;  ///< from the size benchmark
   std::uint32_t stride = 32;      ///< fetch granularity
+  /// Latencies stored per p-chase run; collectors pass their global record
+  /// budget through so the chase cost is tunable like the other benchmarks.
+  std::uint32_t record_count = 512;
   sim::Placement where{};         ///< core A (index 0 of the SM)
 };
 
@@ -46,11 +49,16 @@ struct L2SegmentResult {
   std::uint64_t measured_bytes = 0;     ///< raw benchmarked segment size
   double confidence = 0.0;  ///< closeness of measured to the aligned fraction
   std::uint64_t cycles = 0;
+  std::uint32_t widenings = 0;       ///< from the inner size benchmark
+  std::uint64_t sweep_cycles = 0;    ///< cycles in the inner sweep chases
 };
 
+/// @param sweep_threads parallelism of the inner size benchmark's sweep
+///        (see SizeBenchOptions::sweep_threads); 1 = serial reference.
 L2SegmentResult run_l2_segment_benchmark(sim::Gpu& gpu,
                                          std::uint64_t api_total_bytes,
                                          std::uint32_t fetch_granularity,
-                                         sim::Placement where = {});
+                                         sim::Placement where = {},
+                                         std::uint32_t sweep_threads = 1);
 
 }  // namespace mt4g::core

@@ -3,7 +3,9 @@
 // Premise: the size benchmark's miss cliff assumes the p-chase step stays
 // below the line size. Stepping past the line size skips whole lines, so the
 // cache "appears larger" and the miss cliff moves right. We sweep array sizes
-// just above the known cache size for p-chase strides from fg/2 upward:
+// just above the known cache size for p-chase strides above the fetch
+// granularity (the line is at least one sector, so sub-granularity strides
+// carry no signal and are not measured):
 //   * strides <= line keep the full miss score (pivot-like);
 //   * strides at non-power-of-two line multiples shift the cliff beyond the
 //     sweep window and the score collapses (MAX-like);

@@ -1,9 +1,12 @@
 #include "core/benchmarks/size.hpp"
 
 #include <algorithm>
+#include <map>
+#include <set>
 #include <stdexcept>
 
 #include "common/units.hpp"
+#include "runtime/batch.hpp"
 #include "stats/change_point.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/outlier.hpp"
@@ -17,9 +20,12 @@ struct Runner {
   const SizeBenchOptions& options;
   std::uint64_t base;
   std::uint64_t cycles = 0;
+  /// Replicas for the batched sweep chases, reused across attempts and
+  /// across the coarse + refinement sweeps of one benchmark run.
+  runtime::ReplicaPool replica_pool;
 
-  runtime::PChaseResult chase(std::uint64_t array_bytes,
-                              std::uint32_t record_count) {
+  runtime::PChaseConfig config_for(std::uint64_t array_bytes,
+                                   std::uint32_t record_count) const {
     runtime::PChaseConfig config;
     config.space = options.target.space;
     config.flags = options.target.flags;
@@ -29,7 +35,13 @@ struct Runner {
     config.record_count = record_count;
     config.warmup = true;
     config.where = options.where;
-    auto result = runtime::run_pchase(gpu, config);
+    return config;
+  }
+
+  runtime::PChaseResult chase(std::uint64_t array_bytes,
+                              std::uint32_t record_count) {
+    auto result = runtime::run_pchase(gpu, config_for(array_bytes,
+                                                      record_count));
     cycles += result.total_cycles;
     return result;
   }
@@ -102,32 +114,89 @@ SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
   }
 
   // --- Phases 2-4: sweep, outlier screening (with widening), K-S. ----------
+  //
+  // Incremental engine: rows are memoized by array size and the step is
+  // frozen at the initial span, so a widening extends the same size grid and
+  // only the newly exposed edge points (plus spike-flagged points, which get
+  // fresh data) are measured — every clean row is reused. Chases go through
+  // run_pchase_batch: each runs on a reset replica with a (seed, config)
+  // noise stream, making the series invariant under sweep_threads.
   auto sweep_and_detect =
       [&](std::uint64_t sweep_lo, std::uint64_t sweep_hi,
+          std::uint32_t max_points,
           SizeBenchResult& result) -> std::optional<stats::ChangePoint> {
+    const std::uint64_t step = std::max<std::uint64_t>(
+        options.stride,
+        round_up((sweep_hi - sweep_lo) / std::max<std::uint32_t>(max_points, 1),
+                 options.stride));
+    std::map<std::uint64_t, std::vector<std::uint32_t>> rows;
+    std::set<std::uint64_t> respike;    // erased as spiked, awaiting fresh data
+    std::set<std::uint64_t> refreshed;  // already re-measured once
     for (std::uint32_t attempt = 0;; ++attempt) {
-      const std::uint64_t span = sweep_hi - sweep_lo;
-      const std::uint64_t step = std::max<std::uint64_t>(
-          options.stride,
-          round_up(span / options.max_sweep_points, options.stride));
       std::vector<std::uint64_t> sizes;
-      std::vector<std::vector<std::uint32_t>> rows;
       for (std::uint64_t size = sweep_lo; size <= sweep_hi; size += step) {
         sizes.push_back(size);
-        rows.push_back(runner.chase(size, options.record_count).latencies);
       }
-      const std::vector<double> reduced = stats::geometric_reduction(rows);
+      std::vector<std::uint64_t> missing;
+      for (const std::uint64_t size : sizes) {
+        if (!rows.count(size)) missing.push_back(size);
+      }
+      if (!missing.empty()) {
+        std::vector<runtime::PChaseConfig> configs;
+        configs.reserve(missing.size());
+        for (const std::uint64_t size : missing) {
+          configs.push_back(runner.config_for(size, options.record_count));
+        }
+        runtime::PChaseBatchOptions batch_options;
+        batch_options.threads = options.sweep_threads;
+        batch_options.executor = options.sweep_executor;
+        batch_options.pool = &runner.replica_pool;
+        auto measured = runtime::run_pchase_batch(gpu, configs, batch_options);
+        for (std::size_t i = 0; i < missing.size(); ++i) {
+          runner.cycles += measured[i].total_cycles;
+          result.sweep_cycles += measured[i].total_cycles;
+          if (options.sweep_probe) {
+            options.sweep_probe(missing[i], respike.erase(missing[i]) > 0);
+          }
+          rows.emplace(missing[i], std::move(measured[i].latencies));
+        }
+      }
+      std::vector<std::vector<std::uint32_t>> ordered;
+      ordered.reserve(sizes.size());
+      for (const std::uint64_t size : sizes) ordered.push_back(rows.at(size));
+      const std::vector<double> reduced = stats::geometric_reduction(ordered);
       const auto screen = stats::screen_outliers(reduced);
-      const bool can_widen = attempt < options.max_widenings;
-      if (!screen.clean() && can_widen) {
-        ++result.widenings;
-        if (screen.change_at_lower_edge) {
-          sweep_lo = sweep_lo > 4 * step + lower ? sweep_lo - 4 * step : lower;
+      if (!screen.clean() && attempt < options.max_widenings) {
+        bool changed = false;
+        for (const std::size_t idx : screen.spike_indices) {
+          // One fresh measurement per point: a point that stays spiky on its
+          // second sample is genuine structure (or persistent disturbance);
+          // despike() below neutralises it for the K-S either way, so
+          // chasing it a third time buys nothing.
+          if (!refreshed.insert(sizes[idx]).second) continue;
+          respike.insert(sizes[idx]);
+          rows.erase(sizes[idx]);
+          changed = true;
         }
-        if (screen.change_at_upper_edge) {
-          sweep_hi = std::min(upper, sweep_hi + 4 * step);
+        // Widen on the frozen grid so existing rows stay reusable; the
+        // clamped extension never leaves [lower, upper].
+        if (screen.change_at_lower_edge && sweep_lo > lower) {
+          const std::uint64_t room = (sweep_lo - lower) / step;
+          sweep_lo -= std::min<std::uint64_t>(4, room) * step;
+          changed = changed || room > 0;
         }
-        continue;  // re-measure (spikes get fresh data either way)
+        if (screen.change_at_upper_edge && sweep_hi < upper) {
+          const std::uint64_t room = (upper - sweep_hi) / step;
+          sweep_hi += std::min<std::uint64_t>(4, room) * step;
+          changed = changed || room > 0;
+        }
+        if (changed) {
+          ++result.widenings;
+          continue;
+        }
+        // Edges pinned at the search bounds and nothing flagged as a spike:
+        // re-running would reproduce the identical series, so fall through
+        // to detection with what we have.
       }
       const std::vector<double> clean = stats::despike(reduced);
       result.sweep_sizes = sizes;
@@ -136,7 +205,7 @@ SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
     }
   };
 
-  auto change_point = sweep_and_detect(lo, hi, out);
+  auto change_point = sweep_and_detect(lo, hi, options.max_sweep_points, out);
   if (!change_point || change_point->index == 0) {
     out.cycles = runner.cycles;
     return out;
@@ -157,11 +226,13 @@ SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
     const std::uint64_t window_hi =
         std::min(upper, out.detected_bytes + 2 * coarse_step);
     SizeBenchResult refine;
-    if (auto refined = sweep_and_detect(window_lo, window_hi, refine);
-        refined && refined->index > 0) {
+    const auto refined = sweep_and_detect(window_lo, window_hi,
+                                          options.refine_sweep_points, refine);
+    out.widenings += refine.widenings;
+    out.sweep_cycles += refine.sweep_cycles;
+    if (refined && refined->index > 0) {
       out.detected_bytes = refine.sweep_sizes[refined->index - 1];
       out.confidence = std::max(out.confidence, refined->confidence);
-      out.widenings += refine.widenings;
       // Keep the coarse sweep as the reported series (it shows the full
       // cliff, like Fig. 2); the refinement only sharpens the boundary.
     }
@@ -176,8 +247,20 @@ SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
     const std::uint64_t expand = std::max<std::uint64_t>(
         coarse_step, static_cast<std::uint64_t>(options.stride));
     std::uint64_t fit_lo = out.detected_bytes;
-    while (fit_lo > lower && !runner.fits(fit_lo)) {
+    bool fit_lo_ok = runner.fits(fit_lo);
+    while (!fit_lo_ok && fit_lo > lower) {
       fit_lo = fit_lo > lower + expand ? fit_lo - expand : lower;
+      fit_lo_ok = runner.fits(fit_lo);
+    }
+    if (!fit_lo_ok) {
+      // No size fits, down to and including `lower`: the K-S saw a latency
+      // cliff of a deeper level (or noise), not this element's boundary.
+      // Reporting `lower` would fabricate a fit that was never observed;
+      // keep the change-point estimate and flag the condition.
+      out.exact_bytes = out.detected_bytes;
+      out.exact_fallback = true;
+      out.cycles = runner.cycles;
+      return out;
     }
     std::uint64_t miss_hi = std::max(out.detected_bytes,
                                      fit_lo + options.stride);

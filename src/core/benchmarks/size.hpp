@@ -12,13 +12,28 @@
 // After the K-S decision we refine the boundary to fetch-granularity
 // resolution with a bisection on the "any timed load fell through" predicate
 // — the same observable, pushed to its exact edge.
+//
+// The sweep (phases 2-3 and the phase-5 refinement) runs on an incremental
+// engine: every measured sweep point is memoized by array size, widening
+// keeps the original step so widened bounds land on the same size grid, and
+// an attempt re-measures only the newly exposed edge points plus the points
+// stats::screen_outliers flagged as spikes — clean rows are reused as-is.
+// Points are measured through runtime::run_pchase_batch, so each chase runs
+// on a reset Gpu replica with a noise stream derived from (seed, config):
+// the sweep series is byte-identical for every sweep_threads value, and
+// sweep_threads > 1 fans the chases over the shared executor.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/target.hpp"
 #include "sim/gpu.hpp"
+
+namespace mt4g::exec {
+class Executor;
+}
 
 namespace mt4g::core {
 
@@ -28,8 +43,25 @@ struct SizeBenchOptions {
   std::uint64_t upper = 1024 * 1024;     ///< initial search space upper bound
   std::uint32_t stride = 32;             ///< fetch granularity of the element
   std::uint32_t record_count = 512;      ///< latencies stored per p-chase run
-  std::uint32_t max_sweep_points = 48;   ///< cap on sizes per sweep
+  std::uint32_t max_sweep_points = 48;   ///< cap on sizes per sweep (initial
+                                         ///< grid; widenings add edge points)
+  /// Cap for the phase-5 refinement sweep. The refinement only has to pull
+  /// the K-S estimate close enough that the phase-6 bisection starts near
+  /// the boundary — the bisection delivers the exact edge — so it needs far
+  /// fewer points than the coarse sweep (whose density feeds the K-S power).
+  std::uint32_t refine_sweep_points = 16;
   std::uint32_t max_widenings = 3;       ///< outlier-triggered re-measurements
+  /// Parallelism of the sweep-point measurements, caller included; 1 = the
+  /// serial reference engine. Both produce byte-identical results.
+  std::uint32_t sweep_threads = 1;
+  /// Executor for sweep_threads > 1; nullptr = exec::shared_executor().
+  /// Tests inject a dedicated pool here to force real thread interleaving
+  /// regardless of the host's core count.
+  exec::Executor* sweep_executor = nullptr;
+  /// Test probe: invoked once per sweep-point chase, after the measurement,
+  /// in ascending size order within each attempt. @p remeasured is true when
+  /// the point was re-chased because the screening flagged it as a spike.
+  std::function<void(std::uint64_t size, bool remeasured)> sweep_probe;
   sim::Placement where{};
 };
 
@@ -39,10 +71,15 @@ struct SizeBenchResult {
   std::uint64_t exact_bytes = 0;     ///< bisection-refined boundary
   double confidence = 0.0;           ///< 1 - p of the winning K-S split
   bool upper_bound_hit = false;      ///< no miss up to `upper` (">upper")
+  /// Phase 6 could not establish fits(fit_lo): the downward expansion
+  /// bottomed out at `lower` with no fitting size, so exact_bytes fell back
+  /// to detected_bytes (the K-S estimate) instead of reporting `lower`.
+  bool exact_fallback = false;
   std::uint32_t widenings = 0;       ///< outlier-triggered re-measurements
   std::vector<std::uint64_t> sweep_sizes;  ///< final sweep (Fig. 2 x-axis)
   std::vector<double> reduced;             ///< Eq.-2 values (Fig. 2 y-axis)
   std::uint64_t cycles = 0;          ///< simulated GPU cycles consumed
+  std::uint64_t sweep_cycles = 0;    ///< cycles spent in sweep-point chases
 };
 
 SizeBenchResult run_size_benchmark(sim::Gpu& gpu,

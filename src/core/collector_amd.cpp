@@ -48,8 +48,10 @@ MemoryElementReport collect_amd_l1(CollectorContext& ctx, Element element,
   size_options.upper = 1024 * KiB;
   size_options.stride = state.fg;
   size_options.record_count = ctx.options.record_count;
+  size_options.sweep_threads = ctx.options.sweep_threads;
   const auto size = run_size_benchmark(gpu, size_options);
   ctx.book(size.cycles);
+  ctx.book_sweep(size.widenings, size.sweep_cycles);
   if (size.found) {
     row.size = Attribute::benchmarked(static_cast<double>(size.exact_bytes),
                                       size.confidence);
@@ -107,6 +109,7 @@ void collect_amd(CollectorContext& ctx) {
       amount_options.target = target_for(sim::Vendor::kAmd, Element::kVL1);
       amount_options.cache_bytes = state.size;
       amount_options.stride = state.fg;
+      amount_options.record_count = ctx.options.record_count;
       const auto amount = run_amount_benchmark(gpu, amount_options);
       ctx.book(amount.cycles);
       row.amount =

@@ -19,8 +19,15 @@ struct CollectorContext {
   /// Books one executed microbenchmark and its simulated cycles.
   void book(std::uint64_t cycles) {
     ++report.benchmarks_executed;
+    report.total_cycles += cycles;
     report.simulated_seconds +=
         static_cast<double>(cycles) / (gpu.spec().clock_mhz * 1e6);
+  }
+
+  /// Books the sweep-engine telemetry of one size benchmark.
+  void book_sweep(std::uint32_t widenings, std::uint64_t sweep_cycles) {
+    report.sweep_widenings += widenings;
+    report.sweep_cycles += sweep_cycles;
   }
 
   /// Books seconds directly (bandwidth kernels report wall time).

@@ -67,8 +67,10 @@ MemoryElementReport collect_first_level_cache(CollectorContext& ctx,
   size_options.upper = size_upper;
   size_options.stride = state.fg;
   size_options.record_count = ctx.options.record_count;
+  size_options.sweep_threads = ctx.options.sweep_threads;
   const auto size = run_size_benchmark(gpu, size_options);
   ctx.book(size.cycles);
+  ctx.book_sweep(size.widenings, size.sweep_cycles);
   if (size.found) {
     row.size = Attribute::benchmarked(
         static_cast<double>(size.exact_bytes), size.confidence);
@@ -119,6 +121,7 @@ MemoryElementReport collect_first_level_cache(CollectorContext& ctx,
     amount_options.target = target;
     amount_options.cache_bytes = state.size;
     amount_options.stride = state.fg;
+    amount_options.record_count = ctx.options.record_count;
     const auto amount = run_amount_benchmark(gpu, amount_options);
     ctx.book(amount.cycles);
     row.amount = amount.available
@@ -188,8 +191,11 @@ void collect_nvidia(CollectorContext& ctx) {
     size_options.lower = std::max<std::uint64_t>(2 * cl1_size, 4 * KiB);
     size_options.upper = kConstantArrayLimit;  // the hard 64 KiB wall
     size_options.stride = fg_value;
+    size_options.record_count = ctx.options.record_count;
+    size_options.sweep_threads = ctx.options.sweep_threads;
     const auto size = run_size_benchmark(gpu, size_options);
     ctx.book(size.cycles);
+    ctx.book_sweep(size.widenings, size.sweep_cycles);
     std::uint64_t cl15_size = 0;
     if (size.found) {
       row.size = Attribute::benchmarked(
@@ -267,8 +273,10 @@ void collect_nvidia(CollectorContext& ctx) {
     // Segment count: size benchmark + alignment to an integer fraction of
     // the API total (paper IV-F1).
     const auto segment =
-        run_l2_segment_benchmark(gpu, prop.l2_cache_size, fg_value);
+        run_l2_segment_benchmark(gpu, prop.l2_cache_size, fg_value, {},
+                                 ctx.options.sweep_threads);
     ctx.book(segment.cycles);
+    ctx.book_sweep(segment.widenings, segment.sweep_cycles);
     std::uint64_t segment_bytes = prop.l2_cache_size;
     if (segment.found) {
       row.amount = Attribute::benchmarked(segment.segments,

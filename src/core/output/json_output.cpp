@@ -148,6 +148,12 @@ json::Value to_json(const TopologyReport& report) {
   meta.emplace_back("benchmarks_executed",
                     static_cast<std::int64_t>(report.benchmarks_executed));
   meta.emplace_back("simulated_seconds", report.simulated_seconds);
+  meta.emplace_back("sweep_widenings",
+                    static_cast<std::int64_t>(report.sweep_widenings));
+  meta.emplace_back("sweep_cycles",
+                    static_cast<std::int64_t>(report.sweep_cycles));
+  meta.emplace_back("total_cycles",
+                    static_cast<std::int64_t>(report.total_cycles));
   root.emplace_back("meta", json::Value(std::move(meta)));
   return json::Value(std::move(root));
 }

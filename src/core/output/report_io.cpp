@@ -162,6 +162,12 @@ TopologyReport from_json_string(const std::string& text) {
   report.benchmarks_executed = static_cast<std::uint32_t>(
       number_or(meta, "benchmarks_executed", 0));
   report.simulated_seconds = number_or(meta, "simulated_seconds", 0);
+  report.sweep_widenings =
+      static_cast<std::uint32_t>(number_or(meta, "sweep_widenings", 0));
+  report.sweep_cycles =
+      static_cast<std::uint64_t>(number_or(meta, "sweep_cycles", 0));
+  report.total_cycles =
+      static_cast<std::uint64_t>(number_or(meta, "total_cycles", 0));
   return report;
 }
 

@@ -134,6 +134,13 @@ struct TopologyReport {
   std::vector<ComputeThroughputReport> compute_throughput;
   std::uint32_t benchmarks_executed = 0;
   double simulated_seconds = 0.0;  ///< accumulated simulated GPU time
+  /// Sweep-engine telemetry: outlier-triggered widening rounds and the
+  /// sweep-vs-rest cycle split across all size benchmarks of the discovery.
+  /// bench/discovery_hotpath records these per model so the next algorithmic
+  /// target stays visible.
+  std::uint32_t sweep_widenings = 0;
+  std::uint64_t sweep_cycles = 0;   ///< cycles in sweep-point chases
+  std::uint64_t total_cycles = 0;   ///< all simulated cycles booked
   std::vector<SizeSeries> series;  ///< populated when graphs are requested
 
   const MemoryElementReport* find(sim::Element element) const;

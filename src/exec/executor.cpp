@@ -1,0 +1,174 @@
+#include "exec/executor.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mt4g::exec {
+namespace {
+
+struct Batch {
+  std::size_t count = 0;
+  const IndexedTask* task = nullptr;
+  std::uint32_t max_joiners = 0;  ///< pool threads allowed (caller excluded)
+
+  std::atomic<std::size_t> next{0};   ///< index claim cursor
+  std::atomic<std::size_t> done{0};   ///< finished tasks
+  std::uint32_t joiners = 0;          ///< pool threads that joined (queue lock)
+  std::atomic<std::uint32_t> slots{1};  ///< slot 0 is reserved for the caller
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  bool exhausted() const {
+    return next.load(std::memory_order_relaxed) >= count;
+  }
+};
+
+/// Claims and executes indices until the batch is drained. Returns after the
+/// participant's last task; the batch may still have tasks in flight on
+/// other participants.
+void drain(Batch& batch, std::uint32_t slot) {
+  while (true) {
+    const std::size_t index =
+        batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch.count) return;
+    try {
+      (*batch.task)(index, slot);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.error_mutex);
+      if (index < batch.error_index) {
+        batch.error_index = index;
+        batch.error = std::current_exception();
+      }
+    }
+    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch.count) {
+      std::lock_guard<std::mutex> lock(batch.done_mutex);
+      batch.done_cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+struct Executor::Impl {
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<std::shared_ptr<Batch>> queue;  // batches with claimable work
+  bool stop = false;
+  std::vector<std::thread> threads;
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(queue_mutex);
+    while (true) {
+      std::shared_ptr<Batch> batch;
+      for (auto it = queue.begin(); it != queue.end();) {
+        if ((*it)->exhausted()) {
+          it = queue.erase(it);
+          continue;
+        }
+        if ((*it)->joiners < (*it)->max_joiners) {
+          batch = *it;
+          ++batch->joiners;
+          break;
+        }
+        ++it;
+      }
+      if (!batch) {
+        if (stop) return;
+        queue_cv.wait(lock);
+        continue;
+      }
+      lock.unlock();
+      const std::uint32_t slot =
+          batch->slots.fetch_add(1, std::memory_order_relaxed);
+      drain(*batch, slot);
+      lock.lock();
+    }
+  }
+};
+
+Executor::Executor(std::uint32_t pool_threads) : impl_(new Impl) {
+  impl_->threads.reserve(pool_threads);
+  for (std::uint32_t i = 0; i < pool_threads; ++i) {
+    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+    impl_->stop = true;
+  }
+  impl_->queue_cv.notify_all();
+  for (auto& thread : impl_->threads) thread.join();
+}
+
+std::uint32_t Executor::pool_threads() const {
+  return static_cast<std::uint32_t>(impl_->threads.size());
+}
+
+void Executor::parallel_for(std::size_t count, std::uint32_t max_workers,
+                            const IndexedTask& task) {
+  if (count == 0) return;
+  if (max_workers == 0) max_workers = pool_threads() + 1;
+
+  const auto batch = std::make_shared<Batch>();
+  batch->count = count;
+  batch->task = &task;
+  // The caller is always a participant; only the surplus comes from the
+  // pool, and never more joiners than there are work items beyond the
+  // caller's first claim.
+  const std::size_t surplus =
+      std::min<std::size_t>(max_workers > 0 ? max_workers - 1 : 0,
+                            count > 0 ? count - 1 : 0);
+  batch->max_joiners = static_cast<std::uint32_t>(surplus);
+
+  if (batch->max_joiners == 0 || impl_->threads.empty()) {
+    // Serial mode: inline on the caller, strict index order.
+    drain(*batch, 0);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+      impl_->queue.push_back(batch);
+    }
+    impl_->queue_cv.notify_all();
+    drain(*batch, 0);
+    {
+      std::unique_lock<std::mutex> lock(batch->done_mutex);
+      batch->done_cv.wait(lock, [&] {
+        return batch->done.load(std::memory_order_acquire) == batch->count;
+      });
+    }
+    {
+      std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+      for (auto it = impl_->queue.begin(); it != impl_->queue.end(); ++it) {
+        if (it->get() == batch.get()) {
+          impl_->queue.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+Executor& shared_executor() {
+  static Executor executor([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw - 1 : 0;
+  }());
+  return executor;
+}
+
+}  // namespace mt4g::exec

@@ -1,0 +1,66 @@
+// Shared work executor — the one thread pool of the process.
+//
+// Both parallelism seams of the tool run through this executor: the fleet
+// scheduler fans whole discovery jobs over it, and the size-benchmark sweep
+// fans individual p-chase measurements over it (runtime::run_pchase_batch).
+// Hoisting the pool out of src/fleet/ lets the two layers nest without
+// spawning threads inside threads: parallel_for() always executes on the
+// calling thread too, so a fleet worker that reaches a nested sweep
+// parallel_for makes progress even when every pool thread is busy with outer
+// jobs — nesting can never deadlock, only degrade to serial.
+//
+// Determinism contract: parallel_for() itself guarantees nothing about
+// execution order — tasks must write results into per-index slots and must
+// not depend on shared mutable state, which is exactly how both callers use
+// it (fleet jobs own their Gpu; sweep chases own a per-slot Gpu replica that
+// is reset before every chase).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace mt4g::exec {
+
+/// One unit of a parallel_for: @p index is the work item, @p slot identifies
+/// the participant executing it (0 = the calling thread, then one id per
+/// pool thread that joined). Slots let callers keep per-participant scratch
+/// state (e.g. a Gpu replica) without locking: slot values stay below the
+/// max_workers passed to parallel_for, and no two tasks run concurrently on
+/// the same slot.
+using IndexedTask = std::function<void(std::size_t index, std::uint32_t slot)>;
+
+class Executor {
+ public:
+  /// @param pool_threads worker threads to spawn in addition to the callers
+  ///        that participate in their own parallel_for calls; 0 is valid
+  ///        (every parallel_for then runs inline on the caller).
+  explicit Executor(std::uint32_t pool_threads);
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  std::uint32_t pool_threads() const;
+
+  /// Runs task(0..count-1) and blocks until all of them finished. At most
+  /// @p max_workers participants execute concurrently, the caller included
+  /// (0 = caller + whole pool); max_workers <= 1 runs inline on the caller
+  /// in index order — the serial reference mode. Tasks that throw do not
+  /// abort the batch: every index still runs, and the exception of the
+  /// lowest failing index is rethrown afterwards (lowest, not first, so the
+  /// error a caller observes is independent of scheduling).
+  void parallel_for(std::size_t count, std::uint32_t max_workers,
+                    const IndexedTask& task);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The process-wide executor (hardware_concurrency - 1 pool threads, so a
+/// saturated parallel_for uses every core once, counting the caller).
+/// Created on first use; safe to call from any thread.
+Executor& shared_executor();
+
+}  // namespace mt4g::exec

@@ -27,6 +27,9 @@ struct DiscoveryJob {
 
   /// Canonical identity string: every field in a fixed order with explicit
   /// separators. Two jobs are the same work iff their keys are equal.
+  /// DiscoverOptions::sweep_threads is deliberately excluded — it is an
+  /// execution knob whose report is byte-identical for every value, so a
+  /// cached result answers any thread setting.
   std::string key() const;
 
   /// Stable 64-bit FNV-1a hash of key(). Identical across processes,

@@ -1,10 +1,10 @@
 #include "fleet/scheduler.hpp"
 
-#include <atomic>
 #include <chrono>
 #include <mutex>
 #include <thread>
 
+#include "exec/executor.hpp"
 #include "sim/registry.hpp"
 
 namespace mt4g::fleet {
@@ -19,68 +19,56 @@ std::vector<JobResult> run_sweep(const std::vector<DiscoveryJob>& jobs,
     workers = std::thread::hardware_concurrency();
     if (workers == 0) workers = 1;
   }
-  if (workers > jobs.size()) workers = static_cast<std::uint32_t>(jobs.size());
 
-  // Touch the registry once before the pool starts. Its lazy singletons are
+  // Touch the registry once before fanning out. Its lazy singletons are
   // initialisation-thread-safe anyway (C++11 magic statics); warming them here
   // just keeps the first claimed jobs from serialising on the init lock.
   (void)sim::registry_all_names();
 
-  std::atomic<std::size_t> next{0};
   std::size_t done = 0;  // guarded by callback_mutex
   std::mutex callback_mutex;
 
-  const auto worker_loop = [&] {
-    while (true) {
-      const std::size_t index = next.fetch_add(1);
-      if (index >= jobs.size()) return;
-
-      JobResult& result = results[index];
-      result.job = jobs[index];
-      const auto start = std::chrono::steady_clock::now();
-      try {
-        if (options.cache) {
-          if (auto cached = options.cache->get(result.job)) {
-            result.report = std::move(*cached);
-            result.ok = true;
-            result.from_cache = true;
-          }
-        }
-        if (!result.from_cache) {
-          result.report = run_job(result.job);
+  const auto run_one = [&](std::size_t index, std::uint32_t) {
+    JobResult& result = results[index];
+    result.job = jobs[index];
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      if (options.cache) {
+        if (auto cached = options.cache->get(result.job)) {
+          result.report = std::move(*cached);
           result.ok = true;
-          if (options.cache) options.cache->put(result.job, result.report);
+          result.from_cache = true;
         }
-      } catch (const std::exception& e) {
-        result.ok = false;
-        result.error = e.what();
-      } catch (...) {
-        result.ok = false;
-        result.error = "unknown error";
       }
-      result.wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
+      if (!result.from_cache) {
+        result.report = run_job(result.job);
+        result.ok = true;
+        if (options.cache) options.cache->put(result.job, result.report);
+      }
+    } catch (const std::exception& e) {
+      result.ok = false;
+      result.error = e.what();
+    } catch (...) {
+      result.ok = false;
+      result.error = "unknown error";
+    }
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
 
-      if (options.on_result) {
-        // The finished count is bumped under the same lock as the callback so
-        // `done` values arrive strictly in order (1, 2, ..., total).
-        std::lock_guard<std::mutex> lock(callback_mutex);
-        options.on_result(result, ++done, jobs.size());
-      }
+    if (options.on_result) {
+      // The finished count is bumped under the same lock as the callback so
+      // `done` values arrive strictly in order (1, 2, ..., total).
+      std::lock_guard<std::mutex> lock(callback_mutex);
+      options.on_result(result, ++done, jobs.size());
     }
   };
 
-  if (workers == 1) {
-    // Serial fast path: no threads, same code path and result layout.
-    worker_loop();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::uint32_t i = 0; i < workers; ++i) pool.emplace_back(worker_loop);
-    for (auto& thread : pool) thread.join();
-  }
+  // The shared executor runs the fan-out: workers == 1 degenerates to the
+  // serial in-order loop on this thread (same code path, same result
+  // layout), and a job's own nested parallelism (sweep_threads > 1 inside
+  // discovery) composes on the same pool without spawning extra threads.
+  exec::shared_executor().parallel_for(jobs.size(), workers, run_one);
   return results;
 }
 

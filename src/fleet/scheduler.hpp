@@ -1,10 +1,13 @@
 // Worker-pool discovery scheduler.
 //
-// run_sweep() fans a job list out across a fixed-size thread pool and returns
-// one JobResult per job, in job order — the result vector is identical for
-// any worker count, because each worker writes into the slot of the job index
-// it claimed (there is no completion-order dependence). A job that throws is
-// captured as a failed JobResult; the sweep always runs to completion.
+// run_sweep() fans a job list out across the process-wide executor
+// (exec::shared_executor) and returns one JobResult per job, in job order —
+// the result vector is identical for any worker count, because each worker
+// writes into the slot of the job index it claimed (there is no
+// completion-order dependence). A job that throws is captured as a failed
+// JobResult; the sweep always runs to completion. Jobs whose DiscoverOptions
+// request intra-benchmark sweep parallelism (sweep_threads > 1) nest on the
+// same executor without spawning additional threads.
 #pragma once
 
 #include <cstdint>
@@ -29,7 +32,8 @@ struct JobResult {
 };
 
 struct SchedulerOptions {
-  /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
+  /// Concurrent jobs (the calling thread included);
+  /// 0 = std::thread::hardware_concurrency() (min 1), 1 = serial in order.
   std::uint32_t workers = 0;
   /// Optional shared result cache probed before and filled after each run.
   ResultCache* cache = nullptr;

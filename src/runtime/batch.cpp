@@ -1,0 +1,74 @@
+#include "runtime/batch.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace mt4g::runtime {
+
+std::uint64_t chase_noise_seed(std::uint64_t gpu_seed,
+                               const PChaseConfig& config) {
+  // Fold each field through a splitmix64 step. The constant decorrelates the
+  // chase streams from the owning Gpu's own stream (which Xoshiro256 seeds
+  // from the same value).
+  std::uint64_t state = gpu_seed ^ 0xA3C59AC2B1F9D0E5ULL;
+  const auto fold = [&state](std::uint64_t value) {
+    // Keep the mixed output, not just the advanced counter: the avalanche is
+    // what makes near-identical configs (e.g. swapped sm/core indices or a
+    // shared flipped bit across two fields) land on unrelated streams.
+    state ^= value;
+    state = splitmix64(state);
+  };
+  fold(static_cast<std::uint64_t>(config.space));
+  fold(config.flags.bypass_l1 ? 1 : 0);
+  fold(config.base);
+  fold(config.array_bytes);
+  fold(config.stride_bytes);
+  fold(config.record_count);
+  fold(config.warmup ? 1 : 0);
+  fold(config.where.sm);
+  fold(config.where.core);
+  return splitmix64(state);
+}
+
+std::vector<PChaseResult> run_pchase_batch(sim::Gpu& gpu,
+                                           std::span<const PChaseConfig> configs,
+                                           const PChaseBatchOptions& options) {
+  std::vector<PChaseResult> results(configs.size());
+  if (configs.empty()) return results;
+
+  // One replica per participant slot; never more participants than chases.
+  const auto workers = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      std::max<std::uint32_t>(options.threads, 1), configs.size()));
+
+  ReplicaPool local_pool;
+  ReplicaPool& pool = options.pool ? *options.pool : local_pool;
+  if (!pool.replicas.empty() && pool.epoch != gpu.path_epoch()) {
+    pool.replicas.clear();  // the owning Gpu rebuilt caches: replicas stale
+  }
+  pool.epoch = gpu.path_epoch();
+  while (pool.replicas.size() < workers) {
+    // The fork seed is irrelevant: every chase re-seeds its replica below.
+    pool.replicas.push_back(gpu.fork(gpu.seed()));
+  }
+
+  const PChaseEngine engine = pchase_engine();
+  const auto run_one = [&](std::size_t index, std::uint32_t slot) {
+    sim::Gpu& replica = pool.replicas[slot];
+    replica.flush_caches();
+    replica.reseed_noise(chase_noise_seed(gpu.seed(), configs[index]));
+    const ScopedPChaseEngine scope(engine);  // workers default to kCompiled
+    results[index] = run_pchase(replica, configs[index]);
+  };
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) run_one(i, 0);
+  } else {
+    exec::Executor& executor =
+        options.executor ? *options.executor : exec::shared_executor();
+    executor.parallel_for(configs.size(), workers, run_one);
+  }
+  return results;
+}
+
+}  // namespace mt4g::runtime

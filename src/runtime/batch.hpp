@@ -1,0 +1,64 @@
+// Parallel p-chase batch execution.
+//
+// run_pchase_batch() runs a list of independent PChaseConfigs and returns one
+// PChaseResult per config, in config order. Each chase executes on a Gpu
+// replica (Gpu::fork) that is reset — caches flushed, noise stream re-seeded
+// from (gpu seed, chase config) via chase_noise_seed() — immediately before
+// the chase, so a chase's result is a pure function of the owning Gpu's seed
+// and its own config. That makes the result vector byte-identical for every
+// thread count, including the threads == 1 serial reference mode, which is
+// what bench/discovery_hotpath and the sweep-engine tests assert.
+//
+// The trade-off is explicit: batched chases do NOT share warm cache state or
+// a noise stream with the owning Gpu (each starts cold and self-warms), so
+// routing a measurement through the batch changes its noise realisation
+// relative to the serial-on-the-main-Gpu path. The size-benchmark sweep
+// accepts this — its detection is robust by construction — in exchange for
+// memoization and parallelism.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "runtime/kernels.hpp"
+#include "sim/gpu.hpp"
+
+namespace mt4g::runtime {
+
+/// Reusable Gpu replicas for repeated batch calls against the same owning
+/// Gpu (a size-benchmark sweep issues one batch per widening attempt).
+/// Replicas are rebuilt automatically when the owning Gpu invalidated its
+/// compiled paths (cache rebuild via set_l2_fetch_granularity) — the epoch
+/// tracks that. A pool must not be shared across different owning Gpus.
+struct ReplicaPool {
+  std::uint64_t epoch = 0;
+  std::vector<sim::Gpu> replicas;
+};
+
+struct PChaseBatchOptions {
+  /// Total parallelism including the calling thread; 1 = serial reference
+  /// (strict config order, no executor involved).
+  std::uint32_t threads = 1;
+  /// Executor to fan out on when threads > 1; nullptr = shared_executor().
+  exec::Executor* executor = nullptr;
+  /// Optional replica cache reused across calls (see ReplicaPool).
+  ReplicaPool* pool = nullptr;
+};
+
+/// Deterministic noise-stream seed of one batched chase: a stable mix of the
+/// owning Gpu's construction seed and every result-relevant config field.
+/// Two configs differing in any field get statistically independent streams;
+/// the same (seed, config) always maps to the same stream.
+std::uint64_t chase_noise_seed(std::uint64_t gpu_seed,
+                               const PChaseConfig& config);
+
+/// Runs every config (see file comment for the execution model) and returns
+/// results in config order. The engine (compiled/reference) active on the
+/// calling thread is propagated to the worker threads.
+std::vector<PChaseResult> run_pchase_batch(
+    sim::Gpu& gpu, std::span<const PChaseConfig> configs,
+    const PChaseBatchOptions& options = {});
+
+}  // namespace mt4g::runtime

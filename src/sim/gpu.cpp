@@ -37,6 +37,7 @@ Gpu::Gpu(const GpuSpec& spec, std::uint64_t seed, std::optional<MigProfile> mig,
          const NoiseParams& noise)
     : spec_(spec),
       mig_(std::move(mig)),
+      seed_(seed),
       noise_(noise, Xoshiro256(seed)) {
   // Per-SM caches, one physical cache per sharing group. Elements that share
   // a physical_group must agree on geometry; the first one encountered wins
@@ -112,6 +113,19 @@ void Gpu::set_l2_fetch_granularity(std::uint32_t bytes) {
     }
   }
   ++path_epoch_;  // compiled paths hold dangling L2 pointers now
+}
+
+Gpu Gpu::fork(std::uint64_t noise_seed) const {
+  // spec_ carries every runtime mutation (set_l2_fetch_granularity rewrites
+  // the L2 sector size in place), so reconstructing from it reproduces the
+  // current configuration with pristine cache contents.
+  Gpu replica(spec_, noise_seed, mig_, noise_.params());
+  replica.heap_top_ = heap_top_;
+  return replica;
+}
+
+void Gpu::reseed_noise(std::uint64_t noise_seed) {
+  noise_ = NoiseModel(noise_.params(), Xoshiro256(noise_seed));
 }
 
 std::uint32_t Gpu::l2_fetch_granularity() const {

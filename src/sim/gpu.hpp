@@ -87,6 +87,23 @@ class Gpu {
   const GpuSpec& spec() const { return spec_; }
   const std::optional<MigProfile>& mig() const { return mig_; }
 
+  /// The seed this Gpu was constructed with; the batch runner derives
+  /// per-chase noise-stream seeds from it (runtime::chase_noise_seed).
+  std::uint64_t seed() const { return seed_; }
+
+  /// A replica for parallel batch execution: same spec (including any
+  /// set_l2_fetch_granularity mutation), same MIG restriction, same noise
+  /// parameters and the same allocator state — addresses handed out by this
+  /// Gpu are valid in the replica — but cold caches, zeroed counters and a
+  /// noise stream seeded with @p noise_seed. Forking never mutates *this.
+  Gpu fork(std::uint64_t noise_seed) const;
+
+  /// Restarts the noise stream as if the Gpu had been constructed with
+  /// @p noise_seed (same parameters, fresh xoshiro + splitmix state). The
+  /// batch runner calls this before every chase so a replica's measurement
+  /// depends only on (seed, chase config), never on what ran before.
+  void reseed_noise(std::uint64_t noise_seed);
+
   /// Number of SMs/CUs visible (restricted under MIG).
   std::uint32_t visible_sms() const;
 
@@ -166,6 +183,7 @@ class Gpu {
 
   GpuSpec spec_;
   std::optional<MigProfile> mig_;
+  std::uint64_t seed_ = 0;
   NoiseModel noise_;
   std::vector<SmCaches> sm_caches_;            // indexed by SM
   std::vector<SectoredCache> l2_segments_;     // GPU level

@@ -69,6 +69,10 @@ class NoiseModel {
   /// Multiplicative noise for bandwidth measurements, ~ U[1-r, 1+r].
   double bandwidth_factor(double relative_range = 0.02);
 
+  /// The parameters this model was built with; lets Gpu::fork() build
+  /// replicas with identical noise characteristics on a fresh stream.
+  const NoiseParams& params() const { return params_; }
+
  private:
   NoiseParams params_;
   Xoshiro256 rng_;

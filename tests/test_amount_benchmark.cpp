@@ -38,6 +38,24 @@ TEST(AmountBenchmark, SingleSegmentCachesReportOne) {
   EXPECT_EQ(r.amount, 1u);  // paper Table III: 1 per SM
 }
 
+TEST(AmountBenchmark, RecordCountIsTunableAndDoesNotChangeTheVerdict) {
+  // The verdict comes from the noise-free served_by classification of the
+  // whole timed pass, so collectors can shrink the recorded-latency budget
+  // (the tunable chase cost) without affecting detection.
+  const sim::GpuSpec& spec = sim::registry_get("TestGPU-NV");
+  AmountBenchOptions options;
+  options.target = target_for(spec.vendor, Element::kL1);
+  options.cache_bytes = 4 * KiB;
+  options.stride = 32;
+  sim::Gpu full(spec, 42);
+  const auto with_default = run_amount_benchmark(full, options);
+  options.record_count = 16;
+  sim::Gpu small(spec, 42);
+  const auto with_small = run_amount_benchmark(small, options);
+  EXPECT_EQ(with_default.amount, with_small.amount);
+  EXPECT_EQ(with_default.probes, with_small.probes);
+}
+
 TEST(AmountBenchmark, AmdVl1SingleInstancePerCu) {
   const sim::GpuSpec& spec = sim::registry_get("TestGPU-AMD");
   sim::Gpu gpu(spec, 42);

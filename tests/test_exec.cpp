@@ -1,0 +1,106 @@
+// Shared-executor tests: completeness, serial ordering, slot disjointness,
+// exception policy and nesting — the properties the sweep engine and the
+// fleet scheduler build their determinism on.
+#include "exec/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mt4g::exec {
+namespace {
+
+TEST(Executor, RunsEveryIndexExactlyOnce) {
+  Executor executor(3);
+  std::vector<std::atomic<int>> hits(100);
+  executor.parallel_for(hits.size(), 0, [&](std::size_t i, std::uint32_t) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Executor, SerialModeRunsInIndexOrderOnCaller) {
+  Executor executor(3);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  executor.parallel_for(10, 1, [&](std::size_t i, std::uint32_t slot) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(slot, 0u);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Executor, SlotsStayBelowMaxWorkersAndAreExclusive) {
+  Executor executor(4);
+  constexpr std::uint32_t kMaxWorkers = 3;
+  std::vector<std::atomic<int>> in_flight(kMaxWorkers);
+  std::atomic<bool> overlap{false};
+  std::atomic<std::uint32_t> max_slot{0};
+  executor.parallel_for(200, kMaxWorkers, [&](std::size_t, std::uint32_t slot) {
+    std::uint32_t seen = max_slot.load();
+    while (slot > seen && !max_slot.compare_exchange_weak(seen, slot)) {
+    }
+    ASSERT_LT(slot, kMaxWorkers);
+    if (in_flight[slot].fetch_add(1) != 0) overlap = true;
+    in_flight[slot].fetch_sub(1);
+  });
+  EXPECT_FALSE(overlap) << "two tasks ran concurrently on one slot";
+  EXPECT_LT(max_slot.load(), kMaxWorkers);
+}
+
+TEST(Executor, ZeroPoolThreadsRunsInline) {
+  Executor executor(0);
+  std::vector<std::size_t> order;
+  executor.parallel_for(5, 0, [&](std::size_t i, std::uint32_t slot) {
+    EXPECT_EQ(slot, 0u);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Executor, RethrowsLowestIndexExceptionAfterCompletingBatch) {
+  Executor executor(3);
+  std::vector<std::atomic<int>> hits(50);
+  try {
+    executor.parallel_for(hits.size(), 0, [&](std::size_t i, std::uint32_t) {
+      hits[i].fetch_add(1);
+      if (i == 7 || i == 31) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 7");  // lowest index, not first observed
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);  // batch still completed
+}
+
+TEST(Executor, NestedParallelForMakesProgress) {
+  Executor executor(2);
+  std::atomic<int> inner_total{0};
+  executor.parallel_for(4, 0, [&](std::size_t, std::uint32_t) {
+    // Nested fan-out on the same executor: the caller participates, so this
+    // completes even with every pool thread busy in the outer batch.
+    executor.parallel_for(8, 0, [&](std::size_t, std::uint32_t) {
+      inner_total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(Executor, SharedExecutorIsAProcessSingleton) {
+  EXPECT_EQ(&shared_executor(), &shared_executor());
+  std::atomic<int> count{0};
+  shared_executor().parallel_for(16, 0, [&](std::size_t, std::uint32_t) {
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+}  // namespace
+}  // namespace mt4g::exec

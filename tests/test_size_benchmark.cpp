@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "common/units.hpp"
+#include "exec/executor.hpp"
 #include "sim/registry.hpp"
 
 namespace mt4g::core {
@@ -99,6 +102,112 @@ TEST(SizeBenchmark, RobustAcrossSeeds) {
     ASSERT_TRUE(result.found) << "seed " << seed;
     EXPECT_EQ(result.exact_bytes, 4 * KiB) << "seed " << seed;
   }
+}
+
+TEST(SizeBenchmark, SerialAndParallelSweepEnginesAreByteIdentical) {
+  exec::Executor pool(3);  // real pool threads even on a single-core host
+  const sim::GpuSpec& spec = sim::registry_get("TestGPU-NV");
+  auto run = [&](std::uint32_t threads) {
+    sim::Gpu gpu(spec, 42);
+    SizeBenchOptions options;
+    options.target = target_for(spec.vendor, Element::kL1);
+    options.lower = 512;
+    options.upper = 64 * KiB;
+    options.stride = spec.at(Element::kL1).sector_bytes;
+    options.sweep_threads = threads;
+    options.sweep_executor = threads > 1 ? &pool : nullptr;
+    return run_size_benchmark(gpu, options);
+  };
+  const auto serial = run(1);
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    const auto parallel = run(threads);
+    EXPECT_EQ(serial.exact_bytes, parallel.exact_bytes);
+    EXPECT_EQ(serial.detected_bytes, parallel.detected_bytes);
+    EXPECT_EQ(serial.confidence, parallel.confidence);
+    EXPECT_EQ(serial.widenings, parallel.widenings);
+    EXPECT_EQ(serial.sweep_sizes, parallel.sweep_sizes);
+    EXPECT_EQ(serial.reduced, parallel.reduced);
+    EXPECT_EQ(serial.cycles, parallel.cycles);
+    EXPECT_EQ(serial.sweep_cycles, parallel.sweep_cycles);
+  }
+}
+
+TEST(SizeBenchmark, IncrementalSweepMeasuresCleanPointsOnce) {
+  // High-noise model: frequent large spikes force the outlier screening to
+  // flag points (and possibly edges), driving the widening path.
+  // Rare-but-huge spikes: most sweep rows stay clean, an unlucky row's
+  // root-sum-of-squares reduction jumps by orders of magnitude — exactly
+  // the isolated-outlier shape screen_outliers re-measures.
+  sim::NoiseParams noise;
+  noise.spike_probability = 0.003;
+  noise.spike_min = 20000;
+  noise.spike_max = 40000;
+  const sim::GpuSpec& spec = sim::registry_get("TestGPU-NV");
+  sim::Gpu gpu(spec, 42, std::nullopt, noise);
+
+  SizeBenchOptions options;
+  options.target = target_for(spec.vendor, Element::kL1);
+  options.lower = 512;
+  options.upper = 64 * KiB;
+  options.stride = spec.at(Element::kL1).sector_bytes;
+
+  std::map<std::uint64_t, std::size_t> fresh;       // size -> initial chases
+  std::map<std::uint64_t, std::size_t> remeasured;  // size -> spike re-chases
+  options.sweep_probe = [&](std::uint64_t size, bool re) {
+    // Widened sweeps must stay within the caller's search bounds.
+    EXPECT_GE(size, options.lower);
+    EXPECT_LE(size, options.upper);
+    if (re) {
+      ++remeasured[size];
+    } else {
+      ++fresh[size];
+    }
+  };
+  const auto result = run_size_benchmark(gpu, options);
+
+  // The noise level must actually have exercised the widening machinery,
+  // otherwise the assertions below are vacuous.
+  ASSERT_GT(result.widenings, 0u);
+  ASSERT_FALSE(fresh.empty());
+  std::size_t total_remeasured = 0;
+  for (const auto& [size, count] : fresh) {
+    // Clean points are measured exactly once; only a spike flag triggers a
+    // re-measurement, and at most one per point (despike covers repeats).
+    EXPECT_EQ(count, 1u) << "size " << size << " measured fresh twice";
+    const auto it = remeasured.find(size);
+    if (it != remeasured.end()) {
+      EXPECT_LE(it->second, 1u) << "size " << size << " re-measured twice";
+      total_remeasured += it->second;
+    }
+  }
+  for (const auto& [size, count] : remeasured) {
+    EXPECT_TRUE(fresh.count(size))
+        << "size " << size << " re-measured without an initial measurement";
+  }
+  // Re-measurements are the exception, not a full re-sweep.
+  EXPECT_LT(total_remeasured, fresh.size());
+  // The detection itself must survive the noise.
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.exact_bytes, 4 * KiB);
+}
+
+TEST(SizeBenchmark, Phase6FallsBackToDetectedBytesWhenNothingFits) {
+  // Probe the L1 (4 KiB) from a lower bound above its capacity: every sweep
+  // size misses L1, but the latency cliff of the 32 KiB L2 partition behind
+  // it still produces a K-S change point. The fall-through bisection then
+  // finds no fitting size anywhere down to `lower` — exact_bytes must fall
+  // back to the change-point estimate instead of fabricating `lower`.
+  const auto result = detect("TestGPU-NV", Element::kL1, 8 * KiB, 128 * KiB);
+  ASSERT_TRUE(result.found);
+  EXPECT_TRUE(result.exact_fallback);
+  EXPECT_EQ(result.exact_bytes, result.detected_bytes);
+  EXPECT_GT(result.exact_bytes, 8 * KiB);  // never the unverified lower bound
+}
+
+TEST(SizeBenchmark, ExactFallbackNotSetOnHealthyDetection) {
+  const auto result = detect("TestGPU-NV", Element::kL1, 512, 64 * KiB);
+  ASSERT_TRUE(result.found);
+  EXPECT_FALSE(result.exact_fallback);
 }
 
 TEST(SizeBenchmark, RejectsBadBounds) {
