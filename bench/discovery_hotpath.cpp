@@ -1,25 +1,30 @@
 // Discovery hot-path bench: per-model serial discovery timings through the
 // compiled-AccessPath engine vs the per-load reference engine, plus the
-// sweep-engine comparison — serial (sweep_threads=1) vs parallel
-// (sweep_threads=N) size sweeps — with the golden-equivalence checks that
-// all engines produce byte-identical reports at a fixed seed. Writes
+// chase-plan engine comparison — serial (sweep_threads=1) vs parallel
+// (sweep_threads=N) batched benchmarks — with the golden-equivalence checks
+// that all engines produce byte-identical reports at a fixed seed. Writes
 // BENCH_discovery.json, the repo's perf trajectory record for the discovery
-// hot path, including per-model widening counts and the sweep-vs-rest cycle
-// breakdown so the next algorithmic target stays visible.
+// hot path, including per-model widening counts, the per-benchmark cycle
+// attribution (sweep vs line-size vs amount vs sharing vs rest), chase-memo
+// hit counts, and the host description — so the next algorithmic target
+// stays visible and the parallel-speedup column is interpretable (a
+// single-core container measures ~1.0 by construction).
 //
 // Usage:
 //   discovery_hotpath                        # full registry
 //   discovery_hotpath TestGPU-NV ...         # explicit model list (CI smoke)
 //   discovery_hotpath --max-seconds N        # fail if any serial compiled
 //                                            # discovery exceeds N seconds
+//   discovery_hotpath --max-total-seconds N  # fail if the summed serial
+//                                            # discoveries exceed N seconds
 //   discovery_hotpath --sweep-threads N      # parallel sweep width
 //                                            # (default: hardware)
 //   discovery_hotpath --skip-reference       # determinism job: only compare
 //                                            # serial vs parallel sweeps
 //
-// Exits 1 when any model's reports diverge between engines and 2 when the
-// --max-seconds budget is exceeded, so correctness or perf regressions in
-// the hot path fail loudly instead of skewing results silently.
+// Exits 1 when any model's reports diverge between engines and 2 when a
+// time budget is exceeded, so correctness or perf regressions in the hot
+// path fail loudly instead of skewing results silently.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +34,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/output/json_output.hpp"
 #include "fleet/fleet.hpp"
@@ -48,7 +54,17 @@ struct ModelResult {
   bool identical = false;    ///< all measured engines agree byte-for-byte
   std::uint32_t widenings = 0;
   std::uint64_t sweep_cycles = 0;
+  std::uint64_t line_size_cycles = 0;
+  std::uint64_t amount_cycles = 0;
+  std::uint64_t sharing_cycles = 0;
   std::uint64_t total_cycles = 0;
+  std::uint64_t memo_hits = 0;
+
+  std::uint64_t rest_cycles() const {
+    const std::uint64_t attributed =
+        sweep_cycles + line_size_cycles + amount_cycles + sharing_cycles;
+    return total_cycles > attributed ? total_cycles - attributed : 0;
+  }
 };
 
 std::string timed_discovery(const std::string& model,
@@ -67,17 +83,42 @@ std::string timed_discovery(const std::string& model,
   return json;
 }
 
+/// First "model name" line of /proc/cpuinfo, or "unknown" — makes the
+/// parallel-speedup numbers interpretable without knowing the bench host.
+std::string host_description() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        return trim(line.substr(colon + 1));
+      }
+    }
+  }
+  return "unknown";
+}
+
+double cycle_pct(std::uint64_t part, std::uint64_t total) {
+  return total > 0
+             ? 100.0 * static_cast<double>(part) / static_cast<double>(total)
+             : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> models;
-  double max_seconds = 0.0;  // 0 = no budget
+  double max_seconds = 0.0;        // 0 = no per-model budget
+  double max_total_seconds = 0.0;  // 0 = no total budget
   std::uint32_t sweep_threads = std::max(1u, std::thread::hardware_concurrency());
   bool skip_reference = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--max-seconds" && i + 1 < argc) {
       max_seconds = std::atof(argv[++i]);
+    } else if (arg == "--max-total-seconds" && i + 1 < argc) {
+      max_total_seconds = std::atof(argv[++i]);
     } else if (arg == "--sweep-threads" && i + 1 < argc) {
       sweep_threads = static_cast<std::uint32_t>(
           std::max(1L, std::atol(argv[++i])));
@@ -91,7 +132,8 @@ int main(int argc, char** argv) {
 
   std::vector<ModelResult> results;
   TablePrinter table({"model", "serial [s]", "parallel [s]", "par x",
-                      "reference [s]", "identical", "widen", "sweep %"});
+                      "reference [s]", "identical", "widen", "sweep %",
+                      "line %", "memo"});
   bool all_identical = true;
   double total_serial = 0.0;
 
@@ -112,13 +154,17 @@ int main(int argc, char** argv) {
     }
     r.widenings = report.sweep_widenings;
     r.sweep_cycles = report.sweep_cycles;
+    r.line_size_cycles = report.line_size_cycles;
+    r.amount_cycles = report.amount_cycles;
+    r.sharing_cycles = report.sharing_cycles;
     r.total_cycles = report.total_cycles;
+    r.memo_hits = report.chase_memo_hits;
     all_identical = all_identical && r.identical;
     total_serial += r.serial_s;
     results.push_back(r);
 
     char serial_s[32], parallel_s[32], speedup[32], reference_s[32],
-        widen[16], sweep_pct[16];
+        widen[16], sweep_pct[16], line_pct[16], memo[16];
     std::snprintf(serial_s, sizeof serial_s, "%.3f", r.serial_s);
     std::snprintf(parallel_s, sizeof parallel_s, "%.3f", r.parallel_s);
     std::snprintf(speedup, sizeof speedup, "%.2f",
@@ -126,13 +172,15 @@ int main(int argc, char** argv) {
     std::snprintf(reference_s, sizeof reference_s, "%.3f", r.reference_s);
     std::snprintf(widen, sizeof widen, "%u", r.widenings);
     std::snprintf(sweep_pct, sizeof sweep_pct, "%.0f",
-                  r.total_cycles > 0
-                      ? 100.0 * static_cast<double>(r.sweep_cycles) /
-                            static_cast<double>(r.total_cycles)
-                      : 0.0);
+                  cycle_pct(r.sweep_cycles, r.total_cycles));
+    std::snprintf(line_pct, sizeof line_pct, "%.0f",
+                  cycle_pct(r.line_size_cycles, r.total_cycles));
+    std::snprintf(memo, sizeof memo, "%llu",
+                  static_cast<unsigned long long>(r.memo_hits));
     table.add_row({model, serial_s, parallel_s, speedup,
                    skip_reference ? "-" : reference_s,
-                   r.identical ? "yes" : "NO", widen, sweep_pct});
+                   r.identical ? "yes" : "NO", widen, sweep_pct, line_pct,
+                   memo});
   }
   std::printf("%s\n", table.str().c_str());
 
@@ -152,6 +200,14 @@ int main(int argc, char** argv) {
     entry.emplace_back("widenings", static_cast<std::int64_t>(r.widenings));
     entry.emplace_back("sweep_cycles",
                        static_cast<std::int64_t>(r.sweep_cycles));
+    entry.emplace_back("line_size_cycles",
+                       static_cast<std::int64_t>(r.line_size_cycles));
+    entry.emplace_back("amount_cycles",
+                       static_cast<std::int64_t>(r.amount_cycles));
+    entry.emplace_back("sharing_cycles",
+                       static_cast<std::int64_t>(r.sharing_cycles));
+    entry.emplace_back("rest_cycles",
+                       static_cast<std::int64_t>(r.rest_cycles()));
     entry.emplace_back("total_cycles",
                        static_cast<std::int64_t>(r.total_cycles));
     entry.emplace_back(
@@ -159,15 +215,24 @@ int main(int argc, char** argv) {
         r.total_cycles > 0 ? static_cast<double>(r.sweep_cycles) /
                                  static_cast<double>(r.total_cycles)
                            : 0.0);
+    entry.emplace_back("chase_memo_hits",
+                       static_cast<std::int64_t>(r.memo_hits));
     per_model.emplace_back(r.model, json::Value(std::move(entry)));
     if (r.serial_s > slowest_serial) {
       slowest_serial = r.serial_s;
       slowest_model = r.model;
     }
   }
+  json::Object host;
+  host.emplace_back(
+      "hardware_concurrency",
+      static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  host.emplace_back("description", host_description());
+
   json::Object root;
   root.emplace_back("bench", "discovery_hotpath");
   root.emplace_back("sweep_threads", static_cast<std::int64_t>(sweep_threads));
+  root.emplace_back("host", json::Value(std::move(host)));
   root.emplace_back("models", per_model);
   root.emplace_back("total_serial_seconds", total_serial);
   root.emplace_back("slowest_model", slowest_model);
@@ -192,6 +257,13 @@ int main(int argc, char** argv) {
                  "FAIL: slowest serial discovery (%s, %.3f s) exceeds the "
                  "--max-seconds budget of %.1f s\n",
                  slowest_model.c_str(), slowest_serial, max_seconds);
+    return 2;
+  }
+  if (max_total_seconds > 0.0 && total_serial > max_total_seconds) {
+    std::fprintf(stderr,
+                 "FAIL: total serial discovery (%.3f s) exceeds the "
+                 "--max-total-seconds budget of %.1f s\n",
+                 total_serial, max_total_seconds);
     return 2;
   }
   return 0;

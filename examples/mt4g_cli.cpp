@@ -40,9 +40,10 @@ const char kFleetUsage[] =
     "  --seeds N                    noise seeds per configuration (default 1)\n"
     "  --first-seed N               first seed value (default 42)\n"
     "  --workers N                  worker threads (default hardware)\n"
-    "  --sweep-threads N            parallel size-sweep measurements inside\n"
-    "                               each job (default 1; reports are\n"
-    "                               byte-identical for every value)\n"
+    "  --sweep-threads N            parallel batched chases (size sweeps,\n"
+    "                               line-size/amount/sharing) inside each job\n"
+    "                               (default 1; reports are byte-identical\n"
+    "                               for every value)\n"
     "  --no-mig                     skip MIG partitions of MIG-capable GPUs\n"
     "  --cache FILE                 result-cache JSON file\n"
     "                               (default <out>/fleet_cache.json; 'none'\n"

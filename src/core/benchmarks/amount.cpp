@@ -5,6 +5,7 @@
 
 #include "common/units.hpp"
 #include "core/benchmarks/size.hpp"
+#include "runtime/batch.hpp"
 
 namespace mt4g::core {
 
@@ -42,18 +43,33 @@ AmountBenchResult run_amount_benchmark(sim::Gpu& gpu,
   config.base = gpu.alloc(array_bytes, 256);
   const std::uint64_t base_b = gpu.alloc(array_bytes, 256);
 
+  // The probes are independent A/B/A chases (each runs on a reset replica),
+  // so they execute as one batch; the verdict walk below still stops at the
+  // first hit, exactly like the serial early-exit loop did. The verdict
+  // reads the full-pass served_by classification, so no timed-pass cap.
+  std::vector<std::uint32_t> probe_cores;
+  std::vector<runtime::ChaseSpec> specs;
   for (std::uint32_t core_b = 1; core_b < cores; core_b *= 2) {
-    gpu.flush_caches();
-    const auto result =
-        runtime::run_amount_pchase(gpu, config, core_b, base_b);
-    out.cycles += result.total_cycles;
+    probe_cores.push_back(core_b);
+    specs.push_back(runtime::ChaseSpec::amount(config, core_b, base_b));
+  }
+  runtime::ChaseBatchOptions batch;
+  batch.threads = options.threads;
+  batch.executor = options.executor;
+  batch.pool = options.chase_pool;
+  const auto results = runtime::run_chase_batch(gpu, specs, batch);
+  // All probes executed (batched), so all their cycles are booked — also the
+  // ones behind an early verdict, which the serial loop never ran.
+  for (const auto& result : results) out.cycles += result.total_cycles;
+
+  for (std::size_t i = 0; i < probe_cores.size(); ++i) {
     const bool still_hits =
-        hit_fraction(result, options.target.element) > 0.5;
-    out.probes.emplace_back(core_b, still_hits);
+        hit_fraction(results[i], options.target.element) > 0.5;
+    out.probes.emplace_back(probe_cores[i], still_hits);
     if (still_hits) {
       // Core B sits behind a segment boundary: one segment spans core_b
       // cores at most, so the SM holds cores/core_b segments.
-      out.amount = cores / core_b;
+      out.amount = cores / probe_cores[i];
       return out;
     }
   }
@@ -65,7 +81,8 @@ L2SegmentResult run_l2_segment_benchmark(sim::Gpu& gpu,
                                          std::uint64_t api_total_bytes,
                                          std::uint32_t fetch_granularity,
                                          sim::Placement where,
-                                         std::uint32_t sweep_threads) {
+                                         std::uint32_t sweep_threads,
+                                         runtime::ReplicaPool* chase_pool) {
   if (api_total_bytes == 0) {
     throw std::invalid_argument("l2 segment benchmark: missing API size");
   }
@@ -76,6 +93,7 @@ L2SegmentResult run_l2_segment_benchmark(sim::Gpu& gpu,
   size_options.upper = api_total_bytes + api_total_bytes / 4;
   size_options.stride = fetch_granularity;
   size_options.sweep_threads = sweep_threads;
+  size_options.chase_pool = chase_pool;
   size_options.where = where;
   const auto size_result = run_size_benchmark(gpu, size_options);
   out.cycles = size_result.cycles;

@@ -35,7 +35,7 @@ FgBenchResult run_fg_benchmark(sim::Gpu& gpu, const FgBenchOptions& options) {
         options.min_array_bytes,
         static_cast<std::uint64_t>(stride) * options.min_loads);
     config.base = gpu.alloc(config.array_bytes, 256);
-    config.record_count = 512;
+    config.record_count = options.record_count;
     config.warmup = false;  // granularity only shows on a cold cache
     config.where = options.where;
     gpu.flush_caches();

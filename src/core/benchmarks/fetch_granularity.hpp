@@ -21,6 +21,9 @@ struct FgBenchOptions {
   std::uint32_t max_stride = 256;     ///< give-up bound
   std::uint64_t min_array_bytes = 1024;
   std::uint32_t min_loads = 64;       ///< array grows to keep samples usable
+  /// Latencies stored per stride run (p-chase truncation semantics: runs
+  /// shorter than the budget record every load).
+  std::uint32_t record_count = 512;
   sim::Placement where{};
 };
 

@@ -39,7 +39,10 @@ LatencyBenchResult run_latency_benchmark(sim::Gpu& gpu,
 
 LatencyBenchResult run_scratchpad_latency(sim::Gpu& gpu, std::uint32_t count) {
   LatencyBenchResult out;
-  const auto result = runtime::run_scratchpad_chase(gpu, count);
+  // The summary spans every load of the chase: pass the record budget
+  // explicitly instead of relying on the kernel's default being large
+  // enough (the kernel truncates like the p-chase timed pass).
+  const auto result = runtime::run_scratchpad_chase(gpu, count, count);
   out.summary =
       stats::summarize(std::span<const std::uint32_t>(result.latencies));
   out.hit_fraction_in_target = 1.0;

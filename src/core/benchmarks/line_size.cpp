@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/units.hpp"
+#include "runtime/batch.hpp"
 
 namespace mt4g::core {
 
@@ -13,6 +14,11 @@ LineSizeBenchResult run_line_size_benchmark(
     sim::Gpu& gpu, const LineSizeBenchOptions& options) {
   if (options.cache_bytes == 0 || options.fetch_granularity == 0) {
     throw std::invalid_argument("line size benchmark: missing inputs");
+  }
+  if (options.size_points < 2) {
+    // The size factors interpolate between 1.1 and 1.9, and the arena is
+    // sized from the largest array: both need at least two points.
+    throw std::invalid_argument("line size benchmark: size_points < 2");
   }
   LineSizeBenchResult out;
   const std::uint32_t fg = options.fetch_granularity;
@@ -32,59 +38,64 @@ LineSizeBenchResult run_line_size_benchmark(
         fg));
   }
 
-  // Collect all runs first; the hit-level floor is global across runs.
-  struct Run {
-    std::uint32_t stride;
-    std::vector<std::vector<std::uint32_t>> samples;  // one per array size
-  };
-  // Only candidate strides (strictly above the fetch granularity) are
-  // measured at all: sub-granularity strides carry no line-size signal (see
-  // below) and are excluded from the floor, the pivot and the collapse scan
-  // anyway — yet they are the most expensive chases of the benchmark, their
-  // load count scaling with 1/stride over arrays larger than the cache.
-  // Skipping them cuts roughly 40% of the benchmark's simulated work on a
-  // many-MiB L2 segment.
-  //
-  // The hit-level floor is taken from candidate strides (> fg) only: on a
-  // stacked hierarchy like Const L1 -> Const L1.5, sub-granularity strides
-  // pick up hits from the level *above* the benchmarked cache, which would
-  // push the floor below the target's own hit latency and misclassify every
-  // target hit as a miss.
-  std::vector<Run> runs;
-  double floor = std::numeric_limits<double>::infinity();
-  const std::uint32_t first_stride =
-      round_up(fg + 1, stride_step);  // smallest multiple of step above fg
+  // Candidate strides: the smallest stride-step multiples strictly above the
+  // fetch granularity, up to 8x the granularity.
+  std::vector<std::uint32_t> strides;
+  const std::uint32_t first_stride = round_up(fg + 1, stride_step);
   for (std::uint32_t stride = first_stride; stride <= max_stride;
        stride += stride_step) {
-    Run run{stride, {}};
+    strides.push_back(stride);
+  }
+
+  // One arena reused by every grid point: batched chases run on reset
+  // replicas, so sharing a base cannot couple them, and a single allocation
+  // keeps the owning Gpu's heap layout independent of the grid shape.
+  const std::uint64_t arena =
+      gpu.alloc(array_sizes.back() + max_stride, 256);
+
+  // The whole (stride, array size) grid is independent: one batch. The
+  // scores read only the recorded latency prefix, so the timed pass is
+  // capped at the record budget.
+  std::vector<runtime::ChaseSpec> specs;
+  specs.reserve(strides.size() * array_sizes.size());
+  for (const std::uint32_t stride : strides) {
     for (const std::uint64_t array_bytes : array_sizes) {
       runtime::PChaseConfig config;
       config.space = options.target.space;
       config.flags = options.target.flags;
       config.stride_bytes = stride;
       config.array_bytes = round_up(array_bytes, stride);
-      config.base = gpu.alloc(config.array_bytes, 256);
+      config.base = arena;
       config.record_count = options.record_count;
+      config.max_timed_steps = options.record_count;
       config.warmup = true;
       config.where = options.where;
-      const auto result = runtime::run_pchase(gpu, config);
-      out.cycles += result.total_cycles;
-      if (stride > fg) {
-        for (std::uint32_t v : result.latencies) {
-          floor = std::min(floor, static_cast<double>(v));
-        }
-      }
-      run.samples.push_back(result.latencies);
+      specs.push_back(runtime::ChaseSpec::plain(config));
     }
-    runs.push_back(std::move(run));
+  }
+  runtime::ChaseBatchOptions batch;
+  batch.threads = options.threads;
+  batch.executor = options.executor;
+  batch.pool = options.chase_pool;
+  const auto measured = runtime::run_chase_batch(gpu, specs, batch);
+
+  // The hit-level floor is global across the grid: every stride is a
+  // candidate (> fg), so every recorded latency contributes.
+  double floor = std::numeric_limits<double>::infinity();
+  for (const auto& result : measured) {
+    out.cycles += result.total_cycles;
+    for (std::uint32_t v : result.latencies) {
+      floor = std::min(floor, static_cast<double>(v));
+    }
   }
 
   // Raw miss score per stride: mean miss fraction across the size sweep.
   std::vector<double> raw;
-  raw.reserve(runs.size());
-  for (const Run& run : runs) {
+  raw.reserve(strides.size());
+  for (std::size_t s = 0; s < strides.size(); ++s) {
     double total = 0.0;
-    for (const auto& sample : run.samples) {
+    for (std::size_t k = 0; k < array_sizes.size(); ++k) {
+      const auto& sample = measured[s * array_sizes.size() + k].latencies;
       std::size_t high = 0;
       for (std::uint32_t v : sample) {
         if (static_cast<double>(v) > floor + 40.0) ++high;
@@ -93,23 +104,18 @@ LineSizeBenchResult run_line_size_benchmark(
                               : static_cast<double>(high) /
                                     static_cast<double>(sample.size());
     }
-    raw.push_back(total / static_cast<double>(run.samples.size()));
+    raw.push_back(total / static_cast<double>(array_sizes.size()));
   }
 
-  // Only strides strictly above the fetch granularity can carry the signal:
-  // the line size is at least one sector, so the collapse happens at
-  // ~1.5x line >= 1.5x granularity. Sub-granularity strides mix in extra
-  // same-sector hits and would fake a collapse.
-  // Normalise candidate scores between the pivot (the strongest miss score
-  // among candidates) and the best-behaved large stride (the minimum, which
-  // dodges the power-of-two aliasing that keeps strides at 2x/4x the line
-  // size pivot-like).
+  // Normalise the scores between the pivot (the strongest miss score) and
+  // the best-behaved large stride (the minimum, which dodges the
+  // power-of-two aliasing that keeps strides at 2x/4x the line size
+  // pivot-like).
   double pivot = 0.0;
   double best = 1.0;
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    if (runs[i].stride <= fg) continue;
-    pivot = std::max(pivot, raw[i]);
-    best = std::min(best, raw[i]);
+  for (const double r : raw) {
+    pivot = std::max(pivot, r);
+    best = std::min(best, r);
   }
   if (pivot - best < 0.2) {
     return out;  // no contrast: inconclusive (e.g. wrong cache size input)
@@ -119,18 +125,19 @@ LineSizeBenchResult run_line_size_benchmark(
   for (double r : raw) {
     norm.push_back(std::clamp((r - best) / (pivot - best), 0.0, 1.0));
   }
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    out.scores.emplace_back(runs[i].stride, norm[i]);
+  for (std::size_t i = 0; i < strides.size(); ++i) {
+    out.scores.emplace_back(strides[i], norm[i]);
   }
 
-  // The first candidate stride whose score collapses sits between ~1.3x and
-  // 2x the line size; snapping down to a power of two recovers the line size.
+  // The first stride whose score collapses sits between ~1.3x and 2x the
+  // line size; snapping down to a power of two recovers the line size. The
+  // confidence is the drop from the preceding (measured) stride's score —
+  // for the very first stride there is no predecessor and the pivot score
+  // 1.0 stands in.
   for (std::size_t i = 0; i < norm.size(); ++i) {
-    if (runs[i].stride <= fg) continue;
     if (norm[i] < 0.6) {
       out.found = true;
-      out.line_bytes =
-          static_cast<std::uint32_t>(floor_pow2(runs[i].stride));
+      out.line_bytes = static_cast<std::uint32_t>(floor_pow2(strides[i]));
       out.confidence =
           std::clamp((i > 0 ? norm[i - 1] : 1.0) - norm[i], 0.0, 1.0);
       break;

@@ -5,7 +5,10 @@
 // cache "appears larger" and the miss cliff moves right. We sweep array sizes
 // just above the known cache size for p-chase strides above the fetch
 // granularity (the line is at least one sector, so sub-granularity strides
-// carry no signal and are not measured):
+// carry no line-size signal — and on a stacked hierarchy like Const L1 ->
+// Const L1.5 they pick up hits from the level above the benchmarked cache,
+// which would corrupt the shared hit-level floor — so they are not measured
+// at all):
 //   * strides <= line keep the full miss score (pivot-like);
 //   * strides at non-power-of-two line multiples shift the cliff beyond the
 //     sweep window and the score collapses (MAX-like);
@@ -16,6 +19,13 @@
 // and the best-behaved large stride, takes the first stride whose score
 // drops below the midpoint (~1.5x the line size), and snaps down to the
 // nearest power of two — the paper's final assumption.
+//
+// Execution model: the (stride, array size) grid points are independent
+// measurements, so they run as one batch through the chase-plan engine
+// (runtime::run_chase_batch) — each on a reset Gpu replica with a
+// (seed, spec) noise stream, byte-identical for every thread count. The
+// scores consume only the recorded latency prefix, so every chase caps its
+// timed pass at the record budget.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +33,14 @@
 
 #include "core/target.hpp"
 #include "sim/gpu.hpp"
+
+namespace mt4g::exec {
+class Executor;
+}
+
+namespace mt4g::runtime {
+struct ReplicaPool;
+}
 
 namespace mt4g::core {
 
@@ -32,6 +50,13 @@ struct LineSizeBenchOptions {
   std::uint32_t fetch_granularity = 32;
   std::uint32_t record_count = 512;
   std::uint32_t size_points = 9;       ///< array sizes in [1.1, 1.9] * cache
+  /// Parallelism of the grid chases (caller included); 1 = serial reference.
+  /// Both produce byte-identical results.
+  std::uint32_t threads = 1;
+  /// Executor for threads > 1; nullptr = exec::shared_executor().
+  exec::Executor* executor = nullptr;
+  /// Shared replica + chase-memo cache (see SizeBenchOptions::chase_pool).
+  runtime::ReplicaPool* chase_pool = nullptr;
   sim::Placement where{};
 };
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/units.hpp"
+#include "runtime/batch.hpp"
 
 namespace mt4g::core {
 
@@ -37,6 +38,16 @@ SharingBenchResult run_sharing_benchmark(sim::Gpu& gpu,
                       entry.stride);
   };
 
+  // The pair chases are independent (each runs on a reset replica), so they
+  // execute as one batch. The eviction verdict reads the full-pass served_by
+  // classification, so no timed-pass cap.
+  struct Pair {
+    sim::Element element_a;
+    sim::Element element_b;
+    sim::Element tracked;
+  };
+  std::vector<Pair> pairs;
+  std::vector<runtime::ChaseSpec> specs;
   for (std::size_t i = 0; i < options.entries.size(); ++i) {
     for (std::size_t j = i + 1; j < options.entries.size(); ++j) {
       // Track through the smaller cache: the larger one's warm-up can always
@@ -67,15 +78,22 @@ SharingBenchResult run_sharing_benchmark(sim::Gpu& gpu,
       config_b.record_count = 512;
       config_b.where = options.where;
 
-      gpu.flush_caches();
       config_a.base = gpu.alloc(config_a.array_bytes, 256);
       config_b.base = gpu.alloc(config_b.array_bytes, 256);
-      const auto result = runtime::run_sharing_pchase(gpu, config_a, config_b);
-      out.cycles += result.total_cycles;
-      const bool evicted = hit_fraction(result, tracked.element) < 0.5;
-      out.pairs.emplace_back(options.entries[i].element,
-                             options.entries[j].element, evicted);
+      pairs.push_back({options.entries[i].element, options.entries[j].element,
+                       tracked.element});
+      specs.push_back(runtime::ChaseSpec::sharing(config_a, config_b));
     }
+  }
+  runtime::ChaseBatchOptions batch;
+  batch.threads = options.threads;
+  batch.executor = options.executor;
+  batch.pool = options.chase_pool;
+  const auto results = runtime::run_chase_batch(gpu, specs, batch);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    out.cycles += results[k].total_cycles;
+    const bool evicted = hit_fraction(results[k], pairs[k].tracked) < 0.5;
+    out.pairs.emplace_back(pairs[k].element_a, pairs[k].element_b, evicted);
   }
   return out;
 }
@@ -95,28 +113,40 @@ CuSharingBenchResult run_cu_sharing_benchmark(
     const std::uint32_t phys_a = spec.physical_cu(cu_a);
     out.peers[phys_a].push_back(phys_a);
   }
+  // All CU pairs are independent dual-CU chases: one batch. Both arrays are
+  // allocated once and reused by every pair — batched chases run on reset
+  // replicas, so sharing the bases cannot couple them (and per-pair
+  // allocations would make addresses depend on the pair order).
+  runtime::PChaseConfig config;
+  config.space = target.space;
+  config.flags = target.flags;
+  config.array_bytes = array_bytes;
+  config.stride_bytes = options.stride;
+  config.record_count = 256;
+  config.base = gpu.alloc(array_bytes, 256);
+  const std::uint64_t base_b = gpu.alloc(array_bytes, 256);
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cu_pairs;
+  std::vector<runtime::ChaseSpec> specs;
   for (std::uint32_t cu_a = 0; cu_a < spec.num_sms; ++cu_a) {
     for (std::uint32_t cu_b = cu_a + 1; cu_b < spec.num_sms; ++cu_b) {
-      runtime::PChaseConfig config;
-      config.space = target.space;
-      config.flags = target.flags;
-      config.array_bytes = array_bytes;
-      config.stride_bytes = options.stride;
-      config.record_count = 256;
       config.where = sim::Placement{cu_a, 0};
-
-      gpu.flush_caches();
-      config.base = gpu.alloc(array_bytes, 256);
-      const std::uint64_t base_b = gpu.alloc(array_bytes, 256);
-      const auto result =
-          runtime::run_dual_cu_pchase(gpu, config, cu_b, base_b);
-      out.cycles += result.total_cycles;
-      if (hit_fraction(result, sim::Element::kSL1D) < 0.5) {
-        const std::uint32_t phys_a = spec.physical_cu(cu_a);
-        const std::uint32_t phys_b = spec.physical_cu(cu_b);
-        out.peers[phys_a].push_back(phys_b);
-        out.peers[phys_b].push_back(phys_a);
-      }
+      cu_pairs.emplace_back(cu_a, cu_b);
+      specs.push_back(runtime::ChaseSpec::dual_cu(config, cu_b, base_b));
+    }
+  }
+  runtime::ChaseBatchOptions batch;
+  batch.threads = options.threads;
+  batch.executor = options.executor;
+  batch.pool = options.chase_pool;
+  const auto results = runtime::run_chase_batch(gpu, specs, batch);
+  for (std::size_t k = 0; k < cu_pairs.size(); ++k) {
+    out.cycles += results[k].total_cycles;
+    if (hit_fraction(results[k], sim::Element::kSL1D) < 0.5) {
+      const std::uint32_t phys_a = spec.physical_cu(cu_pairs[k].first);
+      const std::uint32_t phys_b = spec.physical_cu(cu_pairs[k].second);
+      out.peers[phys_a].push_back(phys_b);
+      out.peers[phys_b].push_back(phys_a);
     }
   }
   for (auto& [cu, peers] : out.peers) std::sort(peers.begin(), peers.end());

@@ -19,36 +19,54 @@ struct Runner {
   sim::Gpu& gpu;
   const SizeBenchOptions& options;
   std::uint64_t base;
+  runtime::ReplicaPool& pool;
   std::uint64_t cycles = 0;
-  /// Replicas for the batched sweep chases, reused across attempts and
-  /// across the coarse + refinement sweeps of one benchmark run.
-  runtime::ReplicaPool replica_pool;
+  std::uint32_t exact_chases = 0;
+  /// Prefix-fits verdict of every sweep row measured so far (size -> did all
+  /// recorded loads stay within the tracked element). Feeds the phase-6
+  /// bound seeding; only an approximation of the full-pass predicate, so
+  /// phase 6 verifies every seed before trusting it.
+  std::map<std::uint64_t, bool> sweep_fits;
 
+  runtime::ChaseBatchOptions batch_options() const {
+    runtime::ChaseBatchOptions batch;
+    batch.threads = options.sweep_threads;
+    batch.executor = options.sweep_executor;
+    batch.pool = &pool;
+    return batch;
+  }
+
+  /// @param full_pass phase-6 `fits` chases need the whole timed pass for
+  ///        the exact served_by classification; everything else consumes
+  ///        only the recorded prefix and caps the pass at the record budget.
   runtime::PChaseConfig config_for(std::uint64_t array_bytes,
-                                   std::uint32_t record_count) const {
+                                   bool full_pass,
+                                   std::uint32_t resample = 0) const {
     runtime::PChaseConfig config;
     config.space = options.target.space;
     config.flags = options.target.flags;
     config.base = base;
     config.array_bytes = array_bytes;
     config.stride_bytes = options.stride;
-    config.record_count = record_count;
+    config.record_count = options.record_count;
     config.warmup = true;
     config.where = options.where;
+    config.max_timed_steps = full_pass ? 0 : options.record_count;
+    config.resample = resample;
     return config;
   }
 
-  runtime::PChaseResult chase(std::uint64_t array_bytes,
-                              std::uint32_t record_count) {
-    auto result = runtime::run_pchase(gpu, config_for(array_bytes,
-                                                      record_count));
-    cycles += result.total_cycles;
-    return result;
+  runtime::PChaseResult chase(const runtime::PChaseConfig& config) {
+    const runtime::ChaseSpec spec = runtime::ChaseSpec::plain(config);
+    auto results =
+        runtime::run_chase_batch(gpu, std::span(&spec, 1), batch_options());
+    cycles += results[0].total_cycles;
+    return std::move(results[0]);
   }
 
   /// Median recorded latency of one run — the jump detector for phase 1/2.
   double median_latency(std::uint64_t array_bytes) {
-    const auto result = chase(array_bytes, options.record_count);
+    const auto result = chase(config_for(array_bytes, /*full_pass=*/false));
     return stats::summarize(
                std::span<const std::uint32_t>(result.latencies))
         .p50;
@@ -56,7 +74,8 @@ struct Runner {
 
   /// Exact predicate: did every timed load stay within the tracked element?
   bool fits(std::uint64_t array_bytes) {
-    const auto result = chase(array_bytes, options.record_count);
+    ++exact_chases;
+    const auto result = chase(config_for(array_bytes, /*full_pass=*/true));
     return hit_fraction(result, options.target.element) >= 0.999;
   }
 };
@@ -72,7 +91,9 @@ SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
   SizeBenchResult out;
   const std::uint64_t lower = round_up(options.lower, options.stride);
   const std::uint64_t upper = round_up(options.upper, options.stride);
-  Runner runner{gpu, options, gpu.alloc(upper + options.stride, 256)};
+  runtime::ReplicaPool local_pool;
+  Runner runner{gpu, options, gpu.alloc(upper + options.stride, 256),
+                options.chase_pool ? *options.chase_pool : local_pool};
 
   // --- Phase 1: exponential doubling until the latency jumps. --------------
   const double base_latency = runner.median_latency(lower);
@@ -94,6 +115,7 @@ SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
     } else {
       out.upper_bound_hit = true;
       out.cycles = runner.cycles;
+      out.exact_chases = runner.exact_chases;
       return out;
     }
   }
@@ -118,9 +140,16 @@ SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
   // Incremental engine: rows are memoized by array size and the step is
   // frozen at the initial span, so a widening extends the same size grid and
   // only the newly exposed edge points (plus spike-flagged points, which get
-  // fresh data) are measured — every clean row is reused. Chases go through
-  // run_pchase_batch: each runs on a reset replica with a (seed, config)
-  // noise stream, making the series invariant under sweep_threads.
+  // fresh data via a bumped resample index) are measured — every clean row
+  // is reused. Chases go through run_chase_batch: each runs on a reset
+  // replica with a (seed, spec) noise stream, making the series invariant
+  // under sweep_threads, and sizes already chased in an earlier phase or
+  // sweep are answered from the chase memo at zero cycles.
+  //
+  // `refreshed` spans the coarse and refinement sweeps: a point re-measured
+  // once keeps its bumped resample index, so a later sweep that re-requests
+  // it reuses the fresh data instead of resurrecting the spiky original.
+  std::set<std::uint64_t> refreshed;  // re-measured once (resample == 1)
   auto sweep_and_detect =
       [&](std::uint64_t sweep_lo, std::uint64_t sweep_hi,
           std::uint32_t max_points,
@@ -131,7 +160,6 @@ SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
                  options.stride));
     std::map<std::uint64_t, std::vector<std::uint32_t>> rows;
     std::set<std::uint64_t> respike;    // erased as spiked, awaiting fresh data
-    std::set<std::uint64_t> refreshed;  // already re-measured once
     for (std::uint32_t attempt = 0;; ++attempt) {
       std::vector<std::uint64_t> sizes;
       for (std::uint64_t size = sweep_lo; size <= sweep_hi; size += step) {
@@ -142,20 +170,21 @@ SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
         if (!rows.count(size)) missing.push_back(size);
       }
       if (!missing.empty()) {
-        std::vector<runtime::PChaseConfig> configs;
-        configs.reserve(missing.size());
+        std::vector<runtime::ChaseSpec> specs;
+        specs.reserve(missing.size());
         for (const std::uint64_t size : missing) {
-          configs.push_back(runner.config_for(size, options.record_count));
+          specs.push_back(runtime::ChaseSpec::plain(runner.config_for(
+              size, /*full_pass=*/false,
+              /*resample=*/refreshed.count(size) ? 1 : 0)));
         }
-        runtime::PChaseBatchOptions batch_options;
-        batch_options.threads = options.sweep_threads;
-        batch_options.executor = options.sweep_executor;
-        batch_options.pool = &runner.replica_pool;
-        auto measured = runtime::run_pchase_batch(gpu, configs, batch_options);
+        auto measured = runtime::run_chase_batch(gpu, specs,
+                                                 runner.batch_options());
         for (std::size_t i = 0; i < missing.size(); ++i) {
           runner.cycles += measured[i].total_cycles;
           result.sweep_cycles += measured[i].total_cycles;
-          if (options.sweep_probe) {
+          runner.sweep_fits[missing[i]] =
+              hit_fraction(measured[i], options.target.element) >= 0.999;
+          if (options.sweep_probe && !measured[i].from_cache) {
             options.sweep_probe(missing[i], respike.erase(missing[i]) > 0);
           }
           rows.emplace(missing[i], std::move(measured[i].latencies));
@@ -208,6 +237,7 @@ SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
   auto change_point = sweep_and_detect(lo, hi, options.max_sweep_points, out);
   if (!change_point || change_point->index == 0) {
     out.cycles = runner.cycles;
+    out.exact_chases = runner.exact_chases;
     return out;
   }
   out.found = true;
@@ -240,16 +270,40 @@ SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
 
   // --- Phase 6: exact boundary via bisection on the fall-through predicate.
   {
-    // Expand outward in coarse steps first (the K-S estimate can be off by a
-    // sweep step), then bisect at fetch-granularity resolution. The lower
-    // expansion must be able to reach `lower` itself — the cache size can
-    // coincide with the search bound (e.g. a 1 KiB cache probed from 1 KiB).
+    // The sweep rows already bracket the boundary: seed the bisection with
+    // the nearest measured fitting size at or below the estimate and the
+    // nearest measured missing size above it. The seeds come from recorded
+    // prefixes, so both are verified with full-pass chases — the expansion
+    // loops below remain as the fallback when a seed lied. Without seeding
+    // (or without usable rows) the walk expands outward in coarse steps
+    // first (the K-S estimate can be off by a sweep step), then bisects at
+    // fetch-granularity resolution. The lower expansion must be able to
+    // reach `lower` itself — the cache size can coincide with the search
+    // bound (e.g. a 1 KiB cache probed from 1 KiB).
     const std::uint64_t expand = std::max<std::uint64_t>(
         coarse_step, static_cast<std::uint64_t>(options.stride));
     std::uint64_t fit_lo = out.detected_bytes;
+    std::uint64_t miss_hi = 0;
+    if (options.phase6_bounds_from_sweep) {
+      std::uint64_t seed_lo = 0;
+      for (const auto& [size, prefix_fits] : runner.sweep_fits) {
+        if (prefix_fits && size <= out.detected_bytes && size > seed_lo) {
+          seed_lo = size;
+        } else if (!prefix_fits && size > out.detected_bytes &&
+                   (miss_hi == 0 || size < miss_hi)) {
+          miss_hi = size;
+        }
+      }
+      if (seed_lo != 0) fit_lo = seed_lo;
+    }
+    // Expansion steps double: when the sweep window missed the boundary
+    // entirely (a late phase-1 jump), a fixed coarse step would crawl over
+    // the gap chase by chase; doubling reaches any distance in O(log)
+    // chases and the bisection below recovers the precision.
     bool fit_lo_ok = runner.fits(fit_lo);
-    while (!fit_lo_ok && fit_lo > lower) {
-      fit_lo = fit_lo > lower + expand ? fit_lo - expand : lower;
+    for (std::uint64_t step = expand; !fit_lo_ok && fit_lo > lower;
+         step *= 2) {
+      fit_lo = fit_lo > lower + step ? fit_lo - step : lower;
       fit_lo_ok = runner.fits(fit_lo);
     }
     if (!fit_lo_ok) {
@@ -260,12 +314,15 @@ SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
       out.exact_bytes = out.detected_bytes;
       out.exact_fallback = true;
       out.cycles = runner.cycles;
+      out.exact_chases = runner.exact_chases;
       return out;
     }
-    std::uint64_t miss_hi = std::max(out.detected_bytes,
-                                     fit_lo + options.stride);
-    while (miss_hi < upper && runner.fits(miss_hi)) {
-      miss_hi = std::min(upper, miss_hi + expand);
+    if (miss_hi <= fit_lo) {
+      miss_hi = std::max(out.detected_bytes, fit_lo + options.stride);
+    }
+    for (std::uint64_t step = expand; miss_hi < upper && runner.fits(miss_hi);
+         step *= 2) {
+      miss_hi = std::min(upper, miss_hi + step);
     }
     // Invariant: fits(fit_lo) && !fits(miss_hi); bisect on stride multiples.
     while (miss_hi - fit_lo > options.stride) {
@@ -282,6 +339,7 @@ SizeBenchResult run_size_benchmark(sim::Gpu& gpu,
   }
 
   out.cycles = runner.cycles;
+  out.exact_chases = runner.exact_chases;
   return out;
 }
 

@@ -18,10 +18,23 @@
 // keeps the original step so widened bounds land on the same size grid, and
 // an attempt re-measures only the newly exposed edge points plus the points
 // stats::screen_outliers flagged as spikes — clean rows are reused as-is.
-// Points are measured through runtime::run_pchase_batch, so each chase runs
-// on a reset Gpu replica with a noise stream derived from (seed, config):
-// the sweep series is byte-identical for every sweep_threads value, and
-// sweep_threads > 1 fans the chases over the shared executor.
+// Every chase of every phase goes through the chase-plan engine
+// (runtime::run_chase_batch): each runs on a reset Gpu replica with a noise
+// stream derived from (seed, spec), so the whole benchmark is byte-identical
+// for every sweep_threads value, and sweep_threads > 1 fans the sweep chases
+// over the shared executor. Sweep and phase-1 chases consume only their
+// recorded latency prefix, so their timed pass is capped at the record
+// budget (PChaseConfig::max_timed_steps); the phase-6 `fits` chases keep the
+// full pass, which the exact predicate needs.
+//
+// Because chases are pure functions of (seed, spec), the ReplicaPool memo
+// makes repeated specs free: a phase-1 probe that lands on the sweep grid,
+// or a refinement point that coincides with the coarse grid, costs zero
+// cycles the second time. Phase 6 additionally seeds its bisection bounds
+// from the sweep rows — the nearest measured fitting/missing sizes around
+// the change point — so the expansion loop's extra chases disappear (both
+// seeds are still verified with full-pass chases before the bisection
+// trusts them).
 #pragma once
 
 #include <cstdint>
@@ -33,6 +46,10 @@
 
 namespace mt4g::exec {
 class Executor;
+}
+
+namespace mt4g::runtime {
+struct ReplicaPool;
 }
 
 namespace mt4g::core {
@@ -58,9 +75,20 @@ struct SizeBenchOptions {
   /// Tests inject a dedicated pool here to force real thread interleaving
   /// regardless of the host's core count.
   exec::Executor* sweep_executor = nullptr;
+  /// Replica + chase-memo cache shared with the caller (the collectors pass
+  /// one per discovery, so benchmarks reuse replicas and memoized chases
+  /// across each other); nullptr = a benchmark-local pool.
+  runtime::ReplicaPool* chase_pool = nullptr;
+  /// Seed the phase-6 bisection bounds from the sweep rows' prefix hit
+  /// fractions (nearest measured fitting/missing sizes). Off = the original
+  /// expand-then-bisect path; the flag exists so tests can compare the two
+  /// paths' chase counts.
+  bool phase6_bounds_from_sweep = true;
   /// Test probe: invoked once per sweep-point chase, after the measurement,
   /// in ascending size order within each attempt. @p remeasured is true when
   /// the point was re-chased because the screening flagged it as a spike.
+  /// Points answered from the chase memo (e.g. a refinement point that
+  /// coincides with the coarse grid) execute no chase and skip the probe.
   std::function<void(std::uint64_t size, bool remeasured)> sweep_probe;
   sim::Placement where{};
 };
@@ -80,6 +108,9 @@ struct SizeBenchResult {
   std::vector<double> reduced;             ///< Eq.-2 values (Fig. 2 y-axis)
   std::uint64_t cycles = 0;          ///< simulated GPU cycles consumed
   std::uint64_t sweep_cycles = 0;    ///< cycles spent in sweep-point chases
+  /// Full-pass chases the phase-6 exact refinement executed (expansion +
+  /// bisection); the bounds-from-sweep seeding exists to shrink this.
+  std::uint32_t exact_chases = 0;
 };
 
 SizeBenchResult run_size_benchmark(sim::Gpu& gpu,

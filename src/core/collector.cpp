@@ -53,6 +53,9 @@ TopologyReport discover(sim::Gpu& gpu, const DiscoverOptions& options) {
            result.best_blocks, result.threads_per_block});
     }
   }
+
+  ctx.report.chase_memo_hits = ctx.chase_pool.memo_stats.hits;
+  ctx.report.chase_memo_misses = ctx.chase_pool.memo_stats.misses;
   return ctx.report;
 }
 

@@ -20,10 +20,11 @@ struct DiscoverOptions {
   bool measure_compute = false;
   /// Latencies recorded per p-chase run.
   std::uint32_t record_count = 512;
-  /// Parallelism of the size-benchmark sweeps (caller included), fanned over
-  /// the shared executor (src/exec/); 1 = the serial reference engine. The
-  /// report is byte-identical for every value — parallel sweep chases run on
-  /// reset Gpu replicas with per-chase noise streams — so this is purely an
+  /// Parallelism of the batched chase plans (caller included) — the size
+  /// sweeps and the line-size/amount/sharing benchmarks — fanned over the
+  /// shared executor (src/exec/); 1 = the serial reference engine. The
+  /// report is byte-identical for every value — batched chases run on reset
+  /// Gpu replicas with per-spec noise streams — so this is purely an
   /// execution knob and deliberately not part of fleet::DiscoveryJob::key().
   std::uint32_t sweep_threads = 1;
 };

@@ -35,6 +35,7 @@ MemoryElementReport collect_amd_l1(CollectorContext& ctx, Element element,
 
   FgBenchOptions fg_options;
   fg_options.target = target;
+  fg_options.record_count = ctx.options.record_count;
   const auto fg = run_fg_benchmark(gpu, fg_options);
   ctx.book(fg.cycles);
   state.fg = fg.found ? fg.granularity : 64;
@@ -49,6 +50,7 @@ MemoryElementReport collect_amd_l1(CollectorContext& ctx, Element element,
   size_options.stride = state.fg;
   size_options.record_count = ctx.options.record_count;
   size_options.sweep_threads = ctx.options.sweep_threads;
+  size_options.chase_pool = &ctx.chase_pool;
   const auto size = run_size_benchmark(gpu, size_options);
   ctx.book(size.cycles);
   ctx.book_sweep(size.widenings, size.sweep_cycles);
@@ -78,8 +80,11 @@ MemoryElementReport collect_amd_l1(CollectorContext& ctx, Element element,
     line_options.target = target;
     line_options.cache_bytes = state.size;
     line_options.fetch_granularity = state.fg;
+    line_options.threads = ctx.options.sweep_threads;
+    line_options.chase_pool = &ctx.chase_pool;
     const auto line = run_line_size_benchmark(gpu, line_options);
     ctx.book(line.cycles);
+    ctx.book_line_size(line.cycles);
     row.cache_line = line.found
                          ? Attribute::benchmarked(line.line_bytes,
                                                   line.confidence)
@@ -110,8 +115,11 @@ void collect_amd(CollectorContext& ctx) {
       amount_options.cache_bytes = state.size;
       amount_options.stride = state.fg;
       amount_options.record_count = ctx.options.record_count;
+      amount_options.threads = ctx.options.sweep_threads;
+      amount_options.chase_pool = &ctx.chase_pool;
       const auto amount = run_amount_benchmark(gpu, amount_options);
       ctx.book(amount.cycles);
+      ctx.book_amount(amount.cycles);
       row.amount =
           amount.available
               ? Attribute::benchmarked(amount.amount)
@@ -136,8 +144,11 @@ void collect_amd(CollectorContext& ctx) {
       CuSharingBenchOptions sharing_options;
       sharing_options.sl1d_bytes = state.size;
       sharing_options.stride = state.fg;
+      sharing_options.threads = ctx.options.sweep_threads;
+      sharing_options.chase_pool = &ctx.chase_pool;
       const auto sharing = run_cu_sharing_benchmark(gpu, sharing_options);
       ctx.book(sharing.cycles);
+      ctx.book_sharing(sharing.cycles);
       ctx.report.cu_sharing.available = true;
       ctx.report.cu_sharing.peers = sharing.peers;
       row.shared_with = "CU id";
@@ -161,6 +172,7 @@ void collect_amd(CollectorContext& ctx) {
 
     FgBenchOptions fg_options;
     fg_options.target = target;
+    fg_options.record_count = ctx.options.record_count;
     const auto fg = run_fg_benchmark(gpu, fg_options);
     ctx.book(fg.cycles);
     const std::uint32_t fg_value = fg.found ? fg.granularity : 64;

@@ -5,6 +5,7 @@
 
 #include "core/collector.hpp"
 #include "core/report.hpp"
+#include "runtime/batch.hpp"
 #include "sim/gpu.hpp"
 
 namespace mt4g::core::detail {
@@ -15,6 +16,11 @@ struct CollectorContext {
   sim::Gpu& gpu;
   const DiscoverOptions& options;
   TopologyReport report;
+  /// Discovery-wide chase replicas + memo: every batched benchmark of this
+  /// discovery shares the replicas (no per-benchmark re-fork) and the chase
+  /// memo (a spec measured anywhere in the discovery costs zero cycles when
+  /// it recurs).
+  runtime::ReplicaPool chase_pool;
 
   /// Books one executed microbenchmark and its simulated cycles.
   void book(std::uint64_t cycles) {
@@ -29,6 +35,13 @@ struct CollectorContext {
     report.sweep_widenings += widenings;
     report.sweep_cycles += sweep_cycles;
   }
+
+  /// Per-benchmark cycle attribution (called alongside book()).
+  void book_line_size(std::uint64_t cycles) {
+    report.line_size_cycles += cycles;
+  }
+  void book_amount(std::uint64_t cycles) { report.amount_cycles += cycles; }
+  void book_sharing(std::uint64_t cycles) { report.sharing_cycles += cycles; }
 
   /// Books seconds directly (bandwidth kernels report wall time).
   void book_seconds(double seconds) {

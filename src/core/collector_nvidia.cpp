@@ -53,6 +53,7 @@ MemoryElementReport collect_first_level_cache(CollectorContext& ctx,
   // Fetch granularity first: it is the step size of everything that follows.
   FgBenchOptions fg_options;
   fg_options.target = target;
+  fg_options.record_count = ctx.options.record_count;
   const auto fg = run_fg_benchmark(gpu, fg_options);
   ctx.book(fg.cycles);
   row.fetch_granularity = fg.found
@@ -68,6 +69,7 @@ MemoryElementReport collect_first_level_cache(CollectorContext& ctx,
   size_options.stride = state.fg;
   size_options.record_count = ctx.options.record_count;
   size_options.sweep_threads = ctx.options.sweep_threads;
+  size_options.chase_pool = &ctx.chase_pool;
   const auto size = run_size_benchmark(gpu, size_options);
   ctx.book(size.cycles);
   ctx.book_sweep(size.widenings, size.sweep_cycles);
@@ -102,8 +104,11 @@ MemoryElementReport collect_first_level_cache(CollectorContext& ctx,
     line_options.target = target;
     line_options.cache_bytes = state.size;
     line_options.fetch_granularity = state.fg;
+    line_options.threads = ctx.options.sweep_threads;
+    line_options.chase_pool = &ctx.chase_pool;
     const auto line = run_line_size_benchmark(gpu, line_options);
     ctx.book(line.cycles);
+    ctx.book_line_size(line.cycles);
     row.cache_line = line.found
                          ? Attribute::benchmarked(line.line_bytes,
                                                   line.confidence)
@@ -122,8 +127,11 @@ MemoryElementReport collect_first_level_cache(CollectorContext& ctx,
     amount_options.cache_bytes = state.size;
     amount_options.stride = state.fg;
     amount_options.record_count = ctx.options.record_count;
+    amount_options.threads = ctx.options.sweep_threads;
+    amount_options.chase_pool = &ctx.chase_pool;
     const auto amount = run_amount_benchmark(gpu, amount_options);
     ctx.book(amount.cycles);
+    ctx.book_amount(amount.cycles);
     row.amount = amount.available
                      ? Attribute::benchmarked(amount.amount)
                      : Attribute::unavailable("cache smaller than one stride");
@@ -177,6 +185,7 @@ void collect_nvidia(CollectorContext& ctx) {
 
     FgBenchOptions fg_options;
     fg_options.target = target;
+    fg_options.record_count = ctx.options.record_count;
     // Stay beyond the Const L1 capacity so its hits do not mask the pattern.
     fg_options.min_array_bytes = 2 * cl1_size;
     const auto fg = run_fg_benchmark(gpu, fg_options);
@@ -193,6 +202,7 @@ void collect_nvidia(CollectorContext& ctx) {
     size_options.stride = fg_value;
     size_options.record_count = ctx.options.record_count;
     size_options.sweep_threads = ctx.options.sweep_threads;
+    size_options.chase_pool = &ctx.chase_pool;
     const auto size = run_size_benchmark(gpu, size_options);
     ctx.book(size.cycles);
     ctx.book_sweep(size.widenings, size.sweep_cycles);
@@ -229,8 +239,11 @@ void collect_nvidia(CollectorContext& ctx) {
       line_options.target = target;
       line_options.cache_bytes = cl15_size;
       line_options.fetch_granularity = fg_value;
+      line_options.threads = ctx.options.sweep_threads;
+      line_options.chase_pool = &ctx.chase_pool;
       const auto line = run_line_size_benchmark(gpu, line_options);
       ctx.book(line.cycles);
+      ctx.book_line_size(line.cycles);
       row.cache_line = line.found
                            ? Attribute::benchmarked(line.line_bytes,
                                                     line.confidence)
@@ -255,6 +268,7 @@ void collect_nvidia(CollectorContext& ctx) {
 
     FgBenchOptions fg_options;
     fg_options.target = target;
+    fg_options.record_count = ctx.options.record_count;
     const auto fg = run_fg_benchmark(gpu, fg_options);
     ctx.book(fg.cycles);
     const std::uint32_t fg_value = fg.found ? fg.granularity : 32;
@@ -274,7 +288,7 @@ void collect_nvidia(CollectorContext& ctx) {
     // the API total (paper IV-F1).
     const auto segment =
         run_l2_segment_benchmark(gpu, prop.l2_cache_size, fg_value, {},
-                                 ctx.options.sweep_threads);
+                                 ctx.options.sweep_threads, &ctx.chase_pool);
     ctx.book(segment.cycles);
     ctx.book_sweep(segment.widenings, segment.sweep_cycles);
     std::uint64_t segment_bytes = prop.l2_cache_size;
@@ -291,8 +305,11 @@ void collect_nvidia(CollectorContext& ctx) {
     line_options.target = target;
     line_options.cache_bytes = segment_bytes;
     line_options.fetch_granularity = fg_value;
+    line_options.threads = ctx.options.sweep_threads;
+    line_options.chase_pool = &ctx.chase_pool;
     const auto line = run_line_size_benchmark(gpu, line_options);
     ctx.book(line.cycles);
+    ctx.book_line_size(line.cycles);
     row.cache_line = line.found
                          ? Attribute::benchmarked(line.line_bytes,
                                                   line.confidence)
@@ -359,11 +376,14 @@ void collect_nvidia(CollectorContext& ctx) {
           {element, it->second.size, it->second.fg,
            element == Element::kConstL1 ? kConstantArrayLimit : 0});
     }
+    sharing_options.threads = ctx.options.sweep_threads;
+    sharing_options.chase_pool = &ctx.chase_pool;
     if (sharing_options.entries.size() >= 2) {
       const auto sharing = run_sharing_benchmark(gpu, sharing_options);
       // Each tested pair is one benchmark execution.
       for (std::size_t i = 1; i < sharing.pairs.size(); ++i) ctx.book(0);
       ctx.book(sharing.cycles);
+      ctx.book_sharing(sharing.cycles);
       for (auto& row : ctx.report.memory) {
         const auto group = sharing.group_of(row.element);
         if (std::find_if(sharing_options.entries.begin(),

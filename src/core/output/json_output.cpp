@@ -152,8 +152,18 @@ json::Value to_json(const TopologyReport& report) {
                     static_cast<std::int64_t>(report.sweep_widenings));
   meta.emplace_back("sweep_cycles",
                     static_cast<std::int64_t>(report.sweep_cycles));
+  meta.emplace_back("line_size_cycles",
+                    static_cast<std::int64_t>(report.line_size_cycles));
+  meta.emplace_back("amount_cycles",
+                    static_cast<std::int64_t>(report.amount_cycles));
+  meta.emplace_back("sharing_cycles",
+                    static_cast<std::int64_t>(report.sharing_cycles));
   meta.emplace_back("total_cycles",
                     static_cast<std::int64_t>(report.total_cycles));
+  meta.emplace_back("chase_memo_hits",
+                    static_cast<std::int64_t>(report.chase_memo_hits));
+  meta.emplace_back("chase_memo_misses",
+                    static_cast<std::int64_t>(report.chase_memo_misses));
   root.emplace_back("meta", json::Value(std::move(meta)));
   return json::Value(std::move(root));
 }

@@ -166,8 +166,18 @@ TopologyReport from_json_string(const std::string& text) {
       static_cast<std::uint32_t>(number_or(meta, "sweep_widenings", 0));
   report.sweep_cycles =
       static_cast<std::uint64_t>(number_or(meta, "sweep_cycles", 0));
+  report.line_size_cycles =
+      static_cast<std::uint64_t>(number_or(meta, "line_size_cycles", 0));
+  report.amount_cycles =
+      static_cast<std::uint64_t>(number_or(meta, "amount_cycles", 0));
+  report.sharing_cycles =
+      static_cast<std::uint64_t>(number_or(meta, "sharing_cycles", 0));
   report.total_cycles =
       static_cast<std::uint64_t>(number_or(meta, "total_cycles", 0));
+  report.chase_memo_hits =
+      static_cast<std::uint64_t>(number_or(meta, "chase_memo_hits", 0));
+  report.chase_memo_misses =
+      static_cast<std::uint64_t>(number_or(meta, "chase_memo_misses", 0));
   return report;
 }
 

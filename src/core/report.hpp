@@ -134,13 +134,20 @@ struct TopologyReport {
   std::vector<ComputeThroughputReport> compute_throughput;
   std::uint32_t benchmarks_executed = 0;
   double simulated_seconds = 0.0;  ///< accumulated simulated GPU time
-  /// Sweep-engine telemetry: outlier-triggered widening rounds and the
-  /// sweep-vs-rest cycle split across all size benchmarks of the discovery.
-  /// bench/discovery_hotpath records these per model so the next algorithmic
-  /// target stays visible.
+  /// Chase-engine telemetry: outlier-triggered widening rounds and the
+  /// per-benchmark cycle attribution (sweep vs line-size vs amount vs
+  /// sharing vs rest) across the discovery. bench/discovery_hotpath records
+  /// these per model so the next algorithmic target stays visible.
   std::uint32_t sweep_widenings = 0;
-  std::uint64_t sweep_cycles = 0;   ///< cycles in sweep-point chases
-  std::uint64_t total_cycles = 0;   ///< all simulated cycles booked
+  std::uint64_t sweep_cycles = 0;      ///< cycles in sweep-point chases
+  std::uint64_t line_size_cycles = 0;  ///< cycles in line-size benchmarks
+  std::uint64_t amount_cycles = 0;     ///< cycles in amount benchmarks
+  std::uint64_t sharing_cycles = 0;    ///< cycles in sharing benchmarks
+  std::uint64_t total_cycles = 0;      ///< all simulated cycles booked
+  /// Chase-memo accounting of the discovery-wide replica pool: specs
+  /// answered without simulating a load, and specs that actually ran.
+  std::uint64_t chase_memo_hits = 0;
+  std::uint64_t chase_memo_misses = 0;
   std::vector<SizeSeries> series;  ///< populated when graphs are requested
 
   const MemoryElementReport* find(sim::Element element) const;

@@ -1,74 +1,199 @@
 #include "runtime/batch.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/rng.hpp"
 
 namespace mt4g::runtime {
+namespace {
 
-std::uint64_t chase_noise_seed(std::uint64_t gpu_seed,
-                               const PChaseConfig& config) {
-  // Fold each field through a splitmix64 step. The constant decorrelates the
-  // chase streams from the owning Gpu's own stream (which Xoshiro256 seeds
-  // from the same value).
-  std::uint64_t state = gpu_seed ^ 0xA3C59AC2B1F9D0E5ULL;
-  const auto fold = [&state](std::uint64_t value) {
+/// Splitmix-based field folder shared by the seed and memo-hash paths. The
+/// constant decorrelates the chase streams from the owning Gpu's own stream
+/// (which Xoshiro256 seeds from the same value).
+struct SeedFolder {
+  std::uint64_t state;
+
+  explicit SeedFolder(std::uint64_t gpu_seed)
+      : state(gpu_seed ^ 0xA3C59AC2B1F9D0E5ULL) {}
+
+  void fold(std::uint64_t value) {
     // Keep the mixed output, not just the advanced counter: the avalanche is
-    // what makes near-identical configs (e.g. swapped sm/core indices or a
+    // what makes near-identical specs (e.g. swapped sm/core indices or a
     // shared flipped bit across two fields) land on unrelated streams.
     state ^= value;
     state = splitmix64(state);
-  };
-  fold(static_cast<std::uint64_t>(config.space));
-  fold(config.flags.bypass_l1 ? 1 : 0);
-  fold(config.base);
-  fold(config.array_bytes);
-  fold(config.stride_bytes);
-  fold(config.record_count);
-  fold(config.warmup ? 1 : 0);
-  fold(config.where.sm);
-  fold(config.where.core);
-  return splitmix64(state);
+  }
+
+  void fold_config(const PChaseConfig& config) {
+    fold(static_cast<std::uint64_t>(config.space));
+    fold(config.flags.bypass_l1 ? 1 : 0);
+    fold(config.base);
+    fold(config.array_bytes);
+    fold(config.stride_bytes);
+    fold(config.record_count);
+    fold(config.warmup ? 1 : 0);
+    fold(config.where.sm);
+    fold(config.where.core);
+    fold(config.resample);
+    // max_timed_steps deliberately excluded — see the header contract.
+  }
+
+  std::uint64_t finish() { return splitmix64(state); }
+};
+
+}  // namespace
+
+std::uint64_t chase_noise_seed(std::uint64_t gpu_seed,
+                               const PChaseConfig& config) {
+  SeedFolder folder(gpu_seed);
+  folder.fold_config(config);
+  return folder.finish();
+}
+
+std::uint64_t chase_noise_seed(std::uint64_t gpu_seed, const ChaseSpec& spec) {
+  // Plain specs fold exactly like a bare config, so the plain wrapper and
+  // the spec path agree on every stream.
+  if (spec.kind == ChaseKind::kPlain) {
+    return chase_noise_seed(gpu_seed, spec.config);
+  }
+  SeedFolder folder(gpu_seed);
+  folder.fold(static_cast<std::uint64_t>(spec.kind));
+  folder.fold_config(spec.config);
+  if (spec.kind == ChaseKind::kSharing) {
+    folder.fold_config(spec.config_b);
+  } else {
+    folder.fold(spec.partner);
+    folder.fold(spec.base_b);
+  }
+  return folder.finish();
+}
+
+PChaseResult run_chase(sim::Gpu& gpu, const ChaseSpec& spec) {
+  switch (spec.kind) {
+    case ChaseKind::kPlain:
+      return run_pchase(gpu, spec.config);
+    case ChaseKind::kAmount:
+      return run_amount_pchase(gpu, spec.config, spec.partner, spec.base_b);
+    case ChaseKind::kSharing:
+      return run_sharing_pchase(gpu, spec.config, spec.config_b);
+    case ChaseKind::kDualCu:
+      return run_dual_cu_pchase(gpu, spec.config, spec.partner, spec.base_b);
+  }
+  return {};
+}
+
+std::vector<PChaseResult> run_chase_batch(sim::Gpu& gpu,
+                                          std::span<const ChaseSpec> specs,
+                                          const ChaseBatchOptions& options) {
+  std::vector<PChaseResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  ReplicaPool local_pool;
+  ReplicaPool& pool = options.pool ? *options.pool : local_pool;
+  if (pool.epoch != gpu.path_epoch()) {
+    // The owning Gpu rebuilt caches: replicas hold the old geometry and
+    // memoized results were measured against it.
+    pool.replicas.clear();
+    pool.memo.clear();
+  }
+  pool.epoch = gpu.path_epoch();
+
+  // Resolve memo hits and intra-batch duplicates in spec order, before any
+  // chase runs, so which index carries the cycles is a function of the batch
+  // contents alone — never of scheduling.
+  std::vector<std::size_t> pending;          // first occurrences to execute
+  std::vector<std::uint64_t> pending_hash;   // their memo keys
+  std::vector<std::ptrdiff_t> copy_from(specs.size(), -1);
+  // hash -> indices already pending, so duplicate detection stays linear
+  // even for the N^2-pair CU-sharing batches.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> first_seen;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::uint64_t hash = chase_noise_seed(gpu.seed(), specs[i]);
+    if (options.memoize) {
+      const auto bucket = pool.memo.find(hash);
+      if (bucket != pool.memo.end()) {
+        const auto hit = std::find_if(
+            bucket->second.begin(), bucket->second.end(),
+            [&](const auto& entry) { return entry.first == specs[i]; });
+        if (hit != bucket->second.end()) {
+          results[i] = hit->second;
+          results[i].total_cycles = 0;
+          results[i].from_cache = true;
+          ++pool.memo_stats.hits;
+          continue;
+        }
+      }
+      auto& candidates = first_seen[hash];
+      const auto earlier = std::find_if(
+          candidates.begin(), candidates.end(),
+          [&](std::size_t j) { return specs[j] == specs[i]; });
+      if (earlier != candidates.end()) {
+        copy_from[i] = static_cast<std::ptrdiff_t>(*earlier);
+        continue;
+      }
+      candidates.push_back(i);
+    }
+    pending.push_back(i);
+    pending_hash.push_back(hash);
+  }
+
+  if (!pending.empty()) {
+    // One replica per participant slot; never more participants than chases.
+    const auto workers = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        std::max<std::uint32_t>(options.threads, 1), pending.size()));
+    while (pool.replicas.size() < workers) {
+      // The fork seed is irrelevant: every chase re-seeds its replica below.
+      pool.replicas.push_back(gpu.fork(gpu.seed()));
+    }
+
+    const PChaseEngine engine = pchase_engine();
+    const auto run_one = [&](std::size_t k, std::uint32_t slot) {
+      const std::size_t index = pending[k];
+      sim::Gpu& replica = pool.replicas[slot];
+      replica.flush_caches();
+      // The memo key IS the noise-stream seed (both are the full spec fold).
+      replica.reseed_noise(pending_hash[k]);
+      const ScopedPChaseEngine scope(engine);  // workers default to kCompiled
+      results[index] = run_chase(replica, specs[index]);
+    };
+
+    if (workers == 1) {
+      for (std::size_t k = 0; k < pending.size(); ++k) run_one(k, 0);
+    } else {
+      exec::Executor& executor =
+          options.executor ? *options.executor : exec::shared_executor();
+      executor.parallel_for(pending.size(), workers, run_one);
+    }
+
+    if (options.memoize) {
+      pool.memo_stats.misses += pending.size();
+      for (std::size_t k = 0; k < pending.size(); ++k) {
+        pool.memo[pending_hash[k]].emplace_back(specs[pending[k]],
+                                                results[pending[k]]);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (copy_from[i] < 0) continue;
+    results[i] = results[static_cast<std::size_t>(copy_from[i])];
+    results[i].total_cycles = 0;
+    results[i].from_cache = true;
+    ++pool.memo_stats.hits;
+  }
+  return results;
 }
 
 std::vector<PChaseResult> run_pchase_batch(sim::Gpu& gpu,
                                            std::span<const PChaseConfig> configs,
-                                           const PChaseBatchOptions& options) {
-  std::vector<PChaseResult> results(configs.size());
-  if (configs.empty()) return results;
-
-  // One replica per participant slot; never more participants than chases.
-  const auto workers = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-      std::max<std::uint32_t>(options.threads, 1), configs.size()));
-
-  ReplicaPool local_pool;
-  ReplicaPool& pool = options.pool ? *options.pool : local_pool;
-  if (!pool.replicas.empty() && pool.epoch != gpu.path_epoch()) {
-    pool.replicas.clear();  // the owning Gpu rebuilt caches: replicas stale
+                                           const ChaseBatchOptions& options) {
+  std::vector<ChaseSpec> specs;
+  specs.reserve(configs.size());
+  for (const PChaseConfig& config : configs) {
+    specs.push_back(ChaseSpec::plain(config));
   }
-  pool.epoch = gpu.path_epoch();
-  while (pool.replicas.size() < workers) {
-    // The fork seed is irrelevant: every chase re-seeds its replica below.
-    pool.replicas.push_back(gpu.fork(gpu.seed()));
-  }
-
-  const PChaseEngine engine = pchase_engine();
-  const auto run_one = [&](std::size_t index, std::uint32_t slot) {
-    sim::Gpu& replica = pool.replicas[slot];
-    replica.flush_caches();
-    replica.reseed_noise(chase_noise_seed(gpu.seed(), configs[index]));
-    const ScopedPChaseEngine scope(engine);  // workers default to kCompiled
-    results[index] = run_pchase(replica, configs[index]);
-  };
-
-  if (workers == 1) {
-    for (std::size_t i = 0; i < configs.size(); ++i) run_one(i, 0);
-  } else {
-    exec::Executor& executor =
-        options.executor ? *options.executor : exec::shared_executor();
-    executor.parallel_for(configs.size(), workers, run_one);
-  }
-  return results;
+  return run_chase_batch(gpu, specs, options);
 }
 
 }  // namespace mt4g::runtime

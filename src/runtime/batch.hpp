@@ -1,24 +1,37 @@
-// Parallel p-chase batch execution.
+// The chase-plan engine: batched execution of any p-chase shape.
 //
-// run_pchase_batch() runs a list of independent PChaseConfigs and returns one
-// PChaseResult per config, in config order. Each chase executes on a Gpu
-// replica (Gpu::fork) that is reset — caches flushed, noise stream re-seeded
-// from (gpu seed, chase config) via chase_noise_seed() — immediately before
-// the chase, so a chase's result is a pure function of the owning Gpu's seed
-// and its own config. That makes the result vector byte-identical for every
-// thread count, including the threads == 1 serial reference mode, which is
-// what bench/discovery_hotpath and the sweep-engine tests assert.
+// A ChaseSpec describes one measurement of any of the four chase shapes the
+// tool uses — plain (size/line-size/latency style), amount (A/B/A on two
+// cores), sharing (two logical spaces), dual-CU (AMD sL1d) — as pure data.
+// run_chase_batch() runs a list of independent specs and returns one
+// PChaseResult per spec, in spec order. Each chase executes on a Gpu replica
+// (Gpu::fork) that is reset — caches flushed, noise stream re-seeded from
+// (gpu seed, spec) via chase_noise_seed() — immediately before the chase, so
+// a chase's result is a pure function of the owning Gpu's seed and its own
+// spec. That makes the result vector byte-identical for every thread count,
+// including the threads == 1 serial reference mode, which is what
+// bench/discovery_hotpath and the sweep-engine tests assert.
+//
+// Purity also makes results cacheable: a ReplicaPool carries a memo keyed by
+// the full spec, so a spec measured once costs zero cycles every time it
+// recurs — across widenings of one sweep, across the coarse/refinement
+// sweeps, and across benchmarks sharing the pool. Memo hits and intra-batch
+// duplicates are resolved in spec order before any chase runs, so the
+// accounting (which index carries the cycles) is a function of the batch
+// contents alone, never of scheduling.
 //
 // The trade-off is explicit: batched chases do NOT share warm cache state or
 // a noise stream with the owning Gpu (each starts cold and self-warms), so
 // routing a measurement through the batch changes its noise realisation
-// relative to the serial-on-the-main-Gpu path. The size-benchmark sweep
-// accepts this — its detection is robust by construction — in exchange for
-// memoization and parallelism.
+// relative to the serial-on-the-main-Gpu path. The benchmark layer accepts
+// this — detection is robust by construction — in exchange for memoization
+// and parallelism.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "exec/executor.hpp"
@@ -27,38 +40,109 @@
 
 namespace mt4g::runtime {
 
-/// Reusable Gpu replicas for repeated batch calls against the same owning
-/// Gpu (a size-benchmark sweep issues one batch per widening attempt).
-/// Replicas are rebuilt automatically when the owning Gpu invalidated its
-/// compiled paths (cache rebuild via set_l2_fetch_granularity) — the epoch
-/// tracks that. A pool must not be shared across different owning Gpus.
+/// The four chase shapes of the benchmark suite (paper IV-A/F/G/H).
+enum class ChaseKind : std::uint8_t {
+  kPlain,    ///< warm-up + timed pass over one array
+  kAmount,   ///< core A warms, core B warms a second array, core A timed
+  kSharing,  ///< warm space A, warm space B, timed on A
+  kDualCu,   ///< CU A warms, CU B warms a second array, CU A timed
+};
+
+/// One chase of any shape, as pure data. Equality spans every
+/// result-relevant field, which is what makes specs usable as memo keys.
+struct ChaseSpec {
+  ChaseKind kind = ChaseKind::kPlain;
+  PChaseConfig config{};    ///< the timed chase (and its own warm-up)
+  PChaseConfig config_b{};  ///< kSharing only: the second warm-up chase
+  std::uint32_t partner = 0;  ///< kAmount: core B; kDualCu: CU B
+  std::uint64_t base_b = 0;   ///< kAmount/kDualCu: second array base
+
+  bool operator==(const ChaseSpec&) const = default;
+
+  static ChaseSpec plain(const PChaseConfig& config) {
+    return ChaseSpec{ChaseKind::kPlain, config, {}, 0, 0};
+  }
+  static ChaseSpec amount(const PChaseConfig& config, std::uint32_t core_b,
+                          std::uint64_t base_b) {
+    return ChaseSpec{ChaseKind::kAmount, config, {}, core_b, base_b};
+  }
+  static ChaseSpec sharing(const PChaseConfig& config_a,
+                           const PChaseConfig& config_b) {
+    return ChaseSpec{ChaseKind::kSharing, config_a, config_b, 0, 0};
+  }
+  static ChaseSpec dual_cu(const PChaseConfig& config, std::uint32_t cu_b,
+                           std::uint64_t base_b) {
+    return ChaseSpec{ChaseKind::kDualCu, config, {}, cu_b, base_b};
+  }
+};
+
+/// Executes one spec on @p gpu as-is: no replica, no reset, no memo. The
+/// batch runner calls this on a reset replica; tests can call it directly.
+PChaseResult run_chase(sim::Gpu& gpu, const ChaseSpec& spec);
+
+/// Memo accounting of a ReplicaPool: hits are answered without simulating a
+/// single load (the returned result carries total_cycles == 0).
+struct ChaseMemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;  ///< specs that actually ran
+};
+
+/// Reusable replicas + chase-result memo for repeated batch calls against
+/// the same owning Gpu. Both are rebuilt automatically when the owning Gpu
+/// invalidated its compiled paths (cache rebuild via
+/// set_l2_fetch_granularity) — the epoch tracks that, and memoized results
+/// measured against the old cache geometry would be stale. A pool must not
+/// be shared across different owning Gpus.
 struct ReplicaPool {
   std::uint64_t epoch = 0;
   std::vector<sim::Gpu> replicas;
+  /// spec-seed hash -> (spec, result) entries; collisions resolved by the
+  /// full spec comparison.
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<ChaseSpec, PChaseResult>>>
+      memo;
+  ChaseMemoStats memo_stats;
 };
 
-struct PChaseBatchOptions {
+struct ChaseBatchOptions {
   /// Total parallelism including the calling thread; 1 = serial reference
-  /// (strict config order, no executor involved).
+  /// (strict spec order, no executor involved).
   std::uint32_t threads = 1;
   /// Executor to fan out on when threads > 1; nullptr = shared_executor().
   exec::Executor* executor = nullptr;
-  /// Optional replica cache reused across calls (see ReplicaPool).
+  /// Optional replica + memo cache reused across calls (see ReplicaPool).
   ReplicaPool* pool = nullptr;
+  /// Answer repeated specs from the pool's memo (zero cycles) instead of
+  /// re-running them. Disable for callers that need every spec executed.
+  bool memoize = true;
 };
 
+/// Backwards-compatible name from the plain-chase-only engine.
+using PChaseBatchOptions = ChaseBatchOptions;
+
 /// Deterministic noise-stream seed of one batched chase: a stable mix of the
-/// owning Gpu's construction seed and every result-relevant config field.
-/// Two configs differing in any field get statistically independent streams;
-/// the same (seed, config) always maps to the same stream.
+/// owning Gpu's construction seed and every result-relevant spec field.
+/// Two specs differing in any field get statistically independent streams;
+/// the same (seed, spec) always maps to the same stream. Exception:
+/// PChaseConfig::max_timed_steps is deliberately not folded — capping the
+/// timed pass does not change which loads the recorded prefix executes, so
+/// capped and uncapped variants of one config agree on their prefix.
 std::uint64_t chase_noise_seed(std::uint64_t gpu_seed,
                                const PChaseConfig& config);
+std::uint64_t chase_noise_seed(std::uint64_t gpu_seed, const ChaseSpec& spec);
 
-/// Runs every config (see file comment for the execution model) and returns
-/// results in config order. The engine (compiled/reference) active on the
-/// calling thread is propagated to the worker threads.
+/// Runs every spec (see file comment for the execution model) and returns
+/// results in spec order. The engine (compiled/reference) active on the
+/// calling thread is propagated to the worker threads. Results answered from
+/// the memo (or duplicated within the batch) carry from_cache == true and
+/// total_cycles == 0, so cycle tallies never double-book simulated work.
+std::vector<PChaseResult> run_chase_batch(
+    sim::Gpu& gpu, std::span<const ChaseSpec> specs,
+    const ChaseBatchOptions& options = {});
+
+/// Plain-chase convenience wrapper: wraps each config in ChaseSpec::plain.
 std::vector<PChaseResult> run_pchase_batch(
     sim::Gpu& gpu, std::span<const PChaseConfig> configs,
-    const PChaseBatchOptions& options = {});
+    const ChaseBatchOptions& options = {});
 
 }  // namespace mt4g::runtime

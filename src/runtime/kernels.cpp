@@ -35,10 +35,15 @@ std::uint64_t warmup_pass(sim::Gpu& gpu, const PChaseConfig& config,
 }
 
 /// The timed pass: records the first record_count latencies and classifies
-/// every load by the level that served it.
+/// every executed load by the level that served it. max_timed_steps stops
+/// the walk early for record-only consumers (the recorded prefix is
+/// unaffected: each load depends only on the loads before it).
 void timed_pass(sim::Gpu& gpu, const PChaseConfig& config,
                 PChaseResult& result) {
-  const std::uint64_t steps = config.array_bytes / config.stride_bytes;
+  std::uint64_t steps = config.array_bytes / config.stride_bytes;
+  if (config.max_timed_steps != 0) {
+    steps = std::min(steps, config.max_timed_steps);
+  }
   result.timed_loads = steps;
   result.latencies.reserve(
       std::min<std::uint64_t>(steps, config.record_count));
@@ -123,14 +128,18 @@ PChaseResult run_dual_cu_pchase(sim::Gpu& gpu, const PChaseConfig& config_a,
   return result;
 }
 
-PChaseResult run_scratchpad_chase(sim::Gpu& gpu, std::uint32_t count) {
+PChaseResult run_scratchpad_chase(sim::Gpu& gpu, std::uint32_t count,
+                                  std::uint32_t record_count) {
   PChaseResult result;
   result.timed_loads = count;
-  result.latencies.reserve(count);
+  // Same truncation semantics as timed_pass: store a prefix of record_count
+  // latencies, and reserve only what will actually be stored.
+  const std::uint32_t recorded = std::min(count, record_count);
+  result.latencies.reserve(recorded);
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint32_t latency = gpu.scratchpad_access();
     result.total_cycles += latency;
-    result.latencies.push_back(latency);
+    if (result.latencies.size() < recorded) result.latencies.push_back(latency);
   }
   const sim::Element scratch = gpu.spec().vendor == sim::Vendor::kNvidia
                                    ? sim::Element::kSharedMem

@@ -60,6 +60,21 @@ struct PChaseConfig {
   std::uint32_t record_count = 256;  ///< store only the first N latencies
   bool warmup = true;              ///< initial untimed pass over the array
   sim::Placement where{};          ///< SM/CU + core executing the chase
+  /// Cap on the number of timed-pass loads; 0 = walk the whole array.
+  /// Load i's latency depends only on the loads before it, so capping never
+  /// changes the recorded prefix — it only stops the walk once nothing more
+  /// is recorded. Benchmarks that consume recorded latencies alone (the size
+  /// sweep, the line-size grid) cap at record_count and skip the long tail;
+  /// consumers of the full-pass served_by classification (the bisection
+  /// `fits` predicate, amount/sharing verdicts) must leave this at 0.
+  std::uint64_t max_timed_steps = 0;
+  /// Independent-measurement index: bumping it moves the chase onto a fresh
+  /// noise stream without changing what it measures. The sweep engine uses
+  /// it to genuinely re-measure spike-flagged points (a re-run of the
+  /// identical config would reproduce the identical stream).
+  std::uint32_t resample = 0;
+
+  bool operator==(const PChaseConfig&) const = default;
 };
 
 /// Result of one p-chase execution.
@@ -75,7 +90,11 @@ struct PChaseResult {
   /// so this must not be a node-based map.
   sim::ElementCounts served_by;
   /// Simulated GPU cycles spent (warm-up + timed), for run-time accounting.
+  /// Zero when the result was answered from a chase memo (see from_cache).
   std::uint64_t total_cycles = 0;
+  /// Set by the batch runner when this result came from its memo (or from an
+  /// identical spec earlier in the same batch) instead of a fresh chase.
+  bool from_cache = false;
 };
 
 /// One p-chase: optional warm-up pass, then a timed pass over the array.
@@ -97,8 +116,11 @@ PChaseResult run_sharing_pchase(sim::Gpu& gpu, const PChaseConfig& config_a,
 PChaseResult run_dual_cu_pchase(sim::Gpu& gpu, const PChaseConfig& config_a,
                                 std::uint32_t cu_b, std::uint64_t base_b);
 
-/// Scratchpad (Shared Memory / LDS) latency kernel: @p count loads.
-PChaseResult run_scratchpad_chase(sim::Gpu& gpu, std::uint32_t count);
+/// Scratchpad (Shared Memory / LDS) latency kernel: @p count loads, with the
+/// same record semantics as the p-chase timed pass — only the first
+/// @p record_count latencies are stored (and only that much is reserved).
+PChaseResult run_scratchpad_chase(sim::Gpu& gpu, std::uint32_t count,
+                                  std::uint32_t record_count = 256);
 
 /// Stream bandwidth kernel (paper IV-I): returns achieved bytes/second.
 double run_stream(sim::Gpu& gpu, const sim::StreamConfig& config);

@@ -94,12 +94,16 @@ std::string space_name(Space space);
 /// Per-load modifier bits, mirroring PTX .ca/.cg and AMD GLC/sc0.
 struct AccessFlags {
   bool bypass_l1 = false;  ///< .cg on NVIDIA, GLC=1 on AMD
+
+  bool operator==(const AccessFlags&) const = default;
 };
 
 /// Where a benchmark thread runs: SM/CU index and core index within it.
 struct Placement {
   std::uint32_t sm = 0;
   std::uint32_t core = 0;
+
+  bool operator==(const Placement&) const = default;
 };
 
 }  // namespace mt4g::sim

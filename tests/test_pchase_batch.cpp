@@ -141,6 +141,167 @@ TEST(PChaseBatch, StaleReplicaPoolIsRefreshedAfterCacheRebuild) {
   EXPECT_EQ(pool.replicas[0].l2_fetch_granularity(), 64u);
 }
 
+std::vector<ChaseSpec> multi_phase_specs(sim::Gpu& gpu) {
+  // One spec of every multi-phase shape, plus plain chases, in one batch —
+  // the mix the amount/sharing benchmarks produce.
+  std::vector<ChaseSpec> specs;
+  const std::uint64_t base_a = gpu.alloc(8 * KiB, 256);
+  const std::uint64_t base_b = gpu.alloc(8 * KiB, 256);
+
+  PChaseConfig amount_config;
+  amount_config.base = base_a;
+  amount_config.array_bytes = 3584;  // 7/8 of the 4 KiB L1
+  amount_config.stride_bytes = 32;
+  amount_config.record_count = 128;
+  for (const std::uint32_t core_b : {1u, 2u, 4u, 8u}) {
+    specs.push_back(ChaseSpec::amount(amount_config, core_b, base_b));
+  }
+
+  PChaseConfig sharing_a = amount_config;
+  sharing_a.array_bytes = 896;  // 7/8 of the 1 KiB constant L1
+  sharing_a.space = sim::Space::kConstant;
+  PChaseConfig sharing_b = amount_config;
+  specs.push_back(ChaseSpec::sharing(sharing_a, sharing_b));
+
+  PChaseConfig plain = amount_config;
+  plain.array_bytes = 2 * KiB;
+  specs.push_back(ChaseSpec::plain(plain));
+  return specs;
+}
+
+TEST(PChaseBatch, MultiPhaseSpecsByteIdenticalAcrossThreadCounts) {
+  exec::Executor pool(7);  // real pool threads even on a single-core host
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  const auto specs = multi_phase_specs(gpu);
+
+  ChaseBatchOptions serial;
+  serial.threads = 1;
+  const auto reference = run_chase_batch(gpu, specs, serial);
+
+  for (const std::uint32_t threads : {4u, 8u}) {
+    ChaseBatchOptions options;
+    options.threads = threads;
+    options.executor = &pool;
+    const auto parallel = run_chase_batch(gpu, specs, options);
+    EXPECT_TRUE(equal_results(reference, parallel))
+        << threads << " threads diverged from the serial reference";
+  }
+}
+
+TEST(PChaseBatch, DualCuSpecsByteIdenticalAcrossThreadCounts) {
+  exec::Executor pool(7);
+  sim::Gpu gpu(sim::registry_get("TestGPU-AMD"), 42);
+  PChaseConfig config;
+  config.space = sim::Space::kScalar;
+  config.array_bytes = 896;  // 7/8 of the 1 KiB sL1d
+  config.stride_bytes = 64;
+  config.record_count = 64;
+  config.base = gpu.alloc(1 * KiB, 256);
+  const std::uint64_t base_b = gpu.alloc(1 * KiB, 256);
+  std::vector<ChaseSpec> specs;
+  for (std::uint32_t cu_a = 0; cu_a < 4; ++cu_a) {
+    for (std::uint32_t cu_b = cu_a + 1; cu_b < 8; ++cu_b) {
+      config.where = sim::Placement{cu_a, 0};
+      specs.push_back(ChaseSpec::dual_cu(config, cu_b, base_b));
+    }
+  }
+
+  const auto reference = run_chase_batch(gpu, specs, {});
+  for (const std::uint32_t threads : {4u, 8u}) {
+    ChaseBatchOptions options;
+    options.threads = threads;
+    options.executor = &pool;
+    const auto parallel = run_chase_batch(gpu, specs, options);
+    EXPECT_TRUE(equal_results(reference, parallel))
+        << threads << " threads diverged from the serial reference";
+  }
+}
+
+TEST(PChaseBatch, MemoAnswersRepeatedSpecsWithZeroCycles) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  const auto specs = multi_phase_specs(gpu);
+  ChaseBatchOptions options;
+  ReplicaPool pool;
+  options.pool = &pool;
+
+  const auto first = run_chase_batch(gpu, specs, options);
+  EXPECT_EQ(pool.memo_stats.hits, 0u);
+  EXPECT_EQ(pool.memo_stats.misses, specs.size());
+
+  // The identical batch again: every spec is answered from the memo — same
+  // latencies and classification, but zero cycles measured.
+  const auto second = run_chase_batch(gpu, specs, options);
+  EXPECT_EQ(pool.memo_stats.hits, specs.size());
+  EXPECT_EQ(pool.memo_stats.misses, specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_TRUE(second[i].from_cache) << "spec " << i;
+    EXPECT_EQ(second[i].total_cycles, 0u) << "spec " << i;
+    EXPECT_EQ(second[i].latencies, first[i].latencies) << "spec " << i;
+    EXPECT_EQ(second[i].served_by.raw(), first[i].served_by.raw())
+        << "spec " << i;
+    EXPECT_EQ(second[i].timed_loads, first[i].timed_loads) << "spec " << i;
+  }
+}
+
+TEST(PChaseBatch, IntraBatchDuplicatesMeasureOnce) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  auto specs = sweep_configs(gpu, 3);
+  std::vector<ChaseSpec> batch;
+  for (const auto& config : specs) batch.push_back(ChaseSpec::plain(config));
+  batch.push_back(ChaseSpec::plain(specs[1]));  // duplicate of index 1
+
+  ReplicaPool pool;
+  ChaseBatchOptions options;
+  options.pool = &pool;
+  const auto results = run_chase_batch(gpu, batch, options);
+  EXPECT_EQ(pool.memo_stats.misses, 3u);
+  EXPECT_EQ(pool.memo_stats.hits, 1u);
+  EXPECT_FALSE(results[1].from_cache);
+  EXPECT_TRUE(results[3].from_cache);
+  EXPECT_EQ(results[3].total_cycles, 0u);
+  EXPECT_EQ(results[3].latencies, results[1].latencies);
+}
+
+TEST(PChaseBatch, ResampleIndexYieldsAFreshMeasurement) {
+  // Identical configs share a stream; bumping resample moves the chase to a
+  // statistically independent stream (the sweep's spike re-measurement) and
+  // is a distinct memo entry.
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  auto configs = sweep_configs(gpu, 1);
+  PChaseConfig resampled = configs[0];
+  resampled.resample = 1;
+  std::vector<ChaseSpec> batch = {ChaseSpec::plain(configs[0]),
+                                  ChaseSpec::plain(resampled)};
+  ReplicaPool pool;
+  ChaseBatchOptions options;
+  options.pool = &pool;
+  const auto results = run_chase_batch(gpu, batch, options);
+  EXPECT_EQ(pool.memo_stats.misses, 2u);
+  EXPECT_EQ(pool.memo_stats.hits, 0u);
+  EXPECT_NE(results[0].latencies, results[1].latencies);
+  EXPECT_EQ(results[0].timed_loads, results[1].timed_loads);
+}
+
+TEST(PChaseBatch, TimedStepCapDoesNotChangeTheRecordedPrefix) {
+  // max_timed_steps is excluded from the noise seed: the capped chase's
+  // recorded latencies must equal the uncapped chase's prefix exactly.
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  PChaseConfig full;
+  full.base = gpu.alloc(16 * KiB, 256);
+  full.array_bytes = 16 * KiB;
+  full.stride_bytes = 32;
+  full.record_count = 64;
+  PChaseConfig capped = full;
+  capped.max_timed_steps = 64;
+  std::vector<ChaseSpec> batch = {ChaseSpec::plain(full),
+                                  ChaseSpec::plain(capped)};
+  const auto results = run_chase_batch(gpu, batch, {});
+  EXPECT_EQ(results[0].latencies, results[1].latencies);
+  EXPECT_EQ(results[0].timed_loads, 512u);  // 16 KiB / 32 B
+  EXPECT_EQ(results[1].timed_loads, 64u);
+  EXPECT_LT(results[1].total_cycles, results[0].total_cycles);
+}
+
 TEST(PChaseBatch, PropagatesTheCallersEngineToWorkers) {
   exec::Executor pool(3);
   sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);

