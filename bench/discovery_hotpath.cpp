@@ -1,14 +1,17 @@
 // Discovery hot-path bench: per-model serial discovery timings through the
 // compiled-AccessPath engine vs the per-load reference engine, plus the
-// chase-plan engine comparison — serial (sweep_threads=1) vs parallel
-// (sweep_threads=N) batched benchmarks — with the golden-equivalence checks
-// that all engines produce byte-identical reports at a fixed seed. Writes
-// BENCH_discovery.json, the repo's perf trajectory record for the discovery
-// hot path, including per-model widening counts, the per-benchmark cycle
-// attribution (sweep vs line-size vs amount vs sharing vs rest), chase-memo
-// hit counts, and the host description — so the next algorithmic target
-// stays visible and the parallel-speedup column is interpretable (a
-// single-core container measures ~1.0 by construction).
+// stage-graph comparison — serial (bench_threads=1, sweep_threads=1) vs
+// parallel (bench_threads=M, sweep_threads=N) discovery — with the
+// golden-equivalence checks that all engines produce byte-identical reports
+// at a fixed seed. Writes BENCH_discovery.json, the repo's perf trajectory
+// record for the discovery hot path, including per-model widening counts,
+// the per-benchmark cycle attribution (sweep vs line-size vs amount vs
+// sharing vs bandwidth vs compute vs rest), chase-memo hit counts, the
+// stage-graph critical path (serial cycles / critical-path cycles = the
+// speedup available from benchmark-level concurrency alone), and the host
+// description — so the next algorithmic target stays visible and the
+// parallel-speedup column is interpretable (a single-core container
+// measures ~1.0 by construction).
 //
 // Usage:
 //   discovery_hotpath                        # full registry
@@ -17,10 +20,12 @@
 //                                            # discovery exceeds N seconds
 //   discovery_hotpath --max-total-seconds N  # fail if the summed serial
 //                                            # discoveries exceed N seconds
-//   discovery_hotpath --sweep-threads N      # parallel sweep width
+//   discovery_hotpath --sweep-threads N      # parallel chases per benchmark
 //                                            # (default: hardware)
+//   discovery_hotpath --bench-threads N      # concurrent stages per
+//                                            # discovery (default: hardware)
 //   discovery_hotpath --skip-reference       # determinism job: only compare
-//                                            # serial vs parallel sweeps
+//                                            # serial vs parallel discovery
 //
 // Exits 1 when any model's reports diverge between engines and 2 when a
 // time budget is exceeded, so correctness or perf regressions in the hot
@@ -48,31 +53,45 @@ using Clock = std::chrono::steady_clock;
 
 struct ModelResult {
   std::string model;
-  double serial_s = 0.0;     ///< compiled engine, sweep_threads = 1
-  double parallel_s = 0.0;   ///< compiled engine, sweep_threads = N
-  double reference_s = 0.0;  ///< reference engine, sweep_threads = 1
+  double serial_s = 0.0;     ///< compiled engine, all thread knobs = 1
+  double parallel_s = 0.0;   ///< compiled engine, bench/sweep_threads = M/N
+  double reference_s = 0.0;  ///< reference engine, all thread knobs = 1
   bool identical = false;    ///< all measured engines agree byte-for-byte
   std::uint32_t widenings = 0;
   std::uint64_t sweep_cycles = 0;
   std::uint64_t line_size_cycles = 0;
   std::uint64_t amount_cycles = 0;
   std::uint64_t sharing_cycles = 0;
+  std::uint64_t bandwidth_cycles = 0;
+  std::uint64_t compute_cycles = 0;
   std::uint64_t total_cycles = 0;
+  std::uint64_t critical_path_cycles = 0;
   std::uint64_t memo_hits = 0;
 
   std::uint64_t rest_cycles() const {
-    const std::uint64_t attributed =
-        sweep_cycles + line_size_cycles + amount_cycles + sharing_cycles;
+    const std::uint64_t attributed = sweep_cycles + line_size_cycles +
+                                     amount_cycles + sharing_cycles +
+                                     bandwidth_cycles + compute_cycles;
     return total_cycles > attributed ? total_cycles - attributed : 0;
+  }
+  /// Speedup available from benchmark-level concurrency alone (the stage
+  /// graph's serial-to-critical-path cycle ratio).
+  double available_speedup() const {
+    return critical_path_cycles > 0
+               ? static_cast<double>(total_cycles) /
+                     static_cast<double>(critical_path_cycles)
+               : 0.0;
   }
 };
 
 std::string timed_discovery(const std::string& model,
                             runtime::PChaseEngine engine,
+                            std::uint32_t bench_threads,
                             std::uint32_t sweep_threads, double& seconds,
                             core::TopologyReport* out_report = nullptr) {
   fleet::DiscoveryJob job;
   job.model = model;
+  job.options.bench_threads = bench_threads;
   job.options.sweep_threads = sweep_threads;
   runtime::ScopedPChaseEngine scope(engine);
   const auto start = Clock::now();
@@ -112,6 +131,7 @@ int main(int argc, char** argv) {
   double max_seconds = 0.0;        // 0 = no per-model budget
   double max_total_seconds = 0.0;  // 0 = no total budget
   std::uint32_t sweep_threads = std::max(1u, std::thread::hardware_concurrency());
+  std::uint32_t bench_threads = std::max(1u, std::thread::hardware_concurrency());
   bool skip_reference = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -121,6 +141,9 @@ int main(int argc, char** argv) {
       max_total_seconds = std::atof(argv[++i]);
     } else if (arg == "--sweep-threads" && i + 1 < argc) {
       sweep_threads = static_cast<std::uint32_t>(
+          std::max(1L, std::atol(argv[++i])));
+    } else if (arg == "--bench-threads" && i + 1 < argc) {
+      bench_threads = static_cast<std::uint32_t>(
           std::max(1L, std::atol(argv[++i])));
     } else if (arg == "--skip-reference") {
       skip_reference = true;
@@ -132,8 +155,8 @@ int main(int argc, char** argv) {
 
   std::vector<ModelResult> results;
   TablePrinter table({"model", "serial [s]", "parallel [s]", "par x",
-                      "reference [s]", "identical", "widen", "sweep %",
-                      "line %", "memo"});
+                      "avail x", "reference [s]", "identical", "widen",
+                      "sweep %", "line %", "memo"});
   bool all_identical = true;
   double total_serial = 0.0;
 
@@ -142,14 +165,14 @@ int main(int argc, char** argv) {
     r.model = model;
     core::TopologyReport report;
     const std::string serial = timed_discovery(
-        model, runtime::PChaseEngine::kCompiled, 1, r.serial_s, &report);
+        model, runtime::PChaseEngine::kCompiled, 1, 1, r.serial_s, &report);
     const std::string parallel =
-        timed_discovery(model, runtime::PChaseEngine::kCompiled, sweep_threads,
-                        r.parallel_s);
+        timed_discovery(model, runtime::PChaseEngine::kCompiled, bench_threads,
+                        sweep_threads, r.parallel_s);
     r.identical = serial == parallel;
     if (!skip_reference) {
       const std::string reference = timed_discovery(
-          model, runtime::PChaseEngine::kReference, 1, r.reference_s);
+          model, runtime::PChaseEngine::kReference, 1, 1, r.reference_s);
       r.identical = r.identical && serial == reference;
     }
     r.widenings = report.sweep_widenings;
@@ -157,18 +180,22 @@ int main(int argc, char** argv) {
     r.line_size_cycles = report.line_size_cycles;
     r.amount_cycles = report.amount_cycles;
     r.sharing_cycles = report.sharing_cycles;
+    r.bandwidth_cycles = report.bandwidth_cycles;
+    r.compute_cycles = report.compute_cycles;
     r.total_cycles = report.total_cycles;
+    r.critical_path_cycles = report.critical_path_cycles;
     r.memo_hits = report.chase_memo_hits;
     all_identical = all_identical && r.identical;
     total_serial += r.serial_s;
     results.push_back(r);
 
-    char serial_s[32], parallel_s[32], speedup[32], reference_s[32],
+    char serial_s[32], parallel_s[32], speedup[32], avail[16], reference_s[32],
         widen[16], sweep_pct[16], line_pct[16], memo[16];
     std::snprintf(serial_s, sizeof serial_s, "%.3f", r.serial_s);
     std::snprintf(parallel_s, sizeof parallel_s, "%.3f", r.parallel_s);
     std::snprintf(speedup, sizeof speedup, "%.2f",
                   r.parallel_s > 0 ? r.serial_s / r.parallel_s : 0.0);
+    std::snprintf(avail, sizeof avail, "%.2f", r.available_speedup());
     std::snprintf(reference_s, sizeof reference_s, "%.3f", r.reference_s);
     std::snprintf(widen, sizeof widen, "%u", r.widenings);
     std::snprintf(sweep_pct, sizeof sweep_pct, "%.0f",
@@ -177,7 +204,7 @@ int main(int argc, char** argv) {
                   cycle_pct(r.line_size_cycles, r.total_cycles));
     std::snprintf(memo, sizeof memo, "%llu",
                   static_cast<unsigned long long>(r.memo_hits));
-    table.add_row({model, serial_s, parallel_s, speedup,
+    table.add_row({model, serial_s, parallel_s, speedup, avail,
                    skip_reference ? "-" : reference_s,
                    r.identical ? "yes" : "NO", widen, sweep_pct, line_pct,
                    memo});
@@ -206,6 +233,10 @@ int main(int argc, char** argv) {
                        static_cast<std::int64_t>(r.amount_cycles));
     entry.emplace_back("sharing_cycles",
                        static_cast<std::int64_t>(r.sharing_cycles));
+    entry.emplace_back("bandwidth_cycles",
+                       static_cast<std::int64_t>(r.bandwidth_cycles));
+    entry.emplace_back("compute_cycles",
+                       static_cast<std::int64_t>(r.compute_cycles));
     entry.emplace_back("rest_cycles",
                        static_cast<std::int64_t>(r.rest_cycles()));
     entry.emplace_back("total_cycles",
@@ -215,6 +246,14 @@ int main(int argc, char** argv) {
         r.total_cycles > 0 ? static_cast<double>(r.sweep_cycles) /
                                  static_cast<double>(r.total_cycles)
                            : 0.0);
+    entry.emplace_back("critical_path_cycles",
+                       static_cast<std::int64_t>(r.critical_path_cycles));
+    entry.emplace_back(
+        "critical_path_fraction",
+        r.total_cycles > 0 ? static_cast<double>(r.critical_path_cycles) /
+                                 static_cast<double>(r.total_cycles)
+                           : 0.0);
+    entry.emplace_back("available_bench_speedup", r.available_speedup());
     entry.emplace_back("chase_memo_hits",
                        static_cast<std::int64_t>(r.memo_hits));
     per_model.emplace_back(r.model, json::Value(std::move(entry)));
@@ -232,6 +271,7 @@ int main(int argc, char** argv) {
   json::Object root;
   root.emplace_back("bench", "discovery_hotpath");
   root.emplace_back("sweep_threads", static_cast<std::int64_t>(sweep_threads));
+  root.emplace_back("bench_threads", static_cast<std::int64_t>(bench_threads));
   root.emplace_back("host", json::Value(std::move(host)));
   root.emplace_back("models", per_model);
   root.emplace_back("total_serial_seconds", total_serial);
@@ -248,7 +288,7 @@ int main(int argc, char** argv) {
   if (!all_identical) {
     std::fprintf(stderr,
                  "FAIL: discovery engines disagree on at least one model's "
-                 "report (serial vs parallel sweep%s)\n",
+                 "report (serial vs concurrent stage graph%s)\n",
                  skip_reference ? "" : " or compiled vs reference");
     return 1;
   }

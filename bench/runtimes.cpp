@@ -44,7 +44,7 @@ int main() {
     const auto full = core::discover(gpu);
     sim::Gpu gpu_l1(sim::registry_get("A100"), 42);
     core::DiscoverOptions options;
-    options.only = sim::Element::kL1;
+    options.only = {sim::Element::kL1};
     const auto l1_only = core::discover(gpu_l1, options);
     std::printf("A100 full run : %2u benchmarks, %.2f s simulated\n",
                 full.benchmarks_executed, full.simulated_seconds);

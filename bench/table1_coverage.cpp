@@ -66,7 +66,7 @@ int main() {
   {
     sim::Gpu gpu(sim::registry_get("MI300X"), 42);
     core::DiscoverOptions options;
-    options.only = sim::Element::kL3;
+    options.only = {sim::Element::kL3};
     emit(core::discover(gpu, options));
   }
   return 0;

@@ -40,10 +40,12 @@ const char kFleetUsage[] =
     "  --seeds N                    noise seeds per configuration (default 1)\n"
     "  --first-seed N               first seed value (default 42)\n"
     "  --workers N                  worker threads (default hardware)\n"
-    "  --sweep-threads N            parallel batched chases (size sweeps,\n"
-    "                               line-size/amount/sharing) inside each job\n"
-    "                               (default 1; reports are byte-identical\n"
-    "                               for every value)\n"
+    "  --sweep-threads N            parallel batched chases inside one\n"
+    "                               benchmark (default 1)\n"
+    "  --bench-threads N            concurrent benchmarks of each job's\n"
+    "                               discovery stage graph (default 1; both\n"
+    "                               knobs leave reports byte-identical, and\n"
+    "                               all jobs' stages share one executor)\n"
     "  --no-mig                     skip MIG partitions of MIG-capable GPUs\n"
     "  --cache FILE                 result-cache JSON file\n"
     "                               (default <out>/fleet_cache.json; 'none'\n"
@@ -61,6 +63,7 @@ int run_fleet(int argc, char** argv) {
   std::string out_dir = ".";
   bool quiet = false;
   std::uint32_t sweep_threads = 1;
+  std::uint32_t bench_threads = 1;
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -96,6 +99,8 @@ int run_fleet(int argc, char** argv) {
       scheduler.workers = count_value(0);
     } else if (arg == "--sweep-threads") {
       sweep_threads = count_value(1);
+    } else if (arg == "--bench-threads") {
+      bench_threads = count_value(1);
     } else if (arg == "--no-mig") {
       plan.include_mig = false;
     } else if (arg == "--cache") {
@@ -151,9 +156,11 @@ int run_fleet(int argc, char** argv) {
     };
   }
 
-  if (sweep_threads > 1 && plan.option_variants.empty()) {
+  if ((sweep_threads > 1 || bench_threads > 1) &&
+      plan.option_variants.empty()) {
     core::DiscoverOptions options;
     options.sweep_threads = sweep_threads;
+    options.bench_threads = bench_threads;
     plan.option_variants.push_back(options);
   }
 
@@ -262,9 +269,9 @@ int main(int argc, char** argv) {
   }
 
   core::DiscoverOptions discover_options;
-  if (options.only) {
+  for (const std::string& element : options.only) {
     try {
-      discover_options.only = sim::parse_element(*options.only);
+      discover_options.only.push_back(sim::parse_element(element));
     } catch (const std::exception& e) {
       std::fprintf(stderr, "mt4g: %s\n", e.what());
       return 2;
@@ -273,6 +280,7 @@ int main(int argc, char** argv) {
   discover_options.collect_series = options.emit_graphs || options.emit_raw;
   discover_options.measure_compute = options.measure_flops;
   discover_options.sweep_threads = options.sweep_threads;
+  discover_options.bench_threads = options.bench_threads;
 
   const sim::GpuSpec spec = core::apply_cache_config(
       sim::registry_get(options.gpu_name), options.cache_config);

@@ -1,7 +1,10 @@
 #include "common/cli.hpp"
 
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
+
+#include "common/strings.hpp"
 
 namespace mt4g::cli {
 
@@ -44,15 +47,22 @@ ParseResult parse(int argc, const char* const* argv) {
         }
       }
     } else if (arg == "--only") {
-      if (auto v = need_value(i, arg)) result.options.only = *v;
-    } else if (arg == "--sweep-threads") {
+      if (auto v = need_value(i, arg)) {
+        // Comma-separated element set; the flag may also repeat.
+        for (const std::string& element : split(*v, ',')) {
+          if (!element.empty()) result.options.only.push_back(element);
+        }
+      }
+    } else if (arg == "--sweep-threads" || arg == "--bench-threads") {
       if (auto v = need_value(i, arg)) {
         try {
           const unsigned long parsed = std::stoul(*v);
           if (parsed == 0 || parsed > 1024) throw std::out_of_range(*v);
-          result.options.sweep_threads = static_cast<std::uint32_t>(parsed);
+          (arg == "--sweep-threads" ? result.options.sweep_threads
+                                    : result.options.bench_threads) =
+              static_cast<std::uint32_t>(parsed);
         } catch (const std::exception&) {
-          result.errors.push_back("invalid --sweep-threads value '" + *v +
+          result.errors.push_back("invalid " + arg + " value '" + *v +
                                   "' (expected 1..1024)");
         }
       }
@@ -82,10 +92,14 @@ Usage: mt4g [options]
   --gpu <name>           GPU model to analyse (default H100-80; see --list)
   --list                 list available GPU models and exit
   --seed <n>             simulator noise seed (default 42)
-  --only <element>       restrict to one memory element (L1, L2, TEX, RO,
-                         CONST_L1, CONST_L15, SHARED, DMEM, VL1, SL1D, L3, LDS)
-  --sweep-threads <n>    parallel size-sweep measurements (default 1; the
-                         report is byte-identical for every value)
+  --only <set>           restrict to a comma-separated element set, e.g.
+                         "--only l1,l2" (L1, L2, TEX, RO, CONST_L1, CONST_L15,
+                         SHARED, DMEM, VL1, SL1D, L3, LDS); dependencies of
+                         the selected elements still run, but stay silent
+  --sweep-threads <n>    parallel chases inside one benchmark (default 1)
+  --bench-threads <n>    concurrent benchmarks of the discovery stage graph
+                         (default 1; reports are byte-identical for every
+                         sweep/bench thread combination)
   --cache-config <mode>  PreferL1 | PreferShared | PreferEqual (default PreferL1)
   --out <dir>            output directory for report files (default .)
   --flops                also run the per-datatype compute benchmarks

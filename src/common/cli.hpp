@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,8 +22,11 @@ struct Options {
   bool quiet = false;                 ///< -q: JSON to stdout only
   bool list_gpus = false;             ///< --list: print registry and exit
   bool measure_flops = false;         ///< --flops: per-dtype compute benchmarks
-  std::optional<std::string> only;    ///< --only L1|L2|...: restrict scope
+  /// --only l1,l2,...: restrict scope to an element set (repeatable flag,
+  /// comma-separated values). Empty = full discovery.
+  std::vector<std::string> only;
   std::uint32_t sweep_threads = 1;    ///< --sweep-threads: parallel sweeps
+  std::uint32_t bench_threads = 1;    ///< --bench-threads: concurrent stages
   std::string cache_config = "PreferL1";  ///< L1/Shared split policy
   std::string output_dir = ".";       ///< where -j/-p/-g/-o files land
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "runtime/batch.hpp"
+
 namespace mt4g::core {
 
 bool sample_is_mixed(std::span<const std::uint32_t> latencies, double floor,
@@ -21,11 +23,11 @@ bool sample_is_mixed(std::span<const std::uint32_t> latencies, double floor,
 
 FgBenchResult run_fg_benchmark(sim::Gpu& gpu, const FgBenchOptions& options) {
   FgBenchResult out;
-  // One run per stride; all runs share the global minimum latency as the
-  // hit-level floor, so all-miss runs are not misclassified as unimodal hits.
-  std::vector<std::vector<std::uint32_t>> samples;
+  // One chase per stride, all independent cold measurements: one batch. The
+  // classifier consumes only the recorded latencies, so every chase caps its
+  // timed pass at the record budget.
   std::vector<std::uint32_t> strides;
-  double floor = std::numeric_limits<double>::infinity();
+  std::vector<runtime::PChaseConfig> configs;
   for (std::uint32_t stride = 4; stride <= options.max_stride; stride += 4) {
     runtime::PChaseConfig config;
     config.space = options.target.space;
@@ -36,19 +38,29 @@ FgBenchResult run_fg_benchmark(sim::Gpu& gpu, const FgBenchOptions& options) {
         static_cast<std::uint64_t>(stride) * options.min_loads);
     config.base = gpu.alloc(config.array_bytes, 256);
     config.record_count = options.record_count;
+    config.max_timed_steps = options.record_count;
     config.warmup = false;  // granularity only shows on a cold cache
     config.where = options.where;
-    gpu.flush_caches();
-    const auto result = runtime::run_pchase(gpu, config);
+    strides.push_back(stride);
+    configs.push_back(config);
+  }
+  runtime::ChaseBatchOptions batch;
+  batch.threads = options.threads;
+  batch.executor = options.executor;
+  batch.pool = options.chase_pool;
+  const auto results = runtime::run_pchase_batch(gpu, configs, batch);
+
+  // All runs share the global minimum latency as the hit-level floor, so
+  // all-miss runs are not misclassified as unimodal hits.
+  double floor = std::numeric_limits<double>::infinity();
+  for (const auto& result : results) {
     out.cycles += result.total_cycles;
     for (std::uint32_t v : result.latencies) {
       floor = std::min(floor, static_cast<double>(v));
     }
-    strides.push_back(stride);
-    samples.push_back(result.latencies);
   }
   for (std::size_t i = 0; i < strides.size(); ++i) {
-    const bool mixed = sample_is_mixed(samples[i], floor);
+    const bool mixed = sample_is_mixed(results[i].latencies, floor);
     out.mixed_by_stride.emplace_back(strides[i], mixed);
     if (!mixed && !out.found) {
       out.found = true;

@@ -5,6 +5,11 @@
 // already-fetched sector, so the latency sample mixes hits and misses. Once
 // the stride reaches the granularity every load opens a new sector and the
 // sample turns unimodal (all misses) — that stride is the fetch granularity.
+//
+// The per-stride chases are independent cold measurements, so they run as
+// one batch through the chase-plan engine (runtime::run_chase_batch): each
+// on a reset Gpu replica with a (seed, spec) noise stream, byte-identical
+// for every thread count and independent of whatever ran on the Gpu before.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,14 @@
 
 #include "core/target.hpp"
 #include "sim/gpu.hpp"
+
+namespace mt4g::exec {
+class Executor;
+}
+
+namespace mt4g::runtime {
+struct ReplicaPool;
+}
 
 namespace mt4g::core {
 
@@ -24,6 +37,13 @@ struct FgBenchOptions {
   /// Latencies stored per stride run (p-chase truncation semantics: runs
   /// shorter than the budget record every load).
   std::uint32_t record_count = 512;
+  /// Parallelism of the stride chases (caller included); 1 = serial
+  /// reference. Both produce byte-identical results.
+  std::uint32_t threads = 1;
+  /// Executor for threads > 1; nullptr = exec::shared_executor().
+  exec::Executor* executor = nullptr;
+  /// Shared replica + chase-memo cache (see SizeBenchOptions::chase_pool).
+  runtime::ReplicaPool* chase_pool = nullptr;
   sim::Placement where{};
 };
 

@@ -1,8 +1,10 @@
 #include "core/benchmarks/latency.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/units.hpp"
+#include "runtime/batch.hpp"
 
 namespace mt4g::core {
 
@@ -26,14 +28,38 @@ LatencyBenchResult run_latency_benchmark(sim::Gpu& gpu,
   }
   config.base = gpu.alloc(config.array_bytes, 256);
   config.record_count = options.record_count;
-  config.warmup = !options.cold;
+  config.warmup = !options.cold;  // replicas start flushed, so cold = no warmup
   config.where = options.where;
-  if (options.cold) gpu.flush_caches();
-  const auto result = runtime::run_pchase(gpu, config);
-  out.summary =
-      stats::summarize(std::span<const std::uint32_t>(result.latencies));
-  out.hit_fraction_in_target = hit_fraction(result, options.target.element);
-  out.cycles = result.total_cycles;
+
+  // Pool a few independent chases (fresh streams via the resample index):
+  // the summary spans all recorded latencies in spec order, and the hit
+  // fraction pools the served_by counts of every timed pass.
+  std::vector<runtime::ChaseSpec> specs;
+  for (std::uint32_t i = 0; i < std::max(options.resamples, 1u); ++i) {
+    config.resample = i;
+    specs.push_back(runtime::ChaseSpec::plain(config));
+  }
+  runtime::ChaseBatchOptions batch;
+  batch.threads = options.threads;
+  batch.pool = options.chase_pool;
+  const auto results = runtime::run_chase_batch(gpu, specs, batch);
+
+  std::vector<std::uint32_t> pooled;
+  runtime::PChaseResult combined;
+  for (const auto& result : results) {
+    pooled.insert(pooled.end(), result.latencies.begin(),
+                  result.latencies.end());
+    combined.timed_loads += result.timed_loads;
+    for (std::size_t i = 0; i < sim::kElementCount; ++i) {
+      const auto element = static_cast<sim::Element>(i);
+      combined.served_by[element] += result.served_by.at(element);
+    }
+    out.cycles += result.total_cycles;
+  }
+  out.summary = stats::summarize(std::span<const std::uint32_t>(pooled));
+  out.headline = stats::fenced_mean(pooled);
+  out.hit_fraction_in_target =
+      hit_fraction(combined, options.target.element);
   return out;
 }
 
@@ -45,6 +71,8 @@ LatencyBenchResult run_scratchpad_latency(sim::Gpu& gpu, std::uint32_t count) {
   const auto result = runtime::run_scratchpad_chase(gpu, count, count);
   out.summary =
       stats::summarize(std::span<const std::uint32_t>(result.latencies));
+  out.headline =
+      stats::fenced_mean(std::span<const std::uint32_t>(result.latencies));
   out.hit_fraction_in_target = 1.0;
   out.cycles = result.total_cycles;
   return out;

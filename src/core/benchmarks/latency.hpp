@@ -14,6 +14,10 @@
 #include "sim/gpu.hpp"
 #include "stats/descriptive.hpp"
 
+namespace mt4g::runtime {
+struct ReplicaPool;
+}
+
 namespace mt4g::core {
 
 struct LatencyBenchOptions {
@@ -29,10 +33,27 @@ struct LatencyBenchOptions {
   /// Cold measurement: flush all caches and skip the warm-up pass.
   bool cold = false;
   std::uint32_t record_count = 256;
+  /// Independent chases pooled into one sample. Small caches cap the array
+  /// below record_count loads, where a single noise outlier moves the mean
+  /// by several percent; pooling a few independent streams keeps the
+  /// headline mean stable across seeds.
+  std::uint32_t resamples = 4;
+  /// Parallelism of the resample chases (caller included); 1 = serial
+  /// reference. Both produce byte-identical results.
+  std::uint32_t threads = 1;
+  /// Shared replica + chase-memo cache (see SizeBenchOptions::chase_pool).
+  /// The chases run through the chase-plan engine either way — each on a
+  /// reset replica with a (seed, spec) noise stream — so the measurement is
+  /// independent of whatever ran on the Gpu before it.
+  runtime::ReplicaPool* chase_pool = nullptr;
   sim::Placement where{};
 };
 
 struct LatencyBenchResult {
+  /// Headline load latency: the outlier-fenced mean (stats::fenced_mean) of
+  /// the pooled samples — stable across noise seeds where the raw mean of a
+  /// small sample is not. The full distribution is in `summary`.
+  double headline = 0.0;
   stats::Summary summary;         ///< over the recorded per-load latencies
   double hit_fraction_in_target = 0.0;  ///< sanity: loads served as intended
   std::uint64_t cycles = 0;

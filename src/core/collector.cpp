@@ -1,17 +1,23 @@
 #include "core/collector.hpp"
 
-#include "core/benchmarks/compute.hpp"
-#include "core/collector_detail.hpp"
+#include <algorithm>
+
+#include "core/pipeline/runner.hpp"
 #include "runtime/device.hpp"
 
 namespace mt4g::core {
 
+bool DiscoverOptions::wants(sim::Element element) const {
+  return only.empty() ||
+         std::find(only.begin(), only.end(), element) != only.end();
+}
+
 TopologyReport discover(sim::Gpu& gpu, const DiscoverOptions& options) {
-  detail::CollectorContext ctx{gpu, options, {}};
+  TopologyReport report;
   const runtime::DeviceProp prop = runtime::get_device_prop(gpu);
 
   // --- General information (paper III-A): entirely from the device API. ----
-  GeneralInfo& general = ctx.report.general;
+  GeneralInfo& general = report.general;
   general.gpu_name = gpu.spec().name;
   general.vendor = prop.vendor;
   general.model = prop.name;
@@ -22,7 +28,7 @@ TopologyReport discover(sim::Gpu& gpu, const DiscoverOptions& options) {
   general.memory_bus_bits = prop.memory_bus_bits;
 
   // --- Compute resources (paper III-B): API + cores-per-SM lookup table. ---
-  ComputeInfo& compute = ctx.report.compute;
+  ComputeInfo& compute = report.compute;
   compute.num_sms = prop.multi_processor_count;
   compute.cores_per_sm =
       runtime::cores_per_sm_lookup(prop.microarchitecture);
@@ -37,26 +43,15 @@ TopologyReport discover(sim::Gpu& gpu, const DiscoverOptions& options) {
   compute.regs_per_sm = prop.regs_per_multiprocessor;
   compute.cu_physical_ids = runtime::logical_to_physical_cu(gpu);
 
-  // --- Memory resources (paper III-C, IV): the benchmark suite. ------------
-  if (gpu.spec().vendor == sim::Vendor::kNvidia) {
-    detail::collect_nvidia(ctx);
-  } else {
-    detail::collect_amd(ctx);
-  }
-
-  // --- Compute capability (paper Sec. VII extension, opt-in). --------------
-  if (options.measure_compute && !options.only) {
-    for (const auto& result : run_compute_suite(gpu)) {
-      ctx.book_seconds(0.01);  // each FMA-stream kernel is a short launch
-      ctx.report.compute_throughput.push_back(
-          {sim::dtype_name(result.dtype), result.achieved_ops_per_s,
-           result.best_blocks, result.threads_per_block});
-    }
-  }
-
-  ctx.report.chase_memo_hits = ctx.chase_pool.memo_stats.hits;
-  ctx.report.chase_memo_misses = ctx.chase_pool.memo_stats.misses;
-  return ctx.report;
+  // --- Memory resources + compute capability (paper III-C, IV, VII): the
+  // benchmark suite as a declarative stage graph, pruned to the --only
+  // restriction and executed with benchmark-level concurrency under
+  // options.bench_threads (core/pipeline/).
+  pipeline::DiscoveryPlan plan = gpu.spec().vendor == sim::Vendor::kNvidia
+                                     ? pipeline::nvidia_stages(gpu, options)
+                                     : pipeline::amd_stages(gpu, options);
+  pipeline::run_graph(gpu, plan, options, report);
+  return report;
 }
 
 }  // namespace mt4g::core

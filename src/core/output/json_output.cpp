@@ -158,12 +158,28 @@ json::Value to_json(const TopologyReport& report) {
                     static_cast<std::int64_t>(report.amount_cycles));
   meta.emplace_back("sharing_cycles",
                     static_cast<std::int64_t>(report.sharing_cycles));
+  meta.emplace_back("bandwidth_cycles",
+                    static_cast<std::int64_t>(report.bandwidth_cycles));
+  meta.emplace_back("compute_cycles",
+                    static_cast<std::int64_t>(report.compute_cycles));
   meta.emplace_back("total_cycles",
                     static_cast<std::int64_t>(report.total_cycles));
   meta.emplace_back("chase_memo_hits",
                     static_cast<std::int64_t>(report.chase_memo_hits));
   meta.emplace_back("chase_memo_misses",
                     static_cast<std::int64_t>(report.chase_memo_misses));
+  meta.emplace_back("critical_path_cycles",
+                    static_cast<std::int64_t>(report.critical_path_cycles));
+  if (!report.stage_cycles.empty()) {
+    json::Array stages;
+    for (const auto& stage : report.stage_cycles) {
+      json::Object entry;
+      entry.emplace_back("stage", stage.stage);
+      entry.emplace_back("cycles", static_cast<std::int64_t>(stage.cycles));
+      stages.emplace_back(std::move(entry));
+    }
+    meta.emplace_back("stage_cycles", json::Value(std::move(stages)));
+  }
   root.emplace_back("meta", json::Value(std::move(meta)));
   return json::Value(std::move(root));
 }

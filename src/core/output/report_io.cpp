@@ -172,12 +172,27 @@ TopologyReport from_json_string(const std::string& text) {
       static_cast<std::uint64_t>(number_or(meta, "amount_cycles", 0));
   report.sharing_cycles =
       static_cast<std::uint64_t>(number_or(meta, "sharing_cycles", 0));
+  report.bandwidth_cycles =
+      static_cast<std::uint64_t>(number_or(meta, "bandwidth_cycles", 0));
+  report.compute_cycles =
+      static_cast<std::uint64_t>(number_or(meta, "compute_cycles", 0));
   report.total_cycles =
       static_cast<std::uint64_t>(number_or(meta, "total_cycles", 0));
   report.chase_memo_hits =
       static_cast<std::uint64_t>(number_or(meta, "chase_memo_hits", 0));
   report.chase_memo_misses =
       static_cast<std::uint64_t>(number_or(meta, "chase_memo_misses", 0));
+  report.critical_path_cycles =
+      static_cast<std::uint64_t>(number_or(meta, "critical_path_cycles", 0));
+  if (const json::Value* stages = meta.find("stage_cycles")) {
+    for (const auto& entry : stages->as_array()) {
+      StageCycleReport stage;
+      stage.stage = string_or(entry, "stage", "");
+      stage.cycles =
+          static_cast<std::uint64_t>(number_or(entry, "cycles", 0));
+      report.stage_cycles.push_back(std::move(stage));
+    }
+  }
   return report;
 }
 

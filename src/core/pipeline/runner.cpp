@@ -1,0 +1,232 @@
+#include "core/pipeline/runner.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <set>
+
+#include "exec/executor.hpp"
+
+namespace mt4g::core::pipeline {
+namespace {
+
+/// Per-stage execution record: the chase pool (upstream-linked), the
+/// bookings, and the stage outputs that merge in declaration order.
+struct StageRecord {
+  runtime::ReplicaPool pool;
+  StageBooking booking;
+  std::vector<SizeSeries> series;
+  std::vector<ComputeThroughputReport> compute_throughput;
+  bool executed = false;
+};
+
+struct GraphRun {
+  sim::Gpu& gpu;
+  const StageGraph& graph;
+  GraphState& state;
+  const DiscoverOptions& options;
+  std::vector<StageRecord> records;
+  std::vector<std::exception_ptr> errors;
+  std::vector<bool> failed;  ///< threw, or transitively depends on a throw
+  /// Forked Gpus recycled across stages (substrates + chase replicas):
+  /// forking rebuilds every cache, so a fork-per-stage would dominate small
+  /// discoveries on big-cache models.
+  runtime::ReplicaCache replicas;
+
+  explicit GraphRun(sim::Gpu& gpu_, const StageGraph& graph_,
+                    GraphState& state_, const DiscoverOptions& options_)
+      : gpu(gpu_), graph(graph_), state(state_), options(options_),
+        records(graph_.stages.size()), errors(graph_.stages.size()),
+        failed(graph_.stages.size(), false) {}
+
+  /// Executes one stage on a reset substrate: a (recycled) fork of the
+  /// owning Gpu, flushed, re-seeded with the owner's seed and rewound to
+  /// the owner's allocator cursor — the state a fresh fork would have. Every
+  /// stage therefore sees identical substrate state, so its measurements
+  /// are a pure function of (owner seed, stage) — the scheduling-
+  /// independence the byte-identity contract rests on.
+  void run_stage(std::size_t i) {
+    sim::Gpu substrate = replicas.acquire(gpu);
+    substrate.flush_caches();
+    substrate.reseed_noise(gpu.seed());
+    substrate.reset_allocator(gpu.heap_top());
+    StageRecord& record = records[i];
+    record.pool.replica_cache = &replicas;
+    StageContext ctx{substrate, options, state, record.pool};
+    graph.stages[i].run(ctx);
+    record.booking = ctx.booking;
+    record.series = std::move(ctx.series);
+    record.compute_throughput = std::move(ctx.compute_throughput);
+    record.executed = true;
+    // Recycle the substrate and the stage's chase replicas; the pool's memo
+    // stays live as upstream for dependent stages.
+    replicas.release(std::move(substrate));
+    for (sim::Gpu& replica : record.pool.replicas) {
+      replicas.release(std::move(replica));
+    }
+    record.pool.replicas.clear();
+  }
+};
+
+void run_serial(GraphRun& run, const std::vector<std::vector<std::size_t>>& deps,
+                const std::vector<std::size_t>& order) {
+  for (const std::size_t i : order) {
+    for (const std::size_t d : deps[i]) {
+      if (run.failed[d]) run.failed[i] = true;
+    }
+    if (run.failed[i]) continue;
+    try {
+      run.run_stage(i);
+    } catch (...) {
+      run.errors[i] = std::current_exception();
+      run.failed[i] = true;
+    }
+  }
+}
+
+/// Dependency-aware worker-pool scheduling: workers pull the ready stage
+/// with the lowest declaration index. Waiting workers are parked on a
+/// condition variable; stage completion wakes them. Progress is guaranteed
+/// even on a pool-less executor (parallel_for then runs the first worker
+/// loop inline on the caller, which drains the whole graph serially).
+void run_concurrent(GraphRun& run,
+                    const std::vector<std::vector<std::size_t>>& deps,
+                    std::uint32_t bench_threads, exec::Executor& executor) {
+  const std::size_t n = run.graph.stages.size();
+  std::vector<std::size_t> remaining(n);
+  std::vector<std::vector<std::size_t>> dependents(n);
+  std::mutex mutex;
+  std::condition_variable wake;
+  std::set<std::size_t> ready;
+  std::size_t unfinished = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    remaining[i] = deps[i].size();
+    for (const std::size_t d : deps[i]) dependents[d].push_back(i);
+    if (remaining[i] == 0) ready.insert(i);
+  }
+
+  const auto worker = [&](std::size_t, std::uint32_t) {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      wake.wait(lock, [&] { return !ready.empty() || unfinished == 0; });
+      if (ready.empty()) return;  // drained
+      const std::size_t i = *ready.begin();
+      ready.erase(ready.begin());
+      bool ok = !run.failed[i];
+      if (ok) {
+        lock.unlock();
+        try {
+          run.run_stage(i);
+        } catch (...) {
+          run.errors[i] = std::current_exception();
+          ok = false;
+        }
+        lock.lock();
+        if (!ok) run.failed[i] = true;
+      }
+      for (const std::size_t dependent : dependents[i]) {
+        if (!ok) run.failed[dependent] = true;
+        if (--remaining[dependent] == 0) ready.insert(dependent);
+      }
+      --unfinished;
+      wake.notify_all();
+    }
+  };
+
+  const auto workers = static_cast<std::uint32_t>(
+      std::min<std::size_t>(bench_threads, std::max<std::size_t>(n, 1)));
+  executor.parallel_for(workers, workers, worker);
+}
+
+}  // namespace
+
+void run_graph(sim::Gpu& gpu, DiscoveryPlan& plan,
+               const DiscoverOptions& options, TopologyReport& report) {
+  // prune() analyses the unpruned graph internally (validating it in the
+  // process); one analyze() of the pruned graph covers everything below.
+  prune(plan.graph, options.only);
+  const StageGraph& graph = plan.graph;
+  const std::size_t n = graph.stages.size();
+  const auto [deps, order, ancestors] = analyze(graph);
+
+  GraphRun run(gpu, graph, plan.state, options);
+  // Upstream memo wiring: a stage's pool consults its transitive
+  // dependencies' pools (declaration order), which are complete — and
+  // therefore immutable — before the stage starts under every schedule.
+  for (std::size_t i = 0; i < n; ++i) {
+    run.records[i].pool.upstream.reserve(ancestors[i].size());
+    for (const std::size_t a : ancestors[i]) {
+      run.records[i].pool.upstream.push_back(&run.records[a].pool);
+    }
+  }
+
+  if (options.bench_threads <= 1 || n <= 1) {
+    run_serial(run, deps, order);
+  } else {
+    exec::Executor& executor = options.bench_executor
+                                   ? *options.bench_executor
+                                   : exec::shared_executor();
+    run_concurrent(run, deps, options.bench_threads, executor);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (run.errors[i]) std::rethrow_exception(run.errors[i]);
+  }
+
+  // --- Deterministic merge, everything in stage-declaration order. ---------
+  report.stage_cycles.reserve(report.stage_cycles.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const StageRecord& record = run.records[i];
+    const StageBooking& booking = record.booking;
+    report.benchmarks_executed += booking.benchmarks;
+    report.simulated_seconds += booking.seconds;
+    report.total_cycles += booking.cycles;
+    report.sweep_widenings += booking.sweep_widenings;
+    report.sweep_cycles += booking.sweep_cycles;
+    report.line_size_cycles += booking.line_size_cycles;
+    report.amount_cycles += booking.amount_cycles;
+    report.sharing_cycles += booking.sharing_cycles;
+    report.bandwidth_cycles += booking.bandwidth_cycles;
+    report.compute_cycles += booking.compute_cycles;
+    report.chase_memo_hits += record.pool.memo_stats.hits;
+    report.chase_memo_misses += record.pool.memo_stats.misses;
+    report.stage_cycles.push_back({graph.stages[i].name, booking.cycles});
+    for (const SizeSeries& series : record.series) {
+      report.series.push_back(series);
+    }
+    for (const ComputeThroughputReport& row : record.compute_throughput) {
+      report.compute_throughput.push_back(row);
+    }
+  }
+
+  // Critical path: the longest dependency chain weighted by stage cycles —
+  // total_cycles / critical_path_cycles bounds the benchmark-level speedup.
+  std::vector<std::uint64_t> path(n, 0);
+  std::uint64_t critical = 0;
+  for (const std::size_t i : order) {
+    std::uint64_t longest_dep = 0;
+    for (const std::size_t d : deps[i]) {
+      longest_dep = std::max(longest_dep, path[d]);
+    }
+    path[i] = longest_dep + run.records[i].booking.cycles;
+    critical = std::max(critical, path[i]);
+  }
+  report.critical_path_cycles += critical;
+
+  // Rows surface in the builder's element order, restricted to the
+  // selected elements; dependency-only elements (e.g. Const L1 under
+  // --only const_l15) ran their stages but stay silent.
+  for (const sim::Element element : graph.row_order) {
+    if (!options.wants(element)) continue;
+    const bool present = std::any_of(
+        graph.stages.begin(), graph.stages.end(),
+        [&](const Stage& stage) { return stage.element == element; });
+    if (!present) continue;
+    const auto row = plan.state.rows.find(element);
+    if (row != plan.state.rows.end()) report.memory.push_back(row->second);
+  }
+  report.cu_sharing = plan.state.cu_sharing;
+}
+
+}  // namespace mt4g::core::pipeline

@@ -124,6 +124,13 @@ struct ComputeThroughputReport {
   std::uint32_t threads_per_block = 0;
 };
 
+/// Simulated cycles of one discovery stage (one entry per executed stage of
+/// the pipeline graph, in stage-declaration order).
+struct StageCycleReport {
+  std::string stage;  ///< stage name, e.g. "L1.size"
+  std::uint64_t cycles = 0;
+};
+
 /// The complete MT4G report for one GPU.
 struct TopologyReport {
   GeneralInfo general;
@@ -136,18 +143,29 @@ struct TopologyReport {
   double simulated_seconds = 0.0;  ///< accumulated simulated GPU time
   /// Chase-engine telemetry: outlier-triggered widening rounds and the
   /// per-benchmark cycle attribution (sweep vs line-size vs amount vs
-  /// sharing vs rest) across the discovery. bench/discovery_hotpath records
-  /// these per model so the next algorithmic target stays visible.
+  /// sharing vs bandwidth vs compute vs rest) across the discovery.
+  /// bench/discovery_hotpath records these per model so the next
+  /// algorithmic target stays visible.
   std::uint32_t sweep_widenings = 0;
   std::uint64_t sweep_cycles = 0;      ///< cycles in sweep-point chases
   std::uint64_t line_size_cycles = 0;  ///< cycles in line-size benchmarks
   std::uint64_t amount_cycles = 0;     ///< cycles in amount benchmarks
   std::uint64_t sharing_cycles = 0;    ///< cycles in sharing benchmarks
+  /// Stream-kernel and compute-suite cycles (converted from simulated wall
+  /// seconds at the spec clock). These stages used to bypass total_cycles
+  /// and the attribution entirely, silently shrinking the breakdown.
+  std::uint64_t bandwidth_cycles = 0;
+  std::uint64_t compute_cycles = 0;
   std::uint64_t total_cycles = 0;      ///< all simulated cycles booked
-  /// Chase-memo accounting of the discovery-wide replica pool: specs
-  /// answered without simulating a load, and specs that actually ran.
+  /// Chase-memo accounting across all stage pools: specs answered without
+  /// simulating a load, and specs that actually ran.
   std::uint64_t chase_memo_hits = 0;
   std::uint64_t chase_memo_misses = 0;
+  /// Per-stage cycles (stage-declaration order) and the longest dependency
+  /// path through them: total_cycles / critical_path_cycles is the speedup
+  /// available from benchmark-level concurrency (bench_threads) alone.
+  std::vector<StageCycleReport> stage_cycles;
+  std::uint64_t critical_path_cycles = 0;
   std::vector<SizeSeries> series;  ///< populated when graphs are requested
 
   const MemoryElementReport* find(sim::Element element) const;

@@ -78,7 +78,7 @@ std::vector<std::pair<std::string, const JobResult*>> representatives(
   std::vector<std::pair<std::string, const JobResult*>> reps;
   for (const auto& result : results) {
     if (!result.ok || !result.job.mig_profile.empty() ||
-        result.job.options.only) {
+        !result.job.options.only.empty()) {
       continue;
     }
     const auto seen =

@@ -1,5 +1,6 @@
 #include "fleet/job.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/cache_config.hpp"
@@ -29,8 +30,20 @@ std::string DiscoveryJob::key() const {
   k += ";seed=" + std::to_string(seed);
   k += ";mig=" + (mig_profile.empty() ? std::string("-") : mig_profile);
   k += ";config=" + cache_config;
-  k += ";only=" + (options.only ? sim::element_name(*options.only)
-                                : std::string("-"));
+  // Canonical element set: sorted + deduplicated, so "--only l1,l2" and
+  // "--only l2,l1" are the same work (graph pruning is order-insensitive).
+  std::vector<sim::Element> only = options.only;
+  std::sort(only.begin(), only.end());
+  only.erase(std::unique(only.begin(), only.end()), only.end());
+  k += ";only=";
+  if (only.empty()) {
+    k += "-";
+  } else {
+    for (std::size_t i = 0; i < only.size(); ++i) {
+      if (i > 0) k += ",";
+      k += sim::element_name(only[i]);
+    }
+  }
   k += ";series=" + std::string(options.collect_series ? "1" : "0");
   k += ";compute=" + std::string(options.measure_compute ? "1" : "0");
   k += ";records=" + std::to_string(options.record_count);

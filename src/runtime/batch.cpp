@@ -6,6 +6,33 @@
 #include "common/rng.hpp"
 
 namespace mt4g::runtime {
+
+sim::Gpu ReplicaCache::acquire(const sim::Gpu& owner) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (epoch_ != owner.path_epoch()) {
+      free_.clear();  // cached forks hold the old cache geometry
+      epoch_ = owner.path_epoch();
+    }
+    if (!free_.empty()) {
+      sim::Gpu replica = std::move(free_.back());
+      free_.pop_back();
+      return replica;
+    }
+  }
+  // The fork seed is irrelevant: every user resets the replica before use.
+  return owner.fork(owner.seed());
+}
+
+void ReplicaCache::release(sim::Gpu&& replica) {
+  // A fork starts at path epoch 0; a non-zero epoch means someone rebuilt
+  // the replica's caches (set_l2_fetch_granularity). Flush/reseed/rewind
+  // cannot restore geometry, so such a replica must not be recycled.
+  if (replica.path_epoch() != 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(replica));
+}
+
 namespace {
 
 /// Splitmix-based field folder shared by the seed and memo-hash paths. The
@@ -69,6 +96,33 @@ std::uint64_t chase_noise_seed(std::uint64_t gpu_seed, const ChaseSpec& spec) {
   return folder.finish();
 }
 
+namespace {
+
+/// Probes one pool's own memo map (no upstream recursion).
+const PChaseResult* find_in_memo(const ReplicaPool& pool, std::uint64_t hash,
+                                 const ChaseSpec& spec) {
+  const auto bucket = pool.memo.find(hash);
+  if (bucket == pool.memo.end()) return nullptr;
+  const auto hit = std::find_if(
+      bucket->second.begin(), bucket->second.end(),
+      [&](const auto& entry) { return entry.first == spec; });
+  return hit == bucket->second.end() ? nullptr : &hit->second;
+}
+
+/// Probes the pool's memo, then its upstream (ancestor) memos in order.
+const PChaseResult* probe_memo(const ReplicaPool& pool, std::uint64_t hash,
+                               const ChaseSpec& spec) {
+  if (const PChaseResult* own = find_in_memo(pool, hash, spec)) return own;
+  for (const ReplicaPool* parent : pool.upstream) {
+    if (const PChaseResult* hit = find_in_memo(*parent, hash, spec)) {
+      return hit;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 PChaseResult run_chase(sim::Gpu& gpu, const ChaseSpec& spec) {
   switch (spec.kind) {
     case ChaseKind::kPlain:
@@ -111,18 +165,12 @@ std::vector<PChaseResult> run_chase_batch(sim::Gpu& gpu,
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const std::uint64_t hash = chase_noise_seed(gpu.seed(), specs[i]);
     if (options.memoize) {
-      const auto bucket = pool.memo.find(hash);
-      if (bucket != pool.memo.end()) {
-        const auto hit = std::find_if(
-            bucket->second.begin(), bucket->second.end(),
-            [&](const auto& entry) { return entry.first == specs[i]; });
-        if (hit != bucket->second.end()) {
-          results[i] = hit->second;
-          results[i].total_cycles = 0;
-          results[i].from_cache = true;
-          ++pool.memo_stats.hits;
-          continue;
-        }
+      if (const PChaseResult* hit = probe_memo(pool, hash, specs[i])) {
+        results[i] = *hit;
+        results[i].total_cycles = 0;
+        results[i].from_cache = true;
+        ++pool.memo_stats.hits;
+        continue;
       }
       auto& candidates = first_seen[hash];
       const auto earlier = std::find_if(
@@ -144,7 +192,9 @@ std::vector<PChaseResult> run_chase_batch(sim::Gpu& gpu,
         std::max<std::uint32_t>(options.threads, 1), pending.size()));
     while (pool.replicas.size() < workers) {
       // The fork seed is irrelevant: every chase re-seeds its replica below.
-      pool.replicas.push_back(gpu.fork(gpu.seed()));
+      pool.replicas.push_back(pool.replica_cache
+                                  ? pool.replica_cache->acquire(gpu)
+                                  : gpu.fork(gpu.seed()));
     }
 
     const PChaseEngine engine = pchase_engine();

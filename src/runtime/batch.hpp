@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -39,6 +40,28 @@
 #include "sim/gpu.hpp"
 
 namespace mt4g::runtime {
+
+/// A thread-safe free list of owner forks. Forking a Gpu costs a full cache
+/// reconstruction (milliseconds on models with large caches), but replicas
+/// are interchangeable: every chase resets its replica (flush + reseed)
+/// before running, and a flushed cache is observationally identical to a
+/// fresh one. The discovery stage runner shares one cache per graph run so
+/// stage substrates and chase replicas are forked once and recycled, instead
+/// of once per stage. Acquire/release order never influences results —
+/// that is exactly the reset discipline's guarantee.
+class ReplicaCache {
+ public:
+  /// Pops a cached replica or forks a new one from @p owner. Cached
+  /// replicas from a different path epoch (cache rebuild) are discarded.
+  sim::Gpu acquire(const sim::Gpu& owner);
+  /// Returns a replica to the free list.
+  void release(sim::Gpu&& replica);
+
+ private:
+  std::mutex mutex_;
+  std::uint64_t epoch_ = 0;
+  std::vector<sim::Gpu> free_;
+};
 
 /// The four chase shapes of the benchmark suite (paper IV-A/F/G/H).
 enum class ChaseKind : std::uint8_t {
@@ -92,7 +115,8 @@ struct ChaseMemoStats {
 /// invalidated its compiled paths (cache rebuild via
 /// set_l2_fetch_granularity) — the epoch tracks that, and memoized results
 /// measured against the old cache geometry would be stale. A pool must not
-/// be shared across different owning Gpus.
+/// be shared across different owning Gpus (Gpu::fork replicas of one owner,
+/// which keep the owner's seed, count as the same owning Gpu).
 struct ReplicaPool {
   std::uint64_t epoch = 0;
   std::vector<sim::Gpu> replicas;
@@ -102,6 +126,18 @@ struct ReplicaPool {
                      std::vector<std::pair<ChaseSpec, PChaseResult>>>
       memo;
   ChaseMemoStats memo_stats;
+  /// Read-only parent memos, probed in order after this pool's own memo
+  /// misses. The discovery stage graph points a stage's pool at the pools of
+  /// its completed (transitive) dependency stages: those finished before
+  /// this pool's stage started under every schedule, so which probes hit is
+  /// a function of the graph alone — never of stage scheduling — and the
+  /// upstream pools are immutable while this pool is live. Hits against an
+  /// upstream memo are counted in this pool's memo_stats.
+  std::vector<const ReplicaPool*> upstream;
+  /// Optional shared fork cache: new replicas are acquired here instead of
+  /// forked, and the stage runner returns them after the pool's stage
+  /// completes. nullptr = fork directly (the pre-graph behaviour).
+  ReplicaCache* replica_cache = nullptr;
 };
 
 struct ChaseBatchOptions {

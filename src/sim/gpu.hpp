@@ -114,6 +114,15 @@ class Gpu {
   /// Gpu instance. Alignment defaults to 256 B (texture alignment).
   std::uint64_t alloc(std::uint64_t bytes, std::uint64_t alignment = 256);
 
+  /// Current bump-allocator cursor (preserved by fork()).
+  std::uint64_t heap_top() const { return heap_top_; }
+
+  /// Rewinds the bump allocator to @p top. Together with flush_caches() and
+  /// reseed_noise() this turns a used replica back into the state a fresh
+  /// fork of the owner would have — the reset the discovery stage runner
+  /// applies when recycling substrates (runtime::ReplicaCache).
+  void reset_allocator(std::uint64_t top) { heap_top_ = top; }
+
   /// Issues one load and returns its noisy latency in cycles.
   std::uint32_t access(const Placement& where, Space space,
                        std::uint64_t address, AccessFlags flags = {});

@@ -63,4 +63,21 @@ Summary summarize(std::span<const std::uint32_t> values) {
   return summarize(std::span<const double>(as_double));
 }
 
+double fenced_mean(std::span<const std::uint32_t> values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double p25 = percentile(sorted, 25.0);
+  const double p75 = percentile(sorted, 75.0);
+  const double fence = p75 + 3.0 * (p75 - p25);
+  double sum = 0.0;
+  std::size_t kept = 0;
+  for (const double v : sorted) {
+    if (v > fence) break;  // sorted: everything after is above the fence
+    sum += v;
+    ++kept;
+  }
+  return kept > 0 ? sum / static_cast<double>(kept) : 0.0;
+}
+
 }  // namespace mt4g::stats

@@ -38,4 +38,13 @@ double variance(std::span<const double> values);
 /// Median absolute deviation, scaled by 1.4826 for normal consistency.
 double mad(std::span<const double> values);
 
+/// Mean over the samples at or below the Tukey upper fence
+/// p75 + 3 * (p75 - p25). Latency noise spikes are strictly upward, so the
+/// one-sided fence screens them without biasing the underlying estimate —
+/// for a degenerate sample (IQR 0: constant hits plus spikes) it reduces to
+/// the constant. Used for headline latencies, where a handful of spikes in
+/// a small sample would otherwise move the mean by several percent between
+/// seeds. Returns 0 for empty input.
+double fenced_mean(std::span<const std::uint32_t> values);
+
 }  // namespace mt4g::stats

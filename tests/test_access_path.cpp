@@ -87,7 +87,7 @@ TEST(AccessPathEquivalence, LargeNvidiaModelsIdenticalPerElement) {
     }
     for (const char* element : elements) {
       core::DiscoverOptions options;
-      options.only = sim::parse_element(element);
+      options.only = {sim::parse_element(element)};
       const std::string compiled =
           report_json(model, runtime::PChaseEngine::kCompiled, options);
       const std::string reference =

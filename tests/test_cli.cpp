@@ -35,8 +35,27 @@ TEST(Cli, GpuSeedAndOnly) {
   EXPECT_TRUE(result.errors.empty());
   EXPECT_EQ(result.options.gpu_name, "MI210");
   EXPECT_EQ(result.options.seed, 7u);
-  ASSERT_TRUE(result.options.only.has_value());
-  EXPECT_EQ(*result.options.only, "L1");
+  ASSERT_EQ(result.options.only.size(), 1u);
+  EXPECT_EQ(result.options.only[0], "L1");
+}
+
+TEST(Cli, OnlyAcceptsElementSets) {
+  // Comma-separated values and repeated flags accumulate.
+  const auto result =
+      parse_args({"--only", "l1,l2", "--only", "tex"});
+  EXPECT_TRUE(result.errors.empty());
+  ASSERT_EQ(result.options.only.size(), 3u);
+  EXPECT_EQ(result.options.only[0], "l1");
+  EXPECT_EQ(result.options.only[1], "l2");
+  EXPECT_EQ(result.options.only[2], "tex");
+  EXPECT_TRUE(parse_args({}).options.only.empty());
+}
+
+TEST(Cli, BenchThreads) {
+  EXPECT_EQ(parse_args({}).options.bench_threads, 1u);
+  EXPECT_EQ(parse_args({"--bench-threads", "8"}).options.bench_threads, 8u);
+  EXPECT_FALSE(parse_args({"--bench-threads", "0"}).errors.empty());
+  EXPECT_FALSE(parse_args({"--bench-threads", "bogus"}).errors.empty());
 }
 
 TEST(Cli, CacheConfigValidation) {

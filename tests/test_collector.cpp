@@ -109,7 +109,7 @@ TEST(Collector, AmdFullDiscoveryMatchesGroundTruth) {
 
 TEST(Collector, OnlyFilterRestrictsScope) {
   DiscoverOptions options;
-  options.only = Element::kL1;
+  options.only = {Element::kL1};
   const auto report = discover_gpu("TestGPU-NV", options);
   ASSERT_EQ(report.memory.size(), 1u);
   EXPECT_EQ(report.memory[0].element, Element::kL1);

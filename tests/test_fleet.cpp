@@ -33,7 +33,7 @@ TEST(FleetJob, KeyEncodesEveryField) {
   changed.cache_config = "PreferShared";
   EXPECT_NE(changed.key(), base);
   changed = job;
-  changed.options.only = sim::Element::kL1;
+  changed.options.only = {sim::Element::kL1};
   EXPECT_NE(changed.key(), base);
   changed = job;
   changed.options.collect_series = true;

@@ -16,7 +16,7 @@ const core::TopologyReport& h100() {
     // element-scoped discovery keeps the fixture fast.
     sim::Gpu gpu(sim::registry_get("H100-80"), 42);
     core::DiscoverOptions options;
-    options.only = sim::Element::kSharedMem;
+    options.only = {sim::Element::kSharedMem};
     return core::discover(gpu, options);
   }();
   return report;

@@ -1,0 +1,291 @@
+// Stage-graph tests: registration-time validation diagnostics, --only
+// pruning with transitive dependencies, the determinism contract (reports
+// byte-identical for every bench_threads x sweep_threads combination,
+// memo-hit counts and cycle attribution included), and the critical-path
+// telemetry.
+#include "core/pipeline/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/units.hpp"
+#include "core/collector.hpp"
+#include "core/output/json_output.hpp"
+#include "core/pipeline/stage.hpp"
+#include "exec/executor.hpp"
+#include "sim/registry.hpp"
+
+namespace mt4g::core::pipeline {
+namespace {
+
+using sim::Element;
+
+Stage make_stage(std::string name, Element element,
+                 std::vector<std::string> deps) {
+  return Stage{std::move(name), element, StageKind::kLatency, std::move(deps),
+               false, [](StageContext&) {}};
+}
+
+// --- Validation diagnostics. ------------------------------------------------
+
+TEST(StageGraphValidation, AcceptsValidGraph) {
+  StageGraph graph;
+  graph.add(make_stage("a", Element::kL1, {}));
+  graph.add(make_stage("b", Element::kL1, {"a"}));
+  graph.add(make_stage("c", Element::kL1, {"a", "b"}));
+  EXPECT_NO_THROW(validate(graph));
+  EXPECT_EQ(topological_order(graph), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(StageGraphValidation, RejectsDuplicateNames) {
+  StageGraph graph;
+  graph.add(make_stage("a", Element::kL1, {}));
+  graph.add(make_stage("a", Element::kL2, {}));
+  try {
+    validate(graph);
+    FAIL() << "duplicate name accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate stage name 'a'"),
+              std::string::npos);
+  }
+}
+
+TEST(StageGraphValidation, RejectsUnknownDependency) {
+  StageGraph graph;
+  graph.add(make_stage("a", Element::kL1, {"ghost"}));
+  try {
+    validate(graph);
+    FAIL() << "unknown dependency accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'a'"), std::string::npos);
+    EXPECT_NE(what.find("'ghost'"), std::string::npos);
+  }
+}
+
+TEST(StageGraphValidation, RejectsSelfDependency) {
+  StageGraph graph;
+  graph.add(make_stage("a", Element::kL1, {"a"}));
+  EXPECT_THROW(validate(graph), std::invalid_argument);
+}
+
+TEST(StageGraphValidation, RejectsCycles) {
+  StageGraph graph;
+  graph.add(make_stage("ring1", Element::kL1, {"ring3"}));
+  graph.add(make_stage("ring2", Element::kL1, {"ring1"}));
+  graph.add(make_stage("ring3", Element::kL1, {"ring2"}));
+  graph.add(make_stage("innocent", Element::kL1, {}));
+  try {
+    validate(graph);
+    FAIL() << "cycle accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cycle"), std::string::npos);
+    // Every stage on the cycle is named; the innocent one is not.
+    EXPECT_NE(what.find("ring1"), std::string::npos);
+    EXPECT_NE(what.find("ring2"), std::string::npos);
+    EXPECT_NE(what.find("ring3"), std::string::npos);
+    EXPECT_EQ(what.find("innocent"), std::string::npos);
+  }
+}
+
+TEST(StageGraphValidation, RejectsMissingRunFunction) {
+  StageGraph graph;
+  graph.add(Stage{"a", Element::kL1, StageKind::kLatency, {}, false, {}});
+  EXPECT_THROW(validate(graph), std::invalid_argument);
+}
+
+TEST(StageGraphValidation, TopologicalOrderHandlesForwardDeclarations) {
+  // Declaration order need not be topological; execution order is.
+  StageGraph graph;
+  graph.add(make_stage("late", Element::kL1, {"early"}));
+  graph.add(make_stage("early", Element::kL1, {}));
+  EXPECT_EQ(topological_order(graph), (std::vector<std::size_t>{1, 0}));
+}
+
+// --- Pruning. ----------------------------------------------------------------
+
+bool has_stage(const StageGraph& graph, const std::string& name) {
+  return graph.index_of(name) != StageGraph::npos;
+}
+
+TEST(StageGraphPruning, KeepsTransitiveDependencies) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  DiscoverOptions options;
+  DiscoveryPlan plan = nvidia_stages(gpu, options);
+  // Const L1.5 feeds on the Const L1 probes: pruning to CL1.5 must keep
+  // them (and their fg prerequisites), drop unrelated elements, and drop
+  // the full-run-only sharing stage.
+  prune(plan.graph, {Element::kConstL15});
+  EXPECT_TRUE(has_stage(plan.graph, "CL15.size"));
+  EXPECT_TRUE(has_stage(plan.graph, "CL15.line"));
+  EXPECT_TRUE(has_stage(plan.graph, "CO.size"));
+  EXPECT_TRUE(has_stage(plan.graph, "CO.fg"));
+  EXPECT_FALSE(has_stage(plan.graph, "CO.line"));   // not a CL1.5 dependency
+  EXPECT_FALSE(has_stage(plan.graph, "L1.size"));
+  EXPECT_FALSE(has_stage(plan.graph, "L2.segment"));
+  EXPECT_FALSE(has_stage(plan.graph, "sharing.pairs"));
+  EXPECT_NO_THROW(validate(plan.graph));
+}
+
+TEST(StageGraphPruning, EmptySetKeepsEverything) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  DiscoverOptions options;
+  DiscoveryPlan plan = nvidia_stages(gpu, options);
+  const std::size_t all = plan.graph.stages.size();
+  prune(plan.graph, {});
+  EXPECT_EQ(plan.graph.stages.size(), all);
+  EXPECT_TRUE(has_stage(plan.graph, "sharing.pairs"));
+}
+
+TEST(StageGraphPruning, OnlySetReportsSelectedRowsOnly) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  DiscoverOptions options;
+  options.only = {Element::kL1, Element::kL2};
+  const TopologyReport report = discover(gpu, options);
+  ASSERT_EQ(report.memory.size(), 2u);
+  EXPECT_EQ(report.memory[0].element, Element::kL1);
+  EXPECT_EQ(report.memory[1].element, Element::kL2);
+  // Both rows carry their benchmark results.
+  EXPECT_TRUE(report.memory[0].size.available());
+  EXPECT_TRUE(report.memory[1].fetch_granularity.available());
+}
+
+TEST(StageGraphPruning, DependencyOnlyElementsStaySilent) {
+  // --only CONST_L15 runs the Const L1 probes (data dependency) but only
+  // reports the CL1.5 row — the generalised Sec. V-A restriction.
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  DiscoverOptions options;
+  options.only = {Element::kConstL15};
+  const TopologyReport report = discover(gpu, options);
+  ASSERT_EQ(report.memory.size(), 1u);
+  EXPECT_EQ(report.memory[0].element, Element::kConstL15);
+  EXPECT_EQ(static_cast<std::uint64_t>(report.memory[0].size.value), 8 * KiB);
+}
+
+// --- Determinism: byte-identical reports for every thread combination. ------
+
+std::string discover_json(const std::string& model, std::uint32_t bench,
+                          std::uint32_t sweep, exec::Executor* executor) {
+  sim::Gpu gpu(sim::registry_get(model), 42);
+  DiscoverOptions options;
+  options.bench_threads = bench;
+  options.sweep_threads = sweep;
+  options.bench_executor = executor;
+  options.collect_series = true;  // series merge order is part of the contract
+  return to_json_string(discover(gpu, options));
+}
+
+TEST(StageGraphDeterminism, ReportsByteIdenticalAcrossThreadCombinations) {
+  // A dedicated pool forces real stage interleaving regardless of the
+  // host's core count. The JSON covers every contract field: rows,
+  // benchmarks_executed, cycle attribution, per-stage cycles, critical
+  // path, memo hits/misses, series.
+  exec::Executor pool(7);
+  for (const std::string model : {"TestGPU-NV", "TestGPU-AMD"}) {
+    const std::string reference = discover_json(model, 1, 1, nullptr);
+    for (const std::uint32_t bench : {1u, 4u, 8u}) {
+      for (const std::uint32_t sweep : {1u, 8u}) {
+        EXPECT_EQ(discover_json(model, bench, sweep, &pool), reference)
+            << model << " diverges at bench_threads=" << bench
+            << " sweep_threads=" << sweep;
+      }
+    }
+  }
+}
+
+TEST(StageGraphDeterminism, RealModelsByteIdenticalSerialVsConcurrent) {
+  // Two real registry models (one per vendor) at the extreme combination.
+  exec::Executor pool(7);
+  for (const std::string model : {"P6000", "MI300X"}) {
+    EXPECT_EQ(discover_json(model, 8, 8, &pool),
+              discover_json(model, 1, 1, nullptr))
+        << model;
+  }
+}
+
+TEST(StageGraphDeterminism, MemoHitsAndAttributionStable) {
+  exec::Executor pool(7);
+  sim::Gpu serial_gpu(sim::registry_get("TestGPU-NV"), 42);
+  const TopologyReport serial = discover(serial_gpu);
+
+  sim::Gpu parallel_gpu(sim::registry_get("TestGPU-NV"), 42);
+  DiscoverOptions options;
+  options.bench_threads = 8;
+  options.sweep_threads = 8;
+  options.bench_executor = &pool;
+  const TopologyReport parallel = discover(parallel_gpu, options);
+
+  EXPECT_GT(serial.chase_memo_hits, 0u);
+  EXPECT_EQ(serial.chase_memo_hits, parallel.chase_memo_hits);
+  EXPECT_EQ(serial.chase_memo_misses, parallel.chase_memo_misses);
+  EXPECT_EQ(serial.total_cycles, parallel.total_cycles);
+  EXPECT_EQ(serial.sweep_cycles, parallel.sweep_cycles);
+  EXPECT_EQ(serial.line_size_cycles, parallel.line_size_cycles);
+  EXPECT_EQ(serial.bandwidth_cycles, parallel.bandwidth_cycles);
+  EXPECT_EQ(serial.benchmarks_executed, parallel.benchmarks_executed);
+}
+
+// --- Telemetry. --------------------------------------------------------------
+
+TEST(StageGraphTelemetry, StageCyclesSumToTotalAndBoundCriticalPath) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  const TopologyReport report = discover(gpu);
+  ASSERT_FALSE(report.stage_cycles.empty());
+  std::uint64_t sum = 0;
+  for (const auto& stage : report.stage_cycles) sum += stage.cycles;
+  EXPECT_EQ(sum, report.total_cycles);
+  EXPECT_GT(report.critical_path_cycles, 0u);
+  EXPECT_LE(report.critical_path_cycles, report.total_cycles);
+  // Independent elements exist, so some benchmark-level speedup is
+  // available: the critical path is strictly below the serial total.
+  EXPECT_LT(report.critical_path_cycles, report.total_cycles);
+}
+
+TEST(StageGraphTelemetry, BandwidthStagesAttributeCycles) {
+  // The bandwidth/compute stages used to bypass total_cycles entirely;
+  // they now carry a proper attribution bucket.
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  DiscoverOptions options;
+  options.measure_compute = true;
+  const TopologyReport report = discover(gpu, options);
+  EXPECT_GT(report.bandwidth_cycles, 0u);
+  EXPECT_GT(report.compute_cycles, 0u);
+  const std::uint64_t attributed =
+      report.sweep_cycles + report.line_size_cycles + report.amount_cycles +
+      report.sharing_cycles + report.bandwidth_cycles + report.compute_cycles;
+  EXPECT_LE(attributed, report.total_cycles);
+  // The compute suite surfaces as its own stage.
+  bool compute_stage = false;
+  for (const auto& stage : report.stage_cycles) {
+    if (stage.stage == "compute.suite") compute_stage = stage.cycles > 0;
+  }
+  EXPECT_TRUE(compute_stage);
+}
+
+TEST(StageGraphTelemetry, FailingStageSkipsDependentsAndRethrows) {
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  StageGraph graph;
+  graph.row_order = {Element::kL1};
+  bool downstream_ran = false;
+  bool independent_ran = false;
+  graph.add({"boom", Element::kL1, StageKind::kLatency, {}, false,
+             [](StageContext&) { throw std::runtime_error("boom"); }});
+  graph.add({"dependent", Element::kL1, StageKind::kLatency, {"boom"}, false,
+             [&](StageContext&) { downstream_ran = true; }});
+  graph.add({"independent", Element::kL1, StageKind::kLatency, {}, false,
+             [&](StageContext&) { independent_ran = true; }});
+  DiscoveryPlan plan;
+  plan.graph = std::move(graph);
+  plan.state.element[Element::kL1];
+  plan.state.rows[Element::kL1].element = Element::kL1;
+  DiscoverOptions options;
+  TopologyReport report;
+  EXPECT_THROW(run_graph(gpu, plan, options, report), std::runtime_error);
+  EXPECT_FALSE(downstream_ran);
+  EXPECT_TRUE(independent_ran);
+}
+
+}  // namespace
+}  // namespace mt4g::core::pipeline
