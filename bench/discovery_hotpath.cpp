@@ -30,10 +30,13 @@
 // Exits 1 when any model's reports diverge between engines and 2 when a
 // time budget is exceeded, so correctness or perf regressions in the hot
 // path fail loudly instead of skewing results silently.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -124,6 +127,36 @@ double cycle_pct(std::uint64_t part, std::uint64_t total) {
              : 0.0;
 }
 
+/// Per-stage totals across all serial discoveries: simulated cycles next to
+/// host wall time. A stage whose wall share dwarfs its cycle share is
+/// host-overhead-bound (fork/reset/bookkeeping), not simulation-bound — the
+/// divergence column points at the next host-side optimisation target.
+struct StageAggregate {
+  std::uint64_t cycles = 0;
+  double wall_seconds = 0.0;
+};
+
+/// UTC timestamp like 2026-08-07T12:34:56Z for the BENCH meta block.
+std::string iso_utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buffer[32];
+  std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buffer;
+}
+
+/// Short git SHA of the working tree, or "unknown" outside a checkout.
+std::string git_sha() {
+  FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (!pipe) return "unknown";
+  char buffer[64] = {0};
+  std::string sha;
+  if (std::fgets(buffer, sizeof buffer, pipe)) sha = trim(buffer);
+  pclose(pipe);
+  return sha.empty() ? "unknown" : sha;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -159,6 +192,7 @@ int main(int argc, char** argv) {
                       "sweep %", "line %", "memo"});
   bool all_identical = true;
   double total_serial = 0.0;
+  std::map<std::string, StageAggregate> stages;
 
   for (const auto& model : models) {
     ModelResult r;
@@ -185,6 +219,11 @@ int main(int argc, char** argv) {
     r.total_cycles = report.total_cycles;
     r.critical_path_cycles = report.critical_path_cycles;
     r.memo_hits = report.chase_memo_hits;
+    for (const auto& stage : report.stage_cycles) {
+      StageAggregate& aggregate = stages[stage.stage];
+      aggregate.cycles += stage.cycles;
+      aggregate.wall_seconds += stage.wall_seconds;
+    }
     all_identical = all_identical && r.identical;
     total_serial += r.serial_s;
     results.push_back(r);
@@ -210,6 +249,44 @@ int main(int argc, char** argv) {
                    memo});
   }
   std::printf("%s\n", table.str().c_str());
+
+  // Cycles-vs-wall divergence per stage, aggregated over the serial runs.
+  // wall/cyc > 1 means the stage costs more host time than its simulated
+  // share explains: host overhead, not simulation, dominates it.
+  std::uint64_t stage_cycles_total = 0;
+  double stage_wall_total = 0.0;
+  for (const auto& [name, aggregate] : stages) {
+    stage_cycles_total += aggregate.cycles;
+    stage_wall_total += aggregate.wall_seconds;
+  }
+  std::vector<std::pair<std::string, StageAggregate>> by_wall(stages.begin(),
+                                                              stages.end());
+  std::sort(by_wall.begin(), by_wall.end(), [](const auto& a, const auto& b) {
+    return a.second.wall_seconds > b.second.wall_seconds;
+  });
+  TablePrinter stage_table({"stage", "wall [s]", "wall %", "cycles %",
+                            "wall/cyc"});
+  const std::size_t shown = std::min<std::size_t>(by_wall.size(), 15);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& [name, aggregate] = by_wall[i];
+    const double wall_pct = stage_wall_total > 0
+                                ? 100.0 * aggregate.wall_seconds /
+                                      stage_wall_total
+                                : 0.0;
+    const double cycles_pct = cycle_pct(aggregate.cycles, stage_cycles_total);
+    char wall_s[32], wall_p[16], cyc_p[16], divergence[16];
+    std::snprintf(wall_s, sizeof wall_s, "%.3f", aggregate.wall_seconds);
+    std::snprintf(wall_p, sizeof wall_p, "%.1f", wall_pct);
+    std::snprintf(cyc_p, sizeof cyc_p, "%.1f", cycles_pct);
+    std::snprintf(divergence, sizeof divergence, "%.2f",
+                  cycles_pct > 0 ? wall_pct / cycles_pct : 0.0);
+    stage_table.add_row({name, wall_s, wall_p, cyc_p, divergence});
+  }
+  if (shown < by_wall.size()) {
+    std::printf("top %zu of %zu stages by wall time:\n", shown,
+                by_wall.size());
+  }
+  std::printf("%s\n", stage_table.str().c_str());
 
   json::Object per_model;
   double slowest_serial = 0.0;
@@ -268,12 +345,38 @@ int main(int argc, char** argv) {
       static_cast<std::int64_t>(std::thread::hardware_concurrency()));
   host.emplace_back("description", host_description());
 
+  // Full per-stage profile (every stage, not just the printed top 15).
+  json::Array stage_profile;
+  for (const auto& [name, aggregate] : by_wall) {
+    json::Object entry;
+    entry.emplace_back("stage", name);
+    entry.emplace_back("cycles", static_cast<std::int64_t>(aggregate.cycles));
+    entry.emplace_back("wall_seconds", aggregate.wall_seconds);
+    entry.emplace_back("cycle_fraction",
+                       stage_cycles_total > 0
+                           ? static_cast<double>(aggregate.cycles) /
+                                 static_cast<double>(stage_cycles_total)
+                           : 0.0);
+    entry.emplace_back("wall_fraction",
+                       stage_wall_total > 0
+                           ? aggregate.wall_seconds / stage_wall_total
+                           : 0.0);
+    stage_profile.emplace_back(std::move(entry));
+  }
+
+  json::Object meta;
+  meta.emplace_back("schema_version", static_cast<std::int64_t>(2));
+  meta.emplace_back("generated_at", iso_utc_now());
+  meta.emplace_back("git_sha", git_sha());
+
   json::Object root;
   root.emplace_back("bench", "discovery_hotpath");
+  root.emplace_back("meta", json::Value(std::move(meta)));
   root.emplace_back("sweep_threads", static_cast<std::int64_t>(sweep_threads));
   root.emplace_back("bench_threads", static_cast<std::int64_t>(bench_threads));
   root.emplace_back("host", json::Value(std::move(host)));
   root.emplace_back("models", per_model);
+  root.emplace_back("stage_profile", json::Value(std::move(stage_profile)));
   root.emplace_back("total_serial_seconds", total_serial);
   root.emplace_back("slowest_model", slowest_model);
   root.emplace_back("slowest_serial_seconds", slowest_serial);

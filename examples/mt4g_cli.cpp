@@ -7,17 +7,23 @@
 // single run: `mt4g fleet --models all --seeds 3 --workers 8` sweeps the
 // whole registry (incl. MIG partitions) in parallel, caches results in a
 // JSON file, and writes an aggregated cross-GPU fleet report.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include "common/cli.hpp"
 #include "common/strings.hpp"
 #include "core/mt4g.hpp"
 #include "fleet/fleet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/gpu.hpp"
 
 namespace {
@@ -33,6 +39,81 @@ bool write_file(const std::string& path, const std::string& content) {
   out << content;
   return true;
 }
+
+/// Arms the obs layer for a run (--trace / --metrics) and writes the sink
+/// files in finish(). Tracing and metrics are independent opt-ins.
+class ObsSession {
+ public:
+  ObsSession(std::string trace_path, std::string metrics_path)
+      : trace_path_(std::move(trace_path)),
+        metrics_path_(std::move(metrics_path)) {
+    if (!trace_path_.empty()) obs::Tracer::instance().start();
+    if (!metrics_path_.empty()) {
+      obs::Metrics::instance().reset();
+      obs::Metrics::instance().enable();
+    }
+  }
+
+  /// Stops collection and writes the sink files; returns false on I/O error.
+  bool finish() {
+    bool ok = true;
+    if (!trace_path_.empty()) {
+      obs::Tracer::instance().stop();
+      ok &= write_file(trace_path_,
+                       obs::Tracer::instance().chrome_trace_json() + "\n");
+    }
+    if (!metrics_path_.empty()) {
+      obs::Metrics::instance().disable();
+      ok &= write_file(metrics_path_, obs::Metrics::instance().prometheus_text());
+    }
+    return ok;
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
+/// ~1 s stderr heartbeat over FleetProgress (fleet --progress). Polls atomics
+/// only; stops promptly because the sleep is chopped into 100 ms slices.
+class ProgressHeartbeat {
+ public:
+  explicit ProgressHeartbeat(const fleet::FleetProgress& progress)
+      : progress_(progress), start_(std::chrono::steady_clock::now()),
+        thread_([this] { run(); }) {}
+
+  ~ProgressHeartbeat() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 10 && !stop_.load(std::memory_order_relaxed); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      if (stop_.load(std::memory_order_relaxed)) break;
+      beat();
+    }
+    beat();  // final line reflects the completed sweep
+  }
+
+  void beat() {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    std::fprintf(stderr, "fleet: %zu/%zu jobs, %zu cache hits, %.1fs elapsed\n",
+                 progress_.done.load(std::memory_order_relaxed),
+                 progress_.total.load(std::memory_order_relaxed),
+                 progress_.cache_hits.load(std::memory_order_relaxed), elapsed);
+  }
+
+  const fleet::FleetProgress& progress_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
 
 const char kFleetUsage[] =
     "usage: mt4g fleet [options]\n"
@@ -53,6 +134,12 @@ const char kFleetUsage[] =
     "  --baseline DIR               diff results against DIR/<model>.json\n"
     "  --out DIR                    report output directory (default .)\n"
     "  --quiet                      no per-job progress on stderr\n"
+    "  --progress                   ~1s heartbeat on stderr (jobs done/total,\n"
+    "                               cache hits, elapsed); off by default\n"
+    "  --trace FILE                 write a Chrome trace-event JSON of the\n"
+    "                               sweep (Perfetto / chrome://tracing)\n"
+    "  --metrics FILE               write wall-clock metrics as Prometheus\n"
+    "                               text\n"
     "  --help                       this text\n";
 
 int run_fleet(int argc, char** argv) {
@@ -61,7 +148,10 @@ int run_fleet(int argc, char** argv) {
   std::string cache_path;    // empty = derive from out dir
   std::string baseline_dir;
   std::string out_dir = ".";
+  std::string trace_path;
+  std::string metrics_path;
   bool quiet = false;
+  bool progress = false;
   std::uint32_t sweep_threads = 1;
   std::uint32_t bench_threads = 1;
 
@@ -111,6 +201,12 @@ int run_fleet(int argc, char** argv) {
       out_dir = value();
     } else if (arg == "--quiet" || arg == "-q") {
       quiet = true;
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg == "--trace") {
+      trace_path = value();
+    } else if (arg == "--metrics") {
+      metrics_path = value();
     } else {
       std::fprintf(stderr, "mt4g fleet: unknown option '%s'\n", arg.c_str());
       std::fputs(kFleetUsage, stderr);
@@ -164,9 +260,21 @@ int run_fleet(int argc, char** argv) {
     plan.option_variants.push_back(options);
   }
 
+  fleet::FleetProgress fleet_progress;
+  scheduler.progress = &fleet_progress;
+  ObsSession obs_session(trace_path, metrics_path);
+
   const std::vector<fleet::DiscoveryJob> jobs = fleet::expand_jobs(plan);
-  const std::vector<fleet::JobResult> results =
-      fleet::run_sweep(jobs, scheduler);
+  std::vector<fleet::JobResult> results;
+  {
+    std::optional<ProgressHeartbeat> heartbeat;
+    if (progress) {
+      fleet_progress.total.store(jobs.size(), std::memory_order_relaxed);
+      heartbeat.emplace(fleet_progress);
+    }
+    results = fleet::run_sweep(jobs, scheduler);
+  }
+  if (!obs_session.finish()) return 1;
   const fleet::FleetReport report = fleet::aggregate(results);
 
   if (cache && !cache->save()) {
@@ -293,7 +401,9 @@ int main(int argc, char** argv) {
                  options.cache_config.c_str(),
                  static_cast<unsigned long long>(options.seed));
   }
+  ObsSession obs_session(options.trace_path, options.metrics_path);
   const core::TopologyReport report = core::discover(gpu, discover_options);
+  if (!obs_session.finish()) return 1;
   if (!options.quiet) {
     std::fprintf(stderr, "mt4g: %u benchmarks, %.1f s simulated GPU time\n",
                  report.benchmarks_executed, report.simulated_seconds);

@@ -76,6 +76,10 @@ ParseResult parse(int argc, const char* const* argv) {
       }
     } else if (arg == "--out") {
       if (auto v = need_value(i, arg)) result.options.output_dir = *v;
+    } else if (arg == "--trace") {
+      if (auto v = need_value(i, arg)) result.options.trace_path = *v;
+    } else if (arg == "--metrics") {
+      if (auto v = need_value(i, arg)) result.options.metrics_path = *v;
     } else {
       result.errors.push_back("unknown argument '" + arg + "'");
     }
@@ -102,6 +106,10 @@ Usage: mt4g [options]
                          sweep/bench thread combination)
   --cache-config <mode>  PreferL1 | PreferShared | PreferEqual (default PreferL1)
   --out <dir>            output directory for report files (default .)
+  --trace <file>         write a Chrome trace-event JSON (open in Perfetto or
+                         chrome://tracing); never changes the report bytes
+  --metrics <file>       write wall-clock metrics as Prometheus text and embed
+                         the per-discovery aggregation as meta.wall in the JSON
   --flops                also run the per-datatype compute benchmarks
   -g                     dump reduction-value series (Fig. 2 data) as CSV
   -o                     write the legacy CSV attribute table (the format

@@ -29,6 +29,12 @@ struct Options {
   std::uint32_t bench_threads = 1;    ///< --bench-threads: concurrent stages
   std::string cache_config = "PreferL1";  ///< L1/Shared split policy
   std::string output_dir = ".";       ///< where -j/-p/-g/-o files land
+  /// --trace FILE: write a Chrome trace-event JSON of the run (Perfetto /
+  /// chrome://tracing). Tracing alone never changes report bytes.
+  std::string trace_path;
+  /// --metrics FILE: enable the obs metrics registry, dump it as Prometheus
+  /// text, and embed the per-discovery aggregation as meta.wall in the JSON.
+  std::string metrics_path;
 };
 
 struct ParseResult {

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "core/pipeline/runner.hpp"
+#include "exec/executor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/device.hpp"
 
 namespace mt4g::core {
@@ -13,6 +16,21 @@ bool DiscoverOptions::wants(sim::Element element) const {
 }
 
 TopologyReport discover(sim::Gpu& gpu, const DiscoverOptions& options) {
+  const obs::SpanGuard span("discovery:", gpu.spec().name);
+  // Per-discovery metric attribution: snapshot the registry (and the shared
+  // executor's counters) before the run, diff after. Only an opt-in
+  // observability run pays for this — and only then does meta.wall appear in
+  // the report, keeping default output byte-identical.
+  const bool attribute = obs::metrics_enabled();
+  std::vector<obs::MetricSample> before;
+  exec::ExecutorStats exec_before;
+  std::uint64_t start_ns = 0;
+  if (attribute) {
+    before = obs::Metrics::instance().snapshot();
+    exec_before = exec::shared_executor().stats();
+    start_ns = obs::monotonic_ns();
+  }
+
   TopologyReport report;
   const runtime::DeviceProp prop = runtime::get_device_prop(gpu);
 
@@ -51,6 +69,25 @@ TopologyReport discover(sim::Gpu& gpu, const DiscoverOptions& options) {
                                      ? pipeline::nvidia_stages(gpu, options)
                                      : pipeline::amd_stages(gpu, options);
   pipeline::run_graph(gpu, plan, options, report);
+
+  if (attribute) {
+    obs::Metrics& metrics = obs::Metrics::instance();
+    const exec::ExecutorStats exec_after = exec::shared_executor().stats();
+    metrics.add("exec.tasks",
+                static_cast<double>(exec_after.tasks - exec_before.tasks));
+    metrics.set("exec.worker_busy_fraction", exec_after.worker_busy_fraction);
+    metrics.set("exec.queue_depth_max",
+                static_cast<double>(exec_after.max_queue_depth));
+    report.wall.enabled = true;
+    report.wall.wall_seconds =
+        static_cast<double>(obs::monotonic_ns() - start_ns) * 1e-9;
+    for (const obs::MetricSample& sample :
+         obs::Metrics::delta(before, metrics.snapshot())) {
+      report.wall.samples.push_back({sample.name,
+                                     obs::metric_kind_name(sample.kind),
+                                     sample.value, sample.count});
+    }
+  }
   return report;
 }
 

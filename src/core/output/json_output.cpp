@@ -176,9 +176,31 @@ json::Value to_json(const TopologyReport& report) {
       json::Object entry;
       entry.emplace_back("stage", stage.stage);
       entry.emplace_back("cycles", static_cast<std::int64_t>(stage.cycles));
+      // Wall time is per-run data: emitted only for opt-in observability
+      // runs so default reports stay byte-identical (see WallMetricsReport).
+      if (report.wall.enabled) {
+        entry.emplace_back("wall_seconds", stage.wall_seconds);
+      }
       stages.emplace_back(std::move(entry));
     }
     meta.emplace_back("stage_cycles", json::Value(std::move(stages)));
+  }
+  if (report.wall.enabled) {
+    json::Object wall;
+    wall.emplace_back("wall_seconds", report.wall.wall_seconds);
+    json::Array samples;
+    for (const auto& sample : report.wall.samples) {
+      json::Object entry;
+      entry.emplace_back("name", sample.name);
+      entry.emplace_back("kind", sample.kind);
+      entry.emplace_back("value", sample.value);
+      if (sample.count > 0) {
+        entry.emplace_back("count", static_cast<std::int64_t>(sample.count));
+      }
+      samples.emplace_back(std::move(entry));
+    }
+    wall.emplace_back("samples", json::Value(std::move(samples)));
+    meta.emplace_back("wall", json::Value(std::move(wall)));
   }
   root.emplace_back("meta", json::Value(std::move(meta)));
   return json::Value(std::move(root));

@@ -190,7 +190,22 @@ TopologyReport from_json_string(const std::string& text) {
       stage.stage = string_or(entry, "stage", "");
       stage.cycles =
           static_cast<std::uint64_t>(number_or(entry, "cycles", 0));
+      stage.wall_seconds = number_or(entry, "wall_seconds", 0);
       report.stage_cycles.push_back(std::move(stage));
+    }
+  }
+  if (const json::Value* wall = meta.find("wall")) {
+    report.wall.enabled = true;
+    report.wall.wall_seconds = number_or(*wall, "wall_seconds", 0);
+    if (const json::Value* samples = wall->find("samples")) {
+      for (const auto& entry : samples->as_array()) {
+        WallMetricSample sample;
+        sample.name = string_or(entry, "name", "");
+        sample.kind = string_or(entry, "kind", "counter");
+        sample.value = number_or(entry, "value", 0);
+        sample.count = static_cast<std::uint64_t>(number_or(entry, "count", 0));
+        report.wall.samples.push_back(std::move(sample));
+      }
     }
   }
   return report;

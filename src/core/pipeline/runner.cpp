@@ -7,6 +7,8 @@
 #include <set>
 
 #include "exec/executor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mt4g::core::pipeline {
 namespace {
@@ -18,6 +20,7 @@ struct StageRecord {
   StageBooking booking;
   std::vector<SizeSeries> series;
   std::vector<ComputeThroughputReport> compute_throughput;
+  double wall_seconds = 0.0;  ///< host wall time of run_stage on its worker
   bool executed = false;
 };
 
@@ -47,10 +50,18 @@ struct GraphRun {
   /// are a pure function of (owner seed, stage) — the scheduling-
   /// independence the byte-identity contract rests on.
   void run_stage(std::size_t i) {
+    // Wall time is always measured (two clock reads); the span and metric
+    // sites are no-ops unless a trace/metrics run opted in. None of it feeds
+    // back into the measurement — the byte-identity contract is untouched.
+    const obs::SpanGuard span("stage:", graph.stages[i].name);
+    const std::uint64_t start_ns = obs::monotonic_ns();
     sim::Gpu substrate = replicas.acquire(gpu);
-    substrate.flush_caches();
-    substrate.reseed_noise(gpu.seed());
-    substrate.reset_allocator(gpu.heap_top());
+    {
+      const obs::SpanGuard reset_span("substrate.reset");
+      substrate.flush_caches();
+      substrate.reseed_noise(gpu.seed());
+      substrate.reset_allocator(gpu.heap_top());
+    }
     StageRecord& record = records[i];
     record.pool.replica_cache = &replicas;
     StageContext ctx{substrate, options, state, record.pool};
@@ -66,6 +77,12 @@ struct GraphRun {
       replicas.release(std::move(replica));
     }
     record.pool.replicas.clear();
+    const std::uint64_t wall_ns = obs::monotonic_ns() - start_ns;
+    record.wall_seconds = static_cast<double>(wall_ns) * 1e-9;
+    if (obs::metrics_enabled()) {
+      obs::Metrics::instance().add("pipeline.stage_wall_ns",
+                                   static_cast<double>(wall_ns));
+    }
   }
 };
 
@@ -191,7 +208,8 @@ void run_graph(sim::Gpu& gpu, DiscoveryPlan& plan,
     report.compute_cycles += booking.compute_cycles;
     report.chase_memo_hits += record.pool.memo_stats.hits;
     report.chase_memo_misses += record.pool.memo_stats.misses;
-    report.stage_cycles.push_back({graph.stages[i].name, booking.cycles});
+    report.stage_cycles.push_back(
+        {graph.stages[i].name, booking.cycles, record.wall_seconds});
     for (const SizeSeries& series : record.series) {
       report.series.push_back(series);
     }

@@ -129,6 +129,32 @@ struct ComputeThroughputReport {
 struct StageCycleReport {
   std::string stage;  ///< stage name, e.g. "L1.size"
   std::uint64_t cycles = 0;
+  /// Host wall-clock time the stage took on its worker. Always measured
+  /// (two clock reads per stage), but emitted into the report JSON only
+  /// when WallMetricsReport::enabled — wall time differs run to run, so it
+  /// must stay out of the byte-identity contract by default. The divergence
+  /// between a stage's cycle share and its wall share is what
+  /// bench/discovery_hotpath surfaces: it flags stages that are
+  /// host-overhead-bound rather than simulation-bound.
+  double wall_seconds = 0.0;
+};
+
+/// One host metric aggregated over a discovery (src/obs/ registry delta).
+struct WallMetricSample {
+  std::string name;  ///< e.g. "memo.hits", "replica.fork_ns"
+  std::string kind;  ///< "counter" | "gauge" | "histogram"
+  double value = 0.0;
+  std::uint64_t count = 0;  ///< histogram observations (0 otherwise)
+};
+
+/// Host wall-clock observability of one discovery. Opt-in: populated (and
+/// serialised as meta.wall) only when the obs metrics registry was enabled
+/// for the run, so default reports stay byte-identical across runs and
+/// thread counts.
+struct WallMetricsReport {
+  bool enabled = false;
+  double wall_seconds = 0.0;  ///< host wall time of core::discover()
+  std::vector<WallMetricSample> samples;
 };
 
 /// The complete MT4G report for one GPU.
@@ -166,6 +192,8 @@ struct TopologyReport {
   /// available from benchmark-level concurrency (bench_threads) alone.
   std::vector<StageCycleReport> stage_cycles;
   std::uint64_t critical_path_cycles = 0;
+  /// Host wall-clock metrics of this discovery (opt-in, see the struct).
+  WallMetricsReport wall;
   std::vector<SizeSeries> series;  ///< populated when graphs are requested
 
   const MemoryElementReport* find(sim::Element element) const;

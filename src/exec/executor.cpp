@@ -1,6 +1,7 @@
 #include "exec/executor.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -9,13 +10,49 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace mt4g::exec {
 namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// > 0 while the current thread is inside a drain() task — a parallel_for
+/// issued from there is a nested submission.
+thread_local std::uint32_t t_drain_depth = 0;
+
+/// Relaxed monotonic counters behind Executor::stats(); one instance per
+/// Executor, shared with every Batch it runs.
+struct Counters {
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> nested_batches{0};
+  std::atomic<std::uint64_t> tasks{0};
+  std::atomic<std::uint64_t> caller_tasks{0};
+  std::atomic<std::uint64_t> pool_tasks{0};
+  std::atomic<std::uint64_t> max_queue_depth{0};
+  std::atomic<std::uint64_t> caller_busy_ns{0};
+  std::atomic<std::uint64_t> pool_busy_ns{0};
+  std::atomic<std::uint64_t> queue_wait_ns{0};
+
+  void note_queue_depth(std::uint64_t depth) {
+    std::uint64_t seen = max_queue_depth.load(std::memory_order_relaxed);
+    while (depth > seen && !max_queue_depth.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+};
 
 struct Batch {
   std::size_t count = 0;
   const IndexedTask* task = nullptr;
   std::uint32_t max_joiners = 0;  ///< pool threads allowed (caller excluded)
+  Counters* counters = nullptr;
+  std::uint64_t enqueue_ns = 0;  ///< submission time (pooled batches only)
 
   std::atomic<std::size_t> next{0};   ///< index claim cursor
   std::atomic<std::size_t> done{0};   ///< finished tasks
@@ -42,6 +79,8 @@ void drain(Batch& batch, std::uint32_t slot) {
     const std::size_t index =
         batch.next.fetch_add(1, std::memory_order_relaxed);
     if (index >= batch.count) return;
+    const std::uint64_t begin_ns = now_ns();
+    ++t_drain_depth;
     try {
       (*batch.task)(index, slot);
     } catch (...) {
@@ -50,6 +89,17 @@ void drain(Batch& batch, std::uint32_t slot) {
         batch.error_index = index;
         batch.error = std::current_exception();
       }
+    }
+    --t_drain_depth;
+    const std::uint64_t busy_ns = now_ns() - begin_ns;
+    Counters& counters = *batch.counters;
+    counters.tasks.fetch_add(1, std::memory_order_relaxed);
+    if (slot == 0) {
+      counters.caller_tasks.fetch_add(1, std::memory_order_relaxed);
+      counters.caller_busy_ns.fetch_add(busy_ns, std::memory_order_relaxed);
+    } else {
+      counters.pool_tasks.fetch_add(1, std::memory_order_relaxed);
+      counters.pool_busy_ns.fetch_add(busy_ns, std::memory_order_relaxed);
     }
     if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         batch.count) {
@@ -67,6 +117,8 @@ struct Executor::Impl {
   std::deque<std::shared_ptr<Batch>> queue;  // batches with claimable work
   bool stop = false;
   std::vector<std::thread> threads;
+  Counters counters;
+  std::uint64_t start_ns = now_ns();
 
   void worker_loop() {
     std::unique_lock<std::mutex> lock(queue_mutex);
@@ -90,6 +142,13 @@ struct Executor::Impl {
         continue;
       }
       lock.unlock();
+      // Enqueue-to-join latency: how long the submitted batch waited for
+      // this worker. Observed live into the metrics registry (when enabled)
+      // so queue pressure is visible per run, not just cumulatively.
+      const std::uint64_t wait_ns = now_ns() - batch->enqueue_ns;
+      counters.queue_wait_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+      obs::Metrics::instance().observe("exec.queue_wait_ns",
+                                       static_cast<double>(wait_ns));
       const std::uint32_t slot =
           batch->slots.fetch_add(1, std::memory_order_relaxed);
       drain(*batch, slot);
@@ -118,14 +177,42 @@ std::uint32_t Executor::pool_threads() const {
   return static_cast<std::uint32_t>(impl_->threads.size());
 }
 
+ExecutorStats Executor::stats() const {
+  const Counters& c = impl_->counters;
+  ExecutorStats stats;
+  stats.batches = c.batches.load(std::memory_order_relaxed);
+  stats.nested_batches = c.nested_batches.load(std::memory_order_relaxed);
+  stats.tasks = c.tasks.load(std::memory_order_relaxed);
+  stats.caller_tasks = c.caller_tasks.load(std::memory_order_relaxed);
+  stats.pool_tasks = c.pool_tasks.load(std::memory_order_relaxed);
+  stats.max_queue_depth = c.max_queue_depth.load(std::memory_order_relaxed);
+  stats.caller_busy_ns = c.caller_busy_ns.load(std::memory_order_relaxed);
+  stats.pool_busy_ns = c.pool_busy_ns.load(std::memory_order_relaxed);
+  stats.queue_wait_ns = c.queue_wait_ns.load(std::memory_order_relaxed);
+  const std::uint64_t alive_ns = now_ns() - impl_->start_ns;
+  const std::uint64_t capacity_ns =
+      static_cast<std::uint64_t>(impl_->threads.size()) * alive_ns;
+  stats.worker_busy_fraction =
+      capacity_ns > 0 ? static_cast<double>(stats.pool_busy_ns) /
+                            static_cast<double>(capacity_ns)
+                      : 0.0;
+  return stats;
+}
+
 void Executor::parallel_for(std::size_t count, std::uint32_t max_workers,
                             const IndexedTask& task) {
   if (count == 0) return;
   if (max_workers == 0) max_workers = pool_threads() + 1;
 
+  impl_->counters.batches.fetch_add(1, std::memory_order_relaxed);
+  if (t_drain_depth > 0) {
+    impl_->counters.nested_batches.fetch_add(1, std::memory_order_relaxed);
+  }
+
   const auto batch = std::make_shared<Batch>();
   batch->count = count;
   batch->task = &task;
+  batch->counters = &impl_->counters;
   // The caller is always a participant; only the surplus comes from the
   // pool, and never more joiners than there are work items beyond the
   // caller's first claim.
@@ -138,9 +225,11 @@ void Executor::parallel_for(std::size_t count, std::uint32_t max_workers,
     // Serial mode: inline on the caller, strict index order.
     drain(*batch, 0);
   } else {
+    batch->enqueue_ns = now_ns();
     {
       std::lock_guard<std::mutex> lock(impl_->queue_mutex);
       impl_->queue.push_back(batch);
+      impl_->counters.note_queue_depth(impl_->queue.size());
     }
     impl_->queue_cv.notify_all();
     drain(*batch, 0);

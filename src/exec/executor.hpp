@@ -31,6 +31,38 @@ namespace mt4g::exec {
 /// the same slot.
 using IndexedTask = std::function<void(std::size_t index, std::uint32_t slot)>;
 
+/// Always-on lightweight instrumentation of one Executor: a handful of
+/// relaxed atomic counters plus two steady-clock reads per task, kept cheap
+/// enough to never gate behind a flag. The obs metrics registry (src/obs/)
+/// additionally receives live `exec.queue_wait_ns` observations when it is
+/// enabled; this struct is the raw substrate tests and the CLI read.
+struct ExecutorStats {
+  std::uint64_t batches = 0;         ///< parallel_for calls with work
+  std::uint64_t nested_batches = 0;  ///< submitted from inside another task
+  std::uint64_t tasks = 0;           ///< tasks executed (all participants)
+  std::uint64_t caller_tasks = 0;    ///< tasks run by calling threads (slot 0)
+  std::uint64_t pool_tasks = 0;      ///< tasks run by pool threads
+  std::uint64_t max_queue_depth = 0;  ///< deepest claimable-batch queue seen
+  std::uint64_t caller_busy_ns = 0;  ///< wall time calling threads spent in tasks
+  std::uint64_t pool_busy_ns = 0;    ///< wall time pool threads spent in tasks
+  /// Enqueue-to-join latency summed over every pool thread that joined a
+  /// batch: how long submitted work waited before a worker picked it up.
+  std::uint64_t queue_wait_ns = 0;
+  /// pool_busy_ns / (pool threads x pool lifetime); 0 for a pool-less
+  /// executor. A lifetime average, not a window — interpret trends, not
+  /// instants.
+  double worker_busy_fraction = 0.0;
+
+  /// Share of task wall time executed by calling threads — > 0 proves
+  /// caller participation actually happens (the nest-safety property).
+  double caller_busy_fraction() const {
+    const std::uint64_t total = caller_busy_ns + pool_busy_ns;
+    return total > 0 ? static_cast<double>(caller_busy_ns) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
 class Executor {
  public:
   /// @param pool_threads worker threads to spawn in addition to the callers
@@ -52,6 +84,10 @@ class Executor {
   /// error a caller observes is independent of scheduling).
   void parallel_for(std::size_t count, std::uint32_t max_workers,
                     const IndexedTask& task);
+
+  /// Monotonic counters since construction (see ExecutorStats). Safe to call
+  /// concurrently with running batches; values are a relaxed snapshot.
+  ExecutorStats stats() const;
 
  private:
   struct Impl;

@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "exec/executor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/registry.hpp"
 
 namespace mt4g::fleet {
@@ -25,12 +27,20 @@ std::vector<JobResult> run_sweep(const std::vector<DiscoveryJob>& jobs,
   // just keeps the first claimed jobs from serialising on the init lock.
   (void)sim::registry_all_names();
 
+  if (options.progress) {
+    options.progress->total.store(jobs.size(), std::memory_order_relaxed);
+  }
+
   std::size_t done = 0;  // guarded by callback_mutex
   std::mutex callback_mutex;
 
   const auto run_one = [&](std::size_t index, std::uint32_t) {
     JobResult& result = results[index];
     result.job = jobs[index];
+    // Span names allocate; skip the key() format entirely when not tracing.
+    const obs::SpanGuard job_span(
+        "fleet.job:",
+        obs::tracing_enabled() ? jobs[index].key() : std::string());
     const auto start = std::chrono::steady_clock::now();
     try {
       if (options.cache) {
@@ -55,6 +65,22 @@ std::vector<JobResult> run_sweep(const std::vector<DiscoveryJob>& jobs,
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+
+    if (options.progress) {
+      if (result.from_cache) {
+        options.progress->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!result.ok) {
+        options.progress->failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      options.progress->done.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (obs::metrics_enabled()) {
+      obs::Metrics& metrics = obs::Metrics::instance();
+      metrics.add("fleet.jobs_done");
+      if (result.from_cache) metrics.add("fleet.cache_hits");
+      if (!result.ok) metrics.add("fleet.jobs_failed");
+    }
 
     if (options.on_result) {
       // The finished count is bumped under the same lock as the callback so

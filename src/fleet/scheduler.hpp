@@ -10,6 +10,7 @@
 // same executor without spawning additional threads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -20,6 +21,15 @@
 #include "fleet/job.hpp"
 
 namespace mt4g::fleet {
+
+/// Live progress counters of a running sweep. All atomics: safe to poll from
+/// a heartbeat thread while workers update them (mt4g_cli fleet --progress).
+struct FleetProgress {
+  std::atomic<std::size_t> total{0};       ///< sweep size, set once at start
+  std::atomic<std::size_t> done{0};        ///< finished jobs (ok or failed)
+  std::atomic<std::size_t> cache_hits{0};  ///< jobs served by the ResultCache
+  std::atomic<std::size_t> failed{0};      ///< jobs that threw
+};
 
 /// Outcome of one job within a sweep.
 struct JobResult {
@@ -43,6 +53,9 @@ struct SchedulerOptions {
   std::function<void(const JobResult& result, std::size_t done,
                      std::size_t total)>
       on_result;
+  /// Optional live counters, updated lock-free as jobs finish. The caller
+  /// owns the struct and may poll it from another thread (progress display).
+  FleetProgress* progress = nullptr;
 };
 
 /// Runs every job and returns results in job order. Never throws for

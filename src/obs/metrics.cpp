@@ -1,0 +1,169 @@
+#include "obs/metrics.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+
+namespace mt4g::obs {
+namespace {
+
+std::atomic<bool> g_metrics{false};
+
+/// Prometheus metric name: [a-zA-Z_][a-zA-Z0-9_]*. Dots (the registry's
+/// namespacing convention) and any other byte map to '_'.
+std::string sanitize(std::string_view name) {
+  std::string out = "mt4g_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string format_value(double v) {
+  char buf[40];
+  if (std::nearbyint(v) == v && std::fabs(v) < 9e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+bool metrics_enabled() { return g_metrics.load(std::memory_order_relaxed); }
+
+Metrics& Metrics::instance() {
+  static Metrics metrics;
+  return metrics;
+}
+
+void Metrics::enable() { g_metrics.store(true, std::memory_order_release); }
+
+void Metrics::disable() { g_metrics.store(false, std::memory_order_release); }
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+void Metrics::add(std::string_view name, double delta) {
+  if (!metrics_enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.kind = MetricKind::kCounter;
+  }
+  it->second.value += delta;
+}
+
+void Metrics::set(std::string_view name, double value) {
+  if (!metrics_enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+  }
+  it->second.kind = MetricKind::kGauge;
+  it->second.value = value;
+}
+
+void Metrics::observe(std::string_view name, double value) {
+  if (!metrics_enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.kind = MetricKind::kHistogram;
+  }
+  Entry& entry = it->second;
+  entry.value += value;
+  if (entry.count == 0 || value < entry.min) entry.min = value;
+  if (entry.count == 0 || value > entry.max) entry.max = value;
+  ++entry.count;
+}
+
+std::vector<MetricSample> Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back(MetricSample{name, entry.kind, entry.value, entry.count,
+                               entry.min, entry.max});
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::string Metrics::prometheus_text() const {
+  std::string out;
+  for (const MetricSample& sample : snapshot()) {
+    const std::string name = sanitize(sample.name);
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " " + metric_kind_name(sample.kind) + "\n";
+        out += name + " " + format_value(sample.value) + "\n";
+        break;
+      case MetricKind::kHistogram:
+        // Quantile-free summary plus min/max gauges: enough for scrape-side
+        // rate()/avg() without bucket boundaries chosen up front.
+        out += "# TYPE " + name + " summary\n";
+        out += name + "_count " +
+               format_value(static_cast<double>(sample.count)) + "\n";
+        out += name + "_sum " + format_value(sample.value) + "\n";
+        out += "# TYPE " + name + "_min gauge\n";
+        out += name + "_min " + format_value(sample.min) + "\n";
+        out += "# TYPE " + name + "_max gauge\n";
+        out += name + "_max " + format_value(sample.max) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<MetricSample> Metrics::delta(
+    const std::vector<MetricSample>& before,
+    const std::vector<MetricSample>& after) {
+  std::vector<MetricSample> out;
+  out.reserve(after.size());
+  for (const MetricSample& sample : after) {
+    const MetricSample* prior = nullptr;
+    for (const MetricSample& candidate : before) {
+      if (candidate.name == sample.name) {
+        prior = &candidate;
+        break;
+      }
+    }
+    MetricSample d = sample;
+    if (prior != nullptr && sample.kind != MetricKind::kGauge) {
+      d.value -= prior->value;
+      d.count -= prior->count;
+      // min/max stay the whole-run extrema: the summary has no way to
+      // subtract them, and for attribution the sum/count deltas carry the
+      // signal.
+    }
+    if (d.kind != MetricKind::kGauge && d.value == 0.0 && d.count == 0) {
+      continue;  // nothing happened in this interval
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace mt4g::obs

@@ -1,0 +1,112 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/json.hpp"
+
+namespace mt4g::obs {
+namespace {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<std::uint32_t> g_next_tid{1};
+
+/// Dense per-thread index, assigned on first recording. Chrome's viewer
+/// groups events by (pid, tid); small stable integers keep the track list
+/// readable across exports.
+std::uint32_t this_tid() {
+  thread_local std::uint32_t tid = 0;
+  if (tid == 0) tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  trace_start_ns_ = monotonic_ns();
+  g_tracing.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { g_tracing.store(false, std::memory_order_release); }
+
+void Tracer::record(std::string name, std::uint64_t start_ns,
+                    std::uint64_t end_ns) {
+  if (!tracing_enabled()) return;
+  const std::uint32_t tid = this_tid();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A span opened before start() (or across a stop/start cycle) would carry
+  // a timestamp from outside this trace epoch.
+  if (start_ns < trace_start_ns_) return;
+  events_.push_back(TraceEvent{std::move(name), start_ns, end_ns, tid});
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(events_.size() * 96 + 64);
+  out += "{\"traceEvents\":[";
+  char buf[96];
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& event = events_[i];
+    if (i > 0) out += ',';
+    out += "\n{\"name\":\"";
+    out += json::escape(event.name);
+    out += "\",\"cat\":\"mt4g\",\"ph\":\"X\"";
+    const double ts_us =
+        static_cast<double>(event.start_ns - trace_start_ns_) / 1000.0;
+    const double dur_us =
+        static_cast<double>(event.end_ns - event.start_ns) / 1000.0;
+    std::snprintf(buf, sizeof buf,
+                  ",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}", ts_us,
+                  dur_us, event.tid);
+    out += buf;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+SpanGuard::SpanGuard(const char* name) {
+  if (!tracing_enabled()) return;
+  active_ = true;
+  name_ = name;
+  start_ns_ = monotonic_ns();
+}
+
+SpanGuard::SpanGuard(const char* prefix, std::string_view detail) {
+  if (!tracing_enabled()) return;
+  active_ = true;
+  name_.reserve(std::strlen(prefix) + detail.size());
+  name_ = prefix;
+  name_ += detail;
+  start_ns_ = monotonic_ns();
+}
+
+SpanGuard::~SpanGuard() {
+  if (!active_) return;
+  Tracer::instance().record(std::move(name_), start_ns_, monotonic_ns());
+}
+
+}  // namespace mt4g::obs

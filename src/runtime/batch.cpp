@@ -4,6 +4,8 @@
 #include <cstddef>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mt4g::runtime {
 
@@ -21,7 +23,16 @@ sim::Gpu ReplicaCache::acquire(const sim::Gpu& owner) {
     }
   }
   // The fork seed is irrelevant: every user resets the replica before use.
-  return owner.fork(owner.seed());
+  const obs::SpanGuard span("replica.fork");
+  const bool timed = obs::metrics_enabled();
+  const std::uint64_t start_ns = timed ? obs::monotonic_ns() : 0;
+  sim::Gpu replica = owner.fork(owner.seed());
+  if (timed) {
+    obs::Metrics::instance().observe(
+        "replica.fork_ns",
+        static_cast<double>(obs::monotonic_ns() - start_ns));
+  }
+  return replica;
 }
 
 void ReplicaCache::release(sim::Gpu&& replica) {
@@ -142,6 +153,7 @@ std::vector<PChaseResult> run_chase_batch(sim::Gpu& gpu,
                                           const ChaseBatchOptions& options) {
   std::vector<PChaseResult> results(specs.size());
   if (specs.empty()) return results;
+  const obs::SpanGuard batch_span("chase.batch");
 
   ReplicaPool local_pool;
   ReplicaPool& pool = options.pool ? *options.pool : local_pool;
@@ -162,28 +174,32 @@ std::vector<PChaseResult> run_chase_batch(sim::Gpu& gpu,
   // hash -> indices already pending, so duplicate detection stays linear
   // even for the N^2-pair CU-sharing batches.
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> first_seen;
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    const std::uint64_t hash = chase_noise_seed(gpu.seed(), specs[i]);
-    if (options.memoize) {
-      if (const PChaseResult* hit = probe_memo(pool, hash, specs[i])) {
-        results[i] = *hit;
-        results[i].total_cycles = 0;
-        results[i].from_cache = true;
-        ++pool.memo_stats.hits;
-        continue;
+  const std::uint64_t memo_hits_before = pool.memo_stats.hits;
+  {
+    const obs::SpanGuard memo_span("memo.resolve");
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const std::uint64_t hash = chase_noise_seed(gpu.seed(), specs[i]);
+      if (options.memoize) {
+        if (const PChaseResult* hit = probe_memo(pool, hash, specs[i])) {
+          results[i] = *hit;
+          results[i].total_cycles = 0;
+          results[i].from_cache = true;
+          ++pool.memo_stats.hits;
+          continue;
+        }
+        auto& candidates = first_seen[hash];
+        const auto earlier = std::find_if(
+            candidates.begin(), candidates.end(),
+            [&](std::size_t j) { return specs[j] == specs[i]; });
+        if (earlier != candidates.end()) {
+          copy_from[i] = static_cast<std::ptrdiff_t>(*earlier);
+          continue;
+        }
+        candidates.push_back(i);
       }
-      auto& candidates = first_seen[hash];
-      const auto earlier = std::find_if(
-          candidates.begin(), candidates.end(),
-          [&](std::size_t j) { return specs[j] == specs[i]; });
-      if (earlier != candidates.end()) {
-        copy_from[i] = static_cast<std::ptrdiff_t>(*earlier);
-        continue;
-      }
-      candidates.push_back(i);
+      pending.push_back(i);
+      pending_hash.push_back(hash);
     }
-    pending.push_back(i);
-    pending_hash.push_back(hash);
   }
 
   if (!pending.empty()) {
@@ -192,19 +208,42 @@ std::vector<PChaseResult> run_chase_batch(sim::Gpu& gpu,
         std::max<std::uint32_t>(options.threads, 1), pending.size()));
     while (pool.replicas.size() < workers) {
       // The fork seed is irrelevant: every chase re-seeds its replica below.
-      pool.replicas.push_back(pool.replica_cache
-                                  ? pool.replica_cache->acquire(gpu)
-                                  : gpu.fork(gpu.seed()));
+      // (ReplicaCache::acquire books its own replica.fork span when it has
+      // to fork instead of recycling.)
+      if (pool.replica_cache) {
+        pool.replicas.push_back(pool.replica_cache->acquire(gpu));
+      } else {
+        const obs::SpanGuard fork_span("replica.fork");
+        const bool timed = obs::metrics_enabled();
+        const std::uint64_t fork_start = timed ? obs::monotonic_ns() : 0;
+        pool.replicas.push_back(gpu.fork(gpu.seed()));
+        if (timed) {
+          obs::Metrics::instance().observe(
+              "replica.fork_ns",
+              static_cast<double>(obs::monotonic_ns() - fork_start));
+        }
+      }
     }
 
     const PChaseEngine engine = pchase_engine();
     const auto run_one = [&](std::size_t k, std::uint32_t slot) {
       const std::size_t index = pending[k];
       sim::Gpu& replica = pool.replicas[slot];
-      replica.flush_caches();
-      // The memo key IS the noise-stream seed (both are the full spec fold).
-      replica.reseed_noise(pending_hash[k]);
+      {
+        const obs::SpanGuard reset_span("replica.reset");
+        const bool timed = obs::metrics_enabled();
+        const std::uint64_t reset_start = timed ? obs::monotonic_ns() : 0;
+        replica.flush_caches();
+        // The memo key IS the noise-stream seed (both are the full spec fold).
+        replica.reseed_noise(pending_hash[k]);
+        if (timed) {
+          obs::Metrics::instance().observe(
+              "replica.reset_ns",
+              static_cast<double>(obs::monotonic_ns() - reset_start));
+        }
+      }
       const ScopedPChaseEngine scope(engine);  // workers default to kCompiled
+      const obs::SpanGuard chase_span("chase.run");
       results[index] = run_chase(replica, specs[index]);
     };
 
@@ -231,6 +270,14 @@ std::vector<PChaseResult> run_chase_batch(sim::Gpu& gpu,
     results[i].total_cycles = 0;
     results[i].from_cache = true;
     ++pool.memo_stats.hits;
+  }
+  if (obs::metrics_enabled()) {
+    obs::Metrics& metrics = obs::Metrics::instance();
+    const std::uint64_t hits = pool.memo_stats.hits - memo_hits_before;
+    if (hits > 0) metrics.add("memo.hits", static_cast<double>(hits));
+    if (options.memoize && !pending.empty()) {
+      metrics.add("memo.misses", static_cast<double>(pending.size()));
+    }
   }
   return results;
 }

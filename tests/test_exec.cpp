@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <latch>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -91,6 +92,52 @@ TEST(Executor, NestedParallelForMakesProgress) {
     });
   });
   EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ExecutorStats, CountsTasksBatchesAndQueueDepth) {
+  Executor executor(2);
+  const ExecutorStats before = executor.stats();
+  executor.parallel_for(10, 0, [](std::size_t, std::uint32_t) {});
+  executor.parallel_for(5, 1, [](std::size_t, std::uint32_t) {});  // serial
+  const ExecutorStats after = executor.stats();
+  EXPECT_EQ(after.batches - before.batches, 2u);
+  EXPECT_EQ(after.tasks - before.tasks, 15u);
+  EXPECT_EQ(after.caller_tasks + after.pool_tasks, after.tasks);
+  // The pooled batch was pushed onto the claimable queue at least once.
+  EXPECT_GE(after.max_queue_depth, 1u);
+}
+
+TEST(ExecutorStats, CallerParticipationIsExercised) {
+  // A latch with one arrival per participant blocks every task until ALL
+  // participants (2 pool threads + the caller) have claimed one — so the
+  // caller provably executes a task; no race can hand all three to the pool.
+  Executor executor(2);
+  const ExecutorStats before = executor.stats();
+  std::latch arrived(3);
+  executor.parallel_for(3, 3, [&](std::size_t, std::uint32_t) {
+    arrived.arrive_and_wait();
+  });
+  const ExecutorStats after = executor.stats();
+  EXPECT_EQ(after.tasks - before.tasks, 3u);
+  EXPECT_GE(after.caller_tasks - before.caller_tasks, 1u);
+  EXPECT_GT(after.caller_busy_ns, before.caller_busy_ns);
+  EXPECT_GT(after.caller_busy_fraction(), 0.0)
+      << "the calling thread must participate in its own batches";
+  EXPECT_GT(after.pool_tasks - before.pool_tasks, 0u);
+  EXPECT_GT(after.worker_busy_fraction, 0.0);
+  EXPECT_GT(after.queue_wait_ns, before.queue_wait_ns);
+}
+
+TEST(ExecutorStats, NestedBatchesAreCounted) {
+  Executor executor(2);
+  const ExecutorStats before = executor.stats();
+  executor.parallel_for(2, 0, [&](std::size_t, std::uint32_t) {
+    executor.parallel_for(4, 0, [](std::size_t, std::uint32_t) {});
+  });
+  const ExecutorStats after = executor.stats();
+  EXPECT_EQ(after.batches - before.batches, 3u);
+  EXPECT_EQ(after.nested_batches - before.nested_batches, 2u);
+  EXPECT_EQ(after.tasks - before.tasks, 10u);
 }
 
 TEST(Executor, SharedExecutorIsAProcessSingleton) {
