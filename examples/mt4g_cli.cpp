@@ -7,6 +7,11 @@
 // single run: `mt4g fleet --models all --seeds 3 --workers 8` sweeps the
 // whole registry (incl. MIG partitions) in parallel, caches results in a
 // JSON file, and writes an aggregated cross-GPU fleet report.
+//
+// The `spec` subcommand manages the data-driven model registry: `export`
+// writes every embedded built-in as a canonical specs/*.json file, `check`
+// is the CI drift gate between those files and the binary, `validate` and
+// `hash` operate on user spec files (see README "Model spec files").
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -25,6 +30,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/gpu.hpp"
+#include "sim/registry.hpp"
+#include "sim/spec_io.hpp"
 
 namespace {
 
@@ -115,9 +122,199 @@ class ProgressHeartbeat {
   std::thread thread_;
 };
 
+/// Builds a custom registry: embedded built-ins, overlaid with --model-dir,
+/// then each --model-spec file (last wins). Returns nullopt after printing
+/// every load/validation diagnostic. @p spec_names collects the model names
+/// the --model-spec files resolved to, in order.
+std::optional<sim::ModelRegistry> custom_registry(
+    const std::string& model_dir, const std::vector<std::string>& model_specs,
+    std::vector<std::string>* spec_names, const char* prog) {
+  try {
+    sim::ModelRegistry registry = sim::builtin_registry();
+    if (!model_dir.empty()) registry.add_directory(model_dir);
+    for (const auto& file : model_specs) {
+      const std::string name = registry.add_file(file);
+      if (spec_names) spec_names->push_back(name);
+    }
+    registry.freeze();
+    return registry;
+  } catch (const sim::SpecError& e) {
+    for (const auto& diagnostic : e.details()) {
+      std::fprintf(stderr, "%s: %s\n", prog, diagnostic.c_str());
+    }
+    return std::nullopt;
+  }
+}
+
+const char kSpecUsage[] =
+    "usage: mt4g spec <command> [args]\n"
+    "  export [--out DIR]    write every built-in model as a canonical spec\n"
+    "                        JSON file (default DIR: specs)\n"
+    "  validate FILE...      parse and validate spec files\n"
+    "  check [DIR]           verify DIR/<model>.json (default specs/) byte-\n"
+    "                        matches the embedded built-ins (CI drift gate)\n"
+    "  hash NAME|FILE...     print the spec content hash (the cache-key\n"
+    "                        component) of registry models or spec files\n";
+
+int run_spec(int argc, char** argv) {
+  if (argc < 1) {
+    std::fputs(kSpecUsage, stderr);
+    return 2;
+  }
+  const std::string command = argv[0];
+  if (command == "--help" || command == "-h") {
+    std::fputs(kSpecUsage, stdout);
+    return 0;
+  }
+
+  if (command == "export") {
+    std::string out_dir = "specs";
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--out" && i + 1 < argc) {
+        out_dir = argv[++i];
+      } else {
+        std::fprintf(stderr, "mt4g spec export: unknown argument '%s'\n",
+                     arg.c_str());
+        return 2;
+      }
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "mt4g spec export: cannot create %s: %s\n",
+                   out_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    sim::ModelRegistry registry = sim::builtin_registry();
+    registry.freeze();
+    for (const auto& entry : registry.entries()) {
+      if (!write_file(out_dir + "/" + entry.spec.name + ".json",
+                      sim::spec_to_json(entry.spec))) {
+        return 1;
+      }
+    }
+    std::printf("wrote %zu spec files to %s\n", registry.size(),
+                out_dir.c_str());
+    return 0;
+  }
+
+  if (command == "validate") {
+    if (argc < 2) {
+      std::fprintf(stderr, "mt4g spec validate: no files given\n");
+      return 2;
+    }
+    bool ok = true;
+    for (int i = 1; i < argc; ++i) {
+      try {
+        const sim::GpuSpec spec = sim::load_spec_file(argv[i]);
+        const std::vector<std::string> problems = sim::validate_spec(spec);
+        if (problems.empty()) {
+          std::printf("%s: ok (%s, hash %s)\n", argv[i], spec.name.c_str(),
+                      sim::spec_content_hash_hex(spec).c_str());
+        } else {
+          ok = false;
+          for (const auto& problem : problems) {
+            std::fprintf(stderr, "%s: %s\n", argv[i], problem.c_str());
+          }
+        }
+      } catch (const sim::SpecError& e) {
+        ok = false;
+        for (const auto& diagnostic : e.details()) {
+          std::fprintf(stderr, "%s\n", diagnostic.c_str());
+        }
+      }
+    }
+    return ok ? 0 : 1;
+  }
+
+  if (command == "check") {
+    const std::string dir = argc >= 2 ? argv[1] : "specs";
+    sim::ModelRegistry registry = sim::builtin_registry();
+    registry.freeze();
+    bool ok = true;
+    for (const auto& entry : registry.entries()) {
+      const std::string path = dir + "/" + entry.spec.name + ".json";
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr,
+                     "spec check: missing %s (run `mt4g spec export --out "
+                     "%s`)\n",
+                     path.c_str(), dir.c_str());
+        ok = false;
+        continue;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      if (buffer.str() != sim::spec_to_json(entry.spec)) {
+        std::fprintf(stderr,
+                     "spec check: %s drifted from the embedded built-in "
+                     "(re-run `mt4g spec export --out %s` after a deliberate "
+                     "model change, or fix builtin_models.cpp)\n",
+                     path.c_str(), dir.c_str());
+        ok = false;
+      }
+    }
+    std::error_code ec;
+    for (const auto& file : std::filesystem::directory_iterator(dir, ec)) {
+      if (file.path().extension() != ".json") continue;
+      if (!registry.contains(file.path().stem().string())) {
+        std::fprintf(stderr,
+                     "spec check: %s does not correspond to any built-in "
+                     "model\n",
+                     file.path().string().c_str());
+        ok = false;
+      }
+    }
+    if (ok) {
+      std::printf("spec check: %zu spec files match the embedded built-ins\n",
+                  registry.size());
+    }
+    return ok ? 0 : 1;
+  }
+
+  if (command == "hash") {
+    if (argc < 2) {
+      std::fprintf(stderr, "mt4g spec hash: no models or files given\n");
+      return 2;
+    }
+    bool ok = true;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      try {
+        if (std::filesystem::exists(arg)) {
+          const sim::GpuSpec spec = sim::load_spec_file(arg);
+          std::printf("%s  %s (%s)\n",
+                      sim::spec_content_hash_hex(spec).c_str(), arg.c_str(),
+                      spec.name.c_str());
+        } else {
+          std::printf("%s  %s\n",
+                      sim::spec_content_hash_hex(
+                          sim::default_registry().get(arg)).c_str(),
+                      arg.c_str());
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "mt4g spec hash: %s\n", e.what());
+        ok = false;
+      }
+    }
+    return ok ? 0 : 1;
+  }
+
+  std::fprintf(stderr, "mt4g spec: unknown command '%s'\n", command.c_str());
+  std::fputs(kSpecUsage, stderr);
+  return 2;
+}
+
 const char kFleetUsage[] =
     "usage: mt4g fleet [options]\n"
-    "  --models all|NAME[,NAME...]  registry models to sweep (default all)\n"
+    "  --models all|NAME[,NAME...]  registry models to sweep (default all;\n"
+    "                               with --model-spec, default = the spec\n"
+    "                               files' models)\n"
+    "  --model-dir DIR              overlay every *.json GPU spec in DIR onto\n"
+    "                               the built-in registry for this sweep\n"
+    "  --model-spec FILE            load a GPU spec file (repeatable); see\n"
+    "                               README \"Model spec files\"\n"
     "  --seeds N                    noise seeds per configuration (default 1)\n"
     "  --first-seed N               first seed value (default 42)\n"
     "  --workers N                  worker threads (default hardware)\n"
@@ -147,6 +344,8 @@ int run_fleet(int argc, char** argv) {
   fleet::SchedulerOptions scheduler;
   std::string cache_path;    // empty = derive from out dir
   std::string baseline_dir;
+  std::string model_dir;
+  std::vector<std::string> model_specs;
   std::string out_dir = ".";
   std::string trace_path;
   std::string metrics_path;
@@ -193,6 +392,10 @@ int run_fleet(int argc, char** argv) {
       bench_threads = count_value(1);
     } else if (arg == "--no-mig") {
       plan.include_mig = false;
+    } else if (arg == "--model-dir") {
+      model_dir = value();
+    } else if (arg == "--model-spec") {
+      model_specs.push_back(value());
     } else if (arg == "--cache") {
       cache_path = value();
     } else if (arg == "--baseline") {
@@ -217,10 +420,23 @@ int run_fleet(int argc, char** argv) {
     std::fprintf(stderr, "mt4g fleet: --seeds must be >= 1\n");
     return 2;
   }
+  // Must outlive expand_jobs() below (plan.registry points into it).
+  std::optional<sim::ModelRegistry> custom;
+  if (!model_dir.empty() || !model_specs.empty()) {
+    std::vector<std::string> spec_names;
+    custom = custom_registry(model_dir, model_specs, &spec_names, "mt4g fleet");
+    if (!custom) return 2;
+    plan.registry = &*custom;
+    // A spec-file sweep without --models covers exactly the file models.
+    if (plan.models.empty() && !spec_names.empty()) plan.models = spec_names;
+  }
+  const sim::ModelRegistry& registry =
+      custom ? *custom : sim::default_registry();
   for (const auto& model : plan.models) {
-    if (!sim::registry_contains(model)) {
-      std::fprintf(stderr, "mt4g fleet: unknown GPU '%s' (see --list)\n",
-                   model.c_str());
+    try {
+      registry.get(model);
+    } catch (const sim::UnknownModelError& e) {
+      std::fprintf(stderr, "mt4g fleet: %s\n", e.what());
       return 2;
     }
   }
@@ -347,6 +563,9 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "fleet") {
     return run_fleet(argc - 2, argv + 2);
   }
+  if (argc > 1 && std::string(argv[1]) == "spec") {
+    return run_spec(argc - 2, argv + 2);
+  }
   const cli::ParseResult parsed = cli::parse(argc, argv);
   if (parsed.show_help) {
     std::fputs(cli::usage().c_str(), stdout);
@@ -361,18 +580,36 @@ int main(int argc, char** argv) {
   }
   const cli::Options& options = parsed.options;
 
+  // --model-dir / --model-spec build a run-local registry over the built-ins;
+  // without them every lookup goes to the process-wide default registry.
+  std::optional<sim::ModelRegistry> custom;
+  std::string gpu_name = options.gpu_name;
+  if (!options.model_dir.empty() || !options.model_specs.empty()) {
+    std::vector<std::string> spec_names;
+    custom = custom_registry(options.model_dir, options.model_specs,
+                             &spec_names, "mt4g");
+    if (!custom) return 2;
+    if (!options.gpu_name_set && !spec_names.empty()) {
+      gpu_name = spec_names.back();
+    }
+  }
+  const sim::ModelRegistry& registry =
+      custom ? *custom : sim::default_registry();
+
   if (options.list_gpus) {
-    for (const auto& name : sim::registry_all_names()) {
-      const auto& spec = sim::registry_get(name);
+    for (const auto& name : registry.all_names()) {
+      const auto& spec = registry.get(name);
       std::printf("%-12s %-7s %-8s %s\n", name.c_str(),
                   sim::vendor_name(spec.vendor).c_str(),
                   spec.microarchitecture.c_str(), spec.model.c_str());
     }
     return 0;
   }
-  if (!sim::registry_contains(options.gpu_name)) {
-    std::fprintf(stderr, "mt4g: unknown GPU '%s' (see --list)\n",
-                 options.gpu_name.c_str());
+  const sim::GpuSpec* model = nullptr;
+  try {
+    model = &registry.get(gpu_name);
+  } catch (const sim::UnknownModelError& e) {
+    std::fprintf(stderr, "mt4g: %s\n", e.what());
     return 2;
   }
 
@@ -390,13 +627,13 @@ int main(int argc, char** argv) {
   discover_options.sweep_threads = options.sweep_threads;
   discover_options.bench_threads = options.bench_threads;
 
-  const sim::GpuSpec spec = core::apply_cache_config(
-      sim::registry_get(options.gpu_name), options.cache_config);
+  const sim::GpuSpec spec =
+      core::apply_cache_config(*model, options.cache_config);
   sim::Gpu gpu(spec, options.seed);
 
   if (!options.quiet) {
     std::fprintf(stderr, "mt4g: analysing %s (%s, %s, seed %llu)...\n",
-                 options.gpu_name.c_str(),
+                 gpu_name.c_str(),
                  sim::vendor_name(spec.vendor).c_str(),
                  options.cache_config.c_str(),
                  static_cast<unsigned long long>(options.seed));
@@ -409,7 +646,7 @@ int main(int argc, char** argv) {
                  report.benchmarks_executed, report.simulated_seconds);
   }
 
-  const std::string prefix = options.output_dir + "/" + options.gpu_name;
+  const std::string prefix = options.output_dir + "/" + gpu_name;
   bool ok = true;
   if (options.emit_json_file) {
     ok &= write_file(prefix + ".json", core::to_json_string(report) + "\n");

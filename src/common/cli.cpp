@@ -37,7 +37,14 @@ ParseResult parse(int argc, const char* const* argv) {
     } else if (arg == "-h" || arg == "--help") {
       result.show_help = true;
     } else if (arg == "--gpu") {
-      if (auto v = need_value(i, arg)) result.options.gpu_name = *v;
+      if (auto v = need_value(i, arg)) {
+        result.options.gpu_name = *v;
+        result.options.gpu_name_set = true;
+      }
+    } else if (arg == "--model-dir") {
+      if (auto v = need_value(i, arg)) result.options.model_dir = *v;
+    } else if (arg == "--model-spec") {
+      if (auto v = need_value(i, arg)) result.options.model_specs.push_back(*v);
     } else if (arg == "--seed") {
       if (auto v = need_value(i, arg)) {
         try {
@@ -94,6 +101,11 @@ Usage: mt4g [options]
        mt4g fleet [fleet-options]   parallel whole-registry sweep
                                     (see `mt4g fleet --help`)
   --gpu <name>           GPU model to analyse (default H100-80; see --list)
+  --model-dir <dir>      overlay every *.json GPU spec in <dir> onto the
+                         built-in registry (same as $MT4G_MODEL_DIR)
+  --model-spec <file>    load a GPU spec file (repeatable); without --gpu the
+                         file's model is the one analysed — see README
+                         "Model spec files" for the schema
   --list                 list available GPU models and exit
   --seed <n>             simulator noise seed (default 42)
   --only <set>           restrict to a comma-separated element set, e.g.

@@ -14,6 +14,7 @@ namespace mt4g::cli {
 
 struct Options {
   std::string gpu_name = "H100-80";   ///< registry key of the simulated GPU
+  bool gpu_name_set = false;          ///< --gpu given explicitly
   std::uint64_t seed = 42;            ///< simulator noise seed
   bool emit_graphs = false;           ///< -g: dump reduction series (Fig. 2 data)
   bool emit_raw = false;              ///< -o: legacy CSV attribute table
@@ -35,6 +36,12 @@ struct Options {
   /// --metrics FILE: enable the obs metrics registry, dump it as Prometheus
   /// text, and embed the per-discovery aggregation as meta.wall in the JSON.
   std::string metrics_path;
+  /// --model-dir DIR: overlay every *.json GPU spec of DIR onto the built-in
+  /// registry before the run (same semantics as $MT4G_MODEL_DIR).
+  std::string model_dir;
+  /// --model-spec FILE: load one GPU spec file (repeatable). Without an
+  /// explicit --gpu, the (last) file's model becomes the analysed GPU.
+  std::vector<std::string> model_specs;
 };
 
 struct ParseResult {

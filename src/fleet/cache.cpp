@@ -11,7 +11,9 @@
 namespace mt4g::fleet {
 namespace {
 
-constexpr int kCacheFileVersion = 1;
+// v2: job keys gained the spec=<hex16> model-content component, so every v1
+// entry is keyed without the spec identity and must not be served.
+constexpr int kCacheFileVersion = 2;
 
 }  // namespace
 

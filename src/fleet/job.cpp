@@ -22,6 +22,16 @@ std::uint64_t fnv1a(const std::string& text) {
   return h;
 }
 
+std::string hex16(std::uint64_t h) {
+  static const char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string DiscoveryJob::key() const {
@@ -47,25 +57,28 @@ std::string DiscoveryJob::key() const {
   k += ";series=" + std::string(options.collect_series ? "1" : "0");
   k += ";compute=" + std::string(options.measure_compute ? "1" : "0");
   k += ";records=" + std::to_string(options.record_count);
+  // Model content identity: a spec edit (file or registry) changes the key,
+  // so cached results can never go stale against the model they were run on.
+  std::uint64_t resolved = spec_hash;
+  if (resolved == 0 && spec) resolved = sim::spec_content_hash(*spec);
+  if (resolved == 0) {
+    if (const sim::ModelEntry* entry = sim::default_registry().find(model)) {
+      resolved = entry->content_hash;
+    }
+  }
+  k += ";spec=" + (resolved == 0 ? std::string("-") : hex16(resolved));
   return k;
 }
 
 std::uint64_t DiscoveryJob::hash() const { return fnv1a(key()); }
 
-std::string DiscoveryJob::hash_hex() const {
-  static const char digits[] = "0123456789abcdef";
-  std::uint64_t h = hash();
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[static_cast<std::size_t>(i)] = digits[h & 0xF];
-    h >>= 4;
-  }
-  return out;
-}
+std::string DiscoveryJob::hash_hex() const { return hex16(hash()); }
 
 std::vector<DiscoveryJob> expand_jobs(const SweepPlan& plan) {
+  const sim::ModelRegistry& registry =
+      plan.registry ? *plan.registry : sim::default_registry();
   const std::vector<std::string> models =
-      plan.models.empty() ? sim::registry_all_names() : plan.models;
+      plan.models.empty() ? registry.all_names() : plan.models;
   const std::vector<core::DiscoverOptions> variants =
       plan.option_variants.empty()
           ? std::vector<core::DiscoverOptions>{core::DiscoverOptions{}}
@@ -73,12 +86,18 @@ std::vector<DiscoveryJob> expand_jobs(const SweepPlan& plan) {
 
   std::vector<DiscoveryJob> jobs;
   for (const auto& model : models) {
+    // Resolve each model once; all of its jobs share one spec copy and the
+    // registry-computed content hash.
+    const sim::ModelEntry* entry = registry.find(model);
+    std::shared_ptr<const sim::GpuSpec> spec;
+    if (entry) spec = std::make_shared<const sim::GpuSpec>(entry->spec);
+
     // Partitions: "" (full GPU) first, then each MIG profile by name. The
     // "full" pseudo-profile in the registry duplicates the unpartitioned GPU,
     // so it is skipped.
     std::vector<std::string> partitions = {""};
-    if (plan.include_mig && sim::registry_contains(model)) {
-      for (const auto& profile : sim::registry_get(model).mig_profiles) {
+    if (plan.include_mig && spec) {
+      for (const auto& profile : spec->mig_profiles) {
         if (profile.name != "full") partitions.push_back(profile.name);
       }
     }
@@ -91,6 +110,8 @@ std::vector<DiscoveryJob> expand_jobs(const SweepPlan& plan) {
           job.mig_profile = partition;
           job.cache_config = plan.cache_config;
           job.options = variant;
+          job.spec = spec;
+          job.spec_hash = entry ? entry->content_hash : 0;
           jobs.push_back(std::move(job));
         }
       }
@@ -101,7 +122,8 @@ std::vector<DiscoveryJob> expand_jobs(const SweepPlan& plan) {
 
 core::TopologyReport run_job(const DiscoveryJob& job) {
   const sim::GpuSpec spec = core::apply_cache_config(
-      sim::registry_get(job.model), job.cache_config);
+      job.spec ? *job.spec : sim::default_registry().get(job.model),
+      job.cache_config);
 
   std::optional<sim::MigProfile> mig;
   if (!job.mig_profile.empty()) {

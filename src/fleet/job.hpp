@@ -9,11 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/collector.hpp"
 #include "core/report.hpp"
+#include "sim/registry.hpp"
 
 namespace mt4g::fleet {
 
@@ -24,12 +26,22 @@ struct DiscoveryJob {
   std::string mig_profile;                 ///< MIG profile name; "" = full GPU
   std::string cache_config = "PreferL1";   ///< L1/Shared split policy
   core::DiscoverOptions options;
+  /// Resolved model spec. Null = look `model` up in default_registry() at run
+  /// time; expand_jobs() pre-resolves it so a sweep over a custom registry
+  /// carries the actual spec with every job.
+  std::shared_ptr<const sim::GpuSpec> spec;
+  /// Content hash of the resolved spec (sim::spec_content_hash). 0 = derive
+  /// on demand from `spec` or the default registry. Part of key(): editing a
+  /// spec file changes the job identity, so the result cache can never serve
+  /// a stale report for a modified model.
+  std::uint64_t spec_hash = 0;
 
   /// Canonical identity string: every field in a fixed order with explicit
   /// separators. Two jobs are the same work iff their keys are equal.
   /// DiscoverOptions::sweep_threads is deliberately excluded — it is an
   /// execution knob whose report is byte-identical for every value, so a
-  /// cached result answers any thread setting.
+  /// cached result answers any thread setting. The trailing spec=<hex16>
+  /// component is the content hash of the model spec the job resolves to.
   std::string key() const;
 
   /// Stable 64-bit FNV-1a hash of key(). Identical across processes,
@@ -60,6 +72,10 @@ struct SweepPlan {
   std::vector<core::DiscoverOptions> option_variants;
   /// Cache-config policy applied to every job.
   std::string cache_config = "PreferL1";
+  /// Model catalogue the sweep draws from; nullptr = sim::default_registry().
+  /// Jobs copy the resolved specs, so the registry only needs to live through
+  /// expand_jobs() itself.
+  const sim::ModelRegistry* registry = nullptr;
 };
 
 /// Expands a plan into the concrete, deterministically ordered job list:

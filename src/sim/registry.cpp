@@ -1,609 +1,275 @@
 #include "sim/registry.hpp"
 
-#include <map>
-#include <stdexcept>
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 
-#include "common/units.hpp"
+#include "common/strings.hpp"
 
 namespace mt4g::sim {
 namespace {
 
-// --- Element builders -------------------------------------------------------
-
-ElementSpec cache(std::uint64_t size, std::uint32_t line, std::uint32_t sector,
-                  std::uint32_t assoc, double latency,
-                  std::uint32_t physical_group = 0, std::uint32_t amount = 1,
-                  bool per_sm = true) {
-  ElementSpec e;
-  e.size_bytes = size;
-  e.line_bytes = line;
-  e.sector_bytes = sector;
-  e.associativity = assoc;
-  e.latency_cycles = latency;
-  e.physical_group = physical_group;
-  e.amount = amount;
-  e.per_sm = per_sm;
-  return e;
-}
-
-ElementSpec scratchpad(std::uint64_t size, double latency) {
-  ElementSpec e;
-  e.size_bytes = size;
-  e.latency_cycles = latency;
-  e.size_from_api = true;
-  e.per_sm = true;
-  return e;
-}
-
-ElementSpec device_memory(std::uint64_t size, double latency, double read_bw,
-                          double write_bw) {
-  ElementSpec e;
-  e.size_bytes = size;
-  e.latency_cycles = latency;
-  e.size_from_api = true;
-  e.per_sm = false;
-  e.read_bw_bytes_per_s = read_bw;
-  e.write_bw_bytes_per_s = write_bw;
-  return e;
-}
-
-double tib(double x) { return x * static_cast<double>(TiB); }
-
-// --- NVIDIA models -----------------------------------------------------------
-
-GpuSpec make_h100_80() {
-  GpuSpec g;
-  g.name = "H100-80";
-  g.model = "H100 80GB HBM3";
-  g.microarchitecture = "Hopper";
-  g.vendor = Vendor::kNvidia;
-  g.compute_capability = "9.0";
-  g.clock_mhz = 1980;
-  g.memory_clock_mhz = 2619;
-  g.memory_bus_bits = 5120;
-  g.num_sms = 132;
-  g.cores_per_sm = 128;
-  g.warp_size = 32;
-  g.max_threads_per_block = 1024;
-  g.max_threads_per_sm = 2048;
-  g.max_blocks_per_sm = 32;
-  g.regs_per_block = 65536;
-  g.regs_per_sm = 65536;
-  // "True L1" of 238 KiB after the PreferL1 split of the 256 KB L1+Shared
-  // array (paper Table III). L1/Texture/ReadOnly share one physical cache.
-  g.elements[Element::kL1] = cache(238 * KiB, 128, 32, 4, 38, /*group=*/0);
-  g.elements[Element::kTexture] = cache(238 * KiB, 128, 32, 4, 39, 0);
-  g.elements[Element::kReadOnly] = cache(238 * KiB, 128, 32, 4, 35, 0);
-  g.elements[Element::kConstL1] = cache(2 * KiB, 64, 64, 4, 21, 1);
-  // Const L1.5 true size is unknown (> the 64 KiB testable range); we model
-  // 128 KiB so the tool's ">64KiB, confidence 0" behaviour reproduces.
-  g.elements[Element::kConstL15] = cache(128 * KiB, 256, 64, 8, 105, 2);
-  g.elements[Element::kSharedMem] = scratchpad(228 * KiB, 30);
-  {
-    auto l2 = cache(25 * MiB, 128, 32, 16, 220, 0, /*amount=*/2, false);
-    l2.size_from_api = true;
-    l2.read_bw_bytes_per_s = tib(4.4);
-    l2.write_bw_bytes_per_s = tib(3.4);
-    g.elements[Element::kL2] = l2;
-  }
-  g.elements[Element::kDeviceMem] =
-      device_memory(80 * GiB, 843, tib(2.5), tib(2.7));
-  return g;
-}
-
-GpuSpec make_h100_96() {
-  GpuSpec g = make_h100_80();
-  g.name = "H100-96";
-  g.model = "H100 96GB HBM3";
-  g.clock_mhz = 1785;
-  g.elements[Element::kDeviceMem] =
-      device_memory(96 * GiB, 855, tib(2.6), tib(2.8));
-  return g;
-}
-
-GpuSpec make_a100() {
-  GpuSpec g;
-  g.name = "A100";
-  g.model = "A100 40GB";
-  g.microarchitecture = "Ampere";
-  g.vendor = Vendor::kNvidia;
-  g.compute_capability = "8.0";
-  g.clock_mhz = 1410;
-  g.memory_clock_mhz = 1215;
-  g.memory_bus_bits = 5120;
-  g.num_sms = 108;
-  g.cores_per_sm = 64;
-  g.warp_size = 32;
-  g.max_threads_per_block = 1024;
-  g.max_threads_per_sm = 2048;
-  g.max_blocks_per_sm = 32;
-  g.elements[Element::kL1] = cache(192 * KiB, 128, 32, 4, 33, 0);
-  g.elements[Element::kTexture] = cache(192 * KiB, 128, 32, 4, 35, 0);
-  g.elements[Element::kReadOnly] = cache(192 * KiB, 128, 32, 4, 32, 0);
-  g.elements[Element::kConstL1] = cache(2 * KiB, 64, 64, 4, 24, 1);
-  g.elements[Element::kConstL15] = cache(64 * KiB, 256, 64, 8, 100, 2);
-  g.elements[Element::kSharedMem] = scratchpad(164 * KiB, 29);
-  {
-    // 40 MB L2 formed by two 20 MB partitions (paper footnote 13).
-    auto l2 = cache(20 * MiB, 128, 32, 16, 200, 0, 2, false);
-    l2.size_from_api = true;
-    l2.read_bw_bytes_per_s = tib(2.3);
-    l2.write_bw_bytes_per_s = tib(1.9);
-    g.elements[Element::kL2] = l2;
-  }
-  g.elements[Element::kDeviceMem] =
-      device_memory(40 * GiB, 800, tib(1.3), tib(1.2));
-  g.mig_profiles = {
-      {"full", 108, 40 * MiB, 40 * GiB, 1.0},
-      {"4g.20gb", 56, 20 * MiB, 20 * GiB, 4.0 / 7.0},
-      {"3g.20gb", 42, 20 * MiB, 20 * GiB, 3.0 / 7.0},
-      {"2g.10gb", 28, 10 * MiB, 10 * GiB, 2.0 / 7.0},
-      {"1g.5gb", 14, 5 * MiB, 5 * GiB, 1.0 / 7.0},
-  };
-  return g;
-}
-
-GpuSpec make_v100() {
-  GpuSpec g;
-  g.name = "V100";
-  g.model = "V100 16GB";
-  g.microarchitecture = "Volta";
-  g.vendor = Vendor::kNvidia;
-  g.compute_capability = "7.0";
-  g.clock_mhz = 1380;
-  g.memory_clock_mhz = 877;
-  g.memory_bus_bits = 4096;
-  g.num_sms = 80;
-  g.cores_per_sm = 64;
-  g.warp_size = 32;
-  g.max_threads_per_block = 1024;
-  g.max_threads_per_sm = 2048;
-  g.max_blocks_per_sm = 32;
-  // V100's default L1 transaction is two sectors = 64 B (paper Sec. IV-D).
-  g.elements[Element::kL1] = cache(96 * KiB, 128, 64, 4, 28, 0);
-  g.elements[Element::kTexture] = cache(96 * KiB, 128, 64, 4, 30, 0);
-  g.elements[Element::kReadOnly] = cache(96 * KiB, 128, 64, 4, 28, 0);
-  g.elements[Element::kConstL1] = cache(2 * KiB, 64, 64, 4, 22, 1);
-  g.elements[Element::kConstL15] = cache(64 * KiB, 256, 64, 8, 92, 2);
-  g.elements[Element::kSharedMem] = scratchpad(96 * KiB, 27);
-  {
-    auto l2 = cache(6 * MiB, 64, 32, 16, 193, 0, 1, false);
-    l2.size_from_api = true;
-    l2.read_bw_bytes_per_s = tib(2.0);
-    l2.write_bw_bytes_per_s = tib(1.7);
-    g.elements[Element::kL2] = l2;
-  }
-  g.elements[Element::kDeviceMem] =
-      device_memory(16 * GiB, 900, tib(0.79), tib(0.75));
-  return g;
-}
-
-GpuSpec make_p6000() {
-  GpuSpec g;
-  g.name = "P6000";
-  g.model = "Quadro P6000";
-  g.microarchitecture = "Pascal";
-  g.vendor = Vendor::kNvidia;
-  g.compute_capability = "6.1";
-  g.clock_mhz = 1506;
-  g.memory_clock_mhz = 1127;
-  g.memory_bus_bits = 384;
-  g.num_sms = 30;
-  g.cores_per_sm = 128;
-  g.warp_size = 32;
-  g.max_threads_per_block = 1024;
-  g.max_threads_per_sm = 2048;
-  g.max_blocks_per_sm = 32;
-  g.elements[Element::kL1] = cache(24 * KiB, 128, 32, 4, 82, 0);
-  g.elements[Element::kTexture] = cache(24 * KiB, 128, 32, 4, 86, 0);
-  g.elements[Element::kReadOnly] = cache(24 * KiB, 128, 32, 4, 82, 0);
-  g.elements[Element::kConstL1] = cache(2 * KiB, 64, 64, 4, 25, 1);
-  g.elements[Element::kConstL15] = cache(32 * KiB, 256, 64, 8, 95, 2);
-  g.elements[Element::kSharedMem] = scratchpad(96 * KiB, 24);
-  {
-    auto l2 = cache(3 * MiB, 128, 32, 16, 216, 0, 1, false);
-    l2.size_from_api = true;
-    l2.read_bw_bytes_per_s = tib(1.1);
-    l2.write_bw_bytes_per_s = tib(0.9);
-    g.elements[Element::kL2] = l2;
-  }
-  g.elements[Element::kDeviceMem] =
-      device_memory(24 * GiB, 600, tib(0.35), tib(0.33));
-  // Paper Sec. V: MT4G could not schedule a thread on warp 3 of 4 on this
-  // Pascal part, so the L1 amount benchmark yields no final result.
-  g.l1_amount_unavailable = true;
-  return g;
-}
-
-GpuSpec make_t1000() {
-  GpuSpec g;
-  g.name = "T1000";
-  g.model = "T1000";
-  g.microarchitecture = "Turing";
-  g.vendor = Vendor::kNvidia;
-  g.compute_capability = "7.5";
-  g.clock_mhz = 1395;
-  g.memory_clock_mhz = 1250;
-  g.memory_bus_bits = 128;
-  g.num_sms = 14;
-  g.cores_per_sm = 64;
-  g.warp_size = 32;
-  g.max_threads_per_block = 1024;
-  g.max_threads_per_sm = 1024;
-  g.max_blocks_per_sm = 16;
-  g.elements[Element::kL1] = cache(64 * KiB, 128, 32, 4, 32, 0);
-  g.elements[Element::kTexture] = cache(64 * KiB, 128, 32, 4, 34, 0);
-  g.elements[Element::kReadOnly] = cache(64 * KiB, 128, 32, 4, 32, 0);
-  g.elements[Element::kConstL1] = cache(2 * KiB, 64, 64, 4, 23, 1);
-  g.elements[Element::kConstL15] = cache(64 * KiB, 256, 64, 8, 98, 2);
-  g.elements[Element::kSharedMem] = scratchpad(32 * KiB, 26);
-  {
-    auto l2 = cache(1 * MiB, 128, 32, 16, 188, 0, 1, false);
-    l2.size_from_api = true;
-    l2.read_bw_bytes_per_s = tib(0.5);
-    l2.write_bw_bytes_per_s = tib(0.45);
-    g.elements[Element::kL2] = l2;
-  }
-  g.elements[Element::kDeviceMem] =
-      device_memory(4 * GiB, 650, tib(0.12), tib(0.11));
-  return g;
-}
-
-GpuSpec make_rtx2080() {
-  GpuSpec g = make_t1000();
-  g.name = "RTX2080";
-  g.model = "GeForce RTX 2080 Ti";
-  g.clock_mhz = 1545;
-  g.memory_clock_mhz = 1750;
-  g.memory_bus_bits = 352;
-  g.num_sms = 68;
-  {
-    auto l2 = cache(5632 * KiB, 128, 32, 16, 194, 0, 1, false);
-    l2.size_from_api = true;
-    l2.read_bw_bytes_per_s = tib(1.7);
-    l2.write_bw_bytes_per_s = tib(1.5);
-    g.elements[Element::kL2] = l2;
-  }
-  g.elements[Element::kDeviceMem] =
-      device_memory(11 * GiB, 620, tib(0.55), tib(0.5));
-  return g;
-}
-
-// --- AMD models --------------------------------------------------------------
-
-GpuSpec make_mi100() {
-  GpuSpec g;
-  g.name = "MI100";
-  g.model = "Instinct MI100";
-  g.microarchitecture = "CDNA";
-  g.vendor = Vendor::kAmd;
-  g.compute_capability = "gfx908";
-  g.clock_mhz = 1502;
-  g.memory_clock_mhz = 1200;
-  g.memory_bus_bits = 4096;
-  g.num_sms = 120;
-  g.cores_per_sm = 64;
-  g.warp_size = 64;
-  g.max_threads_per_block = 1024;
-  g.max_threads_per_sm = 2560;
-  g.max_blocks_per_sm = 40;
-  g.xcd_count = 1;
-  g.sl1d_group_size = 3;  // CDNA1: three CUs share one scalar L1 data cache
-  g.elements[Element::kVL1] = cache(16 * KiB, 64, 64, 4, 140, 0);
-  g.elements[Element::kSL1D] = cache(16 * KiB, 64, 64, 4, 60, 1);
-  {
-    auto l2 = cache(8 * MiB, 64, 64, 16, 350, 0, 1, false);
-    l2.size_from_api = true;
-    l2.line_from_api = true;
-    l2.amount_from_api = true;
-    l2.read_bw_bytes_per_s = tib(3.0);
-    l2.write_bw_bytes_per_s = tib(2.0);
-    g.elements[Element::kL2] = l2;
-  }
-  g.elements[Element::kLds] = scratchpad(64 * KiB, 58);
-  g.elements[Element::kDeviceMem] =
-      device_memory(32 * GiB, 800, tib(0.9), tib(0.85));
-  return g;
-}
-
-GpuSpec make_mi210() {
-  GpuSpec g;
-  g.name = "MI210";
-  g.model = "Instinct MI210";
-  g.microarchitecture = "CDNA2";
-  g.vendor = Vendor::kAmd;
-  g.compute_capability = "gfx90a";
-  g.clock_mhz = 1700;
-  g.memory_clock_mhz = 1600;
-  g.memory_bus_bits = 4096;
-  g.num_sms = 104;
-  g.cores_per_sm = 64;
-  g.warp_size = 64;
-  g.max_threads_per_block = 1024;
-  g.max_threads_per_sm = 2048;
-  g.max_blocks_per_sm = 32;
-  g.xcd_count = 1;
-  g.sl1d_group_size = 2;
-  // 104 active CUs out of 128 physical ids (paper footnote 15). We disable
-  // physical ids congruent to 5, 10, 15 mod 16: 128 - 24 = 104 remain. Some
-  // CUs therefore own their sL1d exclusively (their partner is fused off).
-  for (std::uint32_t id = 0; id < 128; ++id) {
-    const std::uint32_t m = id % 16;
-    if (m != 5 && m != 10 && m != 15) g.active_cu_ids.push_back(id);
-  }
-  g.elements[Element::kVL1] = cache(16 * KiB, 64, 64, 4, 125, 0);
-  // MT4G measures 15.5 KiB usable sL1d (paper Table III); the model uses the
-  // measured value as ground truth so the benchmark reproduces the paper row.
-  g.elements[Element::kSL1D] = cache(15872, 64, 64, 4, 50, 1);
-  {
-    auto l2 = cache(8 * MiB, 128, 64, 16, 310, 0, 1, false);
-    l2.size_from_api = true;
-    l2.line_from_api = true;
-    l2.amount_from_api = true;
-    l2.read_bw_bytes_per_s = tib(4.19);
-    l2.write_bw_bytes_per_s = tib(2.4);
-    g.elements[Element::kL2] = l2;
-  }
-  g.elements[Element::kLds] = scratchpad(64 * KiB, 55);
-  g.elements[Element::kDeviceMem] =
-      device_memory(64 * GiB, 748, tib(1.0), tib(0.9));
-  return g;
-}
-
-GpuSpec make_mi300x() {
-  GpuSpec g;
-  g.name = "MI300X";
-  g.model = "Instinct MI300X VF";
-  g.microarchitecture = "CDNA3";
-  g.vendor = Vendor::kAmd;
-  g.compute_capability = "gfx942";
-  g.clock_mhz = 2100;
-  g.memory_clock_mhz = 2525;
-  g.memory_bus_bits = 8192;
-  g.num_sms = 304;
-  g.cores_per_sm = 64;
-  g.warp_size = 64;
-  g.max_threads_per_block = 1024;
-  g.max_threads_per_sm = 2048;
-  g.max_blocks_per_sm = 32;
-  g.xcd_count = 8;
-  g.sl1d_group_size = 2;
-  // 8 XCDs x 40 physical CUs, 38 active per XCD (304 total): the two highest
-  // physical ids of each XCD are fused off.
-  for (std::uint32_t xcd = 0; xcd < 8; ++xcd) {
-    for (std::uint32_t i = 0; i < 38; ++i) {
-      g.active_cu_ids.push_back(xcd * 40 + i);
+/// Classic O(|a|*|b|) Levenshtein distance over lower-cased names; small
+/// inputs (model names), so the quadratic table is irrelevant.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
     }
   }
-  g.elements[Element::kVL1] = cache(32 * KiB, 64, 64, 4, 116, 0);
-  g.elements[Element::kSL1D] = cache(16 * KiB, 64, 64, 4, 45, 1);
-  {
-    // One 4 MiB L2 per XCD (paper Sec. IV-F1); amount == XCD count via API.
-    auto l2 = cache(4 * MiB, 128, 64, 16, 280, 0, 8, false);
-    l2.size_from_api = true;
-    l2.line_from_api = true;
-    l2.amount_from_api = true;
-    l2.read_bw_bytes_per_s = tib(6.0);
-    l2.write_bw_bytes_per_s = tib(4.5);
-    g.elements[Element::kL2] = l2;
-  }
-  {
-    // CDNA3 Infinity Cache. MT4G cannot yet measure its load latency or
-    // fetch granularity (paper Sec. III-C); the simulator still models both.
-    auto l3 = cache(256 * MiB, 256, 128, 16, 600, 0, 1, false);
-    l3.size_from_api = true;
-    l3.line_from_api = true;
-    l3.amount_from_api = true;
-    l3.read_bw_bytes_per_s = tib(4.0);
-    l3.write_bw_bytes_per_s = tib(3.5);
-    g.elements[Element::kL3] = l3;
-  }
-  g.elements[Element::kLds] = scratchpad(64 * KiB, 52);
-  g.elements[Element::kDeviceMem] =
-      device_memory(192 * GiB, 900, tib(3.5), tib(3.2));
-  // Paper Sec. V: virtualised access prevents the CU-id sharing benchmark.
-  g.cu_sharing_unavailable = true;
-  return g;
-}
-
-// --- Future-architecture previews (paper Sec. VII: "validate emerging
-// architectures, like NVIDIA Blackwell or AMD CDNA4"). Parameter values are
-// extrapolations marked as previews; they exercise the same benchmark paths
-// so the suite is ready when real numbers land. -------------------------------
-
-GpuSpec make_b100_preview() {
-  GpuSpec g = make_h100_80();
-  g.name = "B100-preview";
-  g.model = "B100 192GB HBM3e (preview)";
-  g.microarchitecture = "Blackwell";
-  g.compute_capability = "10.0";
-  g.clock_mhz = 1830;
-  g.num_sms = 148;
-  g.elements[Element::kL1] = cache(256 * KiB, 128, 32, 4, 40, 0);
-  g.elements[Element::kTexture] = cache(256 * KiB, 128, 32, 4, 41, 0);
-  g.elements[Element::kReadOnly] = cache(256 * KiB, 128, 32, 4, 38, 0);
-  g.elements[Element::kSharedMem] = scratchpad(228 * KiB, 31);
-  {
-    auto l2 = cache(32 * MiB, 128, 32, 16, 240, 0, 2, false);
-    l2.size_from_api = true;
-    l2.read_bw_bytes_per_s = tib(6.0);
-    l2.write_bw_bytes_per_s = tib(4.8);
-    g.elements[Element::kL2] = l2;
-  }
-  g.elements[Element::kDeviceMem] =
-      device_memory(192 * GiB, 820, tib(5.5), tib(5.2));
-  return g;
-}
-
-GpuSpec make_mi355_preview() {
-  GpuSpec g = make_mi300x();
-  g.name = "MI355X-preview";
-  g.model = "Instinct MI355X (preview)";
-  g.microarchitecture = "CDNA4";
-  g.compute_capability = "gfx950";
-  g.clock_mhz = 2400;
-  g.num_sms = 256;
-  g.cu_sharing_unavailable = false;
-  g.active_cu_ids.clear();
-  for (std::uint32_t xcd = 0; xcd < 8; ++xcd) {
-    for (std::uint32_t i = 0; i < 32; ++i) {
-      g.active_cu_ids.push_back(xcd * 36 + i);
-    }
-  }
-  g.elements[Element::kVL1] = cache(32 * KiB, 128, 64, 4, 110, 0);
-  g.elements[Element::kDeviceMem] =
-      device_memory(288 * GiB, 880, tib(5.0), tib(4.6));
-  return g;
-}
-
-// --- Synthetic fast-test models ----------------------------------------------
-
-GpuSpec make_test_nv() {
-  GpuSpec g;
-  g.name = "TestGPU-NV";
-  g.model = "Synthetic NVIDIA-like test GPU";
-  g.microarchitecture = "TestArch";
-  g.vendor = Vendor::kNvidia;
-  g.compute_capability = "0.1";
-  g.clock_mhz = 1000;
-  g.memory_clock_mhz = 1000;
-  g.num_sms = 4;
-  g.cores_per_sm = 16;
-  g.warp_size = 4;
-  g.max_threads_per_block = 64;
-  g.max_threads_per_sm = 128;
-  g.max_blocks_per_sm = 8;
-  // Two independent L1 segments per SM: exercises the Amount benchmark's
-  // multi-segment branch (paper Fig. 3 top), unlike all ten real models.
-  g.elements[Element::kL1] = cache(4 * KiB, 64, 32, 4, 30, 0, /*amount=*/2);
-  g.elements[Element::kTexture] = cache(4 * KiB, 64, 32, 4, 31, 0, 2);
-  g.elements[Element::kReadOnly] = cache(4 * KiB, 64, 32, 4, 30, 0, 2);
-  g.elements[Element::kConstL1] = cache(1 * KiB, 64, 32, 4, 20, 1);
-  g.elements[Element::kConstL15] = cache(8 * KiB, 128, 32, 4, 80, 2);
-  g.elements[Element::kSharedMem] = scratchpad(8 * KiB, 25);
-  {
-    auto l2 = cache(32 * KiB, 64, 32, 8, 150, 0, 2, false);
-    l2.size_from_api = true;
-    l2.read_bw_bytes_per_s = 64.0 * GiB;
-    l2.write_bw_bytes_per_s = 48.0 * GiB;
-    g.elements[Element::kL2] = l2;
-  }
-  g.elements[Element::kDeviceMem] =
-      device_memory(16 * MiB, 500, 16.0 * GiB, 14.0 * GiB);
-  return g;
-}
-
-GpuSpec make_test_amd() {
-  GpuSpec g;
-  g.name = "TestGPU-AMD";
-  g.model = "Synthetic AMD-like test GPU";
-  g.microarchitecture = "TestCDNA";
-  g.vendor = Vendor::kAmd;
-  g.compute_capability = "gfx000";
-  g.clock_mhz = 1000;
-  g.memory_clock_mhz = 1000;
-  g.num_sms = 8;
-  g.cores_per_sm = 16;
-  g.warp_size = 16;
-  g.max_threads_per_block = 64;
-  g.max_threads_per_sm = 128;
-  g.max_blocks_per_sm = 8;
-  g.xcd_count = 2;
-  g.sl1d_group_size = 2;
-  // Physical ids 0..9 with 3 and 5 fused off: pairs (0,1), (6,7), (8,9) share
-  // an sL1d; ids 2 and 4 own theirs exclusively.
-  g.active_cu_ids = {0, 1, 2, 4, 6, 7, 8, 9};
-  g.elements[Element::kVL1] = cache(2 * KiB, 64, 64, 4, 120, 0);
-  g.elements[Element::kSL1D] = cache(1 * KiB, 64, 64, 4, 50, 1);
-  {
-    auto l2 = cache(16 * KiB, 128, 64, 8, 250, 0, 2, false);
-    l2.size_from_api = true;
-    l2.line_from_api = true;
-    l2.amount_from_api = true;
-    l2.read_bw_bytes_per_s = 32.0 * GiB;
-    l2.write_bw_bytes_per_s = 24.0 * GiB;
-    g.elements[Element::kL2] = l2;
-  }
-  g.elements[Element::kLds] = scratchpad(4 * KiB, 55);
-  g.elements[Element::kDeviceMem] =
-      device_memory(16 * MiB, 700, 8.0 * GiB, 7.0 * GiB);
-  return g;
-}
-
-const std::map<std::string, GpuSpec>& registry() {
-  static const std::map<std::string, GpuSpec> instance = [] {
-    std::map<std::string, GpuSpec> m;
-    for (auto&& spec :
-         {make_p6000(), make_v100(), make_t1000(), make_rtx2080(), make_a100(),
-          make_h100_80(), make_h100_96(), make_mi100(), make_mi210(),
-          make_mi300x(), make_b100_preview(), make_mi355_preview(),
-          make_test_nv(), make_test_amd()}) {
-      m.emplace(spec.name, spec);
-    }
-    return m;
-  }();
-  return instance;
-}
-
-const std::map<std::string, HostInfo>& hosts() {
-  static const std::map<std::string, HostInfo> instance = {
-      {"P6000", {"Intel(R) Xeon(R) Gold 6238", "Ubuntu 22.04; 6.3; 12.8; 570.158.01"}},
-      {"V100", {"Intel(R) Xeon(R) Gold 6238", "Ubuntu 22.04; 6.3; 12.8; 570.158.01"}},
-      {"T1000", {"Intel(R) Xeon(R) Silver 4116", "Ubuntu 24.04; 6.1.2; 12.9; 570.133.20"}},
-      {"RTX2080", {"AMD Ryzen Threadripper 2990WX", "Ubuntu 24.04; 6.1.2; 12.9; 570.158.01"}},
-      {"A100", {"AMD Ryzen Threadripper PRO 3955WX", "Ubuntu 24.04; 6.3.0; 12.9; 570.158.01"}},
-      {"H100-80", {"AMD EPYC 9374F 32-Core Processor", "Rocky 9.1; 6.4; 12.9; 535.54.03"}},
-      {"H100-96", {"AMD EPYC 9374F 32-Core", "Ubuntu 24.04; 6.4; 12.9; 570.172.08"}},
-      {"MI100", {"AMD EPYC 7742 64-Core Processor", "SLES15; 6.4; 6.10.5"}},
-      {"MI210", {"AMD EPYC 7773X 64-Core Processor", "SLES15; 6.3.3; 6.10.5"}},
-      {"MI300X", {"Intel(R) Xeon(R) Platinum 8568Y+", "Ubuntu 24.04; 6.4; 6.12.12"}},
-  };
-  return instance;
+  return row[b.size()];
 }
 
 }  // namespace
 
+std::string model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kPaper: return "paper";
+    case ModelKind::kPreview: return "preview";
+    case ModelKind::kSynthetic: return "synthetic";
+    case ModelKind::kUser: return "user";
+  }
+  return "?";
+}
+
+void ModelRegistry::require_mutable(const char* operation) const {
+  if (frozen_) {
+    throw SpecError("model registry: cannot " + std::string(operation) +
+                    " after freeze() — registration is closed once the "
+                    "registry is published for lock-free reads");
+  }
+}
+
+void ModelRegistry::require_frozen(const char* operation) const {
+  if (!frozen_) {
+    throw std::logic_error("model registry: " + std::string(operation) +
+                           " requires freeze() first");
+  }
+}
+
+void ModelRegistry::add(GpuSpec spec, ModelKind kind, std::string source) {
+  require_mutable("register a model");
+  for (const ModelEntry& entry : entries_) {
+    if (entry.spec.name == spec.name) {
+      throw SpecError("model registry: duplicate model name '" + spec.name +
+                      "' (already registered from " + entry.source +
+                      ", re-registered from " + source + ")");
+    }
+  }
+  entries_.push_back(ModelEntry{std::move(spec), kind, std::move(source), 0});
+}
+
+void ModelRegistry::upsert(GpuSpec spec, ModelKind kind, std::string source) {
+  const auto existing =
+      std::find_if(entries_.begin(), entries_.end(), [&](const ModelEntry& e) {
+        return e.spec.name == spec.name;
+      });
+  if (existing != entries_.end()) {
+    // Overlay: a spec file shadows the already-registered model of the same
+    // name, keeping its catalogue kind and position.
+    existing->spec = std::move(spec);
+    existing->source = std::move(source);
+  } else {
+    entries_.push_back(ModelEntry{std::move(spec), kind, std::move(source), 0});
+  }
+}
+
+std::string ModelRegistry::add_json(const json::Value& document,
+                                    ModelKind kind, std::string source) {
+  GpuSpec spec = spec_from_json(document);
+  std::string name = spec.name;
+  add(std::move(spec), kind, std::move(source));
+  return name;
+}
+
+std::string ModelRegistry::add_file(const std::string& path, ModelKind kind) {
+  require_mutable("load a model file");
+  GpuSpec spec = load_spec_file(path);
+  std::string name = spec.name;
+  upsert(std::move(spec), kind, path);
+  return name;
+}
+
+std::size_t ModelRegistry::add_directory(const std::string& dir,
+                                         ModelKind kind) {
+  require_mutable("load a model directory");
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    throw SpecError("model registry: cannot read directory '" + dir +
+                    "': " + ec.message());
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : it) {
+    if (entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::map<std::string, std::string> loaded_here;  // name -> file
+  for (const std::string& file : files) {
+    GpuSpec spec = load_spec_file(file);
+    const auto duplicate = loaded_here.find(spec.name);
+    if (duplicate != loaded_here.end()) {
+      throw SpecError("model registry: duplicate model name '" + spec.name +
+                      "' within '" + dir + "' (" + duplicate->second +
+                      " and " + file + ")");
+    }
+    loaded_here.emplace(spec.name, file);
+    upsert(std::move(spec), kind, file);
+  }
+  return files.size();
+}
+
+void ModelRegistry::freeze() {
+  if (frozen_) return;
+  std::vector<std::string> errors;
+  for (const ModelEntry& entry : entries_) {
+    for (std::string diagnostic : validate_spec(entry.spec)) {
+      errors.push_back(std::move(diagnostic) + " [" + entry.source + "]");
+    }
+  }
+  if (!errors.empty()) throw SpecError(std::move(errors));
+
+  // Dense indices over the now-stable entry vector: catalogue order is
+  // kind-grouped (paper, previews, synthetics, user), registration order
+  // within a group — the order every listing shows.
+  std::vector<std::size_t> order;
+  order.reserve(entries_.size());
+  for (const ModelKind kind : {ModelKind::kPaper, ModelKind::kPreview,
+                               ModelKind::kSynthetic, ModelKind::kUser}) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].kind == kind) order.push_back(i);
+    }
+  }
+  std::vector<ModelEntry> sorted;
+  sorted.reserve(entries_.size());
+  for (const std::size_t i : order) sorted.push_back(std::move(entries_[i]));
+  entries_ = std::move(sorted);
+
+  index_.clear();
+  all_names_.clear();
+  all_names_.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i].content_hash = spec_content_hash(entries_[i].spec);
+    index_.emplace(entries_[i].spec.name, i);
+    all_names_.push_back(entries_[i].spec.name);
+  }
+  frozen_ = true;
+}
+
+const ModelEntry* ModelRegistry::find(std::string_view name) const {
+  require_frozen("lookup");
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return &entries_[it->second];
+}
+
+const GpuSpec& ModelRegistry::get(std::string_view name) const {
+  const ModelEntry* entry = find(name);
+  if (entry) return entry->spec;
+  std::string message = "unknown GPU model '" + std::string(name) + "'";
+  const std::vector<std::string> candidates = close_matches(name);
+  if (!candidates.empty()) {
+    message += "; did you mean " + join(candidates, " or ") + "?";
+  }
+  message += " (available: " + join(all_names_, ", ") + ")";
+  throw UnknownModelError(std::move(message));
+}
+
+std::vector<std::string> ModelRegistry::names(ModelKind kind) const {
+  require_frozen("listing");
+  std::vector<std::string> out;
+  for (const ModelEntry& entry : entries_) {
+    if (entry.kind == kind) out.push_back(entry.spec.name);
+  }
+  return out;
+}
+
+const std::vector<std::string>& ModelRegistry::all_names() const {
+  require_frozen("listing");
+  return all_names_;
+}
+
+std::uint64_t ModelRegistry::content_hash(std::string_view name) const {
+  const ModelEntry* entry = find(name);
+  if (!entry) get(name);  // throws with candidates
+  return entry->content_hash;
+}
+
+std::vector<std::string> ModelRegistry::close_matches(
+    std::string_view name, std::size_t limit) const {
+  require_frozen("suggestions");
+  const std::string needle = to_lower(std::string(name));
+  std::vector<std::pair<std::size_t, std::string>> scored;
+  for (const std::string& candidate : all_names_) {
+    const std::string lowered = to_lower(candidate);
+    std::size_t distance = edit_distance(needle, lowered);
+    // A prefix or substring relation is a strong hint even when the raw edit
+    // distance is large ("H100" vs "H100-80").
+    if (lowered.find(needle) != std::string::npos && !needle.empty()) {
+      distance = std::min<std::size_t>(distance, 1);
+    }
+    if (distance <= 3) scored.emplace_back(distance, candidate);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::string> out;
+  for (const auto& [distance, candidate] : scored) {
+    if (out.size() >= limit) break;
+    out.push_back(candidate);
+  }
+  return out;
+}
+
+ModelRegistry builtin_registry() {
+  ModelRegistry registry;
+  register_builtin_models(registry);
+  return registry;
+}
+
+const ModelRegistry& default_registry() {
+  static const ModelRegistry instance = [] {
+    ModelRegistry registry = builtin_registry();
+    if (const char* dir = std::getenv("MT4G_MODEL_DIR")) {
+      registry.add_directory(dir);
+    }
+    registry.freeze();
+    return registry;
+  }();
+  return instance;
+}
+
 std::vector<std::string> registry_names() {
-  return {"P6000", "V100",    "T1000", "RTX2080", "A100",
-          "H100-80", "H100-96", "MI100", "MI210",   "MI300X"};
+  return default_registry().names(ModelKind::kPaper);
 }
 
 std::vector<std::string> registry_preview_names() {
-  return {"B100-preview", "MI355X-preview"};
+  return default_registry().names(ModelKind::kPreview);
 }
 
 std::vector<std::string> registry_synthetic_names() {
-  return {"TestGPU-NV", "TestGPU-AMD"};
+  return default_registry().names(ModelKind::kSynthetic);
 }
 
 std::vector<std::string> registry_all_names() {
-  auto names = registry_names();
-  for (auto&& group : {registry_preview_names(), registry_synthetic_names()}) {
-    names.insert(names.end(), group.begin(), group.end());
-  }
-  return names;
+  return default_registry().all_names();
 }
 
 const GpuSpec& registry_get(const std::string& name) {
-  const auto& reg = registry();
-  const auto it = reg.find(name);
-  if (it == reg.end()) {
-    throw std::out_of_range("unknown GPU model '" + name + "'");
-  }
-  return it->second;
+  return default_registry().get(name);
 }
 
 bool registry_contains(const std::string& name) {
-  return registry().count(name) != 0;
-}
-
-const HostInfo& registry_host(const std::string& name) {
-  const auto& h = hosts();
-  const auto it = h.find(name);
-  if (it == h.end()) {
-    throw std::out_of_range("no host info for '" + name + "'");
-  }
-  return it->second;
+  return default_registry().contains(name);
 }
 
 }  // namespace mt4g::sim

@@ -35,6 +35,8 @@ struct ElementSpec {
   bool amount_from_api = false;
   double read_bw_bytes_per_s = 0.0;   ///< achieved read bandwidth (0 = n/a)
   double write_bw_bytes_per_s = 0.0;  ///< achieved write bandwidth (0 = n/a)
+
+  bool operator==(const ElementSpec&) const = default;
 };
 
 /// A MIG-style partition profile (NVIDIA A100; paper Sec. VI-C).
@@ -44,6 +46,8 @@ struct MigProfile {
   std::uint64_t l2_bytes = 0;    ///< L2 capacity visible inside the instance
   std::uint64_t mem_bytes = 0;   ///< device memory visible
   double bandwidth_fraction = 1.0;
+
+  bool operator==(const MigProfile&) const = default;
 };
 
 /// Full ground truth for one GPU model.
@@ -81,6 +85,9 @@ struct GpuSpec {
   /// Tool-level quirks reproduced from paper Sec. V.
   bool l1_amount_unavailable = false;   ///< P6000: cannot schedule warp 3
   bool cu_sharing_unavailable = false;  ///< MI300X: virtualised access
+
+  /// Field-by-field equality (the spec_io round-trip contract).
+  bool operator==(const GpuSpec&) const = default;
 
   bool has(Element element) const { return elements.count(element) != 0; }
   const ElementSpec& at(Element element) const { return elements.at(element); }

@@ -55,11 +55,14 @@ TEST(FleetJob, HashIsStableAcrossProcesses) {
   // if the key format must evolve.
   DiscoveryJob job;
   job.model = "H100-80";
+  // The trailing spec component is the content hash of the H100-80 spec —
+  // resolved from the default registry because the job carries no spec.
   EXPECT_EQ(job.key(),
             "model=H100-80;seed=42;mig=-;config=PreferL1;only=-;series=0;"
-            "compute=0;records=512");
+            "compute=0;records=512;spec=" +
+                sim::spec_content_hash_hex(sim::registry_get("H100-80")));
   EXPECT_EQ(job.hash_hex().size(), 16u);
-  EXPECT_EQ(job.hash_hex(), "dfed0243cd83a814");
+  EXPECT_EQ(job.hash_hex(), "62ac5cf00a899f8c");
 }
 
 TEST(FleetJob, ExpandCoversModelsSeedsAndMigPartitions) {

@@ -5,6 +5,7 @@
 
 #include "core/output/json_output.hpp"
 #include "fleet/fleet.hpp"
+#include "sim/registry.hpp"
 
 namespace mt4g::fleet {
 namespace {
@@ -75,8 +76,8 @@ TEST(FleetCache, CorruptedFileRecoversEmpty) {
       "not json at all {{{",
       "[1, 2, 3]",
       R"({"version": 99, "entries": []})",
-      R"({"version": 1, "entries": [{"hash": "abc"}]})",
-      R"({"version": 1, "entries": [{"hash": "abc", "key": "k",
+      R"({"version": 2, "entries": [{"hash": "abc"}]})",
+      R"({"version": 2, "entries": [{"hash": "abc", "key": "k",
           "report": {"general": "truncated"}}]})",
   };
   for (const char* corruption : corruptions) {
@@ -126,6 +127,56 @@ TEST(FleetCache, SchedulerSkipsCachedJobsOnRerun) {
   }
   const FleetReport fleet = aggregate(warm);
   EXPECT_EQ(fleet.summary.cache_hits, jobs.size());
+}
+
+/// Builds a frozen registry whose TestGPU-NV spec is @p edit-ed in place —
+/// the in-process equivalent of pointing --model-spec at an edited file.
+sim::ModelRegistry registry_with_edit(void (*edit)(sim::GpuSpec&)) {
+  sim::ModelRegistry registry;
+  for (const sim::ModelEntry& entry : sim::default_registry().entries()) {
+    sim::GpuSpec spec = entry.spec;
+    if (spec.name == "TestGPU-NV") edit(spec);
+    registry.add(std::move(spec), entry.kind, entry.source);
+  }
+  registry.freeze();
+  return registry;
+}
+
+TEST(FleetCache, SpecEditChangesTheJobKeyAndRevertRestoresTheHit) {
+  SweepPlan plan;
+  plan.models = {"TestGPU-NV"};
+
+  // 1. Populate the cache from the pristine spec.
+  ResultCache cache;
+  SchedulerOptions options;
+  options.cache = &cache;
+  const auto original_jobs = expand_jobs(plan);
+  ASSERT_EQ(original_jobs.size(), 1u);
+  const auto cold = run_sweep(original_jobs, options);
+  EXPECT_FALSE(cold[0].from_cache);
+
+  // 2. An edited spec is different work: new key, no stale hit.
+  const sim::ModelRegistry edited = registry_with_edit(
+      [](sim::GpuSpec& spec) { spec.elements[sim::Element::kL1].latency_cycles += 5.0; });
+  SweepPlan edited_plan = plan;
+  edited_plan.registry = &edited;
+  const auto edited_jobs = expand_jobs(edited_plan);
+  ASSERT_EQ(edited_jobs.size(), 1u);
+  EXPECT_NE(edited_jobs[0].key(), original_jobs[0].key());
+  EXPECT_NE(edited_jobs[0].spec_hash, original_jobs[0].spec_hash);
+  const auto after_edit = run_sweep(edited_jobs, options);
+  EXPECT_FALSE(after_edit[0].from_cache) << "stale hit for an edited spec";
+
+  // 3. Reverting the edit restores the original key — and the cached result.
+  const sim::ModelRegistry reverted = registry_with_edit([](sim::GpuSpec&) {});
+  SweepPlan reverted_plan = plan;
+  reverted_plan.registry = &reverted;
+  const auto reverted_jobs = expand_jobs(reverted_plan);
+  EXPECT_EQ(reverted_jobs[0].key(), original_jobs[0].key());
+  const auto warm = run_sweep(reverted_jobs, options);
+  EXPECT_TRUE(warm[0].from_cache);
+  EXPECT_EQ(core::to_json_string(warm[0].report),
+            core::to_json_string(cold[0].report));
 }
 
 }  // namespace

@@ -1,0 +1,263 @@
+// ModelRegistry freeze-pattern tests: registration diagnostics, freeze-time
+// cross-field validation, unknown-name suggestions, directory overlay, and
+// the shim free functions' consistency with default_registry().
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/registry.hpp"
+#include "sim/spec_io.hpp"
+
+namespace mt4g::sim {
+namespace {
+
+/// True when @p text contains @p needle; on failure the assertion prints both.
+testing::AssertionResult contains(const std::string& text,
+                                  const std::string& needle) {
+  if (text.find(needle) != std::string::npos) {
+    return testing::AssertionSuccess();
+  }
+  return testing::AssertionFailure()
+         << "expected \"" << needle << "\" within \"" << text << "\"";
+}
+
+/// Minimal valid spec the validation tests then break one field at a time.
+GpuSpec small_spec(const std::string& name = "Tiny") {
+  GpuSpec g;
+  g.name = name;
+  g.vendor = Vendor::kNvidia;
+  g.num_sms = 4;
+  ElementSpec l1;
+  l1.size_bytes = 4096;
+  l1.line_bytes = 64;
+  l1.sector_bytes = 32;
+  l1.associativity = 4;
+  l1.latency_cycles = 30;
+  g.elements[Element::kL1] = l1;
+  ElementSpec l2;
+  l2.size_bytes = 32768;
+  l2.line_bytes = 64;
+  l2.sector_bytes = 32;
+  l2.associativity = 8;
+  l2.latency_cycles = 150;
+  l2.per_sm = false;
+  g.elements[Element::kL2] = l2;
+  ElementSpec dmem;
+  dmem.size_bytes = 1 << 20;
+  dmem.latency_cycles = 500;
+  dmem.per_sm = false;
+  g.elements[Element::kDeviceMem] = dmem;
+  return g;
+}
+
+std::string freeze_error(ModelRegistry& registry) {
+  try {
+    registry.freeze();
+  } catch (const SpecError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ModelRegistry, FreezeRejectsLineExceedingSize) {
+  ModelRegistry registry;
+  GpuSpec spec = small_spec();
+  spec.elements[Element::kL1].size_bytes = 32;  // < 64-byte line
+  registry.add(spec);
+  const std::string error = freeze_error(registry);
+  EXPECT_TRUE(contains(error, "line_bytes 64 exceeds size_bytes 32"));
+  EXPECT_FALSE(registry.frozen()) << "freeze must fail on invalid specs";
+}
+
+TEST(ModelRegistry, FreezeRejectsSectorNotDividingLine) {
+  ModelRegistry registry;
+  GpuSpec spec = small_spec();
+  spec.elements[Element::kL1].sector_bytes = 48;
+  registry.add(spec);
+  EXPECT_TRUE(contains(freeze_error(registry),
+                       "sector_bytes 48 does not divide line_bytes 64"));
+}
+
+TEST(ModelRegistry, AddRejectsDuplicateNamesWithProvenance) {
+  ModelRegistry registry;
+  registry.add(small_spec(), ModelKind::kUser, "first.json");
+  try {
+    registry.add(small_spec(), ModelKind::kUser, "second.json");
+    FAIL() << "duplicate accepted";
+  } catch (const SpecError& e) {
+    EXPECT_TRUE(contains(e.what(), "duplicate model name 'Tiny'"));
+    EXPECT_TRUE(contains(e.what(), "first.json"));
+    EXPECT_TRUE(contains(e.what(), "second.json"));
+  }
+}
+
+TEST(ModelRegistry, FreezeRejectsMigProfileExceedingParent) {
+  ModelRegistry registry;
+  GpuSpec spec = small_spec();
+  spec.mig_profiles.push_back({"too-big", 8, 1 * MiB, 1 << 20, 1.0});
+  registry.add(spec);
+  const std::string error = freeze_error(registry);
+  EXPECT_TRUE(contains(error, "sm_count 8 exceeds num_sms 4"));
+  EXPECT_TRUE(contains(error, "exceeds the parent L2 capacity"));
+}
+
+TEST(ModelRegistry, RegistrationAfterFreezeIsRejected) {
+  ModelRegistry registry;
+  registry.add(small_spec());
+  registry.freeze();
+  try {
+    registry.add(small_spec("Other"));
+    FAIL() << "post-freeze registration accepted";
+  } catch (const SpecError& e) {
+    EXPECT_TRUE(contains(e.what(), "after freeze()"));
+    EXPECT_TRUE(contains(e.what(), "registration is closed"));
+  }
+}
+
+TEST(ModelRegistry, FreezeAggregatesEveryDiagnosticWithItsSource) {
+  ModelRegistry registry;
+  GpuSpec bad_line = small_spec("BadLine");
+  bad_line.elements[Element::kL1].size_bytes = 32;
+  GpuSpec bad_sector = small_spec("BadSector");
+  bad_sector.elements[Element::kL2].sector_bytes = 48;
+  registry.add(bad_line, ModelKind::kUser, "bad_line.json");
+  registry.add(bad_sector, ModelKind::kUser, "bad_sector.json");
+  try {
+    registry.freeze();
+    FAIL() << "invalid specs frozen";
+  } catch (const SpecError& e) {
+    ASSERT_GE(e.details().size(), 2u);
+    EXPECT_TRUE(contains(e.what(), "[bad_line.json]"));
+    EXPECT_TRUE(contains(e.what(), "[bad_sector.json]"));
+  }
+}
+
+TEST(ModelRegistry, UnknownNameSuggestsCloseMatchesAndListsAll) {
+  try {
+    default_registry().get("H100");
+    FAIL() << "unknown name accepted";
+  } catch (const UnknownModelError& e) {
+    EXPECT_TRUE(contains(e.what(), "unknown GPU model 'H100'"));
+    EXPECT_TRUE(contains(e.what(), "did you mean"));
+    EXPECT_TRUE(contains(e.what(), "H100-80"));
+    EXPECT_TRUE(contains(e.what(), "available: P6000"));
+  }
+  // UnknownModelError derives from std::out_of_range: pre-refactor catch
+  // sites keep working.
+  EXPECT_THROW(registry_get("B200"), std::out_of_range);
+}
+
+TEST(ModelRegistry, CloseMatchesRankByEditDistance) {
+  const std::vector<std::string> matches =
+      default_registry().close_matches("MI10");
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches.front(), "MI100");
+  EXPECT_TRUE(default_registry().close_matches("zzzzzzzz").empty());
+}
+
+TEST(ModelRegistry, FrozenReadsExposeCatalogueOrderAndHashes) {
+  const ModelRegistry& registry = default_registry();
+  ASSERT_EQ(registry.size(), 14u);
+  EXPECT_EQ(registry.all_names().front(), "P6000");
+  EXPECT_EQ(registry.names(ModelKind::kPaper).size(), 10u);
+  EXPECT_EQ(registry.names(ModelKind::kPreview).size(), 2u);
+  EXPECT_EQ(registry.names(ModelKind::kSynthetic).size(), 2u);
+  for (const ModelEntry& entry : registry.entries()) {
+    EXPECT_EQ(entry.content_hash, spec_content_hash(entry.spec))
+        << entry.spec.name;
+    EXPECT_EQ(entry.source, "builtin");
+  }
+}
+
+TEST(ModelRegistry, ShimsMatchDefaultRegistry) {
+  EXPECT_EQ(registry_all_names(), default_registry().all_names());
+  EXPECT_EQ(registry_names(), default_registry().names(ModelKind::kPaper));
+  EXPECT_TRUE(registry_contains("TestGPU-AMD"));
+  EXPECT_EQ(registry_get("MI210"), default_registry().get("MI210"));
+}
+
+TEST(ModelRegistry, LookupBeforeFreezeIsALogicError) {
+  ModelRegistry registry;
+  registry.add(small_spec());
+  EXPECT_THROW(registry.find("Tiny"), std::logic_error);
+  EXPECT_THROW(registry.all_names(), std::logic_error);
+  registry.freeze();
+  EXPECT_TRUE(registry.contains("Tiny"));
+}
+
+class ModelRegistryDir : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mt4g_registry_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void write(const std::string& file, const std::string& content) {
+    std::ofstream out(dir_ / file);
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ModelRegistryDir, DirectoryOverlayReplacesBuiltinsInPlace) {
+  GpuSpec edited = registry_get("TestGPU-NV");
+  edited.clock_mhz = 1234;
+  write("TestGPU-NV.json", spec_to_json(edited));
+
+  ModelRegistry registry = builtin_registry();
+  EXPECT_EQ(registry.add_directory(dir_.string()), 1u);
+  registry.freeze();
+
+  // Same catalogue: the overlay changed the spec, not the listing.
+  EXPECT_EQ(registry.all_names(), registry_all_names());
+  EXPECT_EQ(registry.get("TestGPU-NV").clock_mhz, 1234);
+  EXPECT_EQ(registry.find("TestGPU-NV")->kind, ModelKind::kSynthetic);
+  EXPECT_NE(registry.content_hash("TestGPU-NV"),
+            default_registry().content_hash("TestGPU-NV"));
+}
+
+TEST_F(ModelRegistryDir, DuplicateNamesWithinOneDirectoryAreAnError) {
+  GpuSpec spec = small_spec("Dup");
+  write("a.json", spec_to_json(spec));
+  write("b.json", spec_to_json(spec));
+  ModelRegistry registry;
+  try {
+    registry.add_directory(dir_.string());
+    FAIL() << "duplicate files accepted";
+  } catch (const SpecError& e) {
+    EXPECT_TRUE(contains(e.what(), "duplicate model name 'Dup'"));
+    EXPECT_TRUE(contains(e.what(), "a.json"));
+    EXPECT_TRUE(contains(e.what(), "b.json"));
+  }
+}
+
+TEST_F(ModelRegistryDir, AddFileOverlaysAndNewModelsAppendAsUser) {
+  GpuSpec user = small_spec("UserGPU");
+  write("user.json", spec_to_json(user));
+  ModelRegistry registry = builtin_registry();
+  EXPECT_EQ(registry.add_file((dir_ / "user.json").string()), "UserGPU");
+  registry.freeze();
+  EXPECT_EQ(registry.size(), 15u);
+  EXPECT_EQ(registry.all_names().back(), "UserGPU");
+  EXPECT_EQ(registry.find("UserGPU")->kind, ModelKind::kUser);
+}
+
+TEST_F(ModelRegistryDir, MissingDirectoryIsADiagnosedError) {
+  ModelRegistry registry;
+  try {
+    registry.add_directory((dir_ / "absent").string());
+    FAIL() << "missing directory accepted";
+  } catch (const SpecError& e) {
+    EXPECT_TRUE(contains(e.what(), "cannot read directory"));
+  }
+}
+
+}  // namespace
+}  // namespace mt4g::sim

@@ -1,0 +1,119 @@
+// Round-trip and diagnostic tests for the spec document format (spec_io.hpp).
+//
+// The contract under test is the data-driven registry's foundation: every
+// built-in model serialises to canonical JSON, re-parses to a field-by-field
+// equal GpuSpec, and a discovery run on the re-parsed spec is byte-identical
+// to one on the original — the guarantee that shipping models as specs/*.json
+// changes nothing about the reports.
+#include <gtest/gtest.h>
+
+#include "core/mt4g.hpp"
+#include "core/output/json_output.hpp"
+#include "sim/gpu.hpp"
+#include "sim/registry.hpp"
+#include "sim/spec_io.hpp"
+
+namespace mt4g::sim {
+namespace {
+
+TEST(SpecIo, EveryBuiltinRoundTripsFieldByField) {
+  for (const std::string& name : registry_all_names()) {
+    const GpuSpec& original = registry_get(name);
+    const std::string text = spec_to_json(original);
+    const GpuSpec reparsed = spec_from_json_string(text, name);
+    EXPECT_EQ(reparsed, original) << name << " did not round-trip";
+  }
+}
+
+TEST(SpecIo, CanonicalTextIsStableAcrossRoundTrips) {
+  // Serialise -> parse -> serialise must reproduce the same bytes; the
+  // canonical form (and therefore the content hash) has one representation.
+  for (const std::string& name : registry_all_names()) {
+    const std::string first = spec_to_json(registry_get(name));
+    const std::string second = spec_to_json(spec_from_json_string(first, name));
+    EXPECT_EQ(first, second) << name << " canonical text drifted";
+    EXPECT_EQ(spec_content_hash(registry_get(name)),
+              spec_content_hash(spec_from_json_string(first, name)));
+  }
+}
+
+TEST(SpecIo, ExactDoublesSurviveTheRoundTrip) {
+  // 4.0/7.0 (A100 MIG bandwidth fraction) and 4.4 TiB/s (H100 L2 read
+  // bandwidth) are the canaries: %.10g-style formatting would corrupt them.
+  const GpuSpec& a100 = registry_get("A100");
+  const GpuSpec reparsed = spec_from_json_string(spec_to_json(a100), "A100");
+  ASSERT_EQ(reparsed.mig_profiles.size(), a100.mig_profiles.size());
+  for (std::size_t i = 0; i < a100.mig_profiles.size(); ++i) {
+    EXPECT_EQ(reparsed.mig_profiles[i].bandwidth_fraction,
+              a100.mig_profiles[i].bandwidth_fraction);
+  }
+  const GpuSpec& h100 = registry_get("H100-80");
+  EXPECT_EQ(spec_from_json_string(spec_to_json(h100), "H100-80")
+                .at(Element::kL2)
+                .read_bw_bytes_per_s,
+            h100.at(Element::kL2).read_bw_bytes_per_s);
+}
+
+TEST(SpecIo, DiscoveryOnReparsedSpecIsByteIdentical) {
+  // One NVIDIA and one AMD synthetic model: full discovery through the
+  // simulator on the file-format spec must reproduce the report exactly.
+  for (const std::string& name : {"TestGPU-NV", "TestGPU-AMD"}) {
+    const GpuSpec& original = registry_get(name);
+    const GpuSpec reparsed =
+        spec_from_json_string(spec_to_json(original), name);
+
+    sim::Gpu gpu_a(original, 42);
+    sim::Gpu gpu_b(reparsed, 42);
+    const std::string report_a =
+        core::to_json_string(core::discover(gpu_a, {}));
+    const std::string report_b =
+        core::to_json_string(core::discover(gpu_b, {}));
+    EXPECT_EQ(report_a, report_b) << name;
+  }
+}
+
+TEST(SpecIo, ValidateAcceptsEveryBuiltin) {
+  for (const std::string& name : registry_all_names()) {
+    EXPECT_TRUE(validate_spec(registry_get(name)).empty()) << name;
+  }
+}
+
+TEST(SpecIo, ParserRejectsUnknownFields) {
+  std::string text = spec_to_json(registry_get("TestGPU-NV"));
+  text.replace(text.find("\"num_sms\""), 9, "\"num_smz\"");
+  try {
+    spec_from_json_string(text, "edited");
+    FAIL() << "unknown field accepted";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown field 'num_smz'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SpecIo, ParserReportsMissingRequiredFields) {
+  try {
+    spec_from_json_string(R"({"schema": "mt4g-gpu-spec/v1"})", "minimal");
+    FAIL() << "empty spec accepted";
+  } catch (const SpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("name"), std::string::npos) << what;
+    EXPECT_NE(what.find("vendor"), std::string::npos) << what;
+    EXPECT_NE(what.find("elements"), std::string::npos) << what;
+  }
+}
+
+TEST(SpecIo, ParserRejectsMalformedJson) {
+  EXPECT_THROW(spec_from_json_string("{not json", "broken"), SpecError);
+}
+
+TEST(SpecIo, ContentHashChangesWithAnyFieldEdit) {
+  GpuSpec spec = registry_get("TestGPU-NV");
+  const std::uint64_t base = spec_content_hash(spec);
+  spec.elements[Element::kL1].latency_cycles += 1.0;
+  EXPECT_NE(spec_content_hash(spec), base);
+  EXPECT_EQ(spec_content_hash_hex(spec).size(), 16u);
+}
+
+}  // namespace
+}  // namespace mt4g::sim
