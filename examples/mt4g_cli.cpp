@@ -325,6 +325,21 @@ const char kFleetUsage[] =
     "                               knobs leave reports byte-identical, and\n"
     "                               all jobs' stages share one executor)\n"
     "  --no-mig                     skip MIG partitions of MIG-capable GPUs\n"
+    "  --retries N                  extra attempts per job after a transient\n"
+    "                               failure (default 2; malformed jobs never\n"
+    "                               retry). A retried job's report is\n"
+    "                               byte-identical to a clean run's\n"
+    "  --job-timeout SEC            per-attempt wall-clock deadline, checked\n"
+    "                               between benchmark stages (default off);\n"
+    "                               expiry counts as a transient failure\n"
+    "  --retry-backoff-ms N         base of the exponential backoff between\n"
+    "                               attempts, capped at 1000 ms (default 0)\n"
+    "  --fail-fast                  stop claiming jobs after the first failed\n"
+    "                               job; unclaimed jobs report as skipped\n"
+    "  --keep-going                 run every job despite failures (default)\n"
+    "  --fault-plan FILE            arm the deterministic fault-injection\n"
+    "                               plan in FILE (JSON; see README \"Failure\n"
+    "                               model\"). Env fallback: MT4G_FAULT_PLAN\n"
     "  --cache FILE                 result-cache JSON file\n"
     "                               (default <out>/fleet_cache.json; 'none'\n"
     "                               disables caching)\n"
@@ -353,6 +368,11 @@ int run_fleet(int argc, char** argv) {
   bool progress = false;
   std::uint32_t sweep_threads = 1;
   std::uint32_t bench_threads = 1;
+  std::uint32_t retries = 2;
+  std::string fault_plan_path;
+  if (const char* env_plan = std::getenv("MT4G_FAULT_PLAN")) {
+    fault_plan_path = env_plan;
+  }
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -392,6 +412,26 @@ int run_fleet(int argc, char** argv) {
       bench_threads = count_value(1);
     } else if (arg == "--no-mig") {
       plan.include_mig = false;
+    } else if (arg == "--retries") {
+      retries = count_value(0);
+    } else if (arg == "--job-timeout") {
+      const char* text = value();
+      char* end = nullptr;
+      const double seconds = std::strtod(text, &end);
+      if (end == text || *end != '\0' || seconds <= 0.0) {
+        std::fprintf(stderr,
+                     "mt4g fleet: --job-timeout expects seconds > 0\n");
+        return 2;
+      }
+      scheduler.retry.timeout_seconds = seconds;
+    } else if (arg == "--retry-backoff-ms") {
+      scheduler.retry.backoff_base_ms = count_value(0);
+    } else if (arg == "--fail-fast") {
+      scheduler.fail_fast = true;
+    } else if (arg == "--keep-going") {
+      scheduler.fail_fast = false;
+    } else if (arg == "--fault-plan") {
+      fault_plan_path = value();
     } else if (arg == "--model-dir") {
       model_dir = value();
     } else if (arg == "--model-spec") {
@@ -419,6 +459,20 @@ int run_fleet(int argc, char** argv) {
   if (plan.seed_count == 0) {
     std::fprintf(stderr, "mt4g fleet: --seeds must be >= 1\n");
     return 2;
+  }
+  scheduler.retry.max_attempts = retries + 1;
+
+  // Armed for the whole sweep (and disarmed on every exit path): chaos runs
+  // exercise the same binary, the same code paths, the same flags.
+  std::optional<fleet::ScopedFaultPlan> armed_faults;
+  if (!fault_plan_path.empty()) {
+    try {
+      armed_faults.emplace(fleet::load_fault_plan_file(fault_plan_path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mt4g fleet: bad fault plan %s:\n%s\n",
+                   fault_plan_path.c_str(), e.what());
+      return 2;
+    }
   }
   // Must outlive expand_jobs() below (plan.registry points into it).
   std::optional<sim::ModelRegistry> custom;
@@ -462,9 +516,17 @@ int run_fleet(int argc, char** argv) {
   if (!quiet) {
     scheduler.on_result = [](const fleet::JobResult& result, std::size_t done,
                              std::size_t total) {
+      const char* verdict = result.ok         ? "ok"
+                            : result.skipped  ? "SKIPPED"
+                            : result.timed_out ? "TIMED OUT"
+                                               : "FAILED";
+      std::string detail;
+      if (result.from_cache) detail += " (cache)";
+      if (result.attempts > 1) {
+        detail += " (attempt " + std::to_string(result.attempts) + ")";
+      }
       std::fprintf(stderr, "fleet: [%zu/%zu] %s %s%s\n", done, total,
-                   result.job.key().c_str(), result.ok ? "ok" : "FAILED",
-                   result.from_cache ? " (cache)" : "");
+                   result.job.key().c_str(), verdict, detail.c_str());
     };
   }
 
@@ -548,13 +610,18 @@ int run_fleet(int argc, char** argv) {
   std::fputs(markdown.c_str(), stdout);
   if (!quiet) {
     std::fprintf(stderr,
-                 "fleet: %zu jobs, %zu ok, %zu failed, %zu cache hits\n",
+                 "fleet: %zu jobs, %zu ok, %zu failed, %zu skipped, "
+                 "%zu cache hits, %zu retries, %zu timeouts\n",
                  report.summary.total_jobs, report.summary.succeeded,
-                 report.summary.failed, report.summary.cache_hits);
+                 report.summary.failed, report.summary.skipped,
+                 report.summary.cache_hits, report.summary.retries,
+                 report.summary.timed_out);
   }
   if (!ok) return 1;
   if (regressions) return 3;
-  return report.summary.failed == 0 ? 0 : 1;
+  // A sweep with failed OR skipped jobs is degraded: the report is still
+  // written (and valid), but the exit status must say "not everything ran".
+  return (report.summary.failed == 0 && report.summary.skipped == 0) ? 0 : 1;
 }
 
 }  // namespace

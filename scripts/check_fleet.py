@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""CI assertions over fleet_report.json (the chaos smoke job's oracle).
+
+Subcommands:
+  compare A B [--scrub key,...]   deep-equal after removing volatile keys
+  degraded REPORT [--expect N] [--reason R] [--match SUBSTR]
+                                  assert the degraded block's shape
+
+`compare` is how CI checks the tentpole determinism property end to end: a
+fleet run under a transient fault plan must produce the same aggregate report
+as the fault-free run once the volatile keys — host wall time and the retry
+counters that *record* the recovery — are scrubbed. Everything else (matrix,
+coverage, per-model values, failures, degraded) must match byte-for-byte.
+"""
+
+import argparse
+import json
+import sys
+
+# Keys whose values legitimately differ between a clean run and a recovered
+# run: host timing, and the counters that exist to record the recovery.
+DEFAULT_SCRUB = ("wall_seconds", "retries", "retried")
+
+
+def scrub(value, keys):
+    if isinstance(value, dict):
+        return {k: scrub(v, keys) for k, v in value.items() if k not in keys}
+    if isinstance(value, list):
+        return [scrub(v, keys) for v in value]
+    return value
+
+
+def diff_paths(a, b, path="$"):
+    """Yields human-readable paths where two scrubbed documents differ."""
+    if type(a) is not type(b):
+        yield f"{path}: type {type(a).__name__} != {type(b).__name__}"
+        return
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                yield f"{path}.{key}: only in B"
+            elif key not in b:
+                yield f"{path}.{key}: only in A"
+            else:
+                yield from diff_paths(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, list):
+        if len(a) != len(b):
+            yield f"{path}: length {len(a)} != {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            yield from diff_paths(x, y, f"{path}[{i}]")
+    elif a != b:
+        yield f"{path}: {a!r} != {b!r}"
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def cmd_compare(args):
+    keys = tuple(args.scrub.split(",")) if args.scrub else DEFAULT_SCRUB
+    a = scrub(load(args.a), keys)
+    b = scrub(load(args.b), keys)
+    differences = list(diff_paths(a, b))
+    if differences:
+        print(f"check_fleet compare: {args.a} != {args.b} "
+              f"(scrubbed {','.join(keys)}):")
+        for line in differences[:40]:
+            print(f"  {line}")
+        return 1
+    print(f"check_fleet compare: {args.a} == {args.b} "
+          f"(scrubbed {','.join(keys)})")
+    return 0
+
+
+def cmd_degraded(args):
+    report = load(args.report)
+    degraded = report.get("degraded", [])
+    problems = []
+    if args.expect is not None and len(degraded) != args.expect:
+        problems.append(
+            f"expected {args.expect} degraded job(s), found {len(degraded)}")
+    for entry in degraded:
+        if args.reason and entry.get("reason") != args.reason:
+            problems.append(
+                f"job {entry.get('job', '?')}: reason "
+                f"{entry.get('reason')!r}, wanted {args.reason!r}")
+        if args.match and args.match not in entry.get("job", ""):
+            problems.append(
+                f"job {entry.get('job', '?')} does not match {args.match!r}")
+    summary = report.get("summary", {})
+    accounted = summary.get("failed", 0) + summary.get("skipped", 0)
+    if len(degraded) != accounted:
+        problems.append(
+            f"degraded lists {len(degraded)} job(s) but the summary counts "
+            f"{accounted} failed+skipped — the report hides holes")
+    if problems:
+        print(f"check_fleet degraded: {args.report}:")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    print(f"check_fleet degraded: {args.report} ok "
+          f"({len(degraded)} degraded job(s))")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="deep-equal two fleet reports")
+    compare.add_argument("a")
+    compare.add_argument("b")
+    compare.add_argument("--scrub", default=None,
+                         help=f"comma-separated volatile keys "
+                              f"(default {','.join(DEFAULT_SCRUB)})")
+    compare.set_defaults(func=cmd_compare)
+
+    degraded = sub.add_parser("degraded", help="assert the degraded block")
+    degraded.add_argument("report")
+    degraded.add_argument("--expect", type=int, default=None,
+                          help="exact number of degraded jobs")
+    degraded.add_argument("--reason", default=None,
+                          help="required reason of every degraded job")
+    degraded.add_argument("--match", default=None,
+                          help="substring every degraded job key must contain")
+    degraded.set_defaults(func=cmd_degraded)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

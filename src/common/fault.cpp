@@ -1,0 +1,338 @@
+#include "common/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/json_parse.hpp"
+
+namespace mt4g::fault {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// FNV-1a 64-bit over an ad-hoc byte string — the same stable hash the fleet
+// job keys use, reused here for seeded fire decisions.
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Deterministic uniform draw in [0, 1) for occurrence @p n of @p key at a
+/// rule. Independent of scheduling, thread count and previous decisions.
+double fire_draw(std::uint64_t seed, std::size_t rule_index,
+                 std::string_view site, std::string_view key,
+                 std::uint32_t n) {
+  std::string material;
+  material.reserve(site.size() + key.size() + 48);
+  material += std::to_string(seed);
+  material += '|';
+  material += std::to_string(rule_index);
+  material += '|';
+  material += site;
+  material += '|';
+  material += key;
+  material += '|';
+  material += std::to_string(n);
+  // FNV-1a alone is not enough here: its last multiply spreads the final
+  // byte (the fast-changing occurrence digit) only through the low ~40 bits,
+  // so the high bits the draw keeps would barely move between occurrences.
+  // A murmur3-style finalizer avalanches every input bit across the word.
+  std::uint64_t h = fnv1a(material);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+const struct {
+  const char* name;
+  FaultKind kind;
+} kKindNames[] = {
+    {"throw", FaultKind::kThrow},
+    {"hang", FaultKind::kHang},
+    {"slow", FaultKind::kSlow},
+    {"torn_write", FaultKind::kTornWrite},
+    {"corrupt_truncate", FaultKind::kCorruptTruncate},
+    {"corrupt_bad_json", FaultKind::kCorruptBadJson},
+    {"corrupt_bad_entry", FaultKind::kCorruptBadEntry},
+};
+
+}  // namespace
+
+std::string fault_kind_name(FaultKind kind) {
+  for (const auto& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "?";
+}
+
+std::optional<FaultKind> parse_fault_kind(std::string_view name) {
+  for (const auto& entry : kKindNames) {
+    if (entry.name == name) return entry.kind;
+  }
+  return std::nullopt;
+}
+
+bool is_behavior_kind(FaultKind kind) {
+  return kind == FaultKind::kThrow || kind == FaultKind::kHang ||
+         kind == FaultKind::kSlow;
+}
+
+FaultPlan parse_fault_plan(const std::string& json_text) {
+  std::vector<std::string> problems;
+  FaultPlan plan;
+
+  const json::ParseResult parsed = json::parse(json_text);
+  if (!parsed.ok()) {
+    throw std::invalid_argument("fault plan is not valid JSON: " +
+                                parsed.error.message);
+  }
+  const json::Value& doc = *parsed.value;
+  if (!doc.is_object()) {
+    throw std::invalid_argument("fault plan must be a JSON object");
+  }
+
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "version") {
+      if (!value.is_int() || value.as_int() != 1) {
+        problems.push_back("version: expected 1");
+      }
+    } else if (key == "seed") {
+      if (!value.is_int() || value.as_int() < 0) {
+        problems.push_back("seed: expected a non-negative integer");
+      } else {
+        plan.seed = static_cast<std::uint64_t>(value.as_int());
+      }
+    } else if (key == "rules") {
+      if (!value.is_array()) {
+        problems.push_back("rules: expected an array");
+      }
+    } else {
+      problems.push_back("unknown key '" + key + "'");
+    }
+  }
+  if (doc.find("version") == nullptr) {
+    problems.push_back("missing required key 'version'");
+  }
+
+  const json::Value* rules = doc.find("rules");
+  if (rules != nullptr && rules->is_array()) {
+    std::size_t index = 0;
+    for (const json::Value& item : rules->as_array()) {
+      const std::string where = "rules[" + std::to_string(index++) + "]";
+      if (!item.is_object()) {
+        problems.push_back(where + ": expected an object");
+        continue;
+      }
+      FaultRule rule;
+      bool has_site = false;
+      bool has_kind = false;
+      for (const auto& [key, value] : item.as_object()) {
+        const auto want_count = [&](std::uint32_t* out) {
+          if (!value.is_int() || value.as_int() < 0 ||
+              value.as_int() > (1 << 30)) {
+            problems.push_back(where + "." + key +
+                               ": expected a non-negative integer");
+          } else {
+            *out = static_cast<std::uint32_t>(value.as_int());
+          }
+        };
+        if (key == "site") {
+          if (!value.is_string() || value.as_string().empty()) {
+            problems.push_back(where + ".site: expected a non-empty string");
+          } else {
+            rule.site = value.as_string();
+            has_site = true;
+          }
+        } else if (key == "match") {
+          if (!value.is_string()) {
+            problems.push_back(where + ".match: expected a string");
+          } else {
+            rule.match = value.as_string();
+          }
+        } else if (key == "kind") {
+          if (const auto kind =
+                  value.is_string() ? parse_fault_kind(value.as_string())
+                                    : std::nullopt) {
+            rule.kind = *kind;
+            has_kind = true;
+          } else {
+            problems.push_back(
+                where +
+                ".kind: expected one of throw|hang|slow|torn_write|"
+                "corrupt_truncate|corrupt_bad_json|corrupt_bad_entry");
+          }
+        } else if (key == "skip") {
+          want_count(&rule.skip);
+        } else if (key == "count") {
+          want_count(&rule.count);
+        } else if (key == "sleep_ms") {
+          want_count(&rule.sleep_ms);
+        } else if (key == "probability") {
+          const double p = value.is_int() || value.is_double()
+                               ? value.as_double()
+                               : -1.0;
+          if (p <= 0.0 || p > 1.0) {
+            problems.push_back(where + ".probability: expected in (0, 1]");
+          } else {
+            rule.probability = p;
+          }
+        } else if (key == "message") {
+          if (!value.is_string()) {
+            problems.push_back(where + ".message: expected a string");
+          } else {
+            rule.message = value.as_string();
+          }
+        } else {
+          problems.push_back(where + ": unknown key '" + key + "'");
+        }
+      }
+      if (!has_site) problems.push_back(where + ": missing 'site'");
+      if (!has_kind) problems.push_back(where + ": missing 'kind'");
+      if ((rule.kind == FaultKind::kHang || rule.kind == FaultKind::kSlow) &&
+          rule.sleep_ms == 0) {
+        problems.push_back(where + ": hang/slow rules need sleep_ms > 0");
+      }
+      plan.rules.push_back(std::move(rule));
+    }
+  }
+
+  if (!problems.empty()) {
+    std::string joined = "invalid fault plan:";
+    for (const std::string& problem : problems) joined += "\n  " + problem;
+    throw std::invalid_argument(joined);
+  }
+  return plan;
+}
+
+FaultPlan load_fault_plan_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::invalid_argument("cannot read fault plan file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse_fault_plan(buffer.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+bool faults_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+Injector& Injector::instance() {
+  static Injector injector;
+  return injector;
+}
+
+void Injector::arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = std::move(plan);
+  rules_.clear();
+  rules_.reserve(plan_.rules.size());
+  for (const FaultRule& rule : plan_.rules) rules_.push_back({rule, {}});
+  fired_.clear();
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Injector::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  g_enabled.store(false, std::memory_order_relaxed);
+  plan_ = {};
+  rules_.clear();
+  fired_.clear();
+}
+
+bool Injector::armed() const { return faults_enabled(); }
+
+std::vector<const FaultRule*> Injector::decide(std::string_view site,
+                                               std::string_view key) {
+  // Caller holds mutex_. Every matching rule's per-key occurrence counter is
+  // bumped exactly once per site visit, whether or not the rule fires — the
+  // occurrence index is a property of the visit, not of earlier decisions.
+  std::vector<const FaultRule*> firing;
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    RuleState& state = rules_[r];
+    const FaultRule& rule = state.rule;
+    if (rule.site != site) continue;
+    if (!rule.match.empty() && key.find(rule.match) == std::string_view::npos) {
+      continue;
+    }
+    const std::uint32_t n = state.occurrences[std::string(key)]++;
+    if (n < rule.skip) continue;
+    if (rule.count != 0 && n >= rule.skip + rule.count) continue;
+    if (rule.probability < 1.0 &&
+        fire_draw(plan_.seed, r, site, key, n) >= rule.probability) {
+      continue;
+    }
+    firing.push_back(&rule);
+    ++fired_[std::string(site)];
+  }
+  return firing;
+}
+
+void Injector::at(std::string_view site, std::string_view key) {
+  if (!faults_enabled()) return;
+  std::uint64_t sleep_ms = 0;
+  bool do_throw = false;
+  std::string message;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const FaultRule* rule : decide(site, key)) {
+      switch (rule->kind) {
+        case FaultKind::kThrow:
+          do_throw = true;
+          if (message.empty()) message = rule->message;
+          break;
+        case FaultKind::kHang:
+        case FaultKind::kSlow:
+          sleep_ms += rule->sleep_ms;
+          break;
+        default:
+          break;  // file kinds are applied by writers via file_fault()
+      }
+    }
+  }
+  // Stall outside the lock so a hanging site never blocks other sites.
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  if (do_throw) {
+    if (message.empty()) {
+      message = "injected fault at ";
+      message += site;
+      message += " [";
+      message += key;
+      message += "]";
+    }
+    throw InjectedFault(message);
+  }
+}
+
+std::optional<FaultKind> Injector::file_fault(std::string_view site,
+                                              std::string_view key) {
+  if (!faults_enabled()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const FaultRule* rule : decide(site, key)) {
+    if (!is_behavior_kind(rule->kind)) return rule->kind;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t Injector::fired(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = fired_.find(site);
+  return it == fired_.end() ? 0 : it->second;
+}
+
+}  // namespace mt4g::fault

@@ -1,0 +1,159 @@
+// Deterministic fault injection — chaos testing with reproducible chaos.
+//
+// A FaultPlan is pure data (spec'd as JSON like the GPU model specs and
+// chase plans): a list of rules, each naming an instrumented *site*, an
+// optional substring filter on the site's key (job key, stage name, cache
+// path), a fault kind, and a deterministic firing window. Counters are kept
+// per (rule, key), so "the first attempt of every job throws" fires
+// identically for every worker count and schedule — the property that lets
+// tests assert byte-identical recovery. Probabilistic rules stay
+// reproducible too: the fire decision hashes (plan seed, site, key,
+// occurrence), never a global RNG.
+//
+// Fast path: like the obs layer, injection is strictly opt-in. With no plan
+// armed every site costs one relaxed atomic load — no lock, no allocation —
+// so production sweeps never pay for their failure-path coverage.
+//
+// Instrumented sites (the spelling the plan file uses):
+//   fleet.job.attempt   scheduler, once per job attempt; key = job key.
+//                       Supports throw / hang / slow.
+//   pipeline.stage      stage-graph runner, once per executed stage;
+//                       key = stage name. Supports throw / hang / slow.
+//   fleet.cache.save    result-cache persistence; key = file path. Supports
+//                       torn_write / corrupt_truncate / corrupt_bad_json /
+//                       corrupt_bad_entry (applied by the cache writer).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mt4g::fault {
+
+/// Site name constants — call sites and tests share one spelling.
+inline constexpr const char kSiteJobAttempt[] = "fleet.job.attempt";
+inline constexpr const char kSitePipelineStage[] = "pipeline.stage";
+inline constexpr const char kSiteCacheSave[] = "fleet.cache.save";
+
+enum class FaultKind : std::uint8_t {
+  kThrow,            ///< raise InjectedFault at the site (a transient error)
+  kHang,             ///< bounded sleep_ms stall (paired with job timeouts)
+  kSlow,             ///< same mechanics as kHang; names intent in plans
+  kTornWrite,        ///< crash mid-write: half a temp file, no commit
+  kCorruptTruncate,  ///< commit, then truncate the file to half its bytes
+  kCorruptBadJson,   ///< commit, then append trailing garbage (invalid JSON)
+  kCorruptBadEntry,  ///< commit with one structurally malformed entry
+};
+
+std::string fault_kind_name(FaultKind kind);
+std::optional<FaultKind> parse_fault_kind(std::string_view name);
+
+/// True for the kinds Injector::at() applies itself (throw/hang/slow);
+/// false for the file-corruption kinds a writer applies via file_fault().
+bool is_behavior_kind(FaultKind kind);
+
+struct FaultRule {
+  std::string site;   ///< instrumented site name (required)
+  std::string match;  ///< substring filter on the site key; empty = every key
+  FaultKind kind = FaultKind::kThrow;
+  /// Fire on occurrences [skip, skip + count) of each distinct key at the
+  /// site; count 0 = every occurrence from skip on. Occurrences are counted
+  /// per (rule, key), which is what keeps plans schedule-independent.
+  std::uint32_t skip = 0;
+  std::uint32_t count = 1;
+  std::uint32_t sleep_ms = 0;  ///< stall length for hang/slow
+  /// Deterministic sampling of the firing window: the decision for
+  /// occurrence n of a key hashes (plan seed, rule index, site, key, n).
+  double probability = 1.0;
+  std::string message;  ///< thrown text for kThrow; "" = generated
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;  ///< feeds the probabilistic fire decisions
+  std::vector<FaultRule> rules;
+};
+
+/// Parses the JSON plan format:
+///   {"version": 1, "seed": 7, "rules": [{"site": "fleet.job.attempt",
+///    "kind": "throw", "match": "H100", "skip": 0, "count": 1,
+///    "sleep_ms": 0, "probability": 1.0, "message": "..."}]}
+/// Unknown keys, unknown kinds and out-of-range values are errors — a typo'd
+/// chaos plan must fail loudly, not silently inject nothing.
+/// @throws std::invalid_argument with every diagnostic joined by newlines.
+FaultPlan parse_fault_plan(const std::string& json_text);
+
+/// parse_fault_plan() over a file's contents.
+/// @throws std::invalid_argument (missing/unreadable file included).
+FaultPlan load_fault_plan_file(const std::string& path);
+
+/// The exception kThrow raises. Deliberately a distinct type: schedulers
+/// treat it as transient (retryable), and tests can assert provenance.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One relaxed atomic load — the whole cost of every site with no plan armed.
+bool faults_enabled();
+
+/// The process-wide injector. arm() installs a plan and resets all
+/// counters; disarm() restores the zero-cost disabled state. Sites are
+/// thread-safe (worker threads fire them concurrently).
+class Injector {
+ public:
+  static Injector& instance();
+
+  void arm(FaultPlan plan);
+  void disarm();
+  bool armed() const;
+
+  /// Fires a behaviour site: sleeps for every matching hang/slow rule (the
+  /// stall happens outside the injector lock), then throws InjectedFault if
+  /// a throw rule matched. No-op when disarmed.
+  void at(std::string_view site, std::string_view key);
+
+  /// Consults (and consumes an occurrence of) the file-fault rules for a
+  /// writer site; the caller applies the returned corruption. When several
+  /// rules match the same occurrence the first rule in plan order wins.
+  std::optional<FaultKind> file_fault(std::string_view site,
+                                      std::string_view key);
+
+  /// Total faults fired at @p site since arm() (test/assertion hook).
+  std::uint64_t fired(std::string_view site) const;
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    std::map<std::string, std::uint32_t, std::less<>> occurrences;  ///< by key
+  };
+
+  Injector() = default;
+
+  /// Bumps counters and decides which rules fire for this occurrence.
+  std::vector<const FaultRule*> decide(std::string_view site,
+                                       std::string_view key);
+
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  std::vector<RuleState> rules_;
+  std::map<std::string, std::uint64_t, std::less<>> fired_;
+};
+
+/// RAII arming — the test/CLI idiom that guarantees disarm on every path.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan) {
+    Injector::instance().arm(std::move(plan));
+  }
+  ~ScopedFaultPlan() { Injector::instance().disarm(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace mt4g::fault

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/report.hpp"
 #include "sim/gpu.hpp"
 
@@ -52,6 +53,12 @@ struct DiscoverOptions {
   /// Tests inject a dedicated pool to force real stage interleaving
   /// regardless of the host's core count.
   exec::Executor* bench_executor = nullptr;
+  /// Cooperative wall-clock budget, checked before every stage of the graph
+  /// (see core/cancel.hpp); expiry raises TimeoutError out of discover().
+  /// Default-constructed = unlimited. Purely an execution knob like the
+  /// thread counts: a completed discovery's report does not depend on it,
+  /// so it is not part of fleet::DiscoveryJob::key().
+  Deadline deadline;
 
   /// True when discovery is restricted to a subset of elements.
   bool restricted() const { return !only.empty(); }

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <set>
 
+#include "common/fault.hpp"
 #include "exec/executor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -50,6 +51,16 @@ struct GraphRun {
   /// are a pure function of (owner seed, stage) — the scheduling-
   /// independence the byte-identity contract rests on.
   void run_stage(std::size_t i) {
+    // Cooperative cancellation checkpoint: an expired per-job deadline
+    // surfaces as a TimeoutError stage failure, which skips every dependent
+    // stage and drains the remaining independent ones instantly (each hits
+    // this same check), so a timed-out graph unwinds under any schedule.
+    options.deadline.check("pipeline.stage");
+    // Deterministic fault injection (disabled: one relaxed atomic load).
+    if (fault::faults_enabled()) {
+      fault::Injector::instance().at(fault::kSitePipelineStage,
+                                     graph.stages[i].name);
+    }
     // Wall time is always measured (two clock reads); the span and metric
     // sites are no-ops unless a trace/metrics run opted in. None of it feeds
     // back into the measurement — the byte-identity contract is untouched.

@@ -32,6 +32,7 @@ struct Counters {
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::uint64_t> nested_batches{0};
   std::atomic<std::uint64_t> tasks{0};
+  std::atomic<std::uint64_t> tasks_failed{0};
   std::atomic<std::uint64_t> caller_tasks{0};
   std::atomic<std::uint64_t> pool_tasks{0};
   std::atomic<std::uint64_t> max_queue_depth{0};
@@ -84,6 +85,7 @@ void drain(Batch& batch, std::uint32_t slot) {
     try {
       (*batch.task)(index, slot);
     } catch (...) {
+      batch.counters->tasks_failed.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(batch.error_mutex);
       if (index < batch.error_index) {
         batch.error_index = index;
@@ -183,6 +185,7 @@ ExecutorStats Executor::stats() const {
   stats.batches = c.batches.load(std::memory_order_relaxed);
   stats.nested_batches = c.nested_batches.load(std::memory_order_relaxed);
   stats.tasks = c.tasks.load(std::memory_order_relaxed);
+  stats.tasks_failed = c.tasks_failed.load(std::memory_order_relaxed);
   stats.caller_tasks = c.caller_tasks.load(std::memory_order_relaxed);
   stats.pool_tasks = c.pool_tasks.load(std::memory_order_relaxed);
   stats.max_queue_depth = c.max_queue_depth.load(std::memory_order_relaxed);

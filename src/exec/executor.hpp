@@ -40,6 +40,7 @@ struct ExecutorStats {
   std::uint64_t batches = 0;         ///< parallel_for calls with work
   std::uint64_t nested_batches = 0;  ///< submitted from inside another task
   std::uint64_t tasks = 0;           ///< tasks executed (all participants)
+  std::uint64_t tasks_failed = 0;    ///< tasks that ended in an exception
   std::uint64_t caller_tasks = 0;    ///< tasks run by calling threads (slot 0)
   std::uint64_t pool_tasks = 0;      ///< tasks run by pool threads
   std::uint64_t max_queue_depth = 0;  ///< deepest claimable-batch queue seen

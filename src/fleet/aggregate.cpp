@@ -105,9 +105,21 @@ FleetReport aggregate(const std::vector<JobResult>& results) {
     if (result.ok) {
       ++fleet.summary.succeeded;
       fleet.summary.simulated_seconds += result.report.simulated_seconds;
+    } else if (result.skipped) {
+      ++fleet.summary.skipped;
+      fleet.degraded.push_back({result.job.key(), result.job.model, "skipped",
+                                std::string(), result.attempts});
     } else {
       ++fleet.summary.failed;
+      if (result.timed_out) ++fleet.summary.timed_out;
       fleet.failures.push_back({result.job.key(), result.error});
+      fleet.degraded.push_back({result.job.key(), result.job.model,
+                                result.timed_out ? "timed_out" : "failed",
+                                result.error, result.attempts});
+    }
+    if (result.retried) {
+      ++fleet.summary.retried;
+      fleet.summary.retries += result.attempts > 0 ? result.attempts - 1 : 0;
     }
     if (result.from_cache) ++fleet.summary.cache_hits;
     fleet.summary.wall_seconds += result.wall_seconds;
@@ -212,7 +224,14 @@ std::string to_markdown(const FleetReport& fleet) {
   out += "- jobs: " + std::to_string(fleet.summary.total_jobs) +
          " (succeeded " + std::to_string(fleet.summary.succeeded) +
          ", failed " + std::to_string(fleet.summary.failed) +
+         ", skipped " + std::to_string(fleet.summary.skipped) +
          ", cache hits " + std::to_string(fleet.summary.cache_hits) + ")\n";
+  if (fleet.summary.retried > 0 || fleet.summary.timed_out > 0) {
+    out += "- degraded health: " + std::to_string(fleet.summary.retried) +
+           " job(s) retried (" + std::to_string(fleet.summary.retries) +
+           " extra attempts), " + std::to_string(fleet.summary.timed_out) +
+           " timed out\n";
+  }
   out += "- worker time: " + format_double(fleet.summary.wall_seconds, 2) +
          " s, simulated GPU time: " +
          format_double(fleet.summary.simulated_seconds, 1) + " s\n\n";
@@ -254,6 +273,17 @@ std::string to_markdown(const FleetReport& fleet) {
     out += "\n";
   }
 
+  if (!fleet.degraded.empty()) {
+    out += "## Degraded jobs\n\n";
+    out += "| job | model | reason | attempts | error |\n|---|---|---|---|---|\n";
+    for (const auto& entry : fleet.degraded) {
+      out += "| `" + entry.key + "` | " + entry.model + " | " + entry.reason +
+             " | " + std::to_string(entry.attempts) + " | " + entry.error +
+             " |\n";
+    }
+    out += "\n";
+  }
+
   if (!fleet.failures.empty()) {
     out += "## Failures\n\n";
     for (const auto& failure : fleet.failures) {
@@ -272,8 +302,16 @@ json::Value fleet_to_json(const FleetReport& fleet) {
                        static_cast<std::uint64_t>(fleet.summary.succeeded));
   summary.emplace_back("failed",
                        static_cast<std::uint64_t>(fleet.summary.failed));
+  summary.emplace_back("skipped",
+                       static_cast<std::uint64_t>(fleet.summary.skipped));
   summary.emplace_back("cache_hits",
                        static_cast<std::uint64_t>(fleet.summary.cache_hits));
+  summary.emplace_back("timed_out",
+                       static_cast<std::uint64_t>(fleet.summary.timed_out));
+  summary.emplace_back("retried",
+                       static_cast<std::uint64_t>(fleet.summary.retried));
+  summary.emplace_back("retries",
+                       static_cast<std::uint64_t>(fleet.summary.retries));
   summary.emplace_back("wall_seconds", fleet.summary.wall_seconds);
   summary.emplace_back("simulated_seconds", fleet.summary.simulated_seconds);
 
@@ -313,6 +351,17 @@ json::Value fleet_to_json(const FleetReport& fleet) {
     failures.emplace_back(std::move(item));
   }
 
+  json::Array degraded;
+  for (const auto& entry : fleet.degraded) {
+    json::Object item;
+    item.emplace_back("job", entry.key);
+    item.emplace_back("model", entry.model);
+    item.emplace_back("reason", entry.reason);
+    item.emplace_back("attempts", static_cast<std::uint64_t>(entry.attempts));
+    item.emplace_back("error", entry.error);
+    degraded.emplace_back(std::move(item));
+  }
+
   json::Array disagreements;
   for (const auto& disagreement : fleet.disagreements) {
     json::Object item;
@@ -328,6 +377,7 @@ json::Value fleet_to_json(const FleetReport& fleet) {
   doc.emplace_back("matrix", std::move(matrix));
   doc.emplace_back("coverage", std::move(coverage));
   doc.emplace_back("failures", std::move(failures));
+  doc.emplace_back("degraded", std::move(degraded));
   doc.emplace_back("disagreements", std::move(disagreements));
   return json::Value(std::move(doc));
 }

@@ -25,8 +25,12 @@ namespace mt4g::fleet {
 struct FleetSummary {
   std::size_t total_jobs = 0;
   std::size_t succeeded = 0;
-  std::size_t failed = 0;
+  std::size_t failed = 0;     ///< final attempt failed (skipped not included)
+  std::size_t skipped = 0;    ///< never attempted (fail-fast abort)
   std::size_t cache_hits = 0;
+  std::size_t timed_out = 0;  ///< jobs whose final attempt hit the deadline
+  std::size_t retried = 0;    ///< jobs that needed more than one attempt
+  std::size_t retries = 0;    ///< total extra attempts across the sweep
   double wall_seconds = 0.0;       ///< summed per-job worker time
   double simulated_seconds = 0.0;  ///< summed simulated GPU time
 };
@@ -58,6 +62,18 @@ struct JobFailure {
   std::string error;
 };
 
+/// One job the sweep could not deliver a result for. A fleet report with a
+/// non-empty degraded list is still valid — graceful degradation means the
+/// healthy part of the fleet reports normally and the holes are explicit,
+/// never silent.
+struct DegradedJob {
+  std::string key;            ///< DiscoveryJob::key()
+  std::string model;
+  std::string reason;         ///< "failed" | "timed_out" | "skipped"
+  std::string error;          ///< last attempt's error ("" for skipped)
+  std::uint32_t attempts = 0; ///< attempts actually made
+};
+
 /// A discrete attribute that changed between seeds of one configuration —
 /// detection should be seed-independent, so any entry here is a finding.
 struct SeedDisagreement {
@@ -72,6 +88,7 @@ struct FleetReport {
   std::vector<MatrixRow> matrix;
   std::vector<ElementCoverage> coverage;
   std::vector<JobFailure> failures;
+  std::vector<DegradedJob> degraded;  ///< failed/timed-out/skipped jobs
   std::vector<SeedDisagreement> disagreements;
 };
 

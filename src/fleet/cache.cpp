@@ -1,8 +1,10 @@
 #include "fleet/cache.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.hpp"
 #include "common/json.hpp"
 #include "common/json_parse.hpp"
 #include "core/output/json_output.hpp"
@@ -14,6 +16,30 @@ namespace {
 // v2: job keys gained the spec=<hex16> model-content component, so every v1
 // entry is keyed without the spec identity and must not be served.
 constexpr int kCacheFileVersion = 2;
+
+/// Writes the skipped raw entries and their reasons next to the cache file so
+/// a corrupted entry is inspectable (and recoverable by hand) instead of
+/// silently gone. Best-effort: quarantine failures never fail the load.
+void write_quarantine(const std::string& path, const std::string& source,
+                      const std::vector<CacheLoadIssue>& issues,
+                      const std::vector<json::Value>& raw_entries) {
+  json::Array items;
+  for (std::size_t i = 0; i < issues.size(); ++i) {
+    json::Object item;
+    item.emplace_back("index",
+                      static_cast<std::int64_t>(issues[i].entry_index));
+    if (!issues[i].hash.empty()) item.emplace_back("hash", issues[i].hash);
+    item.emplace_back("reason", issues[i].reason);
+    item.emplace_back("entry", raw_entries[i]);
+    items.emplace_back(std::move(item));
+  }
+  json::Object doc;
+  doc.emplace_back("version", 1);
+  doc.emplace_back("source", source);
+  doc.emplace_back("entries", std::move(items));
+  std::ofstream out(path);
+  if (out) out << json::Value(std::move(doc)).dump() << "\n";
+}
 
 }  // namespace
 
@@ -38,27 +64,47 @@ ResultCache::ResultCache(std::string file_path)
     load_error_ = "cache file has an unexpected shape";
     return;
   }
-  for (const json::Value& item : entries->as_array()) {
+
+  // Per-entry salvage: a single truncated or hand-edited entry must not
+  // discard every other result — each malformed entry is skipped with a
+  // reason, the rest load normally.
+  std::vector<json::Value> quarantined_raw;
+  const json::Array& items = entries->as_array();
+  for (std::size_t index = 0; index < items.size(); ++index) {
+    const json::Value& item = items[index];
     const json::Value* hash = item.find("hash");
     const json::Value* key = item.find("key");
     const json::Value* report = item.find("report");
-    if (hash == nullptr || !hash->is_string() || key == nullptr ||
-        !key->is_string() || report == nullptr || !report->is_object()) {
-      load_error_ = "cache file contains a malformed entry";
-      entries_.clear();
-      return;
+    const std::string stored_hash =
+        (hash != nullptr && hash->is_string()) ? hash->as_string() : "";
+    std::string reason;
+    if (hash == nullptr || !hash->is_string()) {
+      reason = "missing or non-string \"hash\"";
+    } else if (key == nullptr || !key->is_string()) {
+      reason = "missing or non-string \"key\"";
+    } else if (report == nullptr || !report->is_object()) {
+      reason = "missing or non-object \"report\"";
+    } else {
+      try {
+        entries_[stored_hash] =
+            Entry{key->as_string(), core::from_json_string(report->dump())};
+        continue;
+      } catch (const std::exception& e) {
+        reason = std::string("unreadable report: ") + e.what();
+      }
     }
-    // Every stored report must parse; a truncated or hand-edited report
-    // poisons the whole file rather than resurfacing later as a bad hit.
-    try {
-      entries_[hash->as_string()] =
-          Entry{key->as_string(), core::from_json_string(report->dump())};
-    } catch (const std::exception& e) {
-      load_error_ = std::string("cache file holds an unreadable report: ") +
-                    e.what();
-      entries_.clear();
-      return;
-    }
+    load_issues_.push_back(CacheLoadIssue{index, stored_hash, reason});
+    quarantined_raw.push_back(item);
+  }
+
+  if (!load_issues_.empty()) {
+    const std::string sidecar = quarantine_path();
+    write_quarantine(sidecar, file_path_, load_issues_, quarantined_raw);
+    std::ostringstream summary;
+    summary << "salvaged " << entries_.size() << " of " << items.size()
+            << " cache entries (" << load_issues_.size()
+            << " malformed, quarantined to " << sidecar << ")";
+    load_error_ = summary.str();
   }
 }
 
@@ -103,31 +149,79 @@ std::size_t ResultCache::misses() const {
   return misses_;
 }
 
+std::string ResultCache::quarantine_path() const {
+  return file_path_.empty() ? std::string() : file_path_ + ".quarantine";
+}
+
 bool ResultCache::save() const {
   if (file_path_.empty()) return true;
   return save_as(file_path_);
 }
 
 bool ResultCache::save_as(const std::string& path) const {
+  // The fault site is consulted once per save; injected corruption is
+  // applied below by this writer (the injector only decides).
+  std::optional<fault::FaultKind> injected;
+  if (fault::faults_enabled()) {
+    injected = fault::Injector::instance().file_fault(fault::kSiteCacheSave,
+                                                      path);
+  }
+
   json::Array entries;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    bool first = true;
     for (const auto& [hash, entry] : entries_) {
       json::Object item;
       item.emplace_back("hash", hash);
       item.emplace_back("key", entry.key);
-      item.emplace_back("report", core::to_json(entry.report));
+      if (first && injected == fault::FaultKind::kCorruptBadEntry) {
+        // Structurally malformed on purpose: report is a string, not an
+        // object — exactly what the load-salvage path must quarantine.
+        item.emplace_back("report", "injected corrupt entry");
+      } else {
+        item.emplace_back("report", core::to_json(entry.report));
+      }
+      first = false;
       entries.emplace_back(std::move(item));
     }
   }
   json::Object doc;
   doc.emplace_back("version", kCacheFileVersion);
   doc.emplace_back("entries", std::move(entries));
+  const std::string payload = json::Value(std::move(doc)).dump() + "\n";
 
-  std::ofstream out(path);
-  if (!out) return false;
-  out << json::Value(std::move(doc)).dump() << "\n";
-  return out.good();
+  // Atomic commit: write everything to a temp file in the same directory,
+  // then rename over the target — a crash (or an injected torn write) at any
+  // point leaves either the old file or the new one, never a half of each.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    if (injected == fault::FaultKind::kTornWrite) {
+      // Simulated crash mid-write: half the bytes land in the temp file and
+      // the commit rename never happens. The target file stays untouched.
+      out << payload.substr(0, payload.size() / 2);
+      return false;
+    }
+    out << payload;
+    if (!out.good()) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+
+  if (injected == fault::FaultKind::kCorruptTruncate) {
+    std::error_code truncate_ec;
+    std::filesystem::resize_file(path, payload.size() / 2, truncate_ec);
+  } else if (injected == fault::FaultKind::kCorruptBadJson) {
+    std::ofstream append(path, std::ios::binary | std::ios::app);
+    append << "{\"trailing garbage\"";
+  }
+  return true;
 }
 
 }  // namespace mt4g::fleet

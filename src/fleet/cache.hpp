@@ -6,6 +6,14 @@
 // handle-lookup registry pattern: jobs never carry results, they carry a
 // stable key, and the cache is the only authority mapping keys to reports.
 //
+// Crash safety (see README "Failure model"):
+//  * save() writes a temp file and renames it over the target — a crash
+//    mid-save leaves the previous cache intact, never a half-written file.
+//  * load salvages per entry: malformed entries are quarantined to a
+//    `<path>.quarantine` sidecar (with reasons) and every valid entry is
+//    kept. Only a file-level problem (invalid JSON, wrong version) starts
+//    the cache empty; either way the next save() is the recovery.
+//
 // All member functions are safe to call concurrently — the scheduler's worker
 // threads probe and fill the cache in parallel.
 #pragma once
@@ -15,11 +23,19 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/report.hpp"
 #include "fleet/job.hpp"
 
 namespace mt4g::fleet {
+
+/// One malformed cache entry skipped (and quarantined) during load.
+struct CacheLoadIssue {
+  std::size_t entry_index = 0;  ///< position in the file's entries array
+  std::string hash;             ///< stored hash, when readable; else ""
+  std::string reason;           ///< what was wrong with the entry
+};
 
 class ResultCache {
  public:
@@ -27,9 +43,11 @@ class ResultCache {
   ResultCache() = default;
 
   /// File-backed cache: loads @p file_path when it exists. A missing file
-  /// starts empty; a corrupted or wrong-shape file also starts empty and
-  /// records the problem in load_error() (the file is overwritten wholesale
-  /// on the next save(), which is the recovery).
+  /// starts empty. Malformed *entries* are skipped, quarantined to
+  /// `<file_path>.quarantine` and reported via load_issues()/load_error();
+  /// every well-formed entry is kept. A file-level problem (not JSON, wrong
+  /// version/shape) starts the cache empty with load_error() set. In both
+  /// cases the next save() overwrites the file wholesale — the recovery.
   explicit ResultCache(std::string file_path);
 
   ResultCache(const ResultCache&) = delete;
@@ -48,15 +66,25 @@ class ResultCache {
   std::size_t hits() const;
   std::size_t misses() const;
 
-  /// Why the backing file failed to load; empty when it loaded (or when the
-  /// cache is memory-only / the file did not exist yet).
+  /// Why (or how much of) the backing file failed to load; empty when it
+  /// loaded cleanly (or when the cache is memory-only / the file did not
+  /// exist yet). Partial salvage reads "salvaged X of Y cache entries ...".
   const std::string& load_error() const { return load_error_; }
 
-  /// Writes all entries to the backing file. No-op (returns true) for
-  /// memory-only caches; returns false when the file cannot be written.
+  /// Per-entry detail behind a partial salvage; empty on a clean load.
+  const std::vector<CacheLoadIssue>& load_issues() const {
+    return load_issues_;
+  }
+
+  /// Sidecar path malformed entries are written to: `<file_path>.quarantine`.
+  std::string quarantine_path() const;
+
+  /// Writes all entries to the backing file (atomically: temp + rename).
+  /// No-op (returns true) for memory-only caches; false when the write or
+  /// the rename fails.
   bool save() const;
 
-  /// Writes all entries to an explicit path.
+  /// Writes all entries to an explicit path (atomically: temp + rename).
   bool save_as(const std::string& path) const;
 
  private:
@@ -69,6 +97,7 @@ class ResultCache {
   std::map<std::string, Entry> entries_;  ///< keyed by DiscoveryJob::hash_hex()
   std::string file_path_;
   std::string load_error_;
+  std::vector<CacheLoadIssue> load_issues_;
   mutable std::size_t hits_ = 0;
   mutable std::size_t misses_ = 0;
 };

@@ -1,0 +1,23 @@
+// Fleet-facing names for the fault-injection layer (common/fault.hpp).
+//
+// The mechanism lives in src/common/ because the instrumented sites span
+// layers below the fleet (the pipeline stage runner, the shared cache
+// writer); the fleet vocabulary — FaultPlan as the sweep-level chaos spec —
+// is re-exported here so orchestrator code and plans read naturally:
+//   fleet::FaultPlan plan = fleet::load_fault_plan_file("chaos.json");
+//   fault::ScopedFaultPlan armed(std::move(plan));
+#pragma once
+
+#include "common/fault.hpp"
+
+namespace mt4g::fleet {
+
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::FaultRule;
+using fault::InjectedFault;
+using fault::load_fault_plan_file;
+using fault::parse_fault_plan;
+using fault::ScopedFaultPlan;
+
+}  // namespace mt4g::fleet

@@ -14,5 +14,6 @@
 
 #include "fleet/aggregate.hpp"  // IWYU pragma: export
 #include "fleet/cache.hpp"      // IWYU pragma: export
+#include "fleet/fault.hpp"      // IWYU pragma: export
 #include "fleet/job.hpp"        // IWYU pragma: export
 #include "fleet/scheduler.hpp"  // IWYU pragma: export

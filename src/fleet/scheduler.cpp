@@ -1,15 +1,33 @@
 #include "fleet/scheduler.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <mutex>
 #include <thread>
 
+#include "common/fault.hpp"
+#include "core/cancel.hpp"
 #include "exec/executor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/registry.hpp"
 
 namespace mt4g::fleet {
+namespace {
+
+/// Deterministic backoff before retry attempt @p attempt (2-based):
+/// min(cap, base << (attempt - 2)) milliseconds; base 0 = immediate.
+std::uint32_t backoff_ms(const RetryPolicy& retry, std::uint32_t attempt) {
+  if (retry.backoff_base_ms == 0 || attempt < 2) return 0;
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt - 2, 31);
+  const std::uint64_t wait =
+      static_cast<std::uint64_t>(retry.backoff_base_ms) << shift;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(wait, retry.backoff_cap_ms));
+}
+
+}  // namespace
 
 std::vector<JobResult> run_sweep(const std::vector<DiscoveryJob>& jobs,
                                  const SchedulerOptions& options) {
@@ -31,46 +49,23 @@ std::vector<JobResult> run_sweep(const std::vector<DiscoveryJob>& jobs,
     options.progress->total.store(jobs.size(), std::memory_order_relaxed);
   }
 
+  const std::uint32_t max_attempts =
+      std::max<std::uint32_t>(options.retry.max_attempts, 1);
+
   std::size_t done = 0;  // guarded by callback_mutex
   std::mutex callback_mutex;
+  // Set by the first definitive failure under fail_fast; jobs claimed after
+  // that finish as skipped results instead of running.
+  std::atomic<bool> abort{false};
 
-  const auto run_one = [&](std::size_t index, std::uint32_t) {
-    JobResult& result = results[index];
-    result.job = jobs[index];
-    // Span names allocate; skip the key() format entirely when not tracing.
-    const obs::SpanGuard job_span(
-        "fleet.job:",
-        obs::tracing_enabled() ? jobs[index].key() : std::string());
-    const auto start = std::chrono::steady_clock::now();
-    try {
-      if (options.cache) {
-        if (auto cached = options.cache->get(result.job)) {
-          result.report = std::move(*cached);
-          result.ok = true;
-          result.from_cache = true;
-        }
-      }
-      if (!result.from_cache) {
-        result.report = run_job(result.job);
-        result.ok = true;
-        if (options.cache) options.cache->put(result.job, result.report);
-      }
-    } catch (const std::exception& e) {
-      result.ok = false;
-      result.error = e.what();
-    } catch (...) {
-      result.ok = false;
-      result.error = "unknown error";
-    }
-    result.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-
+  const auto finish = [&](JobResult& result) {
     if (options.progress) {
       if (result.from_cache) {
         options.progress->cache_hits.fetch_add(1, std::memory_order_relaxed);
       }
-      if (!result.ok) {
+      if (result.skipped) {
+        options.progress->skipped.fetch_add(1, std::memory_order_relaxed);
+      } else if (!result.ok) {
         options.progress->failed.fetch_add(1, std::memory_order_relaxed);
       }
       options.progress->done.fetch_add(1, std::memory_order_relaxed);
@@ -79,15 +74,129 @@ std::vector<JobResult> run_sweep(const std::vector<DiscoveryJob>& jobs,
       obs::Metrics& metrics = obs::Metrics::instance();
       metrics.add("fleet.jobs_done");
       if (result.from_cache) metrics.add("fleet.cache_hits");
-      if (!result.ok) metrics.add("fleet.jobs_failed");
+      if (result.skipped) {
+        metrics.add("fleet.jobs_skipped");
+      } else if (!result.ok) {
+        metrics.add("fleet.jobs_failed");
+      }
+      // A job that needed more than one attempt finished degraded even when
+      // it ultimately succeeded — the signal an operator alerts on.
+      if (result.retried || result.timed_out) {
+        metrics.add("fleet.jobs_degraded");
+      }
     }
-
     if (options.on_result) {
       // The finished count is bumped under the same lock as the callback so
       // `done` values arrive strictly in order (1, 2, ..., total).
       std::lock_guard<std::mutex> lock(callback_mutex);
       options.on_result(result, ++done, jobs.size());
     }
+  };
+
+  const auto run_one = [&](std::size_t index, std::uint32_t) {
+    JobResult& result = results[index];
+    result.job = jobs[index];
+    if (options.fail_fast && abort.load(std::memory_order_relaxed)) {
+      result.skipped = true;
+      result.error = "skipped: fail-fast abort after an earlier job failed";
+      finish(result);
+      return;
+    }
+    // Span names allocate; skip the key() format entirely when not tracing.
+    const obs::SpanGuard job_span(
+        "fleet.job:",
+        obs::tracing_enabled() ? jobs[index].key() : std::string());
+    const auto start = std::chrono::steady_clock::now();
+
+    try {
+      if (options.cache) {
+        if (auto cached = options.cache->get(result.job)) {
+          result.report = std::move(*cached);
+          result.ok = true;
+          result.from_cache = true;
+        }
+      }
+    } catch (...) {
+      // A broken cache degrades to a recompute, never fails the job.
+    }
+
+    if (!result.from_cache) {
+      for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        if (attempt > 1) {
+          result.retried = true;
+          if (options.progress) {
+            options.progress->retries.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (obs::metrics_enabled()) {
+            obs::Metrics::instance().add("fleet.retries");
+          }
+          const std::uint32_t wait_ms = backoff_ms(options.retry, attempt);
+          if (wait_ms > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+          }
+        }
+        result.attempts = attempt;
+        result.timed_out = false;  // only the final attempt's verdict counts
+        try {
+          const obs::SpanGuard attempt_span(
+              "fleet.attempt:",
+              obs::tracing_enabled()
+                  ? jobs[index].key() + "#" + std::to_string(attempt)
+                  : std::string());
+          if (fault::faults_enabled()) {
+            fault::Injector::instance().at(fault::kSiteJobAttempt,
+                                           jobs[index].key());
+          }
+          // Each attempt runs the job value untouched except for a fresh
+          // deadline — run_job builds a new Gpu from the spec, so attempt N
+          // reproduces attempt 1 exactly and retries stay byte-identical.
+          DiscoveryJob attempt_job = result.job;
+          attempt_job.options.deadline =
+              core::Deadline::after(options.retry.timeout_seconds);
+          result.report = run_job(attempt_job);
+          result.ok = true;
+          result.error.clear();
+          break;
+        } catch (const core::TimeoutError& e) {
+          result.error = e.what();
+          result.timed_out = true;
+          if (options.progress) {
+            options.progress->timeouts.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          }
+          if (obs::metrics_enabled()) {
+            obs::Metrics::instance().add("fleet.timeouts");
+          }
+        } catch (const std::invalid_argument& e) {
+          // Permanent: a malformed job (unknown MIG profile, bad cache
+          // config) yields the same error every attempt — fail immediately.
+          result.error = e.what();
+          break;
+        } catch (const std::out_of_range& e) {
+          result.error = e.what();  // permanent: unknown model
+          break;
+        } catch (const std::exception& e) {
+          result.error = e.what();  // transient: retryable
+        } catch (...) {
+          result.error = "unknown error";
+        }
+      }
+      if (result.ok && options.cache) {
+        try {
+          options.cache->put(result.job, result.report);
+        } catch (...) {
+          // Cache write problems never demote a successful discovery.
+        }
+      }
+    }
+
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (!result.ok && options.fail_fast) {
+      abort.store(true, std::memory_order_relaxed);
+    }
+    finish(result);
   };
 
   // The shared executor runs the fan-out: workers == 1 degenerates to the

@@ -4,10 +4,25 @@
 // (exec::shared_executor) and returns one JobResult per job, in job order —
 // the result vector is identical for any worker count, because each worker
 // writes into the slot of the job index it claimed (there is no
-// completion-order dependence). A job that throws is captured as a failed
-// JobResult; the sweep always runs to completion. Jobs whose DiscoverOptions
-// request intra-benchmark sweep parallelism (sweep_threads > 1) nest on the
-// same executor without spawning additional threads.
+// completion-order dependence). Jobs whose DiscoverOptions request
+// intra-benchmark sweep parallelism (sweep_threads > 1) nest on the same
+// executor without spawning additional threads.
+//
+// Failure model (see README "Failure model"):
+//  * A job that throws is captured as a failed JobResult; the sweep always
+//    runs to completion unless fail_fast is set (then unclaimed jobs are
+//    recorded as skipped — never silently dropped).
+//  * Transient errors are retried up to RetryPolicy::max_attempts with a
+//    deterministic exponential backoff. std::invalid_argument and
+//    std::out_of_range are permanent (a wrong model name never heals) and
+//    fail immediately.
+//  * RetryPolicy::timeout_seconds arms a per-attempt wall-clock deadline,
+//    checked cooperatively before every stage of the discovery graph; an
+//    expired deadline fails the attempt with TimeoutError (retryable,
+//    counted in JobResult::timed_out / FleetProgress::timeouts).
+//  * Every attempt runs a fresh Gpu from the job spec, so a retried job
+//    produces the byte-identical report of a clean run — retries never
+//    perturb the determinism contract (gated by tests/test_fleet_retry.cpp).
 #pragma once
 
 #include <atomic>
@@ -28,7 +43,10 @@ struct FleetProgress {
   std::atomic<std::size_t> total{0};       ///< sweep size, set once at start
   std::atomic<std::size_t> done{0};        ///< finished jobs (ok or failed)
   std::atomic<std::size_t> cache_hits{0};  ///< jobs served by the ResultCache
-  std::atomic<std::size_t> failed{0};      ///< jobs that threw
+  std::atomic<std::size_t> failed{0};      ///< jobs whose final attempt failed
+  std::atomic<std::size_t> retries{0};     ///< extra attempts after failures
+  std::atomic<std::size_t> timeouts{0};    ///< attempts killed by the deadline
+  std::atomic<std::size_t> skipped{0};     ///< jobs dropped by fail-fast
 };
 
 /// Outcome of one job within a sweep.
@@ -36,9 +54,28 @@ struct JobResult {
   DiscoveryJob job;
   bool ok = false;
   bool from_cache = false;      ///< served by the ResultCache, not discovery
-  std::string error;            ///< exception message when !ok
+  std::string error;            ///< last attempt's exception message when !ok
   core::TopologyReport report;  ///< valid only when ok
   double wall_seconds = 0.0;    ///< host time this job took on its worker
+  std::uint32_t attempts = 0;   ///< attempts actually made (0 = cache/skip)
+  bool retried = false;         ///< more than one attempt was made
+  bool timed_out = false;       ///< final attempt hit the wall-clock deadline
+  bool skipped = false;         ///< never attempted (fail-fast abort)
+};
+
+/// Bounded-retry policy applied per job. The defaults preserve the original
+/// fail-fast-per-job semantics: one attempt, no deadline, no backoff.
+struct RetryPolicy {
+  /// Total attempts per job (first try included); values < 1 read as 1.
+  std::uint32_t max_attempts = 1;
+  /// Per-attempt wall-clock deadline in seconds; <= 0 = unlimited. Checked
+  /// cooperatively before each stage, so the overshoot is bounded by the
+  /// longest single stage.
+  double timeout_seconds = 0.0;
+  /// Deterministic exponential backoff between attempts:
+  /// min(backoff_cap_ms, backoff_base_ms << (attempt - 1)); 0 = immediate.
+  std::uint32_t backoff_base_ms = 0;
+  std::uint32_t backoff_cap_ms = 1000;
 };
 
 struct SchedulerOptions {
@@ -56,6 +93,14 @@ struct SchedulerOptions {
   /// Optional live counters, updated lock-free as jobs finish. The caller
   /// owns the struct and may poll it from another thread (progress display).
   FleetProgress* progress = nullptr;
+  /// Retry / timeout / backoff applied to every job.
+  RetryPolicy retry;
+  /// Stop claiming new jobs after the first definitive failure; jobs not yet
+  /// started finish as JobResult::skipped. Which jobs were already in flight
+  /// when the failure landed depends on scheduling — fail-fast trades the
+  /// run-to-completion guarantee for latency, and is therefore the only
+  /// scheduler mode whose result vector is not schedule-independent.
+  bool fail_fast = false;
 };
 
 /// Runs every job and returns results in job order. Never throws for

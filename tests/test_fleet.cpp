@@ -229,6 +229,60 @@ TEST(FleetAggregate, FleetJsonHasTheDocumentedShape) {
   EXPECT_EQ(doc.find("models")->as_array().size(), 2u);
   ASSERT_TRUE(doc.find("matrix")->is_array());
   EXPECT_FALSE(doc.find("matrix")->as_array().empty());
+  ASSERT_NE(doc.find("degraded"), nullptr);
+  EXPECT_TRUE(doc.find("degraded")->as_array().empty());
+}
+
+TEST(FleetAggregate, DegradedBlockListsFailedTimedOutAndSkippedJobs) {
+  // Hand-built results: one success, one failure, one timeout, one skip —
+  // the aggregate must name every non-delivered job with its reason.
+  std::vector<JobResult> results(4);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i].job.model = "TestGPU-NV";
+    results[i].job.seed = 42 + i;
+  }
+  results[0].ok = true;
+  results[0].report = run_job(results[0].job);
+  results[0].attempts = 1;
+  results[1].ok = false;
+  results[1].error = "benchmark exploded";
+  results[1].attempts = 3;
+  results[1].retried = true;
+  results[2].ok = false;
+  results[2].timed_out = true;
+  results[2].error = "wall-clock deadline exceeded at pipeline.stage";
+  results[2].attempts = 2;
+  results[2].retried = true;
+  results[3].skipped = true;
+
+  const FleetReport fleet = aggregate(results);
+  EXPECT_EQ(fleet.summary.succeeded, 1u);
+  EXPECT_EQ(fleet.summary.failed, 2u);  // skipped is its own bucket
+  EXPECT_EQ(fleet.summary.skipped, 1u);
+  EXPECT_EQ(fleet.summary.timed_out, 1u);
+  EXPECT_EQ(fleet.summary.retried, 2u);
+  EXPECT_EQ(fleet.summary.retries, 3u);  // (3-1) + (2-1)
+
+  ASSERT_EQ(fleet.degraded.size(), 3u);
+  EXPECT_EQ(fleet.degraded[0].reason, "failed");
+  EXPECT_EQ(fleet.degraded[0].attempts, 3u);
+  EXPECT_EQ(fleet.degraded[1].reason, "timed_out");
+  EXPECT_EQ(fleet.degraded[2].reason, "skipped");
+  EXPECT_TRUE(fleet.degraded[2].error.empty());
+
+  const std::string markdown = to_markdown(fleet);
+  EXPECT_NE(markdown.find("## Degraded jobs"), std::string::npos);
+  EXPECT_NE(markdown.find("timed_out"), std::string::npos);
+  EXPECT_NE(markdown.find("skipped 1"), std::string::npos);
+
+  const json::Value doc = fleet_to_json(fleet);
+  EXPECT_EQ(doc.find("summary")->find("skipped")->as_int(), 1);
+  EXPECT_EQ(doc.find("summary")->find("timed_out")->as_int(), 1);
+  EXPECT_EQ(doc.find("summary")->find("retries")->as_int(), 3);
+  ASSERT_EQ(doc.find("degraded")->as_array().size(), 3u);
+  EXPECT_EQ(
+      doc.find("degraded")->as_array()[1].find("reason")->as_string(),
+      "timed_out");
 }
 
 }  // namespace

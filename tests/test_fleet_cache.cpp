@@ -1,8 +1,13 @@
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "common/json.hpp"
+#include "common/json_parse.hpp"
 #include "core/output/json_output.hpp"
 #include "fleet/fleet.hpp"
 #include "sim/registry.hpp"
@@ -24,12 +29,20 @@ std::string temp_path(const std::string& name) {
 class TempFile {
  public:
   explicit TempFile(const std::string& name) : path_(temp_path(name)) {
-    std::remove(path_.c_str());
+    cleanup();
   }
-  ~TempFile() { std::remove(path_.c_str()); }
+  ~TempFile() { cleanup(); }
   const std::string& path() const { return path_; }
 
  private:
+  /// Also removes the sidecars a cache may leave: the atomic-save temp file
+  /// and the quarantine file of a salvaging load.
+  void cleanup() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+    std::remove((path_ + ".quarantine").c_str());
+  }
+
   std::string path_;
 };
 
@@ -177,6 +190,135 @@ TEST(FleetCache, SpecEditChangesTheJobKeyAndRevertRestoresTheHit) {
   EXPECT_TRUE(warm[0].from_cache);
   EXPECT_EQ(core::to_json_string(warm[0].report),
             core::to_json_string(cold[0].report));
+}
+
+TEST(FleetCache, SalvagesGoodEntriesAroundAMalformedOne) {
+  TempFile file("cache_salvage.json");
+  const DiscoveryJob job_a = synthetic_job(42);
+  const DiscoveryJob job_b = synthetic_job(43);
+  {
+    ResultCache cache(file.path());
+    cache.put(job_a, run_job(job_a));
+    cache.put(job_b, run_job(job_b));
+    ASSERT_TRUE(cache.save());
+  }
+  // Corrupt exactly one entry of the saved file (report becomes a string).
+  {
+    std::ifstream in(file.path());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const json::ParseResult parsed = json::parse(buffer.str());
+    ASSERT_TRUE(parsed.ok());
+    json::Value doc = *parsed.value;
+    json::Array& entries =
+        std::find_if(doc.as_object().begin(), doc.as_object().end(),
+                     [](auto& member) { return member.first == "entries"; })
+            ->second.as_array();
+    ASSERT_EQ(entries.size(), 2u);
+    entries[0].set("report", "mangled by hand");
+    std::ofstream out(file.path());
+    out << doc.dump();
+  }
+
+  ResultCache salvaged(file.path());
+  EXPECT_EQ(salvaged.size(), 1u);
+  EXPECT_NE(salvaged.load_error().find("salvaged 1 of 2"), std::string::npos)
+      << salvaged.load_error();
+  ASSERT_EQ(salvaged.load_issues().size(), 1u);
+  EXPECT_EQ(salvaged.load_issues()[0].entry_index, 0u);
+  EXPECT_NE(salvaged.load_issues()[0].reason.find("report"),
+            std::string::npos);
+  // One of the two jobs survived; the other reads as a miss, not a crash.
+  EXPECT_EQ(salvaged.get(job_a).has_value() + salvaged.get(job_b).has_value(),
+            1);
+
+  // The malformed entry is quarantined next to the file, with its reason.
+  std::ifstream quarantine(salvaged.quarantine_path());
+  ASSERT_TRUE(quarantine.good());
+  std::ostringstream qbuffer;
+  qbuffer << quarantine.rdbuf();
+  const json::ParseResult qdoc = json::parse(qbuffer.str());
+  ASSERT_TRUE(qdoc.ok());
+  const json::Value* qentries = qdoc.value->find("entries");
+  ASSERT_NE(qentries, nullptr);
+  ASSERT_EQ(qentries->as_array().size(), 1u);
+  EXPECT_NE(qentries->as_array()[0].find("reason"), nullptr);
+  EXPECT_NE(qentries->as_array()[0].find("entry"), nullptr);
+}
+
+TEST(FleetCache, SaveIsAtomicAndLeavesNoTempFile) {
+  TempFile file("cache_atomic.json");
+  ResultCache cache(file.path());
+  const DiscoveryJob job = synthetic_job();
+  cache.put(job, run_job(job));
+  ASSERT_TRUE(cache.save());
+  EXPECT_TRUE(std::filesystem::exists(file.path()));
+  EXPECT_FALSE(std::filesystem::exists(file.path() + ".tmp"));
+}
+
+TEST(FleetCache, TornWriteFaultLeavesThePreviousFileIntact) {
+  TempFile file("cache_torn.json");
+  const DiscoveryJob job_a = synthetic_job(42);
+  {
+    ResultCache cache(file.path());
+    cache.put(job_a, run_job(job_a));
+    ASSERT_TRUE(cache.save());
+  }
+  {
+    ResultCache cache(file.path());
+    cache.put(synthetic_job(43), run_job(synthetic_job(43)));
+    fault::FaultRule rule;
+    rule.site = fault::kSiteCacheSave;
+    rule.kind = FaultKind::kTornWrite;
+    fault::FaultPlan plan;
+    plan.rules.push_back(rule);
+    ScopedFaultPlan armed(std::move(plan));
+    EXPECT_FALSE(cache.save());  // the simulated crash is reported
+  }
+  // The commit never happened: the previous one-entry file is untouched.
+  ResultCache reloaded(file.path());
+  EXPECT_TRUE(reloaded.load_error().empty());
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_TRUE(reloaded.get(job_a).has_value());
+}
+
+TEST(FleetCache, InjectedCorruptionIsSurvivedByTheNextLoad) {
+  const FaultKind kinds[] = {FaultKind::kCorruptTruncate,
+                             FaultKind::kCorruptBadJson,
+                             FaultKind::kCorruptBadEntry};
+  for (const FaultKind kind : kinds) {
+    TempFile file("cache_injected.json");
+    const DiscoveryJob job_a = synthetic_job(42);
+    const DiscoveryJob job_b = synthetic_job(43);
+    {
+      ResultCache cache(file.path());
+      cache.put(job_a, run_job(job_a));
+      cache.put(job_b, run_job(job_b));
+      fault::FaultRule rule;
+      rule.site = fault::kSiteCacheSave;
+      rule.kind = kind;
+      fault::FaultPlan plan;
+      plan.rules.push_back(rule);
+      ScopedFaultPlan armed(std::move(plan));
+      EXPECT_TRUE(cache.save());  // corruption lands after the commit
+    }
+    ResultCache reloaded(file.path());
+    EXPECT_FALSE(reloaded.load_error().empty())
+        << fault::fault_kind_name(kind);
+    if (kind == FaultKind::kCorruptBadEntry) {
+      // Entry-level damage: the other entry salvages.
+      EXPECT_EQ(reloaded.size(), 1u);
+      EXPECT_TRUE(std::filesystem::exists(reloaded.quarantine_path()));
+    } else {
+      EXPECT_EQ(reloaded.size(), 0u) << fault::fault_kind_name(kind);
+    }
+    // Either way the cache heals: rebuild and save cleanly.
+    reloaded.put(job_a, run_job(job_a));
+    EXPECT_TRUE(reloaded.save());
+    ResultCache healed(file.path());
+    EXPECT_TRUE(healed.load_error().empty()) << fault::fault_kind_name(kind);
+    EXPECT_TRUE(healed.get(job_a).has_value());
+  }
 }
 
 }  // namespace
