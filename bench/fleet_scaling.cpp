@@ -1,10 +1,14 @@
 // Parallel-speedup bench for the fleet scheduler: the full registry swept
-// serially (plain run_job loop, no pool) and through run_sweep() with
-// 1/2/4/8 workers. On an N-core host the expected speedup approaches
+// serially (plain run_job loop, no pool), through run_sweep() with 1/2/4/8
+// in-process workers, and through run_supervised() with 1/2/4/8 worker
+// PROCESSES. On an N-core host the expected speedup approaches
 // min(workers, N); the table reports measured wall time and speedup, plus a
-// determinism check that every worker count produced identical reports.
+// determinism check that every configuration produced identical reports —
+// the procs rows put a price on process isolation (spawn + pipe + JSON per
+// job) next to the thread pool it shadows.
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -70,6 +74,29 @@ int main() {
     table.add_row({"pool, " + std::to_string(workers) + " workers",
                    std::to_string(elapsed), speedup,
                    identical ? "yes" : "NO"});
+  }
+  // Process isolation axis: same jobs through supervised worker processes.
+  // Resolved like the tests do — ./mt4g_cli in the working directory (the
+  // build tree); a bare library build simply skips these rows.
+  std::error_code ec;
+  if (std::filesystem::exists("./mt4g_cli", ec)) {
+    for (const std::uint32_t procs : {1u, 2u, 4u, 8u}) {
+      fleet::SupervisorOptions options;
+      options.procs = procs;
+      options.worker_argv = {"./mt4g_cli", "fleet-worker"};
+      const auto start = Clock::now();
+      const auto results = fleet::run_supervised(jobs, options);
+      const double elapsed = seconds_since(start);
+      const bool identical = fingerprint(results) == serial_fingerprint;
+      char speedup[32];
+      std::snprintf(speedup, sizeof speedup, "%.2f",
+                    serial_seconds / elapsed);
+      table.add_row({"procs, " + std::to_string(procs) + " workers",
+                     std::to_string(elapsed), speedup,
+                     identical ? "yes" : "NO"});
+    }
+  } else {
+    table.add_row({"procs (no ./mt4g_cli)", "skipped", "-", "-"});
   }
   std::printf("%s\n", table.str().c_str());
 

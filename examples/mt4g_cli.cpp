@@ -6,7 +6,13 @@
 // The `fleet` subcommand drives the discovery orchestrator instead of a
 // single run: `mt4g fleet --models all --seeds 3 --workers 8` sweeps the
 // whole registry (incl. MIG partitions) in parallel, caches results in a
-// JSON file, and writes an aggregated cross-GPU fleet report.
+// JSON file, and writes an aggregated cross-GPU fleet report. With
+// `--procs N` the sweep runs across N supervised worker *processes* (crash
+// containment; see README "Distributed fleet"), `--journal FILE` logs every
+// completed job crash-safely, and `--resume` continues a killed run from its
+// journal. The hidden `fleet-worker` entry is the child half of --procs —
+// it speaks the line protocol on stdin/stdout and is not for interactive
+// use.
 //
 // The `spec` subcommand manages the data-driven model registry: `export`
 // writes every embedded built-in as a canonical specs/*.json file, `check`
@@ -14,6 +20,7 @@
 // `hash` operate on user spec files (see README "Model spec files").
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -306,6 +313,60 @@ int run_spec(int argc, char** argv) {
   return 2;
 }
 
+/// Graceful-stop flag for `fleet`: the first SIGINT/SIGTERM asks the sweep
+/// to stop claiming jobs (queued jobs report as skipped, journal and cache
+/// still flush); handlers then revert to the default disposition so a second
+/// signal terminates immediately.
+std::atomic<bool> g_cancel{false};
+
+void handle_stop_signal(int) {
+  g_cancel.store(true, std::memory_order_relaxed);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+}
+
+/// Hidden subcommand: the supervised worker process behind `fleet --procs`.
+/// Reads proto.hpp commands on stdin, writes records on stdout; everything
+/// human goes to stderr.
+int run_fleet_worker(int argc, char** argv) {
+  fleet::WorkerConfig config;
+  std::string fault_plan_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mt4g fleet-worker: %s needs a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--heartbeat-ms") {
+      config.heartbeat_ms =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--fault-plan") {
+      fault_plan_path = value();
+    } else {
+      std::fprintf(stderr, "mt4g fleet-worker: unknown option '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  // The coordinator forwards its own --fault-plan so chaos rules fire inside
+  // the processes that actually run the jobs.
+  std::optional<fleet::ScopedFaultPlan> armed_faults;
+  if (!fault_plan_path.empty()) {
+    try {
+      armed_faults.emplace(fleet::load_fault_plan_file(fault_plan_path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mt4g fleet-worker: bad fault plan %s:\n%s\n",
+                   fault_plan_path.c_str(), e.what());
+      return 2;
+    }
+  }
+  return fleet::run_worker_loop(std::cin, std::cout, config);
+}
+
 const char kFleetUsage[] =
     "usage: mt4g fleet [options]\n"
     "  --models all|NAME[,NAME...]  registry models to sweep (default all;\n"
@@ -318,6 +379,22 @@ const char kFleetUsage[] =
     "  --seeds N                    noise seeds per configuration (default 1)\n"
     "  --first-seed N               first seed value (default 42)\n"
     "  --workers N                  worker threads (default hardware)\n"
+    "  --procs N                    run the sweep across N supervised worker\n"
+    "                               processes instead of in-process threads:\n"
+    "                               a crashing job kills its worker, not the\n"
+    "                               sweep (default 0 = in-process). Reports\n"
+    "                               are byte-identical either way\n"
+    "  --worker-heartbeat-ms N      worker liveness heartbeat period under\n"
+    "                               --procs (default 500); a worker silent\n"
+    "                               for 10 periods is presumed dead\n"
+    "  --journal FILE               append every completed job to FILE\n"
+    "                               (fsync'd line JSON) so a killed run can\n"
+    "                               be resumed; without --resume an existing\n"
+    "                               journal is started over\n"
+    "  --resume                     load --journal FILE first and only run\n"
+    "                               the jobs it does not already answer; the\n"
+    "                               final report is byte-identical to an\n"
+    "                               uninterrupted run's\n"
     "  --sweep-threads N            parallel batched chases inside one\n"
     "                               benchmark (default 1)\n"
     "  --bench-threads N            concurrent benchmarks of each job's\n"
@@ -354,7 +431,7 @@ const char kFleetUsage[] =
     "                               text\n"
     "  --help                       this text\n";
 
-int run_fleet(int argc, char** argv) {
+int run_fleet(const char* argv0, int argc, char** argv) {
   fleet::SweepPlan plan;
   fleet::SchedulerOptions scheduler;
   std::string cache_path;    // empty = derive from out dir
@@ -369,6 +446,10 @@ int run_fleet(int argc, char** argv) {
   std::uint32_t sweep_threads = 1;
   std::uint32_t bench_threads = 1;
   std::uint32_t retries = 2;
+  std::uint32_t procs = 0;  // 0 = in-process threads, >= 1 = worker processes
+  std::uint32_t worker_heartbeat_ms = 500;
+  std::string journal_path;
+  bool resume = false;
   std::string fault_plan_path;
   if (const char* env_plan = std::getenv("MT4G_FAULT_PLAN")) {
     fault_plan_path = env_plan;
@@ -406,6 +487,14 @@ int run_fleet(int argc, char** argv) {
       plan.first_seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--workers") {
       scheduler.workers = count_value(0);
+    } else if (arg == "--procs") {
+      procs = count_value(0);
+    } else if (arg == "--worker-heartbeat-ms") {
+      worker_heartbeat_ms = count_value(1);
+    } else if (arg == "--journal") {
+      journal_path = value();
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (arg == "--sweep-threads") {
       sweep_threads = count_value(1);
     } else if (arg == "--bench-threads") {
@@ -458,6 +547,10 @@ int run_fleet(int argc, char** argv) {
   }
   if (plan.seed_count == 0) {
     std::fprintf(stderr, "mt4g fleet: --seeds must be >= 1\n");
+    return 2;
+  }
+  if (resume && journal_path.empty()) {
+    std::fprintf(stderr, "mt4g fleet: --resume needs --journal FILE\n");
     return 2;
   }
   scheduler.retry.max_attempts = retries + 1;
@@ -518,12 +611,18 @@ int run_fleet(int argc, char** argv) {
                              std::size_t total) {
       const char* verdict = result.ok         ? "ok"
                             : result.skipped  ? "SKIPPED"
+                            : result.crashed  ? "CRASHED"
                             : result.timed_out ? "TIMED OUT"
                                                : "FAILED";
       std::string detail;
       if (result.from_cache) detail += " (cache)";
+      if (result.from_journal) detail += " (journal)";
       if (result.attempts > 1) {
         detail += " (attempt " + std::to_string(result.attempts) + ")";
+      }
+      if (result.worker_crashes > 0) {
+        detail += " (" + std::to_string(result.worker_crashes) +
+                  " worker crash(es))";
       }
       std::fprintf(stderr, "fleet: [%zu/%zu] %s %s%s\n", done, total,
                    result.job.key().c_str(), verdict, detail.c_str());
@@ -543,6 +642,41 @@ int run_fleet(int argc, char** argv) {
   ObsSession obs_session(trace_path, metrics_path);
 
   const std::vector<fleet::DiscoveryJob> jobs = fleet::expand_jobs(plan);
+
+  // Journal bookkeeping: --resume replays the journal's outcomes into
+  // prefilled result slots; without --resume an existing journal restarts.
+  std::vector<fleet::JobResult> prefilled;
+  std::vector<std::size_t> pending_indices;
+  std::optional<fleet::RunJournal> journal;
+  if (!journal_path.empty()) {
+    std::map<std::string, fleet::JournalEntry> journaled;
+    if (resume) {
+      try {
+        journaled = fleet::load_journal(journal_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "mt4g fleet: %s\n", e.what());
+        return 1;
+      }
+    } else {
+      std::error_code remove_ec;
+      std::filesystem::remove(journal_path, remove_ec);
+    }
+    pending_indices = fleet::apply_journal(jobs, journaled, prefilled);
+    try {
+      journal.emplace(fleet::RunJournal::open(journal_path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mt4g fleet: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    pending_indices = fleet::apply_journal(jobs, {}, prefilled);
+  }
+
+  // First SIGINT/SIGTERM = graceful stop; second = immediate death.
+  scheduler.cancel = &g_cancel;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
   std::vector<fleet::JobResult> results;
   {
     std::optional<ProgressHeartbeat> heartbeat;
@@ -550,7 +684,65 @@ int run_fleet(int argc, char** argv) {
       fleet_progress.total.store(jobs.size(), std::memory_order_relaxed);
       heartbeat.emplace(fleet_progress);
     }
-    results = fleet::run_sweep(jobs, scheduler);
+    if (procs > 0) {
+      // Supervised worker processes: same jobs, same retry budget, plus
+      // crash containment and heartbeat liveness (README "Distributed
+      // fleet").
+      fleet::SupervisorOptions super;
+      super.procs = procs;
+      super.worker_argv = {argv0, "fleet-worker", "--heartbeat-ms",
+                           std::to_string(worker_heartbeat_ms)};
+      if (!fault_plan_path.empty()) {
+        super.worker_argv.push_back("--fault-plan");
+        super.worker_argv.push_back(fault_plan_path);
+      }
+      super.cache = scheduler.cache;
+      super.journal = journal ? &*journal : nullptr;
+      super.on_result = scheduler.on_result;
+      super.progress = scheduler.progress;
+      super.retry = scheduler.retry;
+      super.cancel = &g_cancel;
+      super.heartbeat_timeout_seconds =
+          std::max(2.0, 10.0 * worker_heartbeat_ms / 1000.0);
+      results = fleet::run_supervised(jobs, super, std::move(prefilled));
+    } else if (!journal_path.empty()) {
+      // In-process sweep with a journal: run only the pending subset, append
+      // each final outcome, and merge back into the prefilled slots so the
+      // result vector keeps job order.
+      std::vector<fleet::DiscoveryJob> pending_jobs;
+      pending_jobs.reserve(pending_indices.size());
+      for (const std::size_t index : pending_indices) {
+        pending_jobs.push_back(jobs[index]);
+      }
+      fleet::SchedulerOptions journaling = scheduler;
+      if (journal) {
+        journaling.on_result = [&](const fleet::JobResult& result,
+                                   std::size_t done, std::size_t total) {
+          try {
+            if (!result.skipped) journal->append(result);
+          } catch (const std::exception& e) {
+            // A dead journal downgrades crash-safety, not the sweep itself.
+            std::fprintf(stderr, "mt4g fleet: %s\n", e.what());
+          }
+          if (scheduler.on_result) scheduler.on_result(result, done, total);
+        };
+      }
+      std::vector<fleet::JobResult> pending_results =
+          fleet::run_sweep(pending_jobs, journaling);
+      results = std::move(prefilled);
+      for (std::size_t i = 0; i < pending_indices.size(); ++i) {
+        results[pending_indices[i]] = std::move(pending_results[i]);
+      }
+    } else {
+      results = fleet::run_sweep(jobs, scheduler);
+    }
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  if (g_cancel.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "fleet: cancelled — queued jobs skipped, journal and cache "
+                 "flushed\n");
   }
   if (!obs_session.finish()) return 1;
   const fleet::FleetReport report = fleet::aggregate(results);
@@ -611,11 +803,12 @@ int run_fleet(int argc, char** argv) {
   if (!quiet) {
     std::fprintf(stderr,
                  "fleet: %zu jobs, %zu ok, %zu failed, %zu skipped, "
-                 "%zu cache hits, %zu retries, %zu timeouts\n",
+                 "%zu cache hits, %zu retries, %zu timeouts, "
+                 "%zu worker crashes\n",
                  report.summary.total_jobs, report.summary.succeeded,
                  report.summary.failed, report.summary.skipped,
                  report.summary.cache_hits, report.summary.retries,
-                 report.summary.timed_out);
+                 report.summary.timed_out, report.summary.worker_crashes);
   }
   if (!ok) return 1;
   if (regressions) return 3;
@@ -628,7 +821,10 @@ int run_fleet(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "fleet") {
-    return run_fleet(argc - 2, argv + 2);
+    return run_fleet(argv[0], argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::string(argv[1]) == "fleet-worker") {
+    return run_fleet_worker(argc - 2, argv + 2);
   }
   if (argc > 1 && std::string(argv[1]) == "spec") {
     return run_spec(argc - 2, argv + 2);

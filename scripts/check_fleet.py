@@ -19,7 +19,7 @@ import sys
 
 # Keys whose values legitimately differ between a clean run and a recovered
 # run: host timing, and the counters that exist to record the recovery.
-DEFAULT_SCRUB = ("wall_seconds", "retries", "retried")
+DEFAULT_SCRUB = ("wall_seconds", "retries", "retried", "worker_crashes")
 
 
 def scrub(value, keys):

@@ -1,7 +1,9 @@
 #include "common/fault.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -60,6 +62,8 @@ const struct {
     {"throw", FaultKind::kThrow},
     {"hang", FaultKind::kHang},
     {"slow", FaultKind::kSlow},
+    {"crash", FaultKind::kCrash},
+    {"stall_heartbeat", FaultKind::kStallHeartbeat},
     {"torn_write", FaultKind::kTornWrite},
     {"corrupt_truncate", FaultKind::kCorruptTruncate},
     {"corrupt_bad_json", FaultKind::kCorruptBadJson},
@@ -84,7 +88,14 @@ std::optional<FaultKind> parse_fault_kind(std::string_view name) {
 
 bool is_behavior_kind(FaultKind kind) {
   return kind == FaultKind::kThrow || kind == FaultKind::kHang ||
-         kind == FaultKind::kSlow;
+         kind == FaultKind::kSlow || kind == FaultKind::kCrash;
+}
+
+bool is_file_kind(FaultKind kind) {
+  return kind == FaultKind::kTornWrite ||
+         kind == FaultKind::kCorruptTruncate ||
+         kind == FaultKind::kCorruptBadJson ||
+         kind == FaultKind::kCorruptBadEntry;
 }
 
 FaultPlan parse_fault_plan(const std::string& json_text) {
@@ -168,8 +179,9 @@ FaultPlan parse_fault_plan(const std::string& json_text) {
           } else {
             problems.push_back(
                 where +
-                ".kind: expected one of throw|hang|slow|torn_write|"
-                "corrupt_truncate|corrupt_bad_json|corrupt_bad_entry");
+                ".kind: expected one of throw|hang|slow|crash|"
+                "stall_heartbeat|torn_write|corrupt_truncate|"
+                "corrupt_bad_json|corrupt_bad_entry");
           }
         } else if (key == "skip") {
           want_count(&rule.skip);
@@ -198,9 +210,11 @@ FaultPlan parse_fault_plan(const std::string& json_text) {
       }
       if (!has_site) problems.push_back(where + ": missing 'site'");
       if (!has_kind) problems.push_back(where + ": missing 'kind'");
-      if ((rule.kind == FaultKind::kHang || rule.kind == FaultKind::kSlow) &&
+      if ((rule.kind == FaultKind::kHang || rule.kind == FaultKind::kSlow ||
+           rule.kind == FaultKind::kStallHeartbeat) &&
           rule.sleep_ms == 0) {
-        problems.push_back(where + ": hang/slow rules need sleep_ms > 0");
+        problems.push_back(
+            where + ": hang/slow/stall_heartbeat rules need sleep_ms > 0");
       }
       plan.rules.push_back(std::move(rule));
     }
@@ -281,33 +295,65 @@ std::vector<const FaultRule*> Injector::decide(std::string_view site,
   return firing;
 }
 
-void Injector::at(std::string_view site, std::string_view key) {
-  if (!faults_enabled()) return;
-  std::uint64_t sleep_ms = 0;
-  bool do_throw = false;
-  std::string message;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const FaultRule* rule : decide(site, key)) {
-      switch (rule->kind) {
-        case FaultKind::kThrow:
-          do_throw = true;
-          if (message.empty()) message = rule->message;
-          break;
-        case FaultKind::kHang:
-        case FaultKind::kSlow:
-          sleep_ms += rule->sleep_ms;
-          break;
-        default:
-          break;  // file kinds are applied by writers via file_fault()
-      }
+SiteActions Injector::actions(std::string_view site, std::string_view key) {
+  SiteActions actions;
+  if (!faults_enabled()) return actions;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const FaultRule* rule : decide(site, key)) {
+    switch (rule->kind) {
+      case FaultKind::kThrow:
+        actions.do_throw = true;
+        if (actions.message.empty()) actions.message = rule->message;
+        break;
+      case FaultKind::kHang:
+      case FaultKind::kSlow:
+        actions.sleep_ms += rule->sleep_ms;
+        break;
+      case FaultKind::kCrash:
+        actions.crash = true;
+        break;
+      case FaultKind::kStallHeartbeat:
+        actions.stall_heartbeat_ms += rule->sleep_ms;
+        break;
+      default:
+        break;  // file kinds are applied by writers via file_fault()
     }
   }
-  // Stall outside the lock so a hanging site never blocks other sites.
-  if (sleep_ms > 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  return actions;
+}
+
+void Injector::advance(std::string_view site, std::string_view key,
+                       std::uint32_t n) {
+  if (!faults_enabled() || n == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (RuleState& state : rules_) {
+    const FaultRule& rule = state.rule;
+    if (rule.site != site) continue;
+    if (!rule.match.empty() && key.find(rule.match) == std::string_view::npos) {
+      continue;
+    }
+    // Clamp, don't add: a worker that already consumed occurrences of this
+    // key (it served an earlier attempt of the same job) must not skip past
+    // windows it never visited.
+    std::uint32_t& counter = state.occurrences[std::string(key)];
+    counter = std::max(counter, n);
   }
-  if (do_throw) {
+}
+
+void Injector::at(std::string_view site, std::string_view key) {
+  if (!faults_enabled()) return;
+  const SiteActions acts = actions(site, key);
+  // Stall outside the lock so a hanging site never blocks other sites.
+  if (acts.sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(acts.sleep_ms));
+  }
+  if (acts.crash) {
+    // The SIGKILL-equivalent exit code: the hardest containable death a
+    // worker can inject on itself without signal-delivery races.
+    std::_Exit(137);
+  }
+  if (acts.do_throw) {
+    std::string message = acts.message;
     if (message.empty()) {
       message = "injected fault at ";
       message += site;
@@ -324,7 +370,7 @@ std::optional<FaultKind> Injector::file_fault(std::string_view site,
   if (!faults_enabled()) return std::nullopt;
   std::lock_guard<std::mutex> lock(mutex_);
   for (const FaultRule* rule : decide(site, key)) {
-    if (!is_behavior_kind(rule->kind)) return rule->kind;
+    if (is_file_kind(rule->kind)) return rule->kind;
   }
   return std::nullopt;
 }

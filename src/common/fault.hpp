@@ -15,8 +15,16 @@
 // so production sweeps never pay for their failure-path coverage.
 //
 // Instrumented sites (the spelling the plan file uses):
-//   fleet.job.attempt   scheduler, once per job attempt; key = job key.
-//                       Supports throw / hang / slow.
+//   fleet.job.attempt   scheduler / fleet worker, once per job attempt;
+//                       key = job key. Supports throw / hang / slow.
+//   fleet.worker.job    fleet worker process, once per assigned job; key =
+//                       job key. Supports crash (_exit(137) mid-job — the
+//                       supervisor sees a SIGKILL-like death) and
+//                       stall_heartbeat (the worker's heartbeat thread goes
+//                       silent for sleep_ms while the job runs, so the
+//                       supervisor's liveness check fires). In-process
+//                       sweeps never consult this site — crashing the only
+//                       process is exactly what --procs isolation prevents.
 //   pipeline.stage      stage-graph runner, once per executed stage;
 //                       key = stage name. Supports throw / hang / slow.
 //   fleet.cache.save    result-cache persistence; key = file path. Supports
@@ -38,6 +46,7 @@ namespace mt4g::fault {
 
 /// Site name constants — call sites and tests share one spelling.
 inline constexpr const char kSiteJobAttempt[] = "fleet.job.attempt";
+inline constexpr const char kSiteWorkerJob[] = "fleet.worker.job";
 inline constexpr const char kSitePipelineStage[] = "pipeline.stage";
 inline constexpr const char kSiteCacheSave[] = "fleet.cache.save";
 
@@ -45,6 +54,8 @@ enum class FaultKind : std::uint8_t {
   kThrow,            ///< raise InjectedFault at the site (a transient error)
   kHang,             ///< bounded sleep_ms stall (paired with job timeouts)
   kSlow,             ///< same mechanics as kHang; names intent in plans
+  kCrash,            ///< hard process death: _exit(137), the SIGKILL code
+  kStallHeartbeat,   ///< worker heartbeat goes silent for sleep_ms
   kTornWrite,        ///< crash mid-write: half a temp file, no commit
   kCorruptTruncate,  ///< commit, then truncate the file to half its bytes
   kCorruptBadJson,   ///< commit, then append trailing garbage (invalid JSON)
@@ -54,9 +65,13 @@ enum class FaultKind : std::uint8_t {
 std::string fault_kind_name(FaultKind kind);
 std::optional<FaultKind> parse_fault_kind(std::string_view name);
 
-/// True for the kinds Injector::at() applies itself (throw/hang/slow);
-/// false for the file-corruption kinds a writer applies via file_fault().
+/// True for the kinds Injector::at() applies itself (throw/hang/slow and
+/// crash); false for stall_heartbeat (observed by the worker via actions())
+/// and the file-corruption kinds a writer applies via file_fault().
 bool is_behavior_kind(FaultKind kind);
+
+/// True for the file-corruption kinds file_fault() hands to a writer.
+bool is_file_kind(FaultKind kind);
 
 struct FaultRule {
   std::string site;   ///< instrumented site name (required)
@@ -102,6 +117,18 @@ class InjectedFault : public std::runtime_error {
 /// One relaxed atomic load — the whole cost of every site with no plan armed.
 bool faults_enabled();
 
+/// Everything the armed plan wants to happen at one site visit, resolved in
+/// a single occurrence-counter bump. Injector::at() applies these itself;
+/// the fleet worker reads them via Injector::actions() because two of them
+/// (crash, stall_heartbeat) need cooperation from the worker's own threads.
+struct SiteActions {
+  bool do_throw = false;
+  std::string message;                  ///< thrown text; "" = generated
+  std::uint64_t sleep_ms = 0;           ///< summed hang/slow stalls
+  bool crash = false;                   ///< _exit(137) at the site
+  std::uint64_t stall_heartbeat_ms = 0; ///< summed heartbeat silences
+};
+
 /// The process-wide injector. arm() installs a plan and resets all
 /// counters; disarm() restores the zero-cost disabled state. Sites are
 /// thread-safe (worker threads fire them concurrently).
@@ -114,9 +141,26 @@ class Injector {
   bool armed() const;
 
   /// Fires a behaviour site: sleeps for every matching hang/slow rule (the
-  /// stall happens outside the injector lock), then throws InjectedFault if
-  /// a throw rule matched. No-op when disarmed.
+  /// stall happens outside the injector lock), dies with _exit(137) if a
+  /// crash rule matched, then throws InjectedFault if a throw rule matched.
+  /// No-op when disarmed.
   void at(std::string_view site, std::string_view key);
+
+  /// Resolves one site visit without applying anything — the fleet worker's
+  /// entry point, because crash and stall_heartbeat need cooperation from
+  /// the worker process itself. Consumes exactly one occurrence per matching
+  /// rule, the same as at().
+  SiteActions actions(std::string_view site, std::string_view key);
+
+  /// Advances the per-key occurrence counters of every rule matching
+  /// (site, key) *to* @p n consumed visits (counters already past @p n are
+  /// left alone) without firing anything. A respawned fleet
+  /// worker calls this with the coordinator-tracked attempt index so "the
+  /// first attempt crashes" means the first attempt *of the job*, not the
+  /// first attempt seen by each fresh worker process — the property that
+  /// keeps chaos plans convergent (and schedule-independent) across process
+  /// boundaries.
+  void advance(std::string_view site, std::string_view key, std::uint32_t n);
 
   /// Consults (and consumes an occurrence of) the file-fault rules for a
   /// writer site; the caller applies the returned corruption. When several

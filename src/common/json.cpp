@@ -65,8 +65,12 @@ std::string format_double(double v) {
 }  // namespace
 
 void Value::dump_impl(std::string& out, int indent, int depth) const {
-  const std::string pad(static_cast<std::size_t>(indent) * depth, ' ');
-  const std::string pad_in(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+  const bool compact = indent < 0;
+  const std::string pad(
+      compact ? 0 : static_cast<std::size_t>(indent) * depth, ' ');
+  const std::string pad_in(
+      compact ? 0 : static_cast<std::size_t>(indent) * (depth + 1), ' ');
+  const char* newline = compact ? "" : "\n";
   if (is_null()) {
     out += "null";
   } else if (is_bool()) {
@@ -83,12 +87,13 @@ void Value::dump_impl(std::string& out, int indent, int depth) const {
       out += "[]";
       return;
     }
-    out += "[\n";
+    out += '[';
+    out += newline;
     for (std::size_t i = 0; i < arr.size(); ++i) {
       out += pad_in;
       arr[i].dump_impl(out, indent, depth + 1);
       if (i + 1 < arr.size()) out += ',';
-      out += '\n';
+      out += newline;
     }
     out += pad + "]";
   } else {
@@ -97,12 +102,14 @@ void Value::dump_impl(std::string& out, int indent, int depth) const {
       out += "{}";
       return;
     }
-    out += "{\n";
+    out += '{';
+    out += newline;
     for (std::size_t i = 0; i < obj.size(); ++i) {
-      out += pad_in + '"' + escape(obj[i].first) + "\": ";
+      out += pad_in + '"' + escape(obj[i].first) + "\":";
+      if (!compact) out += ' ';
       obj[i].second.dump_impl(out, indent, depth + 1);
       if (i + 1 < obj.size()) out += ',';
-      out += '\n';
+      out += newline;
     }
     out += pad + "}";
   }

@@ -63,7 +63,10 @@ class Value {
   /// Appends (or overwrites) a member on an object value.
   void set(const std::string& key, Value value);
 
-  /// Serialises with 2-space indentation and '\n' line ends.
+  /// Serialises with 2-space indentation and '\n' line ends. A negative
+  /// indent emits the compact single-line form (no whitespace at all) — the
+  /// shape line-delimited protocols (fleet worker pipes, run journals) need,
+  /// where '\n' may only ever terminate a record.
   std::string dump(int indent = 2) const;
 
  private:

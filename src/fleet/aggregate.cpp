@@ -113,14 +113,19 @@ FleetReport aggregate(const std::vector<JobResult>& results) {
       ++fleet.summary.failed;
       if (result.timed_out) ++fleet.summary.timed_out;
       fleet.failures.push_back({result.job.key(), result.error});
-      fleet.degraded.push_back({result.job.key(), result.job.model,
-                                result.timed_out ? "timed_out" : "failed",
-                                result.error, result.attempts});
+      // A crash verdict outranks a timeout: "the worker died" is the actual
+      // reason the job has no result, whatever the last attempt's error was.
+      fleet.degraded.push_back(
+          {result.job.key(), result.job.model,
+           result.crashed ? "crashed"
+                          : (result.timed_out ? "timed_out" : "failed"),
+           result.error, result.attempts});
     }
     if (result.retried) {
       ++fleet.summary.retried;
       fleet.summary.retries += result.attempts > 0 ? result.attempts - 1 : 0;
     }
+    fleet.summary.worker_crashes += result.worker_crashes;
     if (result.from_cache) ++fleet.summary.cache_hits;
     fleet.summary.wall_seconds += result.wall_seconds;
   }
@@ -226,11 +231,13 @@ std::string to_markdown(const FleetReport& fleet) {
          ", failed " + std::to_string(fleet.summary.failed) +
          ", skipped " + std::to_string(fleet.summary.skipped) +
          ", cache hits " + std::to_string(fleet.summary.cache_hits) + ")\n";
-  if (fleet.summary.retried > 0 || fleet.summary.timed_out > 0) {
+  if (fleet.summary.retried > 0 || fleet.summary.timed_out > 0 ||
+      fleet.summary.worker_crashes > 0) {
     out += "- degraded health: " + std::to_string(fleet.summary.retried) +
            " job(s) retried (" + std::to_string(fleet.summary.retries) +
            " extra attempts), " + std::to_string(fleet.summary.timed_out) +
-           " timed out\n";
+           " timed out, " + std::to_string(fleet.summary.worker_crashes) +
+           " worker crash(es) absorbed\n";
   }
   out += "- worker time: " + format_double(fleet.summary.wall_seconds, 2) +
          " s, simulated GPU time: " +
@@ -312,6 +319,9 @@ json::Value fleet_to_json(const FleetReport& fleet) {
                        static_cast<std::uint64_t>(fleet.summary.retried));
   summary.emplace_back("retries",
                        static_cast<std::uint64_t>(fleet.summary.retries));
+  summary.emplace_back(
+      "worker_crashes",
+      static_cast<std::uint64_t>(fleet.summary.worker_crashes));
   summary.emplace_back("wall_seconds", fleet.summary.wall_seconds);
   summary.emplace_back("simulated_seconds", fleet.summary.simulated_seconds);
 

@@ -31,6 +31,9 @@ struct FleetSummary {
   std::size_t timed_out = 0;  ///< jobs whose final attempt hit the deadline
   std::size_t retried = 0;    ///< jobs that needed more than one attempt
   std::size_t retries = 0;    ///< total extra attempts across the sweep
+  /// Worker-process deaths the supervisor absorbed (multi-process fleet
+  /// only; counts crashes on healed jobs too, not just fatal ones).
+  std::size_t worker_crashes = 0;
   double wall_seconds = 0.0;       ///< summed per-job worker time
   double simulated_seconds = 0.0;  ///< summed simulated GPU time
 };
@@ -69,7 +72,7 @@ struct JobFailure {
 struct DegradedJob {
   std::string key;            ///< DiscoveryJob::key()
   std::string model;
-  std::string reason;         ///< "failed" | "timed_out" | "skipped"
+  std::string reason;  ///< "failed" | "timed_out" | "crashed" | "skipped"
   std::string error;          ///< last attempt's error ("" for skipped)
   std::uint32_t attempts = 0; ///< attempts actually made
 };

@@ -7,15 +7,20 @@
 // stable key, and the cache is the only authority mapping keys to reports.
 //
 // Crash safety (see README "Failure model"):
-//  * save() writes a temp file and renames it over the target — a crash
-//    mid-save leaves the previous cache intact, never a half-written file.
+//  * save() writes a pid-unique temp file and renames it over the target — a
+//    crash mid-save leaves the previous cache intact, never a half of each.
 //  * load salvages per entry: malformed entries are quarantined to a
 //    `<path>.quarantine` sidecar (with reasons) and every valid entry is
 //    kept. Only a file-level problem (invalid JSON, wrong version) starts
 //    the cache empty; either way the next save() is the recovery.
 //
-// All member functions are safe to call concurrently — the scheduler's worker
-// threads probe and fill the cache in parallel.
+// Concurrency, in process: all member functions are safe to call from the
+// scheduler's worker threads (one mutex). Across processes: load, save and
+// quarantine writes hold an advisory flock on `<path>.lock`, and save is a
+// read-MERGE-commit — entries a concurrent fleet process persisted survive
+// our save unless our memory overrides the same job hash. Two coordinators
+// sharing one cache file therefore union their results instead of taking
+// turns erasing each other's.
 #pragma once
 
 #include <cstddef>

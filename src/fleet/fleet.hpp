@@ -1,6 +1,6 @@
 // Umbrella header: the fleet discovery orchestrator.
 //
-// Typical use:
+// Typical use (threads in one process):
 //   fleet::SweepPlan plan;                       // whole registry, one seed
 //   plan.seed_count = 3;
 //   fleet::ResultCache cache("fleet_cache.json");
@@ -10,10 +10,24 @@
 //   const auto results = fleet::run_sweep(fleet::expand_jobs(plan), scheduler);
 //   std::cout << fleet::to_markdown(fleet::aggregate(results));
 //   cache.save();
+//
+// Crash-isolated (supervised worker processes + resumable journal):
+//   fleet::SupervisorOptions super;
+//   super.procs = 4;
+//   super.worker_argv = {argv0, "fleet-worker"};
+//   auto journal = fleet::RunJournal::open("run.journal");
+//   super.journal = &journal;
+//   auto prefilled = std::vector<fleet::JobResult>{};
+//   fleet::apply_journal(jobs, fleet::load_journal("run.journal"), prefilled);
+//   const auto results = fleet::run_supervised(jobs, super, prefilled);
 #pragma once
 
 #include "fleet/aggregate.hpp"  // IWYU pragma: export
 #include "fleet/cache.hpp"      // IWYU pragma: export
 #include "fleet/fault.hpp"      // IWYU pragma: export
 #include "fleet/job.hpp"        // IWYU pragma: export
+#include "fleet/journal.hpp"    // IWYU pragma: export
+#include "fleet/proto.hpp"      // IWYU pragma: export
 #include "fleet/scheduler.hpp"  // IWYU pragma: export
+#include "fleet/supervise.hpp"  // IWYU pragma: export
+#include "fleet/worker.hpp"     // IWYU pragma: export

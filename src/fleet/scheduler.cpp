@@ -96,6 +96,13 @@ std::vector<JobResult> run_sweep(const std::vector<DiscoveryJob>& jobs,
   const auto run_one = [&](std::size_t index, std::uint32_t) {
     JobResult& result = results[index];
     result.job = jobs[index];
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      result.skipped = true;
+      result.error = "skipped: sweep cancelled";
+      finish(result);
+      return;
+    }
     if (options.fail_fast && abort.load(std::memory_order_relaxed)) {
       result.skipped = true;
       result.error = "skipped: fail-fast abort after an earlier job failed";

@@ -47,6 +47,9 @@ struct FleetProgress {
   std::atomic<std::size_t> retries{0};     ///< extra attempts after failures
   std::atomic<std::size_t> timeouts{0};    ///< attempts killed by the deadline
   std::atomic<std::size_t> skipped{0};     ///< jobs dropped by fail-fast
+  /// Worker-process deaths absorbed by the supervisor (run_supervised only:
+  /// in-process sweeps cannot survive a crash to count it).
+  std::atomic<std::size_t> worker_crashes{0};
 };
 
 /// Outcome of one job within a sweep.
@@ -61,6 +64,17 @@ struct JobResult {
   bool retried = false;         ///< more than one attempt was made
   bool timed_out = false;       ///< final attempt hit the wall-clock deadline
   bool skipped = false;         ///< never attempted (fail-fast abort)
+  /// Worker processes that died (crash, kill, missed heartbeat, garbage on
+  /// the pipe) while running this job. Only run_supervised() can set it —
+  /// each crash consumes one attempt from the same retry budget exceptions
+  /// use, so a crash-looping job fails with "worker crashed" after
+  /// RetryPolicy::max_attempts.
+  std::uint32_t worker_crashes = 0;
+  bool crashed = false;         ///< final attempt died with the worker
+  /// Restored from a --resume run journal, not computed this run. Excluded
+  /// from the serialised summary counters (unlike from_cache) so a resumed
+  /// aggregate is byte-identical to the uninterrupted run's.
+  bool from_journal = false;
 };
 
 /// Bounded-retry policy applied per job. The defaults preserve the original
@@ -101,6 +115,11 @@ struct SchedulerOptions {
   /// run-to-completion guarantee for latency, and is therefore the only
   /// scheduler mode whose result vector is not schedule-independent.
   bool fail_fast = false;
+  /// Cooperative cancellation (SIGINT/SIGTERM): when the pointee turns true
+  /// the scheduler stops claiming jobs and records the rest as skipped, like
+  /// fail_fast but caller-triggered. In-flight jobs finish (in-process) or
+  /// are reaped (supervised). nullptr = never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Runs every job and returns results in job order. Never throws for

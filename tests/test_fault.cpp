@@ -194,6 +194,112 @@ TEST(FaultInjector, FileFaultConsumesItsOccurrenceWindow) {
       Injector::instance().file_fault(kSiteCacheSave, "a.json").has_value());
 }
 
+TEST(FaultPlan, ParsesTheProcessDeathVocabulary) {
+  const FaultPlan plan = parse_fault_plan(R"({
+    "version": 1,
+    "rules": [
+      {"site": "fleet.worker.job", "kind": "crash", "match": "TestGPU-NV"},
+      {"site": "fleet.worker.job", "kind": "stall_heartbeat",
+       "sleep_ms": 1500}
+    ]
+  })");
+  ASSERT_EQ(plan.rules.size(), 2u);
+  EXPECT_EQ(plan.rules[0].site, kSiteWorkerJob);
+  EXPECT_EQ(plan.rules[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.rules[1].kind, FaultKind::kStallHeartbeat);
+  EXPECT_EQ(plan.rules[1].sleep_ms, 1500u);
+}
+
+TEST(FaultPlan, ProcessDeathKindNamesRoundTrip) {
+  for (const FaultKind kind : {FaultKind::kCrash, FaultKind::kStallHeartbeat}) {
+    const auto parsed = parse_fault_kind(fault_kind_name(kind));
+    ASSERT_TRUE(parsed.has_value()) << fault_kind_name(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(FaultPlan, KindClassificationPartitionsTheVocabulary) {
+  // Every kind is applied by exactly one mechanism: the injector itself
+  // (behavior), a cooperating file writer (file), or the worker process
+  // reading actions() (neither).
+  EXPECT_TRUE(is_behavior_kind(FaultKind::kThrow));
+  EXPECT_TRUE(is_behavior_kind(FaultKind::kCrash));
+  EXPECT_FALSE(is_behavior_kind(FaultKind::kStallHeartbeat));
+  EXPECT_FALSE(is_behavior_kind(FaultKind::kTornWrite));
+  EXPECT_TRUE(is_file_kind(FaultKind::kTornWrite));
+  EXPECT_TRUE(is_file_kind(FaultKind::kCorruptBadEntry));
+  EXPECT_FALSE(is_file_kind(FaultKind::kCrash));
+  EXPECT_FALSE(is_file_kind(FaultKind::kStallHeartbeat));
+}
+
+TEST(FaultInjector, ActionsResolveCrashAndStallWithoutApplyingThem) {
+  FaultRule crash;
+  crash.site = kSiteWorkerJob;
+  crash.kind = FaultKind::kCrash;
+  crash.count = 1;
+  FaultRule stall;
+  stall.site = kSiteWorkerJob;
+  stall.kind = FaultKind::kStallHeartbeat;
+  stall.sleep_ms = 700;
+  stall.skip = 1;
+  stall.count = 1;
+  FaultPlan plan;
+  plan.rules.push_back(std::move(crash));
+  plan.rules.push_back(std::move(stall));
+  ScopedFaultPlan armed(std::move(plan));
+
+  // Occurrence 0: the crash window fires (reported, not executed — the
+  // worker performs the _exit itself).
+  SiteActions actions = Injector::instance().actions(kSiteWorkerJob, "job-a");
+  EXPECT_TRUE(actions.crash);
+  EXPECT_EQ(actions.stall_heartbeat_ms, 0u);
+  // Occurrence 1: the stall window.
+  actions = Injector::instance().actions(kSiteWorkerJob, "job-a");
+  EXPECT_FALSE(actions.crash);
+  EXPECT_EQ(actions.stall_heartbeat_ms, 700u);
+  // Occurrence 2: both windows spent.
+  actions = Injector::instance().actions(kSiteWorkerJob, "job-a");
+  EXPECT_FALSE(actions.crash);
+  EXPECT_EQ(actions.stall_heartbeat_ms, 0u);
+}
+
+TEST(FaultInjector, AdvanceClampsCountersInsteadOfAdding) {
+  FaultRule rule;
+  rule.site = kSiteWorkerJob;
+  rule.kind = FaultKind::kCrash;
+  rule.skip = 0;
+  rule.count = 1;  // only occurrence 0 crashes
+  ScopedFaultPlan armed(plan_with(rule));
+
+  Injector& injector = Injector::instance();
+  // A fresh worker process serving global attempt 1 advances to 0 consumed
+  // visits — a no-op — and then sees the crash window.
+  injector.advance(kSiteWorkerJob, "job-a", 0);
+  EXPECT_TRUE(injector.actions(kSiteWorkerJob, "job-a").crash);
+  // A respawned worker serving attempt 2 advances to 1 consumed visit. The
+  // counter is already there (the crash consumed it), so advance must CLAMP,
+  // not add — otherwise the same worker re-serving a job would skip windows.
+  injector.advance(kSiteWorkerJob, "job-a", 1);
+  EXPECT_FALSE(injector.actions(kSiteWorkerJob, "job-a").crash);
+  // Advancing backwards never rewinds: the window stays spent.
+  injector.advance(kSiteWorkerJob, "job-a", 0);
+  EXPECT_FALSE(injector.actions(kSiteWorkerJob, "job-a").crash);
+}
+
+TEST(FaultInjector, AdvanceSkipsUnvisitedWindowsForRespawnedWorkers) {
+  FaultRule rule;
+  rule.site = kSiteWorkerJob;
+  rule.kind = FaultKind::kCrash;
+  rule.skip = 1;
+  rule.count = 1;  // only occurrence 1 crashes
+  ScopedFaultPlan armed(plan_with(rule));
+
+  // A worker spawned fresh for global attempt 3 must NOT see the occurrence-1
+  // window — that attempt already happened in a previous process.
+  Injector::instance().advance(kSiteWorkerJob, "job-b", 2);
+  EXPECT_FALSE(Injector::instance().actions(kSiteWorkerJob, "job-b").crash);
+}
+
 TEST(FaultInjector, GeneratedThrowMessageNamesSiteAndKey) {
   FaultRule rule;
   rule.site = kSiteJobAttempt;

@@ -35,12 +35,26 @@ class TempFile {
   const std::string& path() const { return path_; }
 
  private:
-  /// Also removes the sidecars a cache may leave: the atomic-save temp file
-  /// and the quarantine file of a salvaging load.
+  /// Also removes the sidecars a cache may leave: the pid-suffixed
+  /// atomic-save temp files, the cross-process lock file, and the quarantine
+  /// file of a salvaging load.
   void cleanup() {
     std::remove(path_.c_str());
-    std::remove((path_ + ".tmp").c_str());
+    std::remove((path_ + ".lock").c_str());
     std::remove((path_ + ".quarantine").c_str());
+    namespace fs = std::filesystem;
+    const fs::path target(path_);
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(
+             target.parent_path().empty() ? fs::path(".")
+                                          : target.parent_path(),
+             ec)) {
+      const std::string name = entry.path().filename().string();
+      const std::string prefix = target.filename().string() + ".tmp";
+      if (name.compare(0, prefix.size(), prefix) == 0) {
+        fs::remove(entry.path(), ec);
+      }
+    }
   }
 
   std::string path_;
