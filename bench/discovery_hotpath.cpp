@@ -134,6 +134,7 @@ double cycle_pct(std::uint64_t part, std::uint64_t total) {
 struct StageAggregate {
   std::uint64_t cycles = 0;
   double wall_seconds = 0.0;
+  double reset_seconds = 0.0;  ///< replica/substrate reset share of wall
 };
 
 /// UTC timestamp like 2026-08-07T12:34:56Z for the BENCH meta block.
@@ -223,6 +224,7 @@ int main(int argc, char** argv) {
       StageAggregate& aggregate = stages[stage.stage];
       aggregate.cycles += stage.cycles;
       aggregate.wall_seconds += stage.wall_seconds;
+      aggregate.reset_seconds += stage.reset_seconds;
     }
     all_identical = all_identical && r.identical;
     total_serial += r.serial_s;
@@ -249,6 +251,15 @@ int main(int argc, char** argv) {
                    memo});
   }
   std::printf("%s\n", table.str().c_str());
+  // The "par x" and "avail x" columns compare wall times of threaded runs:
+  // with one hardware thread the parallel run degenerates to serial plus
+  // scheduling overhead, so the measured speedup carries no signal.
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::printf(
+        "(single-core host, speedup not meaningful: hardware_concurrency=1, "
+        "sweep_threads=%u, bench_threads=%u)\n\n",
+        sweep_threads, bench_threads);
+  }
 
   // Cycles-vs-wall divergence per stage, aggregated over the serial runs.
   // wall/cyc > 1 means the stage costs more host time than its simulated
@@ -264,8 +275,8 @@ int main(int argc, char** argv) {
   std::sort(by_wall.begin(), by_wall.end(), [](const auto& a, const auto& b) {
     return a.second.wall_seconds > b.second.wall_seconds;
   });
-  TablePrinter stage_table({"stage", "wall [s]", "wall %", "cycles %",
-                            "wall/cyc"});
+  TablePrinter stage_table({"stage", "wall [s]", "reset [s]", "wall %",
+                            "cycles %", "wall/cyc"});
   const std::size_t shown = std::min<std::size_t>(by_wall.size(), 15);
   for (std::size_t i = 0; i < shown; ++i) {
     const auto& [name, aggregate] = by_wall[i];
@@ -274,13 +285,14 @@ int main(int argc, char** argv) {
                                       stage_wall_total
                                 : 0.0;
     const double cycles_pct = cycle_pct(aggregate.cycles, stage_cycles_total);
-    char wall_s[32], wall_p[16], cyc_p[16], divergence[16];
+    char wall_s[32], reset_s[32], wall_p[16], cyc_p[16], divergence[16];
     std::snprintf(wall_s, sizeof wall_s, "%.3f", aggregate.wall_seconds);
+    std::snprintf(reset_s, sizeof reset_s, "%.3f", aggregate.reset_seconds);
     std::snprintf(wall_p, sizeof wall_p, "%.1f", wall_pct);
     std::snprintf(cyc_p, sizeof cyc_p, "%.1f", cycles_pct);
     std::snprintf(divergence, sizeof divergence, "%.2f",
                   cycles_pct > 0 ? wall_pct / cycles_pct : 0.0);
-    stage_table.add_row({name, wall_s, wall_p, cyc_p, divergence});
+    stage_table.add_row({name, wall_s, reset_s, wall_p, cyc_p, divergence});
   }
   if (shown < by_wall.size()) {
     std::printf("top %zu of %zu stages by wall time:\n", shown,
@@ -352,6 +364,7 @@ int main(int argc, char** argv) {
     entry.emplace_back("stage", name);
     entry.emplace_back("cycles", static_cast<std::int64_t>(aggregate.cycles));
     entry.emplace_back("wall_seconds", aggregate.wall_seconds);
+    entry.emplace_back("reset_seconds", aggregate.reset_seconds);
     entry.emplace_back("cycle_fraction",
                        stage_cycles_total > 0
                            ? static_cast<double>(aggregate.cycles) /

@@ -58,6 +58,14 @@ struct LineSizeBenchOptions {
   /// Shared replica + chase-memo cache (see SizeBenchOptions::chase_pool).
   runtime::ReplicaPool* chase_pool = nullptr;
   sim::Placement where{};
+  /// Probe only two adjacent mid-window array sizes per stride (1.4x/1.5x
+  /// the size-sweep boundary in cache_bytes) instead of the full size grid.
+  /// Per stride the two points must vote the same side of the miss-majority
+  /// line; any split vote — or a contrast too low to score — falls back to
+  /// the exhaustive grid (the probed points are re-used through the chase
+  /// memo). The grid sizes are identical in both modes, so adaptive and
+  /// fallback runs stay memo-compatible.
+  bool adaptive = true;
 };
 
 struct LineSizeBenchResult {
@@ -67,6 +75,10 @@ struct LineSizeBenchResult {
   /// stride -> normalised miss score in [0,1] (1 = pivot-like, 0 = MAX-like)
   std::vector<std::pair<std::uint32_t, double>> scores;
   std::uint64_t cycles = 0;
+  /// The two-point probe produced the final result.
+  bool adaptive = false;
+  /// The probe ran but disagreed (or lacked contrast): full grid used.
+  bool adaptive_fallback = false;
 };
 
 LineSizeBenchResult run_line_size_benchmark(

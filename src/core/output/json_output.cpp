@@ -180,6 +180,7 @@ json::Value to_json(const TopologyReport& report) {
       // runs so default reports stay byte-identical (see WallMetricsReport).
       if (report.wall.enabled) {
         entry.emplace_back("wall_seconds", stage.wall_seconds);
+        entry.emplace_back("reset_seconds", stage.reset_seconds);
       }
       stages.emplace_back(std::move(entry));
     }

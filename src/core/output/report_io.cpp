@@ -191,6 +191,7 @@ TopologyReport from_json_string(const std::string& text) {
       stage.cycles =
           static_cast<std::uint64_t>(number_or(entry, "cycles", 0));
       stage.wall_seconds = number_or(entry, "wall_seconds", 0);
+      stage.reset_seconds = number_or(entry, "reset_seconds", 0);
       report.stage_cycles.push_back(std::move(stage));
     }
   }

@@ -67,14 +67,17 @@ struct GraphRun {
     const obs::SpanGuard span("stage:", graph.stages[i].name);
     const std::uint64_t start_ns = obs::monotonic_ns();
     sim::Gpu substrate = replicas.acquire(gpu);
+    StageRecord& record = records[i];
     {
       const obs::SpanGuard reset_span("substrate.reset");
+      const std::uint64_t reset_start = obs::monotonic_ns();
       substrate.flush_caches();
       substrate.reseed_noise(gpu.seed());
       substrate.reset_allocator(gpu.heap_top());
+      record.pool.reset_ns += obs::monotonic_ns() - reset_start;
     }
-    StageRecord& record = records[i];
     record.pool.replica_cache = &replicas;
+    record.pool.warm_chunk_points = options.subsweep_chunking ? 8 : 0;
     StageContext ctx{substrate, options, state, record.pool};
     graph.stages[i].run(ctx);
     record.booking = ctx.booking;
@@ -220,7 +223,8 @@ void run_graph(sim::Gpu& gpu, DiscoveryPlan& plan,
     report.chase_memo_hits += record.pool.memo_stats.hits;
     report.chase_memo_misses += record.pool.memo_stats.misses;
     report.stage_cycles.push_back(
-        {graph.stages[i].name, booking.cycles, record.wall_seconds});
+        {graph.stages[i].name, booking.cycles, record.wall_seconds,
+         static_cast<double>(record.pool.reset_ns) * 1e-9});
     for (const SizeSeries& series : record.series) {
       report.series.push_back(series);
     }
@@ -229,8 +233,14 @@ void run_graph(sim::Gpu& gpu, DiscoveryPlan& plan,
     }
   }
 
-  // Critical path: the longest dependency chain weighted by stage cycles —
-  // total_cycles / critical_path_cycles bounds the benchmark-level speedup.
+  // Critical path: the longest dependency chain, with each stage priced at
+  // its serial depth — the chase work that cannot fan out across
+  // --sweep-threads (per batch, the most expensive sub-sweep chunk or
+  // singleton; see ReplicaPool::serial_cycles) plus any non-chase cycles
+  // (bandwidth/compute kernels run whole). total_cycles /
+  // critical_path_cycles therefore bounds the discovery-level speedup with
+  // both bench-level (stage graph) and sweep-level (sub-sweep chunk)
+  // parallelism engaged.
   std::vector<std::uint64_t> path(n, 0);
   std::uint64_t critical = 0;
   for (const std::size_t i : order) {
@@ -238,7 +248,11 @@ void run_graph(sim::Gpu& gpu, DiscoveryPlan& plan,
     for (const std::size_t d : deps[i]) {
       longest_dep = std::max(longest_dep, path[d]);
     }
-    path[i] = longest_dep + run.records[i].booking.cycles;
+    const StageRecord& record = run.records[i];
+    const std::uint64_t chase = record.pool.chase_cycles;
+    const std::uint64_t booked = record.booking.cycles;
+    const std::uint64_t non_chase = booked > chase ? booked - chase : 0;
+    path[i] = longest_dep + record.pool.serial_cycles + non_chase;
     critical = std::max(critical, path[i]);
   }
   report.critical_path_cycles += critical;

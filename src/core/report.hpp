@@ -137,6 +137,12 @@ struct StageCycleReport {
   /// bench/discovery_hotpath surfaces: it flags stages that are
   /// host-overhead-bound rather than simulation-bound.
   double wall_seconds = 0.0;
+  /// Host wall time of this stage spent resetting replicas/substrates
+  /// (cache flush + noise reseed), a subset of wall_seconds. Same
+  /// always-measured, wall-gated-emission contract as wall_seconds. This is
+  /// what exposes the tiny-array fetch-granularity stages as reset-bound
+  /// (and verifies the touched-set flush fix in the bench artifact).
+  double reset_seconds = 0.0;
 };
 
 /// One host metric aggregated over a discovery (src/obs/ registry delta).
@@ -188,8 +194,11 @@ struct TopologyReport {
   std::uint64_t chase_memo_hits = 0;
   std::uint64_t chase_memo_misses = 0;
   /// Per-stage cycles (stage-declaration order) and the longest dependency
-  /// path through them: total_cycles / critical_path_cycles is the speedup
-  /// available from benchmark-level concurrency (bench_threads) alone.
+  /// path through them, each stage priced at its serial depth (the chase
+  /// work that cannot fan out across sub-sweep chunks, plus non-chase
+  /// kernels): total_cycles / critical_path_cycles is the speedup available
+  /// from benchmark-level (bench_threads) plus sweep-level (sweep_threads)
+  /// concurrency together.
   std::vector<StageCycleReport> stage_cycles;
   std::uint64_t critical_path_cycles = 0;
   /// Host wall-clock metrics of this discovery (opt-in, see the struct).

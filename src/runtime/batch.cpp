@@ -132,6 +132,67 @@ const PChaseResult* probe_memo(const ReplicaPool& pool, std::uint64_t hash,
   return nullptr;
 }
 
+/// Timed-pass length of a plain config (the max_timed_steps cap applied).
+std::uint64_t timed_steps_of(const PChaseConfig& config) {
+  const std::uint64_t steps = config.array_bytes / config.stride_bytes;
+  return config.max_timed_steps != 0 ? std::min(steps, config.max_timed_steps)
+                                     : steps;
+}
+
+/// Ceiling on the timed-pass length of a chase that may run mid-chunk: its
+/// cache footprint must be snapshot/restored around the timed pass, and the
+/// prefix snapshot cost is linear in this bound. Record-only chases cap
+/// their timed pass at record_count (typically 512), far below this; a chase
+/// above the ceiling (a full-pass bisection probe) still joins a chunk but
+/// only as its final member, where no restore-after is needed.
+constexpr std::uint64_t kPrefixShareCap = 4096;
+
+/// Hard cap on numeric walk records per key — a runaway-loop backstop far
+/// above any real sweep grid, not a tuning knob.
+constexpr std::size_t kWarmLedgerCap = 1024;
+
+/// Records a chain's longest warm walk in the pool ledger. Every distinct
+/// walk length gets a numeric record, kept sorted by steps: the booking
+/// rule prices a chase at the increment over the nearest shorter recorded
+/// walk, so bisection-style access patterns (which revisit mid-range sizes
+/// in non-monotonic order) book small deltas instead of near-full warm
+/// costs. The numeric fields are recorded unconditionally (booking depends
+/// on them and must be engine-independent); the snapshot is dropped when it
+/// would exceed the byte budget, which only costs execution speed, never
+/// correctness.
+void insert_ledger_entry(ReplicaPool& pool, const WarmKey& key,
+                         WarmStateEntry&& entry) {
+  auto& entries = pool.warm_ledger[key];
+  const auto at = std::lower_bound(
+      entries.begin(), entries.end(), entry.steps,
+      [](const WarmStateEntry& e, std::uint64_t steps) {
+        return e.steps < steps;
+      });
+  WarmStateEntry* slot = nullptr;
+  if (at != entries.end() && at->steps == entry.steps) {
+    slot = &*at;
+  } else {
+    slot = &*entries.emplace(at);
+  }
+  const std::uint64_t old_bytes = slot->has_state ? slot->state.byte_size() : 0;
+  std::uint64_t new_bytes = entry.has_state ? entry.state.byte_size() : 0;
+  if (pool.warm_state_bytes - old_bytes + new_bytes > pool.warm_state_budget) {
+    entry.state = sim::PathSnapshot{};
+    entry.has_state = false;
+    new_bytes = 0;
+  }
+  pool.warm_state_bytes = pool.warm_state_bytes - old_bytes + new_bytes;
+  *slot = std::move(entry);
+  if (entries.size() > kWarmLedgerCap) {
+    // Deterministic eviction: drop the second-smallest walk. The floor and
+    // the long walks (where warm deltas are expensive) survive.
+    if (entries[1].has_state) {
+      pool.warm_state_bytes -= entries[1].state.byte_size();
+    }
+    entries.erase(entries.begin() + 1);
+  }
+}
+
 }  // namespace
 
 PChaseResult run_chase(sim::Gpu& gpu, const ChaseSpec& spec) {
@@ -158,10 +219,12 @@ std::vector<PChaseResult> run_chase_batch(sim::Gpu& gpu,
   ReplicaPool local_pool;
   ReplicaPool& pool = options.pool ? *options.pool : local_pool;
   if (pool.epoch != gpu.path_epoch()) {
-    // The owning Gpu rebuilt caches: replicas hold the old geometry and
-    // memoized results were measured against it.
+    // The owning Gpu rebuilt caches: replicas hold the old geometry, and
+    // memoized results / warm states were measured against it.
     pool.replicas.clear();
     pool.memo.clear();
+    pool.warm_ledger.clear();
+    pool.warm_state_bytes = 0;
   }
   pool.epoch = gpu.path_epoch();
 
@@ -203,11 +266,118 @@ std::vector<PChaseResult> run_chase_batch(sim::Gpu& gpu,
   }
 
   if (!pending.empty()) {
-    // One replica per participant slot; never more participants than chases.
+    const PChaseEngine engine = pchase_engine();
+
+    // ---- Warm-chain planning (engine-independent) -------------------------
+    // Group warm-compatible plain chases by WarmKey and sort each chain by
+    // walk length (ties stay in spec order). Chain membership and order are
+    // a pure function of the batch contents, so the booking derived from
+    // them is scheduling-independent.
+    struct Member {
+      std::size_t k = 0;  ///< index into pending
+      std::uint64_t steps = 0;
+    };
+    struct Chain {
+      std::vector<Member> members;
+      std::size_t save_unit = SIZE_MAX;  ///< unit that captures the end state
+    };
+    std::map<WarmKey, Chain> chains;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      const ChaseSpec& spec = specs[pending[k]];
+      const PChaseConfig& config = spec.config;
+      // Resample chases are excluded by contract: they exist to be genuinely
+      // independent re-measurements and always run cold.
+      if (spec.kind != ChaseKind::kPlain || !config.warmup ||
+          config.resample != 0) {
+        continue;
+      }
+      const WarmKey key{config.space,       config.flags.bypass_l1,
+                        config.base,        config.stride_bytes,
+                        config.where.sm,    config.where.core};
+      chains[key].members.push_back(
+          {k, config.array_bytes / config.stride_bytes});
+    }
+    for (auto& [key, chain] : chains) {
+      std::stable_sort(
+          chain.members.begin(), chain.members.end(),
+          [](const Member& a, const Member& b) { return a.steps < b.steps; });
+    }
+
+    // ---- Execution units --------------------------------------------------
+    // A unit is what one worker slot runs back-to-back on one replica:
+    // either a cold singleton (the classic reset-then-run path) or a chunk
+    // of one chain that warms incrementally and snapshot/restores around
+    // each bounded timed pass. Splitting chains into chunks is what lets a
+    // single monolithic sweep fan out across --sweep-threads; each chunk
+    // re-warms independently (from the best ledger snapshot), trading some
+    // redundant warm work for parallelism without touching results.
+    struct Unit {
+      std::vector<std::size_t> ks;  ///< pending indices, chain order
+      bool chunk = false;
+      const WarmStateEntry* restore = nullptr;
+      bool save = false;
+    };
+    std::vector<Unit> units;
+    std::vector<char> in_chunk(pending.size(), 0);
+    if (engine == PChaseEngine::kCompiled) {
+      for (auto& [key, chain] : chains) {
+        const std::size_t first_unit = units.size();
+        Unit current;
+        current.chunk = true;
+        for (const Member& m : chain.members) {
+          current.ks.push_back(m.k);
+          in_chunk[m.k] = 1;
+          const bool bounded =
+              timed_steps_of(specs[pending[m.k]].config) <= kPrefixShareCap;
+          // An unbounded (full-pass) timed run dirties state beyond any
+          // cheap snapshot, so it closes its chunk as the final member.
+          if (!bounded || (pool.warm_chunk_points != 0 &&
+                           current.ks.size() >= pool.warm_chunk_points)) {
+            units.push_back(std::move(current));
+            current = Unit{};
+            current.chunk = true;
+          }
+        }
+        if (!current.ks.empty()) units.push_back(std::move(current));
+        // Resume points: the longest ledger walk not exceeding the chunk's
+        // first member. Ledger entries are immutable during execution (the
+        // update below happens after the join), so the pointers stay valid.
+        const auto ledger = pool.warm_ledger.find(key);
+        if (ledger != pool.warm_ledger.end()) {
+          for (std::size_t u = first_unit; u < units.size(); ++u) {
+            const std::uint64_t first_steps =
+                specs[pending[units[u].ks.front()]].config.array_bytes /
+                specs[pending[units[u].ks.front()]].config.stride_bytes;
+            const WarmStateEntry* best = nullptr;
+            for (const WarmStateEntry& e : ledger->second) {
+              if (e.has_state && e.steps <= first_steps &&
+                  (best == nullptr || e.steps > best->steps)) {
+                best = &e;
+              }
+            }
+            units[u].restore = best;
+          }
+        }
+        // The last unit reaches the chain's longest walk: capture its warm
+        // state there so the next batch can resume instead of re-warming.
+        units.back().save = true;
+        chain.save_unit = units.size() - 1;
+      }
+    }
+    // Everything else (non-chain shapes, resamples, the reference engine)
+    // runs as a cold singleton.
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      if (in_chunk[k]) continue;
+      Unit unit;
+      unit.ks.push_back(k);
+      units.push_back(std::move(unit));
+    }
+
+    // One replica per participant slot; never more participants than units.
     const auto workers = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-        std::max<std::uint32_t>(options.threads, 1), pending.size()));
+        std::max<std::uint32_t>(options.threads, 1), units.size()));
     while (pool.replicas.size() < workers) {
-      // The fork seed is irrelevant: every chase re-seeds its replica below.
+      // The fork seed is irrelevant: every unit re-seeds its replica below.
       // (ReplicaCache::acquire books its own replica.fork span when it has
       // to fork instead of recycling.)
       if (pool.replica_cache) {
@@ -225,35 +395,184 @@ std::vector<PChaseResult> run_chase_batch(sim::Gpu& gpu,
       }
     }
 
-    const PChaseEngine engine = pchase_engine();
-    const auto run_one = [&](std::size_t k, std::uint32_t slot) {
-      const std::size_t index = pending[k];
+    // Per-slot scratch, merged single-threaded at the join.
+    std::vector<std::uint64_t> warm_full(pending.size(), 0);
+    std::vector<WarmStateEntry> saved(units.size());
+    std::vector<std::uint64_t> slot_reset_ns(workers, 0);
+    std::vector<sim::PathSnapshot> slot_scratch(workers);
+
+    const auto run_unit = [&](std::size_t u, std::uint32_t slot) {
+      const Unit& unit = units[u];
       sim::Gpu& replica = pool.replicas[slot];
       {
         const obs::SpanGuard reset_span("replica.reset");
-        const bool timed = obs::metrics_enabled();
-        const std::uint64_t reset_start = timed ? obs::monotonic_ns() : 0;
+        const std::uint64_t reset_start = obs::monotonic_ns();
         replica.flush_caches();
-        // The memo key IS the noise-stream seed (both are the full spec fold).
-        replica.reseed_noise(pending_hash[k]);
-        if (timed) {
-          obs::Metrics::instance().observe(
-              "replica.reset_ns",
-              static_cast<double>(obs::monotonic_ns() - reset_start));
+        if (!unit.chunk) {
+          // The memo key IS the noise-stream seed (both are the full spec
+          // fold).
+          replica.reseed_noise(pending_hash[unit.ks.front()]);
+        }
+        const std::uint64_t reset_ns = obs::monotonic_ns() - reset_start;
+        slot_reset_ns[slot] += reset_ns;
+        if (obs::metrics_enabled()) {
+          obs::Metrics::instance().observe("replica.reset_ns",
+                                           static_cast<double>(reset_ns));
         }
       }
       const ScopedPChaseEngine scope(engine);  // workers default to kCompiled
-      const obs::SpanGuard chase_span("chase.run");
-      results[index] = run_chase(replica, specs[index]);
+      if (!unit.chunk) {
+        const std::size_t index = pending[unit.ks.front()];
+        const obs::SpanGuard chase_span("chase.run");
+        results[index] = run_chase(replica, specs[index]);
+        return;
+      }
+      // Warm-sharing chunk: one incremental warm walk, many timed passes.
+      const PChaseConfig& head = specs[pending[unit.ks.front()]].config;
+      const sim::AccessPath path =
+          replica.compile_path(head.where, head.space, head.flags);
+      std::uint64_t cur_steps = 0;
+      std::uint64_t cum_warm = 0;
+      if (unit.restore != nullptr) {
+        replica.restore_path(path, unit.restore->state);
+        cur_steps = unit.restore->steps;
+        cum_warm = unit.restore->cum_warm_cycles;
+      }
+      for (std::size_t i = 0; i < unit.ks.size(); ++i) {
+        const std::size_t k = unit.ks[i];
+        const std::size_t index = pending[k];
+        const PChaseConfig& config = specs[index].config;
+        const std::uint64_t steps = config.array_bytes / config.stride_bytes;
+        if (steps > cur_steps) {
+          cum_warm += replica.run_warm_pass(
+              path, config.base + cur_steps * config.stride_bytes,
+              config.stride_bytes, steps - cur_steps);
+          cur_steps = steps;
+        }
+        warm_full[k] = cum_warm;
+        const bool last = i + 1 == unit.ks.size();
+        if (last && unit.save) {
+          saved[u].steps = cur_steps;
+          saved[u].cum_warm_cycles = cum_warm;
+          replica.snapshot_path(path, saved[u].state);
+          saved[u].has_state = true;
+        }
+        // Re-seeding here puts the timed pass at the exact stream position a
+        // cold run would see: warm-up consumes zero draws.
+        replica.reseed_noise(pending_hash[k]);
+        PChaseConfig timed = config;
+        timed.warmup = false;
+        const obs::SpanGuard chase_span("chase.run");
+        if (!last) {
+          // The timed pass only touches sets its address prefix maps to;
+          // snapshotting exactly those makes the restore rewind it fully.
+          replica.snapshot_path_prefix(path, config.base, config.stride_bytes,
+                                       timed_steps_of(config),
+                                       slot_scratch[slot]);
+          results[index] = run_pchase(replica, timed);
+          replica.restore_path(path, slot_scratch[slot]);
+        } else {
+          results[index] = run_pchase(replica, timed);
+        }
+      }
     };
 
     if (workers == 1) {
-      for (std::size_t k = 0; k < pending.size(); ++k) run_one(k, 0);
+      for (std::size_t u = 0; u < units.size(); ++u) run_unit(u, 0);
     } else {
       exec::Executor& executor =
           options.executor ? *options.executor : exec::shared_executor();
-      executor.parallel_for(pending.size(), workers, run_one);
+      executor.parallel_for(units.size(), workers, run_unit);
     }
+    for (const std::uint64_t ns : slot_reset_ns) pool.reset_ns += ns;
+
+    // ---- Engine-independent booking + ledger update (in chain order) ------
+    // Each chain member is charged the incremental warm cost over its
+    // predecessor — the previous chain member, or the longest prior ledger
+    // walk not exceeding its own — plus its timed pass: a chain's warm cost
+    // telescopes to its longest walk instead of being paid once per member.
+    // The rule consumes only cold-equivalent cumulative totals (warm_full)
+    // and the ledger's numeric records, both of which are pure functions of
+    // the deterministic batch sequence — never of thread count, chunk size,
+    // engine, or scheduling — so reports stay byte-identical across every
+    // execution shape. (Accounting IS chain-aware by design: sharing warm-up
+    // is what removes the warm cycles from the booked critical path.)
+    for (auto& [key, chain] : chains) {
+      for (const Member& m : chain.members) {
+        if (!in_chunk[m.k]) {
+          warm_full[m.k] = results[pending[m.k]].warm_cycles;
+        }
+      }
+      const auto ledger = pool.warm_ledger.find(key);
+      for (std::size_t i = 0; i < chain.members.size(); ++i) {
+        const Member& m = chain.members[i];
+        std::uint64_t prior_steps = 0;
+        std::uint64_t prior_cum = 0;
+        if (ledger != pool.warm_ledger.end()) {
+          for (const WarmStateEntry& e : ledger->second) {
+            if (e.steps <= m.steps && e.steps >= prior_steps) {
+              prior_steps = e.steps;
+              prior_cum = e.cum_warm_cycles;
+            }
+          }
+        }
+        if (i > 0 && chain.members[i - 1].steps >= prior_steps) {
+          prior_steps = chain.members[i - 1].steps;
+          prior_cum = warm_full[chain.members[i - 1].k];
+        }
+        PChaseResult& r = results[pending[m.k]];
+        const std::uint64_t timed_cycles = r.total_cycles - r.warm_cycles;
+        r.warm_cycles = warm_full[m.k] - prior_cum;
+        r.total_cycles = r.warm_cycles + timed_cycles;
+      }
+      const Member& longest = chain.members.back();
+      WarmStateEntry entry;
+      entry.steps = longest.steps;
+      entry.cum_warm_cycles = warm_full[longest.k];
+      if (chain.save_unit != SIZE_MAX && saved[chain.save_unit].has_state) {
+        entry.state = std::move(saved[chain.save_unit].state);
+        entry.has_state = true;
+      }
+      insert_ledger_entry(pool, key, std::move(entry));
+    }
+
+    // ---- Serial-depth accounting (engine- and knob-independent) -----------
+    // The batch's Amdahl floor under unbounded sweep threads: chains fan out
+    // in chunks of the NOMINAL size (a constant — warm_chunk_points is an
+    // execution knob and must not move report bytes), everything else is an
+    // independent singleton, and the floor is the most expensive single
+    // unit. Summed over batches (sequential by construction) this gives the
+    // pool's serially-dependent cycle depth, which the stage runner uses to
+    // price a stage's critical-path contribution.
+    constexpr std::uint32_t kNominalChunkPoints = 8;
+    std::uint64_t batch_serial = 0;
+    std::vector<char> in_chain(pending.size(), 0);
+    for (const auto& [key, chain] : chains) {
+      std::uint64_t unit_sum = 0;
+      std::uint32_t unit_len = 0;
+      for (const Member& m : chain.members) {
+        in_chain[m.k] = 1;
+        unit_sum += results[pending[m.k]].total_cycles;
+        ++unit_len;
+        const bool bounded =
+            timed_steps_of(specs[pending[m.k]].config) <= kPrefixShareCap;
+        if (!bounded || unit_len >= kNominalChunkPoints) {
+          batch_serial = std::max(batch_serial, unit_sum);
+          unit_sum = 0;
+          unit_len = 0;
+        }
+      }
+      batch_serial = std::max(batch_serial, unit_sum);
+    }
+    std::uint64_t batch_total = 0;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      batch_total += results[pending[k]].total_cycles;
+      if (!in_chain[k]) {
+        batch_serial = std::max(batch_serial, results[pending[k]].total_cycles);
+      }
+    }
+    pool.chase_cycles += batch_total;
+    pool.serial_cycles += batch_serial;
 
     if (options.memoize) {
       pool.memo_stats.misses += pending.size();

@@ -20,17 +20,36 @@
 // accounting (which index carries the cycles) is a function of the batch
 // contents alone, never of scheduling.
 //
-// The trade-off is explicit: batched chases do NOT share warm cache state or
-// a noise stream with the owning Gpu (each starts cold and self-warms), so
-// routing a measurement through the batch changes its noise realisation
-// relative to the serial-on-the-main-Gpu path. The benchmark layer accepts
-// this — detection is robust by construction — in exchange for memoization
-// and parallelism.
+// The trade-off is explicit: batched chases do NOT share a noise stream with
+// the owning Gpu (each is re-seeded from its spec), so routing a measurement
+// through the batch changes its noise realisation relative to the
+// serial-on-the-main-Gpu path. The benchmark layer accepts this — detection
+// is robust by construction — in exchange for memoization and parallelism.
+//
+// Warm-up state, by contrast, IS shared — exactly. Warm-up passes consume no
+// noise draws (see runtime/kernels.cpp), so the warm state a chase observes
+// is a pure function of its warm walk, and a longer walk of the same WarmKey
+// is an exact extension of a shorter one. The batch planner groups
+// warm-compatible plain chases into chains sorted by walk length, executes
+// each chain as chunked units that warm incrementally (snapshot/restore
+// around each bounded timed pass), and records walk lengths + noise-free
+// warm cycle totals in the pool's WarmStateEntry ledger. Booked cycles
+// follow an engine- and schedule-independent rule: every chain member is
+// charged the incremental warm cost over its predecessor (the previous
+// member, or the longest prior ledger walk) plus its own timed pass, so a
+// chain's warm cost telescopes to its longest walk — sharing removes the
+// repeated warm-up from booked cycles AND from wall-clock. The rule consumes
+// only deterministic cumulative totals, so for a fixed batch sequence the
+// results are byte-identical across thread counts, chunk sizes and the
+// compiled/reference engines; measurements (latencies, timed loads, hit
+// levels) are additionally independent of batch composition and history.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <span>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -110,6 +129,44 @@ struct ChaseMemoStats {
   std::uint64_t misses = 0;  ///< specs that actually ran
 };
 
+/// Identity of one warm-up walk. Two plain chases with equal WarmKeys warm
+/// the same address sequence through the same cache chain; because a longer
+/// warm walk is an exact extension of a shorter one (the first `steps` loads
+/// are identical) and warm-up consumes no noise draws, the warm state and
+/// noise-free warm cycle total of any walk length can be derived
+/// incrementally from a shorter one. Array size, record budget and the
+/// timed-pass cap are deliberately absent: those are exactly the fields
+/// chases may differ in while sharing a warm walk. Stride stays in the key —
+/// a different stride is a different address sequence, and sharing across it
+/// would change results.
+struct WarmKey {
+  sim::Space space = sim::Space::kGlobal;
+  bool bypass_l1 = false;
+  std::uint64_t base = 0;
+  std::uint32_t stride_bytes = 0;
+  std::uint32_t sm = 0;
+  std::uint32_t core = 0;
+
+  auto tie() const {
+    return std::tie(space, bypass_l1, base, stride_bytes, sm, core);
+  }
+  bool operator==(const WarmKey& other) const { return tie() == other.tie(); }
+  bool operator<(const WarmKey& other) const { return tie() < other.tie(); }
+};
+
+/// One recorded warm walk of a WarmKey: how many steps were walked, the
+/// noise-free cycle total of walking them from cold, and (compiled engine
+/// only, budget permitting) the sparse cache image at that point so a later
+/// batch can resume the walk instead of re-warming from scratch. The numeric
+/// fields are engine-independent and always recorded — the booking rule
+/// depends on them; the snapshot only accelerates execution.
+struct WarmStateEntry {
+  std::uint64_t steps = 0;
+  std::uint64_t cum_warm_cycles = 0;
+  sim::PathSnapshot state;
+  bool has_state = false;
+};
+
 /// Reusable replicas + chase-result memo for repeated batch calls against
 /// the same owning Gpu. Both are rebuilt automatically when the owning Gpu
 /// invalidated its compiled paths (cache rebuild via
@@ -138,6 +195,43 @@ struct ReplicaPool {
   /// forked, and the stage runner returns them after the pool's stage
   /// completes. nullptr = fork directly (the pre-graph behaviour).
   ReplicaCache* replica_cache = nullptr;
+  /// Warm-state ledger: per warm key, one numeric record per distinct walk
+  /// length ever completed, sorted ascending by steps (snapshots attach to
+  /// whichever records fit the byte budget). Booking prices a chase at the
+  /// increment over the nearest shorter recorded walk, so even bisection
+  /// patterns that revisit mid-range sizes book small deltas. Read at
+  /// batch-plan time, updated once per batch at the join in deterministic
+  /// chain order, and never consulted across pools (stage-local, so
+  /// bench_threads scheduling cannot influence booking). Cleared with the
+  /// memo on an epoch change.
+  std::map<WarmKey, std::vector<WarmStateEntry>> warm_ledger;
+  /// Resident bytes of ledger snapshots; inserts that would exceed the
+  /// budget keep their (mandatory) numeric fields but drop the snapshot.
+  std::uint64_t warm_state_bytes = 0;
+  std::uint64_t warm_state_budget = 256ULL << 20;
+  /// Sub-sweep chunking: how many chases of one warm chain execute per
+  /// parallel unit. Each chunk re-warms independently from the best ledger
+  /// snapshot and fans out through the batch executor, which is what lets a
+  /// single size sweep parallelize under --sweep-threads. 0 disables
+  /// chunking (a whole chain runs as one serial unit); results are
+  /// byte-identical either way, only wall time changes.
+  std::uint32_t warm_chunk_points = 8;
+  /// Host nanoseconds spent resetting replicas (cache flush + noise reseed)
+  /// across every batch run against this pool. Always accumulated (unlike
+  /// the metrics-gated replica.reset_ns observe) so the stage runner can
+  /// attribute reset time per stage in the report.
+  std::uint64_t reset_ns = 0;
+  /// Booked simulated cycles of every chase executed through this pool
+  /// (memo hits excluded — they book zero), and the serially-dependent
+  /// portion of them: per batch, the most expensive unit under the NOMINAL
+  /// chunking (a constant, independent of warm_chunk_points), summed over
+  /// batches (which run sequentially). serial_cycles is the Amdahl floor of
+  /// the pool's chase work under unbounded sweep threads; the stage runner
+  /// prices a stage's critical-path contribution with it. Both are pure
+  /// functions of the batch sequence — never of threads, chunking, engine,
+  /// or scheduling.
+  std::uint64_t chase_cycles = 0;
+  std::uint64_t serial_cycles = 0;
 };
 
 struct ChaseBatchOptions {

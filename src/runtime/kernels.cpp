@@ -17,21 +17,27 @@ void validate(const PChaseConfig& config) {
   }
 }
 
-/// One untimed pass: loads the whole array to populate the caches.
+/// One untimed pass: loads the whole array to populate the caches. Warm-up
+/// is noise-free in both engines — real MT4G discards warm-up timings, so
+/// only the summed base latency is observable, and consuming zero noise
+/// draws here means a timed pass behaves identically whether its warm state
+/// was walked fresh or restored from a snapshot (the warm-state sharing
+/// engine in run_chase_batch depends on this).
 std::uint64_t warmup_pass(sim::Gpu& gpu, const PChaseConfig& config,
                           const sim::Placement& where) {
   const std::uint64_t steps = config.array_bytes / config.stride_bytes;
   if (t_engine == PChaseEngine::kReference) {
     std::uint64_t cycles = 0;
     for (std::uint64_t i = 0; i < steps; ++i) {
-      cycles += gpu.access(where, config.space,
-                           config.base + i * config.stride_bytes, config.flags);
+      cycles += gpu.warm_access(where, config.space,
+                                config.base + i * config.stride_bytes,
+                                config.flags);
     }
     return cycles;
   }
   const sim::AccessPath path =
       gpu.compile_path(where, config.space, config.flags);
-  return gpu.run_pass(path, config.base, config.stride_bytes, steps);
+  return gpu.run_warm_pass(path, config.base, config.stride_bytes, steps);
 }
 
 /// The timed pass: records the first record_count latencies and classifies
@@ -81,7 +87,8 @@ PChaseResult run_pchase(sim::Gpu& gpu, const PChaseConfig& config) {
   validate(config);
   PChaseResult result;
   if (config.warmup) {
-    result.total_cycles += warmup_pass(gpu, config, config.where);
+    result.warm_cycles = warmup_pass(gpu, config, config.where);
+    result.total_cycles += result.warm_cycles;
   }
   timed_pass(gpu, config, result);
   return result;
@@ -92,13 +99,14 @@ PChaseResult run_amount_pchase(sim::Gpu& gpu, const PChaseConfig& config,
   validate(config);
   PChaseResult result;
   // (1) Core A warm-up: fills core A's segment with array A.
-  result.total_cycles += warmup_pass(gpu, config, config.where);
+  result.warm_cycles += warmup_pass(gpu, config, config.where);
   // (2) Core B warm-up of a second array: evicts array A iff both cores map
   //     to the same physical segment.
   PChaseConfig config_b = config;
   config_b.base = base_b;
   config_b.where.core = core_b;
-  result.total_cycles += warmup_pass(gpu, config_b, config_b.where);
+  result.warm_cycles += warmup_pass(gpu, config_b, config_b.where);
+  result.total_cycles += result.warm_cycles;
   // (3) Core A timed run: hits iff core B used a different segment.
   timed_pass(gpu, config, result);
   return result;
@@ -109,8 +117,9 @@ PChaseResult run_sharing_pchase(sim::Gpu& gpu, const PChaseConfig& config_a,
   validate(config_a);
   validate(config_b);
   PChaseResult result;
-  result.total_cycles += warmup_pass(gpu, config_a, config_a.where);
-  result.total_cycles += warmup_pass(gpu, config_b, config_b.where);
+  result.warm_cycles += warmup_pass(gpu, config_a, config_a.where);
+  result.warm_cycles += warmup_pass(gpu, config_b, config_b.where);
+  result.total_cycles += result.warm_cycles;
   timed_pass(gpu, config_a, result);
   return result;
 }
@@ -119,11 +128,12 @@ PChaseResult run_dual_cu_pchase(sim::Gpu& gpu, const PChaseConfig& config_a,
                                 std::uint32_t cu_b, std::uint64_t base_b) {
   validate(config_a);
   PChaseResult result;
-  result.total_cycles += warmup_pass(gpu, config_a, config_a.where);
+  result.warm_cycles += warmup_pass(gpu, config_a, config_a.where);
   PChaseConfig config_second = config_a;
   config_second.base = base_b;
   config_second.where.sm = cu_b;
-  result.total_cycles += warmup_pass(gpu, config_second, config_second.where);
+  result.warm_cycles += warmup_pass(gpu, config_second, config_second.where);
+  result.total_cycles += result.warm_cycles;
   timed_pass(gpu, config_a, result);
   return result;
 }

@@ -91,7 +91,14 @@ struct PChaseResult {
   sim::ElementCounts served_by;
   /// Simulated GPU cycles spent (warm-up + timed), for run-time accounting.
   /// Zero when the result was answered from a chase memo (see from_cache).
+  /// Warm-shared chases in a batch (see run_chase_batch) book only the
+  /// incremental warm cost over their chain predecessor here — a chain's
+  /// warm total telescopes to its longest walk. The accounting is a pure
+  /// function of the batch sequence, never of threads or scheduling.
   std::uint64_t total_cycles = 0;
+  /// Warm-up portion of total_cycles. Warm-up is noise-free, so this is a
+  /// pure function of the chase config and the replica's prior cache state.
+  std::uint64_t warm_cycles = 0;
   /// Set by the batch runner when this result came from its memo (or from an
   /// identical spec earlier in the same batch) instead of a fresh chase.
   bool from_cache = false;

@@ -39,7 +39,10 @@ SectoredCache::SectoredCache(const CacheGeometry& geometry)
   masks_.assign(total, 0);
   stamps_.assign(total, 0);
   hints_.assign(num_sets_, 0);
-  journal_.assign(kFlushJournal, 0);
+  touch_marks_.assign(num_sets_, 0);
+  // Reserving the worst case up front keeps the touched-set push in access()
+  // allocation-free; 4 bytes per set is smaller than the hint array.
+  touched_.reserve(num_sets_);
 
   if (std::has_single_bit(geometry_.line_bytes)) {
     line_shift_ = static_cast<std::uint32_t>(
@@ -76,22 +79,93 @@ void SectoredCache::flush() {
   // stamp 0 so the victim scan can be a pure minimum search. Masks of empty
   // ways are never read before the way is refilled. Stale hints are safe
   // (the hinted way's tag simply won't match).
-  if (stamp_ == 0) return;  // untouched since the last flush
-  if (stamp_ <= kFlushJournal) {
-    // Sparse flush: only the journaled sets were touched.
-    for (std::uint64_t i = 0; i < stamp_; ++i) {
-      const std::size_t base =
-          static_cast<std::size_t>(journal_[i]) * ways_per_set_;
+  if (touched_.empty()) {
+    stamp_ = 0;
+    return;
+  }
+  if (touched_.size() >= num_sets_ / 2) {
+    // Dense: a contiguous fill beats scattered per-set clears once about
+    // half the sets are dirty.
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+  } else {
+    for (const std::uint32_t set : touched_) {
+      const std::size_t base = static_cast<std::size_t>(set) * ways_per_set_;
       for (std::uint32_t w = 0; w < ways_per_set_; ++w) {
         tags_[base + w] = kInvalidTag;
         stamps_[base + w] = 0;
       }
     }
-  } else {
-    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
-    std::fill(stamps_.begin(), stamps_.end(), 0);
   }
+  touched_.clear();
+  ++generation_;
   stamp_ = 0;
+}
+
+void SectoredCache::capture_rows(CacheSnapshot& out) const {
+  const std::size_t rows = out.sets.size();
+  out.tags.resize(rows * ways_per_set_);
+  out.masks.resize(rows * ways_per_set_);
+  out.stamps.resize(rows * ways_per_set_);
+  out.hints.resize(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t src = static_cast<std::size_t>(out.sets[i]) *
+                            ways_per_set_;
+    const std::size_t dst = i * ways_per_set_;
+    for (std::uint32_t w = 0; w < ways_per_set_; ++w) {
+      out.tags[dst + w] = tags_[src + w];
+      out.masks[dst + w] = masks_[src + w];
+      out.stamps[dst + w] = stamps_[src + w];
+    }
+    out.hints[i] = hints_[out.sets[i]];
+  }
+  out.stamp = stamp_;
+  out.hits = hits_;
+  out.misses = misses_;
+}
+
+void SectoredCache::snapshot(CacheSnapshot& out) const {
+  out.clear();
+  out.sets.assign(touched_.begin(), touched_.end());
+  capture_rows(out);
+}
+
+void SectoredCache::snapshot_addresses(std::uint64_t base, std::uint64_t stride,
+                                       std::uint64_t steps,
+                                       CacheSnapshot& out) const {
+  out.clear();
+  out.sets.reserve(steps);
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    out.sets.push_back(set_of(line_of(base + i * stride)));
+  }
+  std::sort(out.sets.begin(), out.sets.end());
+  out.sets.erase(std::unique(out.sets.begin(), out.sets.end()),
+                 out.sets.end());
+  capture_rows(out);
+}
+
+void SectoredCache::restore(const CacheSnapshot& snap) {
+  const std::size_t rows = snap.sets.size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::uint32_t set = snap.sets[i];
+    const std::size_t dst = static_cast<std::size_t>(set) * ways_per_set_;
+    const std::size_t src = i * ways_per_set_;
+    for (std::uint32_t w = 0; w < ways_per_set_; ++w) {
+      tags_[dst + w] = snap.tags[src + w];
+      masks_[dst + w] = snap.masks[src + w];
+      stamps_[dst + w] = snap.stamps[src + w];
+    }
+    hints_[set] = snap.hints[i];
+    // Keep the touched-set invariant: a restored set is dirty relative to a
+    // flushed cache, so the next flush must clear it.
+    if (touch_marks_[set] != generation_) {
+      touch_marks_[set] = generation_;
+      touched_.push_back(set);
+    }
+  }
+  stamp_ = snap.stamp;
+  hits_ = snap.hits;
+  misses_ = snap.misses;
 }
 
 }  // namespace mt4g::sim

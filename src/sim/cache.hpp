@@ -31,6 +31,37 @@ struct CacheAccess {
   bool sector_hit = false;  ///< requested sector already filled
 };
 
+/// Sparse image of a cache's live way state: the captured sets' tags, sector
+/// masks, LRU stamps and hint, plus the LRU clock and counters. Restoring a
+/// snapshot rewinds exactly those sets — the warm-state sharing engine uses
+/// this to hand one warmed replica to many timed passes (capture before the
+/// timed pass, restore after) and to resume an incremental warm-up walk from
+/// a pool-cached state instead of from cold.
+struct CacheSnapshot {
+  std::vector<std::uint32_t> sets;     ///< distinct captured set indices
+  std::vector<std::uint64_t> tags;     ///< sets.size() * ways, row per set
+  std::vector<std::uint32_t> masks;
+  std::vector<std::uint64_t> stamps;
+  std::vector<std::uint32_t> hints;    ///< one per captured set
+  std::uint64_t stamp = 0;             ///< LRU clock at capture time
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  void clear() {
+    sets.clear();
+    tags.clear();
+    masks.clear();
+    stamps.clear();
+    hints.clear();
+    stamp = hits = misses = 0;
+  }
+  /// Approximate heap footprint, for the warm-state pool budget.
+  std::uint64_t byte_size() const {
+    return sets.size() * 8 + tags.size() * 12 + stamps.size() * 8 +
+           hints.size() * 4;
+  }
+};
+
 /// One physical cache. Addresses are raw byte addresses in the simulated
 /// global heap; the cache is physically indexed/tagged.
 ///
@@ -53,6 +84,25 @@ class SectoredCache {
   /// Drops all contents.
   void flush();
 
+  /// Captures the live state of every touched set (plus LRU clock and
+  /// counters) into `out`. Only valid between flushes: the touched-set list
+  /// covers exactly the sets dirtied since the last flush.
+  void snapshot(CacheSnapshot& out) const;
+
+  /// Captures the state of the sets that the address sequence
+  /// base + i * stride (i in [0, steps)) maps to — the footprint a bounded
+  /// timed pass over that prefix can dirty. Appends nothing outside those
+  /// sets; `out` is cleared first.
+  void snapshot_addresses(std::uint64_t base, std::uint64_t stride,
+                          std::uint64_t steps, CacheSnapshot& out) const;
+
+  /// Rewrites the captured sets to their snapshot state and restores the LRU
+  /// clock and counters. Sets outside the snapshot are left alone, so the
+  /// caller must guarantee everything dirtied since the capture lies inside
+  /// the captured set list (true both for a bounded timed pass over a
+  /// snapshotted prefix, and for a freshly flushed cache).
+  void restore(const CacheSnapshot& snap);
+
   const CacheGeometry& geometry() const { return geometry_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
@@ -73,6 +123,8 @@ class SectoredCache {
   /// below 2^63 by the simulated heap size, so the sentinel cannot collide.
   static constexpr std::uint64_t kInvalidTag = ~0ULL;
 
+  void capture_rows(CacheSnapshot& out) const;
+
   CacheGeometry geometry_;
   std::uint32_t num_sets_ = 1;
   std::uint32_t ways_per_set_ = 1;
@@ -88,15 +140,19 @@ class SectoredCache {
   std::vector<std::uint64_t> stamps_;  ///< LRU stamps (unique, monotonic)
   std::vector<std::uint32_t> hints_;   ///< per-set way index of last access
 
-  /// Ring journal of recently touched set indices. While a flush interval
-  /// stays within the journal capacity, flush() resets only the journaled
-  /// sets instead of memsetting the whole way state — benchmarks that flush
-  /// a barely-touched many-MB cache thousands of times (e.g. the O(CUs^2)
-  /// CU-sharing probe over a chip with a large L3) would otherwise spend
-  /// nearly all their time in flush. stamp_ doubles as the write cursor:
-  /// it counts accesses since the last flush.
-  static constexpr std::uint64_t kFlushJournal = 1024;
-  std::vector<std::uint32_t> journal_;
+  /// Exact touched-set tracking: touch_marks_[set] == generation_ iff `set`
+  /// appears in touched_, the deduplicated list of sets dirtied since the
+  /// last flush. flush() then resets only those sets instead of memsetting
+  /// the whole way state — benchmarks that flush a barely-touched many-MB
+  /// cache thousands of times (the tiny-array fetch-granularity stages, the
+  /// O(CUs^2) CU-sharing probe over a large L3) would otherwise spend nearly
+  /// all their time in flush. Unlike the ring journal this replaced, the
+  /// list never overflows into a full memset for long low-footprint chases,
+  /// and it doubles as the capture list for snapshot(). Bumping generation_
+  /// invalidates all marks in O(1).
+  std::uint64_t generation_ = 1;
+  std::vector<std::uint64_t> touch_marks_;
+  std::vector<std::uint32_t> touched_;
 
   // Precomputed index math (set up by the constructor). A shift value of
   // kNoShift means the quantity is not a power of two and the division is
@@ -144,7 +200,10 @@ inline CacheAccess SectoredCache::access(std::uint64_t address) {
   const std::uint32_t set = set_of(line);
   const std::uint32_t sector = sector_of(address);
   const std::size_t base = static_cast<std::size_t>(set) * ways_per_set_;
-  journal_[stamp_ & (kFlushJournal - 1)] = set;
+  if (touch_marks_[set] != generation_) {
+    touch_marks_[set] = generation_;
+    touched_.push_back(set);
+  }
   ++stamp_;
 
   // A p-chase revisits the same line line/stride times in a row, so the way

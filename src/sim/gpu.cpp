@@ -302,6 +302,74 @@ std::uint64_t Gpu::run_pass(const AccessPath& path, std::uint64_t base,
   return total_cycles;
 }
 
+std::uint64_t Gpu::run_warm_pass(const AccessPath& path, std::uint64_t base,
+                                 std::uint64_t stride_bytes,
+                                 std::uint64_t steps) {
+  if (path.epoch != path_epoch_) {
+    throw std::logic_error(
+        "gpu: stale AccessPath (caches were rebuilt after compile_path)");
+  }
+  std::uint64_t total_cycles = 0;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    const std::uint64_t address = base + i * stride_bytes;
+    std::uint32_t base_latency = path.terminal_latency;
+    bool hit = false;
+    for (std::size_t level = 0; level < path.depth; ++level) {
+      const CacheAccess a = path.levels[level].cache->access(address);
+      if (a.sector_hit) {
+        base_latency = path.levels[level].latency;
+        hit = true;
+        break;
+      }
+    }
+    if (!hit && path.terminal_is_dmem) ++dmem_accesses_;
+    total_cycles += base_latency;
+  }
+  return total_cycles;
+}
+
+std::uint32_t Gpu::warm_access(const Placement& where, Space space,
+                               std::uint64_t address, AccessFlags flags) {
+  const AccessPath path = compile_path(where, space, flags);
+  return static_cast<std::uint32_t>(
+      run_warm_pass(path, address, /*stride_bytes=*/0, /*steps=*/1));
+}
+
+void Gpu::snapshot_path(const AccessPath& path, PathSnapshot& out) const {
+  if (path.epoch != path_epoch_) {
+    throw std::logic_error("gpu: snapshot of a stale AccessPath");
+  }
+  out.depth = path.depth;
+  out.epoch = path.epoch;
+  for (std::size_t level = 0; level < path.depth; ++level) {
+    path.levels[level].cache->snapshot(out.levels[level]);
+  }
+}
+
+void Gpu::snapshot_path_prefix(const AccessPath& path, std::uint64_t base,
+                               std::uint64_t stride_bytes, std::uint64_t steps,
+                               PathSnapshot& out) const {
+  if (path.epoch != path_epoch_) {
+    throw std::logic_error("gpu: snapshot of a stale AccessPath");
+  }
+  out.depth = path.depth;
+  out.epoch = path.epoch;
+  for (std::size_t level = 0; level < path.depth; ++level) {
+    path.levels[level].cache->snapshot_addresses(base, stride_bytes, steps,
+                                                 out.levels[level]);
+  }
+}
+
+void Gpu::restore_path(const AccessPath& path, const PathSnapshot& snap) {
+  if (path.epoch != path_epoch_ || snap.epoch != path_epoch_ ||
+      snap.depth != path.depth) {
+    throw std::logic_error("gpu: restore of a stale PathSnapshot");
+  }
+  for (std::size_t level = 0; level < path.depth; ++level) {
+    path.levels[level].cache->restore(snap.levels[level]);
+  }
+}
+
 SectoredCache* Gpu::segment_for(const Placement& where, Element element) {
   if (element == Element::kL2) {
     if (l2_segments_.empty()) return nullptr;

@@ -63,6 +63,23 @@ struct AccessPath {
   std::uint64_t epoch = 0;       ///< must equal Gpu::path_epoch() when used
 };
 
+/// Sparse image of the cache state along one compiled path: one
+/// CacheSnapshot per level. Captured/restored by the warm-state sharing
+/// engine in runtime::run_chase_batch so one warm-up walk can serve many
+/// timed passes. Device-memory access counters are telemetry, not
+/// measurement state, and are deliberately not part of the image.
+struct PathSnapshot {
+  std::array<CacheSnapshot, AccessPath::kMaxLevels> levels;
+  std::size_t depth = 0;
+  std::uint64_t epoch = 0;  ///< path epoch at capture time
+
+  std::uint64_t byte_size() const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < depth; ++i) total += levels[i].byte_size();
+    return total;
+  }
+};
+
 class Gpu {
  public:
   /// @param mig optional MIG profile restricting the visible resources;
@@ -161,6 +178,36 @@ class Gpu {
                          ElementCounts* served = nullptr,
                          std::vector<std::uint32_t>* record = nullptr,
                          std::uint64_t record_limit = 0);
+
+  /// Executes @p steps loads through a compiled path with the exact cache
+  /// state effects of run_pass but no noise sampling and no recording: the
+  /// summed latency is the deterministic base-latency total of the walk, a
+  /// pure function of (path, base, stride, steps, prior cache state). This
+  /// is the warm-up engine: because warm-up consumes zero noise draws, a
+  /// timed pass behaves identically whether its warm state was walked fresh
+  /// or restored from a snapshot.
+  std::uint64_t run_warm_pass(const AccessPath& path, std::uint64_t base,
+                              std::uint64_t stride_bytes, std::uint64_t steps);
+
+  /// Single noise-free load: the reference-engine counterpart of
+  /// run_warm_pass, observationally identical to one warm step.
+  std::uint32_t warm_access(const Placement& where, Space space,
+                            std::uint64_t address, AccessFlags flags = {});
+
+  /// Captures the touched-set state of every cache on @p path into @p out.
+  void snapshot_path(const AccessPath& path, PathSnapshot& out) const;
+
+  /// Captures only the sets the address prefix base + i * stride
+  /// (i in [0, steps)) maps to at each level — the footprint a bounded timed
+  /// pass can dirty, so restoring @p out afterwards rewinds it exactly.
+  void snapshot_path_prefix(const AccessPath& path, std::uint64_t base,
+                            std::uint64_t stride_bytes, std::uint64_t steps,
+                            PathSnapshot& out) const;
+
+  /// Restores a snapshot captured on the same path. See
+  /// SectoredCache::restore for the containment precondition.
+  /// Throws std::logic_error on a path-epoch mismatch.
+  void restore_path(const AccessPath& path, const PathSnapshot& snap);
 
   /// Drops the content of all modelled caches.
   void flush_caches();

@@ -90,6 +90,57 @@ TEST(LineSizeBenchmark, InconclusiveWithWrongCacheSizeInput) {
   EXPECT_FALSE(r.found);
 }
 
+TEST(LineSizeBenchmark, AdaptiveProbeDecidesTheEasyCases) {
+  // On a correct cache-size input the two probe sizes agree for every
+  // stride: the adaptive path must answer without touching the full grid
+  // and still find the right line size.
+  const auto r = detect("TestGPU-NV", Element::kL1);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.line_bytes, 64u);
+  EXPECT_TRUE(r.adaptive);
+  EXPECT_FALSE(r.adaptive_fallback);
+}
+
+TEST(LineSizeBenchmark, AdaptiveAgreesWithTheFullGrid) {
+  // The probe and the exhaustive grid must reach the same verdict on every
+  // model the registry detects a line for.
+  for (const auto& [model, element] :
+       {std::pair<const char*, Element>{"H100-80", Element::kL1},
+        {"H100-80", Element::kConstL1},
+        {"MI210", Element::kVL1},
+        {"V100", Element::kL1}}) {
+    const sim::GpuSpec& spec = sim::registry_get(model);
+    sim::Gpu adaptive_gpu(spec, 42);
+    sim::Gpu grid_gpu(spec, 42);
+    LineSizeBenchOptions options;
+    options.target = target_for(spec.vendor, element);
+    options.cache_bytes = spec.at(element).size_bytes;
+    options.fetch_granularity = spec.at(element).sector_bytes;
+    const auto probed = run_line_size_benchmark(adaptive_gpu, options);
+    options.adaptive = false;
+    const auto grid = run_line_size_benchmark(grid_gpu, options);
+    EXPECT_EQ(probed.found, grid.found) << model;
+    EXPECT_EQ(probed.line_bytes, grid.line_bytes) << model;
+    EXPECT_FALSE(grid.adaptive) << model;
+    EXPECT_FALSE(grid.adaptive_fallback) << model;
+  }
+}
+
+TEST(LineSizeBenchmark, AdaptiveFallsBackWhenTheProbeCannotScore) {
+  // A wrong cache-size input removes the probe's contrast: the adaptive
+  // path must admit it and re-measure on the exhaustive grid (which then
+  // reports inconclusive too, rather than hallucinating a line size).
+  sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
+  LineSizeBenchOptions options;
+  options.target = target_for(sim::Vendor::kNvidia, Element::kL1);
+  options.cache_bytes = 2 * MiB;  // real L1 is 4 KiB; L2 partition is 32 KiB
+  options.fetch_granularity = 32;
+  const auto r = run_line_size_benchmark(gpu, options);
+  EXPECT_FALSE(r.found);
+  EXPECT_FALSE(r.adaptive);
+  EXPECT_TRUE(r.adaptive_fallback);
+}
+
 TEST(LineSizeBenchmark, RejectsMissingInputs) {
   sim::Gpu gpu(sim::registry_get("TestGPU-NV"), 42);
   LineSizeBenchOptions options;

@@ -69,12 +69,23 @@ TEST(PChaseBatch, ResultIndependentOfBatchCompositionAndHistory) {
   const auto configs = sweep_configs(gpu, 8);
 
   // The full batch, chase 3 alone, and chase 3 after unrelated prior batches
-  // must agree on chase 3's result exactly.
+  // must agree on chase 3's measurement exactly. Cycle accounting is
+  // chain-aware by design: in the full batch chase 3 shares warm-up with the
+  // shorter walks ahead of it and books only the incremental warm cost,
+  // while its timed-pass cost stays composition-independent.
   const auto full = run_pchase_batch(gpu, configs, {});
   const auto alone =
       run_pchase_batch(gpu, std::span(configs).subspan(3, 1), {});
   EXPECT_EQ(full[3].latencies, alone[0].latencies);
-  EXPECT_EQ(full[3].total_cycles, alone[0].total_cycles);
+  EXPECT_EQ(full[3].timed_loads, alone[0].timed_loads);
+  EXPECT_EQ(full[3].served_by.raw(), alone[0].served_by.raw());
+  EXPECT_LT(full[3].warm_cycles, alone[0].warm_cycles);
+  EXPECT_EQ(full[3].total_cycles - full[3].warm_cycles,
+            alone[0].total_cycles - alone[0].warm_cycles);
+  // The chain's shortest walk has no predecessor to share with: full cost.
+  EXPECT_EQ(full[0].warm_cycles,
+            run_pchase_batch(gpu, std::span(configs).subspan(0, 1), {})[0]
+                .warm_cycles);
 
   PChaseBatchOptions with_pool;
   ReplicaPool pool;
